@@ -1,0 +1,82 @@
+// E11 — Section 5's open conjecture: the triple-pipelined mergesort built
+// from the Section 3.1 merge has expected depth close to O(lg n lg lg n)
+// (somewhere between Θ(lg n) and the Θ(lg³ n) of the non-pipelined version).
+// We measure and fit against the candidate models.
+#include <cmath>
+
+#include "algos/mergesort.hpp"
+#include "bench/bench_util.hpp"
+#include "support/cli.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "16"}, {"seeds", "3"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E11", "Section 5 (conjecture)",
+               "Pipelined mergesort depth: conjectured ≈ lg n lg lg n; "
+               "strict is Θ(lg³ n). Fit against candidate models.");
+
+  Table t({"lg n", "piped depth", "balanced depth", "strict depth",
+           "piped/(lgn lglgn)", "balanced/lg²n", "strict/lg³n"});
+  std::vector<double> y, m_lg, m_lglglg, m_lg2, m_lg3;
+  for (int lg = 8; lg <= max_lg; lg += 2) {
+    const std::size_t n = 1ull << lg;
+    double dp = 0, db = 0, ds = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(seed0 + 100 * s + lg);
+      std::vector<trees::Key> v;
+      for (std::size_t i = 0; i < n; ++i)
+        v.push_back(rng.range(-(1ll << 40), 1ll << 40));
+      {
+        cm::Engine eng;
+        trees::Store st(eng);
+        algos::mergesort(st, v);
+        dp += static_cast<double>(eng.depth());
+      }
+      {
+        cm::Engine eng;
+        trees::Store st(eng);
+        algos::mergesort_balanced(st, v);
+        db += static_cast<double>(eng.depth());
+      }
+      if (lg <= 14) {  // strict blows up fast; cap its sweep
+        cm::Engine eng;
+        trees::Store st(eng);
+        algos::mergesort_strict(st, v);
+        ds += static_cast<double>(eng.depth());
+      }
+    }
+    dp /= seeds;
+    db /= seeds;
+    ds = ds > 0 ? ds / seeds : 0;
+    const double L = lg;
+    const double LL = std::log2(L);
+    y.push_back(dp);
+    m_lg.push_back(L);
+    m_lglglg.push_back(L * LL);
+    m_lg2.push_back(L * L);
+    m_lg3.push_back(L * L * L);
+    t.add_row({Table::integer(lg), Table::num(dp, 0), Table::num(db, 0),
+               ds > 0 ? Table::num(ds, 0) : "-",
+               Table::num(dp / (L * LL), 2), Table::num(db / (L * L), 2),
+               ds > 0 ? Table::num(ds / (L * L * L), 2) : "-"});
+  }
+  t.print();
+
+  const ModelChoice best = best_model(
+      y, {{"lg n", m_lg},
+          {"lg n lglg n", m_lglglg},
+          {"lg^2 n", m_lg2},
+          {"lg^3 n", m_lg3}});
+  std::printf("best-fitting model for pipelined depth: %s "
+              "(a=%.2f, rel rms %.3f)\n",
+              best.name.c_str(), best.fit.a, best.fit.rel_rms);
+  bench::verdict(
+      "pipelined mergesort depth is sub-lg^3 (conjecture territory)",
+      best.name != "lg^3 n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E12 — Section 3.1's rebalance extension: after a pipelined merge the tree
+// can be rebalanced in O(lg n + lg m) additional depth and O(n + m) work,
+// producing height <= ceil(lg(n+m+1)) + 1.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "trees/merge.hpp"
+#include "trees/rebalance.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "16"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E12", "Section 3.1 (rebalance)",
+               "merge + rebalance: total depth stays Θ(lg n + lg m), work "
+               "Θ(n + m), result height near-optimal.");
+
+  Table t({"lg n=lg m", "merged height", "balanced height", "ceil lg(n+m+1)",
+           "total depth", "depth/(lgn+lgm)", "rebal work/(n+m)"});
+  std::vector<double> addm, depths;
+  bool heights_ok = true;
+  for (int lg = 8; lg <= max_lg; lg += 2) {
+    const std::size_t n = 1ull << lg;
+    const auto a = bench::random_keys(n, seed + lg);
+    const auto b = bench::random_keys(n, seed + lg + 31);
+    cm::Engine eng;
+    trees::Store st(eng);
+    trees::TreeCell* merged = trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    const int h_merged = trees::height(trees::peek(merged));
+    const std::uint64_t w_merge = eng.work();
+    trees::TreeCell* balanced = trees::rebalance(st, merged);
+    const int h_bal = trees::height(trees::peek(balanced));
+    const double total = static_cast<double>(2 * n);
+    const int opt = static_cast<int>(std::ceil(std::log2(total + 1)));
+    if (h_bal > opt + 1) heights_ok = false;
+    addm.push_back(2.0 * lg);
+    depths.push_back(static_cast<double>(eng.depth()));
+    t.add_row(
+        {Table::integer(lg), Table::integer(h_merged), Table::integer(h_bal),
+         Table::integer(opt), Table::num(static_cast<double>(eng.depth()), 0),
+         Table::num(static_cast<double>(eng.depth()) / (2.0 * lg), 2),
+         Table::num(static_cast<double>(eng.work() - w_merge) / total, 2)});
+  }
+  t.print();
+  bench::report_fit("merge+rebalance depth", "lg n + lg m", addm, depths);
+  const ScaleFit f = fit_scale(addm, depths);
+  bench::verdict("total depth tracks lg n + lg m (rel rms < 0.2)",
+                 f.rel_rms < 0.2);
+  bench::verdict("balanced height <= ceil(lg(n+m+1)) + 1", heights_ok);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E13 — the real coroutine futures runtime: wall-clock for the paper's
+// algorithms at several worker counts, against tight sequential baselines.
+//
+// NOTE on interpretation: the paper's scaling claims are schedule-level and
+// are reproduced exactly by E9; this binary measures what the paper does NOT
+// claim — raw single-machine overhead of a future per node. On a 1-core host
+// thread counts > 1 measure scheduling overhead, not speedup.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "runtime/rt_treap.hpp"
+#include "runtime/rt_trees.hpp"
+#include "runtime/rt_ttree.hpp"
+#include "runtime/scheduler.hpp"
+#include "treap/seq_treap.hpp"
+
+using namespace pwf;
+
+namespace {
+
+void BM_RtMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto a = bench::random_keys(n, 1);
+  const auto b = bench::random_keys(n, 2);
+  for (auto _ : state) {
+    rt::Scheduler sched(threads);
+    rt::trees::Store st;
+    rt::trees::Cell* out = rt::trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    benchmark::DoNotOptimize(rt::trees::wait_inorder(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_RtMerge)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 2})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SeqMergeBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = bench::random_keys(n, 1);
+  const auto b = bench::random_keys(n, 2);
+  for (auto _ : state) {
+    std::vector<std::int64_t> out(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_SeqMergeBaseline)->Arg(1 << 12)->Arg(1 << 14)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RtTreapUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto a = bench::random_keys(n, 3);
+  const auto b = bench::random_keys(n, 4);
+  for (auto _ : state) {
+    rt::Scheduler sched(threads);
+    rt::treap::Store st;
+    rt::treap::Cell* out = rt::treap::union_treaps(
+        st, st.input(st.build(a)), st.input(st.build(b)));
+    benchmark::DoNotOptimize(rt::treap::wait_inorder(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_RtTreapUnion)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 2})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SeqTreapUnionBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = bench::random_keys(n, 3);
+  const auto b = bench::random_keys(n, 4);
+  for (auto _ : state) {
+    treap::SeqTreap ta = treap::SeqTreap::from_keys(a);
+    treap::SeqTreap tb = treap::SeqTreap::from_keys(b);
+    ta.unite(std::move(tb));
+    benchmark::DoNotOptimize(ta.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_SeqTreapUnionBaseline)->Arg(1 << 12)->Arg(1 << 14)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RtTtreeBulkInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto tree_keys = bench::random_keys(n, 5);
+  const auto new_keys = bench::random_keys(n / 4, 6);
+  for (auto _ : state) {
+    rt::Scheduler sched(threads);
+    rt::ttree::Store st;
+    rt::ttree::Cell* out = rt::ttree::bulk_insert(
+        st, st.input(st.build(tree_keys, 3)), new_keys);
+    benchmark::DoNotOptimize(rt::ttree::wait_keys(out));
+  }
+}
+BENCHMARK(BM_RtTtreeBulkInsert)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RtMergesort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  Rng rng(7);
+  std::vector<std::int64_t> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.range(-(1 << 28), 1 << 28));
+  for (auto _ : state) {
+    rt::Scheduler sched(threads);
+    rt::trees::Store st;
+    benchmark::DoNotOptimize(
+        rt::trees::wait_inorder(rt::trees::mergesort(st, v)));
+  }
+}
+BENCHMARK(BM_RtMergesort)->Args({1 << 13, 1})->Args({1 << 13, 2})->Unit(
+    benchmark::kMillisecond);
+
+void BM_StdSortBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::int64_t> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.range(-(1 << 28), 1 << 28));
+  for (auto _ : state) {
+    std::vector<std::int64_t> w = v;
+    std::sort(w.begin(), w.end());
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_StdSortBaseline)->Arg(1 << 13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

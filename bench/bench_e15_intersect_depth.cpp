@@ -1,0 +1,65 @@
+// E15 (extension) — treap intersection, the third set operation from the
+// authors' companion paper [11] ("Fast set operations using treaps"),
+// implemented with the same dynamic pipeline as union/difference: expected
+// depth Θ(lg n + lg m), work O(m lg(n/m)).
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "treap/setops.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "17"}, {"seeds", "3"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E15", "extension ([11], set ops on treaps)",
+               "Treap intersection: expected depth Θ(lg n + lg m) pipelined "
+               "vs Θ(lg n · lg m) strict, across overlap fractions.");
+
+  for (const double overlap : {0.1, 0.5, 0.9}) {
+    std::printf("overlap (fraction of b present in a) = %.1f\n", overlap);
+    Table t({"lg n", "piped depth", "strict depth", "strict/piped",
+             "piped/(lgn+lgm)"});
+    std::vector<double> addm, piped;
+    for (int lg = 8; lg <= max_lg; lg += 3) {
+      const std::size_t n = 1ull << lg;
+      double sp = 0, ss = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const auto a = bench::random_keys(n, seed0 + 900 * s + lg);
+        const auto b = bench::overlapping_keys(a, n / 2, overlap,
+                                               seed0 + 900 * s + lg + 400);
+        {
+          cm::Engine eng;
+          treap::Store st(eng);
+          treap::intersect_treaps(st, st.input(st.build(a)),
+                                  st.input(st.build(b)));
+          sp += static_cast<double>(eng.depth());
+        }
+        {
+          cm::Engine eng;
+          treap::Store st(eng);
+          treap::intersect_strict(st, st.build(a), st.build(b));
+          ss += static_cast<double>(eng.depth());
+        }
+      }
+      sp /= seeds;
+      ss /= seeds;
+      addm.push_back(2.0 * lg);
+      piped.push_back(sp);
+      t.add_row({Table::integer(lg), Table::num(sp, 0), Table::num(ss, 0),
+                 Table::num(ss / sp, 2), Table::num(sp / (2.0 * lg), 2)});
+    }
+    t.print();
+    const ScaleFit f = fit_scale(addm, piped);
+    bench::verdict(
+        "intersection expected depth tracks lg n + lg m (rel rms < 0.25)",
+        f.rel_rms < 0.25);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E17 — pipeline-delay (touch-slack) profiles. The paper stresses that for
+// merge, union and difference "the pipeline delays are data dependent,
+// making them particularly difficult to pipeline by hand", while the 2-6
+// tree insertion "can be implemented synchronously and with a fixed
+// pipeline depth".
+//
+// This bench measures, per touch, the slack of its data edge — how long the
+// toucher would have suspended waiting for the writer. The three regimes
+// are clearly distinguishable:
+//   * producer/consumer: constant slack 2 — perfect lockstep;
+//   * merge/union/diff: slack varies touch to touch (the *dynamic* delays),
+//     with small means and maxima that drift up with lg n — each large
+//     delay is compensated by a height decrease (the τ-value argument);
+//   * 2-6 insert: waves are spawned eagerly, so a wave's touches wait until
+//     the previous wave clears each level — the slack is exactly the wave
+//     latency of the *fixed, synchronous* pipeline, deterministic given the
+//     sizes (and ~ proportional to the level number, hence the larger max).
+#include <functional>
+
+#include "algos/producer_consumer.hpp"
+#include "bench/bench_util.hpp"
+#include "support/bigstack.hpp"
+#include "support/cli.hpp"
+#include "treap/setops.hpp"
+#include "trees/merge.hpp"
+#include "ttree/insert.hpp"
+
+using namespace pwf;
+
+namespace {
+
+struct Profile {
+  cm::Engine::WaitStats ws;
+  std::uint64_t depth;
+};
+
+Profile profile(const std::function<void(cm::Engine&)>& body) {
+  cm::Engine eng;
+  run_big([&] { body(eng); });
+  return {eng.wait_stats(), eng.depth()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"lg_n", "14"}, {"seed", "1"}});
+  const int lg_n = static_cast<int>(cli.get_int("lg_n"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E17", "dynamic vs fixed pipelines (Sections 3.1–3.4)",
+               "Touch-wait profile per algorithm: data-dependent delays for "
+               "merge/union/diff, near-constant for 2-6 waves and Fig. 1.");
+
+  Table t({"algorithm", "lg n", "touches", "suspended %", "mean wait",
+           "max wait", "max wait / lg n"});
+  for (int lg : {lg_n - 4, lg_n}) {
+    const std::size_t n = 1ull << lg;
+    const auto a = bench::random_keys(n, seed + lg);
+    const auto b = bench::random_keys(n, seed + lg + 3);
+
+    struct Algo {
+      const char* name;
+      std::function<void(cm::Engine&)> body;
+    };
+    std::vector<Algo> algos;
+    algos.push_back({"merge", [&](cm::Engine& eng) {
+                       trees::Store st(eng);
+                       trees::merge(st, st.input(st.build_balanced(a)),
+                                    st.input(st.build_balanced(b)));
+                     }});
+    algos.push_back({"treap-union", [&](cm::Engine& eng) {
+                       treap::Store st(eng);
+                       treap::union_treaps(st, st.input(st.build(a)),
+                                           st.input(st.build(b)));
+                     }});
+    algos.push_back({"treap-diff", [&](cm::Engine& eng) {
+                       treap::Store st(eng);
+                       treap::diff_treaps(st, st.input(st.build(a)),
+                                          st.input(st.build(b)));
+                     }});
+    algos.push_back({"ttree-insert", [&](cm::Engine& eng) {
+                       ttree::Store st(eng);
+                       ttree::bulk_insert(st, st.input(st.build(a, 3)), b);
+                     }});
+    algos.push_back({"producer-consumer", [&](cm::Engine& eng) {
+                       algos::ListStore st(eng);
+                       algos::produce_consume(
+                           st, static_cast<std::int64_t>(n));
+                     }});
+
+    for (const auto& algo : algos) {
+      const Profile p = profile(algo.body);
+      const double pct =
+          100.0 * static_cast<double>(p.ws.suspensions) /
+          static_cast<double>(std::max<std::uint64_t>(1, p.ws.touches));
+      const double mean =
+          p.ws.suspensions
+              ? static_cast<double>(p.ws.total_wait) /
+                    static_cast<double>(p.ws.suspensions)
+              : 0.0;
+      t.add_row({algo.name, Table::integer(lg),
+                 Table::integer(static_cast<long long>(p.ws.touches)),
+                 Table::num(pct, 1), Table::num(mean, 1),
+                 Table::integer(static_cast<long long>(p.ws.max_wait)),
+                 Table::num(static_cast<double>(p.ws.max_wait) / lg, 2)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading: producer-consumer runs in lockstep (slack == 2 always);\n"
+      "merge/union/diff have varying, data-dependent slack with small means\n"
+      "(the dynamic pipelines of Sections 3.1-3.3); ttree-insert's slack is\n"
+      "the deterministic wave latency of its fixed synchronous pipeline\n"
+      "(Section 3.4) — a wave suspends until the previous wave clears the\n"
+      "level it wants to enter.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E19 (extension) — end-to-end batch throughput of the ParallelSet /
+// ParallelMap facades against std::set / std::map loops, on the real
+// runtime. Like E13 this is an overhead study on a 1-core host (the paper's
+// p-scaling story is E9); the interesting number is the per-batch cost of
+// "one pipelined union" vs "m ordered-map updates".
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+
+#include "bench/bench_util.hpp"
+#include "runtime/parallel_map.hpp"
+#include "runtime/parallel_set.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace pwf;
+
+namespace {
+
+void BM_ParallelSetInsertBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto base = bench::random_keys(n, 1);
+  const auto batch = bench::random_keys(m, 2);
+  rt::Scheduler sched(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::ParallelSet s(sched, base);
+    state.ResumeTiming();
+    s.insert_batch(batch);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ParallelSetInsertBatch)
+    ->Args({1 << 14, 1 << 10})
+    ->Args({1 << 14, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StdSetInsertLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto base = bench::random_keys(n, 1);
+  const auto batch = bench::random_keys(m, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::set<std::int64_t> s(base.begin(), base.end());
+    state.ResumeTiming();
+    for (auto k : batch) s.insert(k);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_StdSetInsertLoop)
+    ->Args({1 << 14, 1 << 10})
+    ->Args({1 << 14, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelMapAggregate(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::pair<std::int64_t, std::int64_t>> batch;
+  for (std::size_t i = 0; i < m; ++i)
+    batch.emplace_back(rng.range(0, 1 << 12), 1);
+  rt::Scheduler sched(2);
+  const auto add = [](std::int64_t a, std::int64_t b) { return a + b; };
+  for (auto _ : state) {
+    rt::ParallelMap<std::int64_t> idx(sched);
+    for (int shard = 0; shard < 4; ++shard) idx.insert_batch(batch, add);
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ParallelMapAggregate)->Arg(1 << 12)->Unit(
+    benchmark::kMillisecond);
+
+void BM_StdMapAggregate(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::pair<std::int64_t, std::int64_t>> batch;
+  for (std::size_t i = 0; i < m; ++i)
+    batch.emplace_back(rng.range(0, 1 << 12), 1);
+  for (auto _ : state) {
+    std::map<std::int64_t, std::int64_t> idx;
+    for (int shard = 0; shard < 4; ++shard)
+      for (const auto& [k, v] : batch) idx[k] += v;
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_StdMapAggregate)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

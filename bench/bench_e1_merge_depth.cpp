@@ -1,0 +1,94 @@
+// E1 — Theorem 3.1 (depth): pipelined tree merge has depth Θ(lg n + lg m),
+// against the non-pipelined fork-join baseline's Θ(lg n · lg m).
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "trees/merge.hpp"
+
+using namespace pwf;
+
+namespace {
+
+struct Row {
+  std::size_t n, m;
+  double piped, strict;
+};
+
+Row measure(std::size_t n, std::size_t m, std::uint64_t seed) {
+  const auto a = bench::random_keys(n, seed * 2 + 1);
+  const auto b = bench::random_keys(m, seed * 2 + 2);
+  Row r{n, m, 0, 0};
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    trees::merge(st, st.input(st.build_balanced(a)),
+                 st.input(st.build_balanced(b)));
+    r.piped = static_cast<double>(eng.depth());
+  }
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    trees::merge_strict(st, st.build_balanced(a), st.build_balanced(b));
+    r.strict = static_cast<double>(eng.depth());
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "18"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E1", "Theorem 3.1 (depth)",
+               "Pipelined merge depth = Θ(lg n + lg m); non-pipelined = "
+               "Θ(lg n · lg m). Ratio grows ~ lg n.");
+
+  Table t({"lg n", "lg m", "piped depth", "strict depth", "strict/piped",
+           "piped/(lgn+lgm)", "strict/(lgn*lgm)"});
+  std::vector<double> addm, mulm, piped, strict;
+  bool shape_ok = true;
+  double prev_ratio = 0;
+  for (int lg = 8; lg <= max_lg; lg += 2) {
+    const std::size_t n = 1ull << lg;
+    const Row r = measure(n, n, seed + lg);
+    const double add = 2.0 * lg;
+    const double mul = static_cast<double>(lg) * lg;
+    addm.push_back(add);
+    mulm.push_back(mul);
+    piped.push_back(r.piped);
+    strict.push_back(r.strict);
+    const double ratio = r.strict / r.piped;
+    if (ratio < prev_ratio) shape_ok = false;
+    prev_ratio = ratio;
+    t.add_row({Table::integer(lg), Table::integer(lg), Table::num(r.piped, 0),
+               Table::num(r.strict, 0), Table::num(ratio, 2),
+               Table::num(r.piped / add, 2), Table::num(r.strict / mul, 2)});
+  }
+  t.print();
+
+  bench::report_fit("piped depth", "lg n + lg m", addm, piped);
+  bench::report_fit("strict depth", "lg n * lg m", mulm, strict);
+
+  const ScaleFit fp = fit_scale(addm, piped);
+  const ScaleFit fs = fit_scale(mulm, strict);
+  bench::verdict("pipelined depth tracks lg n + lg m (rel rms < 0.15)",
+                 fp.rel_rms < 0.15);
+  bench::verdict("strict depth tracks lg n * lg m (rel rms < 0.25)",
+                 fs.rel_rms < 0.25);
+  bench::verdict("strict/piped ratio grows monotonically with n", shape_ok);
+
+  // Asymmetric sizes: m fixed small, n growing — depth still additive.
+  std::printf("\nAsymmetric inputs (m = 256 fixed):\n");
+  Table t2({"lg n", "piped depth", "piped/(lgn+lgm)"});
+  for (int lg = 10; lg <= max_lg; lg += 2) {
+    const Row r = measure(1ull << lg, 256, seed + 100 + lg);
+    t2.add_row({Table::integer(lg), Table::num(r.piped, 0),
+                Table::num(r.piped / (lg + 8.0), 2)});
+  }
+  t2.print();
+  return 0;
+}

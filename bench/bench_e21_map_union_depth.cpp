@@ -1,0 +1,77 @@
+// E21 (extension) — what payload merging costs the union pipeline.
+//
+// Set union (Figure 4) publishes each result root immediately: a duplicate
+// key is silently dropped inside splitm. A *map* union must know whether
+// the key was shared before it can publish the merged payload, so every
+// node waits for splitm's verdict — the same ascending-information pattern
+// as difference (Figure 7). The ρ-value argument that bounds diff applies,
+// so expected depth should remain Θ(lg n + lg m), merely with a larger
+// constant. This bench measures that constant.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "treap/map_union.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "17"}, {"seeds", "3"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E21", "extension (value-merging union)",
+               "Map union must await splitm's duplicate verdict per node "
+               "(like diff); expected depth stays Θ(lg n + lg m).");
+
+  for (const double overlap : {0.0, 0.5}) {
+    std::printf("overlap = %.1f\n", overlap);
+    Table t({"lg n", "set-union depth", "map-union depth", "map/set",
+             "map/(lgn+lgm)"});
+    std::vector<double> addm, mdepth;
+    for (int lg = 8; lg <= max_lg; lg += 3) {
+      const std::size_t n = 1ull << lg;
+      double dset = 0, dmap = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const auto ka = bench::random_keys(n, seed0 + 700 * s + lg);
+        const auto kb = bench::overlapping_keys(ka, n, overlap,
+                                                seed0 + 700 * s + lg + 350);
+        {
+          cm::Engine eng;
+          treap::Store st(eng);
+          treap::union_treaps(st, st.input(st.build(ka)),
+                              st.input(st.build(kb)));
+          dset += static_cast<double>(eng.depth());
+        }
+        {
+          std::vector<std::pair<treap::Key, std::int64_t>> a, b;
+          for (treap::Key k : ka) a.emplace_back(k, 1);
+          for (treap::Key k : kb) b.emplace_back(k, 1);
+          cm::Engine eng;
+          treap::Store st(eng);
+          treap::union_merge(
+              st, st.input(treap::build_map(st, a)),
+              st.input(treap::build_map(st, b)),
+              [](std::int64_t x, std::int64_t y) { return x + y; });
+          dmap += static_cast<double>(eng.depth());
+        }
+      }
+      dset /= seeds;
+      dmap /= seeds;
+      addm.push_back(2.0 * lg);
+      mdepth.push_back(dmap);
+      t.add_row({Table::integer(lg), Table::num(dset, 0),
+                 Table::num(dmap, 0), Table::num(dmap / dset, 2),
+                 Table::num(dmap / (2.0 * lg), 2)});
+    }
+    t.print();
+    const ScaleFit f = fit_scale(addm, mdepth);
+    bench::verdict("map-union expected depth tracks lg n + lg m "
+                   "(rel rms < 0.25)",
+                   f.rel_rms < 0.25);
+    std::printf("\n");
+  }
+  return 0;
+}

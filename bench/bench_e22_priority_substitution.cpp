@@ -1,0 +1,99 @@
+// E22 (substitution validation) — hashed priorities vs true random
+// priorities. DESIGN.md substitutes the paper's "random priority per key"
+// with a PRF of the key (splitmix64 + salt), which is what makes set
+// operations over treaps sharing keys well-defined. This bench validates
+// the substitution where it matters: the height distribution (Seidel &
+// Aragon: expected height ~ 4.31·ln n ≈ 2.99·lg n asymptotically; smaller
+// constants at these sizes). The two priority schemes must produce
+// statistically indistinguishable heights — the union/diff/intersect depth
+// bounds inherit directly from height.
+#include <cmath>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "treap/treap.hpp"
+
+using namespace pwf;
+
+namespace {
+
+// Control: a treap with genuinely random (seeded, key-independent)
+// priorities, built with the same right-spine method.
+int random_priority_height(const std::vector<std::int64_t>& keys,
+                           std::uint64_t seed) {
+  struct N {
+    std::uint64_t pri;
+    int height = 1;
+    N* left = nullptr;
+    N* right = nullptr;
+  };
+  Rng rng(seed);
+  std::vector<std::unique_ptr<N>> pool;
+  std::vector<N*> spine;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    pool.push_back(std::make_unique<N>());
+    N* n = pool.back().get();
+    n->pri = rng.next();
+    N* last = nullptr;
+    while (!spine.empty() && spine.back()->pri < n->pri) {
+      last = spine.back();
+      spine.pop_back();
+    }
+    n->left = last;
+    if (!spine.empty()) spine.back()->right = n;
+    spine.push_back(n);
+  }
+  struct H {
+    static int of(const N* n) {
+      if (!n) return 0;
+      return 1 + std::max(of(n->left), of(n->right));
+    }
+  };
+  return spine.empty() ? 0 : H::of(spine.front());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "16"}, {"seeds", "8"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E22", "substitution validation (DESIGN.md)",
+               "Hashed (PRF) priorities vs true random priorities: treap "
+               "height distributions must match (~3 lg n expected).");
+
+  Table t({"lg n", "hashed mean h", "random mean h", "hashed h/lg n",
+           "random h/lg n", "|diff|/lg n"});
+  bool close = true, logarithmic = true;
+  for (int lg = 8; lg <= max_lg; lg += 2) {
+    const std::size_t n = 1ull << lg;
+    std::vector<double> hh, hr;
+    for (int s = 0; s < seeds; ++s) {
+      const auto keys = bench::random_keys(n, seed0 + 37 * s + lg);
+      cm::Engine eng;
+      treap::Store st(eng, /*salt=*/seed0 * 1000 + s);
+      hh.push_back(static_cast<double>(treap::height(st.build(keys))));
+      hr.push_back(static_cast<double>(
+          random_priority_height(keys, seed0 + 91 * s + lg)));
+    }
+    const Summary sh = summarize(hh);
+    const Summary sr = summarize(hr);
+    const double gap = std::abs(sh.mean - sr.mean) / lg;
+    if (gap > 0.5) close = false;
+    if (sh.mean / lg < 1.5 || sh.mean / lg > 5.0) logarithmic = false;
+    t.add_row({Table::integer(lg), Table::num(sh.mean, 1),
+               Table::num(sr.mean, 1), Table::num(sh.mean / lg, 2),
+               Table::num(sr.mean / lg, 2), Table::num(gap, 3)});
+  }
+  t.print();
+  bench::verdict("hashed and random priority heights agree within 0.5 lg n",
+                 close);
+  bench::verdict("heights are Θ(lg n) (between 1.5 and 5 lg n)",
+                 logarithmic);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E2 — Theorem 3.1 (work): pipelined tree merge does Θ(m lg(n/m)) work
+// (m <= n): sublinear in n when m is small, linear when m = n.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "trees/merge.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"lg_n", "18"}, {"seed", "1"}});
+  const int lg_n = static_cast<int>(cli.get_int("lg_n"));
+  const std::size_t n = 1ull << lg_n;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E2", "Theorem 3.1 (work)",
+               "Merge work = Θ(m lg(n/m)); n fixed, m swept.");
+
+  const auto a = bench::random_keys(n, seed);
+  Table t({"lg m", "work", "m*lg(n/m)", "work/model"});
+  std::vector<double> model, work;
+  for (int lg_m = 4; lg_m <= lg_n; lg_m += 2) {
+    const std::size_t m = 1ull << lg_m;
+    const auto b = bench::random_keys(m, seed + lg_m);
+    cm::Engine eng;
+    trees::Store st(eng);
+    trees::merge(st, st.input(st.build_balanced(a)),
+                 st.input(st.build_balanced(b)));
+    const double w = static_cast<double>(eng.work());
+    const double mod =
+        static_cast<double>(m) *
+        std::max(1.0, std::log2(static_cast<double>(n) / static_cast<double>(m)));
+    model.push_back(mod);
+    work.push_back(w);
+    t.add_row({Table::integer(lg_m), Table::num(w, 0), Table::num(mod, 0),
+               Table::num(w / mod, 2)});
+  }
+  t.print();
+  bench::report_fit("merge work", "m lg(n/m)", model, work);
+  const ScaleFit f = fit_scale(model, work);
+  bench::verdict("merge work tracks m lg(n/m) (rel rms < 0.35)",
+                 f.rel_rms < 0.35);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E3 — Lemma 3.4 / Theorem 3.5 / Corollary 3.6: treap union expected depth
+// Θ(lg n + lg m) pipelined vs Θ(lg n · lg m) strict, plus a pointwise check
+// of the τ-value inequality on splitm results.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "treap/setops.hpp"
+
+using namespace pwf;
+
+namespace {
+
+struct Depths {
+  double piped, strict;
+};
+
+Depths measure(std::size_t n, std::size_t m, int seeds, std::uint64_t seed0) {
+  double sp = 0, ss = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const auto a = bench::random_keys(n, seed0 + 10 * s);
+    const auto b = bench::random_keys(m, seed0 + 10 * s + 5);
+    {
+      cm::Engine eng;
+      treap::Store st(eng);
+      treap::union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+      sp += static_cast<double>(eng.depth());
+    }
+    {
+      cm::Engine eng;
+      treap::Store st(eng);
+      treap::union_strict(st, st.build(a), st.build(b));
+      ss += static_cast<double>(eng.depth());
+    }
+  }
+  return {sp / seeds, ss / seeds};
+}
+
+// Pointwise Lemma 3.4 audit: calls splitm on random treaps and counts nodes
+// violating t(v) <= t_call + ks (1 + h(T) - h(v)) for ks = 10.
+std::pair<std::uint64_t, std::uint64_t> tau_audit(std::size_t n,
+                                                  std::uint64_t seed) {
+  const auto keys = bench::random_keys(n, seed);
+  cm::Engine eng;
+  treap::Store st(eng);
+  treap::Node* root = st.build(keys);
+  const int hT = treap::height(root);
+  const double t_call = static_cast<double>(eng.now());
+  treap::TreapCell* l = st.cell();
+  treap::TreapCell* r = st.cell();
+  eng.fork([&] {
+    treap::splitm_from(st, keys[keys.size() / 2] + 1, root, l, r, nullptr);
+  });
+  constexpr double ks = 10.0;
+  std::uint64_t total = 0, bad = 0;
+  struct Walk {
+    double t_call, ks;
+    int hT;
+    std::uint64_t *total, *bad;
+    void check(const treap::Node* v) {
+      if (!v) return;
+      ++*total;
+      const int hv = treap::height(v);
+      if (static_cast<double>(v->created) > t_call + ks * (1 + hT - hv))
+        ++*bad;
+      check(treap::peek(v->left));
+      check(treap::peek(v->right));
+    }
+  };
+  Walk w{t_call, ks, hT, &total, &bad};
+  w.check(treap::peek(l));
+  w.check(treap::peek(r));
+  return {total, bad};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "17"}, {"seeds", "3"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E3", "Thm 3.5 / Cor 3.6",
+               "Treap union expected depth Θ(lg n + lg m) pipelined vs "
+               "Θ(lg n · lg m) strict (averaged over seeds).");
+
+  Table t({"lg n=lg m", "piped depth", "strict depth", "strict/piped",
+           "piped/(lgn+lgm)"});
+  std::vector<double> addm, piped;
+  for (int lg = 8; lg <= max_lg; lg += 3) {
+    const auto d = measure(1ull << lg, 1ull << lg, seeds, seed + lg * 100);
+    addm.push_back(2.0 * lg);
+    piped.push_back(d.piped);
+    t.add_row({Table::integer(lg), Table::num(d.piped, 0),
+               Table::num(d.strict, 0), Table::num(d.strict / d.piped, 2),
+               Table::num(d.piped / (2.0 * lg), 2)});
+  }
+  t.print();
+  bench::report_fit("union piped depth", "lg n + lg m", addm, piped);
+  const ScaleFit f = fit_scale(addm, piped);
+  bench::verdict("union expected depth tracks lg n + lg m (rel rms < 0.2)",
+                 f.rel_rms < 0.2);
+
+  std::printf("\nLemma 3.4 pointwise τ-value audit (ks = 10):\n");
+  Table t2({"lg n", "nodes checked", "violations"});
+  std::uint64_t bad_total = 0;
+  for (int lg = 10; lg <= max_lg; lg += 3) {
+    const auto [total, bad] = tau_audit(1ull << lg, seed + lg);
+    bad_total += bad;
+    t2.add_row({Table::integer(lg), Table::integer(static_cast<long long>(total)),
+                Table::integer(static_cast<long long>(bad))});
+  }
+  t2.print();
+  bench::verdict("tau-value inequality holds at every node (ks=10)",
+                 bad_total == 0);
+  return 0;
+}

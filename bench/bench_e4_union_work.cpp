@@ -1,0 +1,51 @@
+// E4 — Theorem 3.7: treap union expected work Θ(m lg(n/m)), m <= n.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "treap/setops.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"lg_n", "18"}, {"seeds", "3"}, {"seed", "1"}});
+  const int lg_n = static_cast<int>(cli.get_int("lg_n"));
+  const std::size_t n = 1ull << lg_n;
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E4", "Theorem 3.7",
+               "Treap union expected work Θ(m lg(n/m)); n fixed, m swept, "
+               "averaged over seeds.");
+
+  Table t({"lg m", "work", "m*lg(n/m)", "work/model"});
+  std::vector<double> model, work;
+  for (int lg_m = 4; lg_m <= lg_n; lg_m += 2) {
+    const std::size_t m = 1ull << lg_m;
+    double w = 0;
+    for (int s = 0; s < seeds; ++s) {
+      const auto a = bench::random_keys(n, seed0 + 100 * s);
+      const auto b = bench::random_keys(m, seed0 + 100 * s + 7 + lg_m);
+      cm::Engine eng;
+      treap::Store st(eng);
+      treap::union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+      w += static_cast<double>(eng.work());
+    }
+    w /= seeds;
+    const double mod =
+        static_cast<double>(m) *
+        std::max(1.0,
+                 std::log2(static_cast<double>(n) / static_cast<double>(m)));
+    model.push_back(mod);
+    work.push_back(w);
+    t.add_row({Table::integer(lg_m), Table::num(w, 0), Table::num(mod, 0),
+               Table::num(w / mod, 2)});
+  }
+  t.print();
+  bench::report_fit("union work", "m lg(n/m)", model, work);
+  const ScaleFit f = fit_scale(model, work);
+  bench::verdict("union expected work tracks m lg(n/m) (rel rms < 0.4)",
+                 f.rel_rms < 0.4);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E5 — Theorem 3.11 / Corollary 3.12: treap difference expected depth
+// Θ(lg n + lg m), across overlap fractions (overlap controls how many joins
+// the descending/ascending pipeline must do).
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "treap/setops.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "17"}, {"seeds", "3"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E5", "Thm 3.11 / Cor 3.12",
+               "Treap difference expected depth Θ(lg n + lg m) pipelined vs "
+               "Θ(lg n · lg m + joins) strict, across overlap fractions.");
+
+  for (const double overlap : {0.0, 0.5, 1.0}) {
+    std::printf("overlap (fraction of b present in a) = %.1f\n", overlap);
+    Table t({"lg n", "piped depth", "strict depth", "strict/piped",
+             "piped/(lgn+lgm)"});
+    std::vector<double> addm, piped;
+    for (int lg = 8; lg <= max_lg; lg += 3) {
+      const std::size_t n = 1ull << lg;
+      double sp = 0, ss = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const auto a = bench::random_keys(n, seed0 + 1000 * s + lg);
+        const auto b = bench::overlapping_keys(a, n / 2, overlap,
+                                               seed0 + 1000 * s + lg + 500);
+        {
+          cm::Engine eng;
+          treap::Store st(eng);
+          treap::diff_treaps(st, st.input(st.build(a)),
+                             st.input(st.build(b)));
+          sp += static_cast<double>(eng.depth());
+        }
+        {
+          cm::Engine eng;
+          treap::Store st(eng);
+          treap::diff_strict(st, st.build(a), st.build(b));
+          ss += static_cast<double>(eng.depth());
+        }
+      }
+      sp /= seeds;
+      ss /= seeds;
+      addm.push_back(2.0 * lg);
+      piped.push_back(sp);
+      t.add_row({Table::integer(lg), Table::num(sp, 0), Table::num(ss, 0),
+                 Table::num(ss / sp, 2), Table::num(sp / (2.0 * lg), 2)});
+    }
+    t.print();
+    const ScaleFit f = fit_scale(addm, piped);
+    bench::verdict("diff expected depth tracks lg n + lg m (rel rms < 0.25)",
+                   f.rel_rms < 0.25);
+    std::printf("\n");
+  }
+  return 0;
+}

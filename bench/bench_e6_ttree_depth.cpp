@@ -1,0 +1,81 @@
+// E6 — Theorem 3.13: inserting m sorted keys into a 2-6 tree of size n takes
+// depth Θ(lg n + lg m) pipelined (waves chase each other down the tree) vs
+// Θ(lg n · lg m) when each wave waits for the previous one; work Θ(m lg n).
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "ttree/insert.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "17"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E6", "Theorem 3.13",
+               "2-6 tree bulk insert: depth Θ(lg n + lg m) pipelined vs "
+               "Θ(lg n · lg m) strict; work Θ(m lg n).");
+
+  std::printf("n = m sweep:\n");
+  Table t({"lg n", "lg m", "piped depth", "strict depth", "strict/piped",
+           "piped/(lgn+lgm)", "work/(m lg n)"});
+  std::vector<double> addm, piped;
+  bool ratio_grows = true;
+  double prev_ratio = 0;
+  for (int lg = 8; lg <= max_lg; lg += 3) {
+    const std::size_t n = 1ull << lg;
+    const std::size_t m = n;
+    const auto tree_keys = bench::random_keys(n, seed + lg);
+    const auto new_keys = bench::random_keys(m, seed + lg + 50);
+    double dp, ds, wp;
+    {
+      cm::Engine eng;
+      ttree::Store st(eng);
+      ttree::bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+      dp = static_cast<double>(eng.depth());
+      wp = static_cast<double>(eng.work());
+    }
+    {
+      cm::Engine eng;
+      ttree::Store st(eng);
+      ttree::bulk_insert_strict(st, st.build(tree_keys, 3), new_keys);
+      ds = static_cast<double>(eng.depth());
+    }
+    const double add = 2.0 * lg;
+    addm.push_back(add);
+    piped.push_back(dp);
+    const double ratio = ds / dp;
+    if (ratio < prev_ratio) ratio_grows = false;
+    prev_ratio = ratio;
+    t.add_row({Table::integer(lg), Table::integer(lg), Table::num(dp, 0),
+               Table::num(ds, 0), Table::num(ratio, 2),
+               Table::num(dp / add, 2),
+               Table::num(wp / (static_cast<double>(m) * lg), 2)});
+  }
+  t.print();
+  bench::report_fit("ttree piped depth", "lg n + lg m", addm, piped);
+  const ScaleFit f = fit_scale(addm, piped);
+  bench::verdict("pipelined insert depth tracks lg n + lg m (rel rms < 0.2)",
+                 f.rel_rms < 0.2);
+  bench::verdict("strict/piped depth ratio grows with n", ratio_grows);
+
+  std::printf("\nsmall m into large n (work sublinearity):\n");
+  Table t2({"lg m", "work", "m*lg n", "work/model"});
+  const int lg_n = max_lg;
+  const auto tree_keys = bench::random_keys(1ull << lg_n, seed + 999);
+  for (int lg_m = 4; lg_m <= lg_n - 2; lg_m += 3) {
+    const auto new_keys = bench::random_keys(1ull << lg_m, seed + lg_m + 77);
+    cm::Engine eng;
+    ttree::Store st(eng);
+    ttree::bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+    const double w = static_cast<double>(eng.work());
+    const double mod = static_cast<double>(1ull << lg_m) * lg_n;
+    t2.add_row({Table::integer(lg_m), Table::num(w, 0), Table::num(mod, 0),
+                Table::num(w / mod, 2)});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E7 — the paper's Figure 2 discussion: Halstead's future-based quicksort
+// pipelines, but its expected depth is Θ(n) with or without pipelining — no
+// asymptotic gain, unlike the tree algorithms.
+#include <cmath>
+
+#include "algos/quicksort.hpp"
+#include "bench/bench_util.hpp"
+#include "support/bigstack.hpp"
+#include "support/cli.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "15"}, {"seeds", "3"}, {"seed", "1"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+  const int seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto seed0 = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E7", "Figure 2 (Halstead quicksort)",
+               "Expected depth is Θ(n) both pipelined and strict — futures "
+               "pipeline it, but give no asymptotic improvement.");
+
+  Table t({"lg n", "piped depth", "strict depth", "piped/n", "strict/n",
+           "strict/piped"});
+  bool both_linear = true;
+  run_big([&] {
+    for (int lg = 9; lg <= max_lg; lg += 2) {
+      const std::size_t n = 1ull << lg;
+      double dp = 0, ds = 0;
+      for (int s = 0; s < seeds; ++s) {
+        Rng rng(seed0 + 100 * s + lg);
+        std::vector<algos::Value> v;
+        for (std::size_t i = 0; i < n; ++i)
+          v.push_back(rng.range(-(1 << 28), 1 << 28));
+        {
+          cm::Engine eng;
+          algos::ListStore st(eng);
+          algos::quicksort(st, v);
+          dp += static_cast<double>(eng.depth());
+        }
+        {
+          cm::Engine eng;
+          algos::ListStore st(eng);
+          algos::quicksort_strict(st, v);
+          ds += static_cast<double>(eng.depth());
+        }
+      }
+      dp /= seeds;
+      ds /= seeds;
+      const double dn = static_cast<double>(n);
+      if (dp < 0.5 * dn || dp > 30 * dn || ds < 0.5 * dn || ds > 30 * dn)
+        both_linear = false;
+      t.add_row({Table::integer(lg), Table::num(dp, 0), Table::num(ds, 0),
+                 Table::num(dp / dn, 2), Table::num(ds / dn, 2),
+                 Table::num(ds / dp, 2)});
+    }
+  });
+  t.print();
+  bench::verdict("both variants have Θ(n) depth (depth/n bounded)",
+                 both_linear);
+  return 0;
+}

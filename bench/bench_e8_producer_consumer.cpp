@@ -1,0 +1,60 @@
+// E8 — Figure 1: the producer/consumer pipeline. The consumer trails the
+// producer by O(1); non-pipelined, consumption adds its whole Θ(n) chain.
+#include "algos/producer_consumer.hpp"
+#include "bench/bench_util.hpp"
+#include "support/bigstack.hpp"
+#include "support/cli.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"max_lg", "17"}});
+  const int max_lg = static_cast<int>(cli.get_int("max_lg"));
+
+  print_banner("E8", "Figure 1 (producer/consumer)",
+               "Pipelined: consumer finishes O(1) after the producer. "
+               "Strict: total depth = produce + consume.");
+
+  Table t({"n", "piped produce", "piped consume", "consume/produce",
+           "strict total", "strict/piped"});
+  bool piped_overlaps = true, strict_serializes = true;
+  run_big([&] {
+    for (int lg = 11; lg <= max_lg; lg += 2) {
+      const std::int64_t n = 1ll << lg;
+      cm::Time piped_total, strict_total;
+      algos::PipelineResult rp, rs;
+      {
+        cm::Engine eng;
+        algos::ListStore st(eng);
+        rp = algos::produce_consume(st, n);
+        piped_total = eng.depth();
+      }
+      {
+        cm::Engine eng;
+        algos::ListStore st(eng);
+        rs = algos::produce_consume_strict(st, n);
+        strict_total = eng.depth();
+      }
+      const double cp = static_cast<double>(rp.consume_done) /
+                        static_cast<double>(rp.produce_done);
+      if (cp > 1.2) piped_overlaps = false;
+      if (static_cast<double>(strict_total) <
+          1.8 * static_cast<double>(piped_total))
+        strict_serializes = false;
+      t.add_row({Table::integer(n),
+                 Table::integer(static_cast<long long>(rp.produce_done)),
+                 Table::integer(static_cast<long long>(rp.consume_done)),
+                 Table::num(cp, 3),
+                 Table::integer(static_cast<long long>(strict_total)),
+                 Table::num(static_cast<double>(strict_total) /
+                                static_cast<double>(piped_total),
+                            2)});
+    }
+  });
+  t.print();
+  bench::verdict("pipelined consumer finishes within 1.2x of the producer",
+                 piped_overlaps);
+  bench::verdict("strict total depth >= 1.8x pipelined total",
+                 strict_serializes);
+  return 0;
+}

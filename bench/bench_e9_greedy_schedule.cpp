@@ -1,0 +1,93 @@
+// E9 — Lemma 4.1: the greedy stack-discipline schedule executes any traced
+// computation in at most w/p + d steps, for every algorithm in the repo and
+// every processor count — with the EREW and linearity audits passing.
+#include <functional>
+
+#include "algos/mergesort.hpp"
+#include "bench/bench_util.hpp"
+#include "sim/dag.hpp"
+#include "sim/scheduler.hpp"
+#include "support/cli.hpp"
+#include "treap/setops.hpp"
+#include "trees/merge.hpp"
+#include "ttree/insert.hpp"
+
+using namespace pwf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"lg_n", "12"}, {"seed", "1"}});
+  const std::size_t n = 1ull << cli.get_int("lg_n");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("E9", "Lemma 4.1",
+               "Greedy schedule steps <= w/p + d for every algorithm DAG and "
+               "every p (stack discipline; audits EREW + linearity).");
+
+  const auto a = bench::random_keys(n, seed);
+  const auto b = bench::random_keys(n, seed + 7);
+
+  struct Algo {
+    const char* name;
+    std::function<void(cm::Engine&)> run;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"merge", [&](cm::Engine& eng) {
+                     trees::Store st(eng);
+                     trees::merge(st, st.input(st.build_balanced(a)),
+                                  st.input(st.build_balanced(b)));
+                   }});
+  algos.push_back({"treap-union", [&](cm::Engine& eng) {
+                     treap::Store st(eng);
+                     treap::union_treaps(st, st.input(st.build(a)),
+                                         st.input(st.build(b)));
+                   }});
+  algos.push_back({"treap-diff", [&](cm::Engine& eng) {
+                     treap::Store st(eng);
+                     treap::diff_treaps(st, st.input(st.build(a)),
+                                        st.input(st.build(b)));
+                   }});
+  algos.push_back({"ttree-insert", [&](cm::Engine& eng) {
+                     ttree::Store st(eng);
+                     ttree::bulk_insert(st, st.input(st.build(a, 3)), b);
+                   }});
+  algos.push_back({"mergesort", [&](cm::Engine& eng) {
+                     trees::Store st(eng);
+                     std::vector<trees::Key> v = a;
+                     Rng rng(seed + 3);
+                     std::shuffle(v.begin(), v.end(), rng);
+                     algos::mergesort(st, v);
+                   }});
+
+  bool all_ok = true;
+  for (const auto& algo : algos) {
+    cm::Engine eng(/*trace=*/true);
+    algo.run(eng);
+    sim::Dag dag(*eng.trace());
+    std::printf("%s: w = %llu, d = %llu\n", algo.name,
+                static_cast<unsigned long long>(dag.work()),
+                static_cast<unsigned long long>(dag.depth()));
+    Table t({"p", "steps", "w/p + d", "utilization", "EREW", "linear"});
+    for (std::uint64_t p = 1; p <= 1024; p *= 4) {
+      const auto r = sim::schedule(dag, p, sim::Discipline::kStack);
+      const double bound = static_cast<double>(dag.work()) /
+                               static_cast<double>(p) +
+                           static_cast<double>(dag.depth());
+      const bool ok = r.within_bound(p) && r.erew_ok && r.linear_ok;
+      all_ok &= ok;
+      t.add_row({Table::integer(static_cast<long long>(p)),
+                 Table::integer(static_cast<long long>(r.steps)),
+                 Table::num(bound, 0),
+                 Table::num(static_cast<double>(dag.work()) /
+                                (static_cast<double>(r.steps) *
+                                 static_cast<double>(p)),
+                            3),
+                 r.erew_ok ? "ok" : "VIOLATION",
+                 r.linear_ok ? "ok" : "VIOLATION"});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  bench::verdict(
+      "all algorithms, all p: steps <= w/p + d, EREW ok, linear ok", all_ok);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the experiment binaries (bench/bench_e*.cpp).
+//
+// Each binary regenerates one experiment from EXPERIMENTS.md: it prints the
+// experiment banner, a fixed-format table, and a PASS/FAIL verdict line for
+// the claims that are mechanically checkable (bounds, fits, audits), so the
+// whole harness can be eyeballed or grepped.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace pwf::bench {
+
+inline std::vector<std::int64_t> random_keys(std::size_t n,
+                                             std::uint64_t seed,
+                                             std::int64_t universe = 1
+                                                                     << 28) {
+  Rng rng(seed);
+  std::set<std::int64_t> s;
+  while (s.size() < n) s.insert(rng.range(0, universe));
+  return {s.begin(), s.end()};
+}
+
+// Overlapped second key set: `overlap` fraction of m keys drawn from `a`.
+inline std::vector<std::int64_t> overlapping_keys(
+    const std::vector<std::int64_t>& a, std::size_t m, double overlap,
+    std::uint64_t seed, std::int64_t universe = 1 << 28) {
+  Rng rng(seed);
+  std::set<std::int64_t> s;
+  const std::size_t from_a = std::min(
+      static_cast<std::size_t>(overlap * static_cast<double>(m)), a.size());
+  while (s.size() < from_a && !a.empty())
+    s.insert(a[rng.below(a.size())]);
+  while (s.size() < m) s.insert(rng.range(0, universe));
+  return {s.begin(), s.end()};
+}
+
+inline void verdict(const char* claim, bool ok) {
+  std::printf("%s: %s\n", ok ? "PASS" : "FAIL", claim);
+}
+
+// Prints the scale-fit of y against a named model column.
+inline void report_fit(const char* ylabel, const char* model_name,
+                       const std::vector<double>& model,
+                       const std::vector<double>& y) {
+  const ScaleFit f = fit_scale(model, y);
+  std::printf("fit %-22s ~ %6.2f * %-16s (rel rms %.3f)\n", ylabel, f.a,
+              model_name, f.rel_rms);
+}
+
+}  // namespace pwf::bench

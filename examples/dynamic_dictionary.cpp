@@ -1,0 +1,113 @@
+// Dynamic dictionary — the workload the paper's treap sections are for:
+// maintaining a key set under *batch* inserts and deletes, each batch
+// applied as one parallel union (Figure 4) or difference (Figure 7) instead
+// of m sequential updates.
+//
+// A session-store scenario: each round, a batch of new session ids is
+// admitted (union) and a batch of expired ids is evicted (difference). Each
+// round runs in a fresh cost-model engine so its critical-path depth is
+// measured in isolation, and is compared with what m one-at-a-time updates
+// would cost (m * lg n) — the gap is what the logarithmic batch depth buys.
+//
+// Run: ./build/examples/dynamic_dictionary [--rounds=8] [--batch=2000]
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "costmodel/engine.hpp"
+#include "support/cli.hpp"
+#include "support/random.hpp"
+#include "treap/setops.hpp"
+
+using namespace pwf;
+
+namespace {
+
+std::vector<treap::Key> draw(Rng& rng, std::size_t count,
+                             std::int64_t universe) {
+  std::set<treap::Key> s;
+  while (s.size() < count) s.insert(rng.range(0, universe));
+  return {s.begin(), s.end()};
+}
+
+struct BatchStats {
+  double depth;
+  double work;
+};
+
+// Applies one batch op in a fresh engine; updates `live` in place.
+template <typename Op>
+BatchStats apply_batch(std::vector<treap::Key>& live,
+                       const std::vector<treap::Key>& batch, Op op) {
+  cm::Engine eng;
+  treap::Store store(eng);
+  treap::TreapCell* dict = store.input(store.build(live));
+  treap::TreapCell* other = store.input(store.build(batch));
+  treap::TreapCell* out = op(store, dict, other);
+  live.clear();
+  treap::collect_inorder(treap::peek(out), live);
+  return {static_cast<double>(eng.depth()),
+          static_cast<double>(eng.work())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv,
+          {{"rounds", "8"}, {"batch", "2000"}, {"initial", "100000"}});
+  const int rounds = static_cast<int>(cli.get_int("rounds"));
+  const auto batch = static_cast<std::size_t>(cli.get_int("batch"));
+  const auto initial = static_cast<std::size_t>(cli.get_int("initial"));
+
+  Rng rng(2026);
+  std::vector<treap::Key> live = draw(rng, initial, 1 << 26);
+  std::set<treap::Key> reference(live.begin(), live.end());
+
+  std::printf("dynamic dictionary: %zu initial keys, %d rounds of "
+              "+%zu / -%zu\n\n",
+              initial, rounds, batch, batch / 2);
+  std::printf("%5s %10s %10s %12s %12s %14s %10s\n", "round", "size",
+              "batch op", "batch depth", "batch work", "one-at-a-time",
+              "speedup");
+
+  for (int round = 0; round < rounds; ++round) {
+    // Admit a batch of new sessions.
+    {
+      const auto admitted = draw(rng, batch, 1 << 26);
+      const BatchStats s =
+          apply_batch(live, admitted, [](treap::Store& st, auto* a, auto* b) {
+            return treap::union_treaps(st, a, b);
+          });
+      reference.insert(admitted.begin(), admitted.end());
+      const double serial = static_cast<double>(batch) *
+                            std::log2(static_cast<double>(reference.size()));
+      std::printf("%5d %10zu %10s %12.0f %12.0f %14.0f %9.1fx\n", round,
+                  reference.size(), "union", s.depth, s.work, serial,
+                  serial / s.depth);
+    }
+    // Evict half a batch of expired sessions (drawn from the live set).
+    {
+      std::set<treap::Key> pick;
+      while (pick.size() < batch / 2)
+        pick.insert(live[rng.below(live.size())]);
+      const std::vector<treap::Key> expired(pick.begin(), pick.end());
+      const BatchStats s =
+          apply_batch(live, expired, [](treap::Store& st, auto* a, auto* b) {
+            return treap::diff_treaps(st, a, b);
+          });
+      for (treap::Key k : expired) reference.erase(k);
+      const double serial = static_cast<double>(expired.size()) *
+                            std::log2(static_cast<double>(reference.size()));
+      std::printf("%5d %10zu %10s %12.0f %12.0f %14.0f %9.1fx\n", round,
+                  reference.size(), "diff", s.depth, s.work, serial,
+                  serial / s.depth);
+    }
+  }
+
+  const bool ok =
+      live == std::vector<treap::Key>(reference.begin(), reference.end());
+  std::printf("\nfinal dictionary: %zu keys — %s\n", live.size(),
+              ok ? "matches reference set" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+#include "algos/cole.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pwf::algos::cole {
+
+namespace {
+
+struct CNode {
+  int left = -1;   // child indices; -1 for leaves
+  int right = -1;
+  int height = 0;  // leaves are height 0
+  int complete_stage = -1;
+  std::vector<Value> up;
+};
+
+// Builds the merge tree over values[lo, hi); returns the node index.
+int build(std::vector<CNode>& nodes, const std::vector<Value>& values,
+          std::size_t lo, std::size_t hi) {
+  const int idx = static_cast<int>(nodes.size());
+  nodes.emplace_back();
+  if (hi - lo == 1) {
+    nodes[idx].up.push_back(values[lo]);
+    nodes[idx].complete_stage = 0;  // a leaf's UP is its item, immediately
+    return idx;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const int l = build(nodes, values, lo, mid);
+  const int r = build(nodes, values, mid, hi);
+  nodes[idx].left = l;
+  nodes[idx].right = r;
+  nodes[idx].height = 1 + std::max(nodes[l].height, nodes[r].height);
+  return idx;
+}
+
+// The sample a child contributes at stage t: every 4th element while the
+// child is incomplete; every 4th / every 2nd / all in the first / second /
+// subsequent stages after it completes.
+void sample(const CNode& child, std::uint64_t stage,
+            std::vector<Value>& out) {
+  out.clear();
+  std::size_t step;
+  std::size_t first;
+  if (child.complete_stage < 0 ||
+      stage <= static_cast<std::uint64_t>(child.complete_stage)) {
+    step = 4;
+    first = 3;
+  } else {
+    const std::uint64_t age =
+        stage - static_cast<std::uint64_t>(child.complete_stage);
+    if (age == 1) {
+      step = 4;
+      first = 3;
+    } else if (age == 2) {
+      step = 2;
+      first = 1;
+    } else {
+      step = 1;
+      first = 0;
+    }
+  }
+  for (std::size_t i = first; i < child.up.size(); i += step)
+    out.push_back(child.up[i]);
+}
+
+}  // namespace
+
+std::vector<Value> cole_sort(const std::vector<Value>& values,
+                             ColeStats* stats) {
+  ColeStats local;
+  if (values.size() <= 1) {
+    if (stats) *stats = local;
+    return values;
+  }
+
+  std::vector<CNode> nodes;
+  nodes.reserve(2 * values.size());
+  const int root = build(nodes, values, 0, values.size());
+  local.tree_height = nodes[root].height;
+
+  // Top-down processing order: a node reads only its children, so visiting
+  // decreasing heights within one stage sees exactly the previous stage's
+  // child state — the synchronous PRAM step without double buffering.
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i)
+    if (nodes[i].left >= 0) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return nodes[a].height > nodes[b].height;
+  });
+
+  std::vector<Value> sup_l, sup_r, merged;
+  for (std::uint64_t stage = 1; nodes[root].complete_stage < 0; ++stage) {
+    std::uint64_t width = 0;
+    for (int v : order) {
+      CNode& node = nodes[v];
+      if (node.complete_stage >= 0) continue;
+      const CNode& l = nodes[node.left];
+      const CNode& r = nodes[node.right];
+      sample(l, stage, sup_l);
+      sample(r, stage, sup_r);
+      merged.resize(sup_l.size() + sup_r.size());
+      std::merge(sup_l.begin(), sup_l.end(), sup_r.begin(), sup_r.end(),
+                 merged.begin());
+      node.up = merged;
+      width += merged.size();
+      local.work += merged.size();
+      // Complete once both children have been complete for >= 3 stages:
+      // the samples above were then the children's entire UP lists.
+      if (l.complete_stage >= 0 && r.complete_stage >= 0 &&
+          stage >= static_cast<std::uint64_t>(l.complete_stage) + 3 &&
+          stage >= static_cast<std::uint64_t>(r.complete_stage) + 3)
+        node.complete_stage = static_cast<int>(stage);
+    }
+    local.max_width = std::max(local.max_width, width);
+    local.stages = stage;
+    PWF_CHECK_MSG(stage < 16 * (static_cast<std::uint64_t>(
+                                    nodes[root].height) +
+                                2),
+                  "Cole pipeline failed to complete on schedule");
+  }
+
+  if (stats) *stats = local;
+  return nodes[root].up;
+}
+
+}  // namespace pwf::algos::cole

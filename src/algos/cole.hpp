@@ -1,0 +1,46 @@
+// Cole's pipelined merge sort — the paper's second motivating example of a
+// hand-built PRAM pipeline ("the first O(lg n) time sorting algorithm on
+// the PRAM not based on the AKS network", Section 1).
+//
+// Every internal node of the merge tree keeps UP(v), the sorted sequence of
+// its subtree items merged "so far". At each synchronous stage an
+// incomplete node receives from each child a sample SUP of the child's UP —
+// every 4th element while the child is incomplete, every 4th / every 2nd /
+// all elements in the three stages after the child completes — and merges
+// the two samples into its new UP. A node at height h completes at stage
+// 3h, so the root finishes after 3 lg n stages with O(n lg n) total work.
+//
+// In Cole's paper each stage runs in O(1) PRAM time using rank pointers
+// maintained via the 3-cover property; here the per-stage merges are done
+// directly (std::merge), which changes only the per-stage constant, not the
+// stage count or total work — the two quantities this reproduction
+// measures. Correctness does not depend on the cover property (that is
+// only needed for the O(1)-time merging), so this implementation is a
+// faithful executable of Cole's *schedule*.
+//
+// Its role in the repro: E20 sets Cole's hand-pipelined 3·lg n stages
+// against the futures mergesort's implicit pipeline (conjectured
+// ≈ lg n lglg n depth, E11) — the exact gap the paper's Section 5 leaves
+// open.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pwf::algos::cole {
+
+using Value = std::int64_t;
+
+struct ColeStats {
+  std::uint64_t stages = 0;       // synchronous pipeline stages
+  std::uint64_t work = 0;         // total merged elements over all stages
+  std::uint64_t max_width = 0;    // peak per-stage merged elements
+  int tree_height = 0;            // merge-tree height (lg n for powers of 2)
+};
+
+// Sorts `values` with Cole's staged pipeline; duplicates allowed. `stats`
+// may be null.
+std::vector<Value> cole_sort(const std::vector<Value>& values,
+                             ColeStats* stats);
+
+}  // namespace pwf::algos::cole

@@ -1,0 +1,66 @@
+// Linked lists with future tails — the list type of the paper's Figure 1
+// producer/consumer and Figure 2 quicksort. A cons cell's head is an
+// immediate value; its tail is a read pointer to a future cell, so a list
+// can be consumed while its tail is still being produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "costmodel/engine.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace pwf::algos {
+
+using Value = std::int64_t;
+
+struct LNode;
+using ListCell = cm::Cell<LNode*>;
+
+struct LNode {
+  Value value = 0;
+  ListCell* next = nullptr;
+};
+
+class ListStore {
+ public:
+  explicit ListStore(cm::Engine& eng) : eng_(eng) {}
+
+  cm::Engine& engine() { return eng_; }
+
+  ListCell* cell() { return arena_.create<ListCell>(); }
+
+  ListCell* input(LNode* head) {
+    ListCell* c = cell();
+    cm::Engine::preset(*c, head);
+    return c;
+  }
+
+  LNode* cons(Value v, ListCell* next) {
+    LNode* n = arena_.create<LNode>();
+    n->value = v;
+    n->next = next;
+    return n;
+  }
+
+  // Fully materialized input list (available at time 0).
+  ListCell* input_list(const std::vector<Value>& values) {
+    LNode* head = nullptr;
+    ListCell* next = input(nullptr);
+    for (std::size_t i = values.size(); i-- > 0;) {
+      head = cons(values[i], next);
+      next = input(head);
+    }
+    return next;
+  }
+
+ private:
+  cm::Engine& eng_;
+  Arena arena_{1 << 16};
+};
+
+// Analysis-only: collect a finished list's values.
+std::vector<Value> peek_list(const ListCell* head);
+
+}  // namespace pwf::algos

@@ -1,0 +1,33 @@
+// Section 5 of the paper (open conjecture): a mergesort built from the
+// Section 3.1 pipelined tree merge. The recursion tree, the merges, and the
+// splits inside the merges give three levels of pipelining; the paper
+// conjectures the expected depth over random input orderings is close to
+// O(lg n lg lg n) (it is O(lg^3 n) without pipelining). E11 measures it.
+#pragma once
+
+#include <vector>
+
+#include "trees/tree.hpp"
+
+namespace pwf::algos {
+
+// Sorts `values` (duplicates allowed — they survive as equal adjacent keys)
+// into a BST using pipelined merges; returns the result cell.
+trees::TreeCell* mergesort(trees::Store& st,
+                           const std::vector<trees::Key>& values);
+
+// Non-pipelined baseline: same recursion with strict merges.
+trees::Node* mergesort_strict(trees::Store& st,
+                              const std::vector<trees::Key>& values);
+
+// Balanced variant (ablation): rebalances after every merge level using the
+// Section 3.1 rebalance pipeline. The measure pass inside rebalance waits
+// for the level's merge to finish, so levels no longer overlap — depth
+// becomes a guaranteed Θ(lg² n) (each of lg n levels costs Θ(lg n)), and
+// the output is height-optimal. Contrast with mergesort(), whose levels
+// pipeline into each other (conjectured ≈ lg n lglg n expected depth) but
+// whose intermediate trees drift out of balance.
+trees::TreeCell* mergesort_balanced(trees::Store& st,
+                                    const std::vector<trees::Key>& values);
+
+}  // namespace pwf::algos

@@ -1,0 +1,25 @@
+// Figure 1 of the paper: a producer thread chain builds the list n, n-1,
+// ..., 0 (one thread per element) while a consumer sums it, pipelined
+// through the list's future cells. Both the producer chain and the consumer
+// chain have Θ(n) depth; pipelining makes the whole computation finish O(1)
+// after the producer instead of Θ(n) after it.
+#pragma once
+
+#include "algos/list.hpp"
+
+namespace pwf::algos {
+
+struct PipelineResult {
+  Value sum = 0;
+  cm::Time produce_done = 0;  // timestamp of the last list cell write
+  cm::Time consume_done = 0;  // clock when the sum was complete
+};
+
+// Pipelined: consume runs concurrently with produce.
+PipelineResult produce_consume(ListStore& st, std::int64_t n);
+
+// Strict baseline: the consumer starts only after the producer has written
+// the entire list (fork-join around produce).
+PipelineResult produce_consume_strict(ListStore& st, std::int64_t n);
+
+}  // namespace pwf::algos

@@ -1,0 +1,26 @@
+// Figure 2 of the paper: Halstead's future-based quicksort (transcribed from
+// Multilisp). The partition's partial results pipeline into the recursive
+// calls, but — the paper's point — the *expected depth is Θ(n) either way*:
+// futures give this algorithm no asymptotic advantage over the non-pipelined
+// fork-join version, in contrast to the tree algorithms. E7 regenerates that
+// comparison.
+#pragma once
+
+#include "algos/list.hpp"
+
+namespace pwf::algos {
+
+// Pipelined quicksort of the list in `list`, with `rest` appended (the
+// accumulator in qs(les, h :: ?qs(grt, rest))). Top-level callers pass an
+// input cell holding nullptr as `rest`.
+void quicksort_into(ListStore& st, ListCell* list, ListCell* rest,
+                    ListCell* out);
+
+// Convenience: sorts `values`, returns the result cell.
+ListCell* quicksort(ListStore& st, const std::vector<Value>& values);
+
+// Strict baseline: sequential partition into complete lists, then the two
+// recursive sorts fork-joined.
+ListCell* quicksort_strict(ListStore& st, const std::vector<Value>& values);
+
+}  // namespace pwf::algos

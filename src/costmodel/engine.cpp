@@ -1,0 +1,42 @@
+#include "costmodel/engine.hpp"
+
+namespace pwf::cm {
+
+void Engine::array_op(std::uint64_t n) {
+  // Figure 9 of the paper: a source action fanning out to n unit actions
+  // that fan back into a sink. Depth contribution O(1), work n + O(1).
+  if (n == 0) {  // degenerate split of an empty array: one bookkeeping action
+    act();
+    return;
+  }
+  act();  // source / dispatch action
+  const Time t_src = clock_;
+  const ActionId src = last_action_;
+
+  work_ += n;
+  const Time t_mid = t_src + 1;
+  const Time t_sink = t_src + 2;
+  if (t_sink > max_time_) max_time_ = t_sink;
+
+  if (trace_) {
+    ActionId sink = kNoAction;
+    std::vector<ActionId> mids;
+    mids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const ActionId mid = trace_->new_action();
+      trace_->add_edge(src, mid);
+      mids.push_back(mid);
+    }
+    sink = trace_->new_action();
+    ++work_;  // the sink action
+    for (ActionId mid : mids) trace_->add_edge(mid, sink);
+    last_action_ = sink;
+  } else {
+    ++work_;  // the sink action
+    last_action_ = kActionUntraced;
+  }
+  clock_ = t_sink;
+  (void)t_mid;
+}
+
+}  // namespace pwf::cm

@@ -1,0 +1,336 @@
+// The paper's language-based cost model (Section 2) as an executable engine.
+//
+// A computation is a dynamically unfolding DAG: each node is a unit-time
+// *action*, and edges are
+//   - thread edges   between successive actions of one thread,
+//   - fork edges     from a future-creating action to the child's first action,
+//   - data edges     from the action writing a future cell to each action
+//                    reading (touching) it.
+// Cost = work (number of nodes) and depth (longest path).
+//
+// Execution strategy. The programs we model are purely functional, so any
+// read pointer reachable by a thread refers to a cell whose writer thread was
+// forked *earlier*. Evaluating every future eagerly at its fork point is
+// therefore a valid linearization that never touches an unwritten cell. The
+// engine exploits this: algorithms run as ordinary sequential recursion while
+// the engine maintains per-thread clocks,
+//     fork:   child's first action at t(fork)+1,
+//     touch:  t = max(clock, cell.ts) + 1      (the data edge),
+//     write:  cell.ts = t(write),
+// so the measured depth is exactly the longest path of the paper's DAG with
+// no real concurrency — deterministic and exact, not sampled.
+//
+// Two primitive families:
+//   * fork/touch/write cells  — the futures (pipelined) semantics;
+//   * fork_join2/_seq calls   — the strict fork-join baseline ("make the two
+//     recursive calls in parallel after the sequential split is complete"),
+//     used by the paper as the non-pipelined comparison point.
+//
+// The engine can optionally record the full DAG (see trace.hpp) for replay by
+// the Section-4 greedy-schedule simulator, and audits *linearity*: in code
+// converted to linear form every future cell is read at most once (paper
+// Section 4); `max_cell_reads()` reports the observed maximum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "costmodel/trace.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace pwf::cm {
+
+using Time = std::uint64_t;
+
+// A write-once future cell. With eager evaluation `value` is always present
+// by the time it is touched; `ts` is the DAG timestamp of the write action,
+// which may lie in the toucher's future — that gap is the pipeline delay.
+//
+// Cells for algorithm data structures are usually embedded directly in tree
+// nodes (see the tree libraries); Engine::new_cell() provides arena-backed
+// standalone cells.
+template <typename T>
+struct Cell {
+  static_assert(std::is_trivially_destructible_v<T>);
+  T value{};
+  Time ts = 0;
+  ActionId writer = kNoAction;  // write action (traces/data edges)
+  CellId id = kNoCell;          // assigned lazily when traced
+  std::uint32_t reads = 0;
+  bool written = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(bool trace_enabled = false)
+      : trace_(trace_enabled ? new Trace() : nullptr) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() { delete trace_; }
+
+  // ---- actions ------------------------------------------------------------
+
+  // One unit action in the current thread (local computation step).
+  void step() { act(); }
+
+  // k unit actions (a sequential loop); traced as a chain.
+  void steps(std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) act();
+  }
+
+  // The paper's array primitive (Section 3.4): O(1) depth, O(n) work,
+  // modelled as a breadth-n, depth-2 DAG (Figure 9).
+  void array_op(std::uint64_t n);
+
+  // ---- future cells ---------------------------------------------------------
+
+  template <typename T>
+  Cell<T>* new_cell() {
+    return cells_.create<Cell<T>>();
+  }
+
+  // A cell pre-written with input data, available at time 0 (used to wrap
+  // the nodes of input trees so touching input and computed data is uniform).
+  template <typename T>
+  Cell<T>* input_cell(T v) {
+    Cell<T>* c = cells_.create<Cell<T>>();
+    c->value = std::move(v);
+    c->ts = 0;
+    c->written = true;
+    return c;
+  }
+
+  // Mark an *embedded* cell (one living inside a caller-owned node) as input
+  // data available at time 0.
+  template <typename T>
+  static void preset(Cell<T>& c, T v) {
+    c.value = std::move(v);
+    c.ts = 0;
+    c.written = true;
+  }
+
+  // Write action: publishes the value with the current DAG timestamp.
+  template <typename T>
+  void write(Cell<T>* c, T v) {
+    PWF_CHECK_MSG(!c->written, "future cell written twice");
+    act();
+    c->value = std::move(v);
+    c->ts = clock_;
+    c->writer = last_action_;
+    c->written = true;
+    if (trace_) trace_->record_write(last_action_, cell_id(c));
+  }
+
+  // Touch (read) action: strict use of the cell's value. Advances the clock
+  // past the writer's timestamp — this is the data edge.
+  template <typename T>
+  const T& touch(Cell<T>* c) {
+    PWF_CHECK_MSG(c->written, "touched an unwritten cell (invalid eager order)");
+    ++c->reads;
+    if (c->reads > max_cell_reads_) max_cell_reads_ = c->reads;
+    if (c->reads > 1) ++nonlinear_reads_;
+    const Time dep = c->ts;
+    const ActionId writer = c->writer;
+    // Pipeline-delay accounting: how long this touch would have suspended.
+    ++waits_.touches;
+    if (dep > clock_) {
+      const Time w = dep - clock_;
+      ++waits_.suspensions;
+      waits_.total_wait += w;
+      if (w > waits_.max_wait) waits_.max_wait = w;
+    }
+    act_with_dep(dep, writer);
+    if (trace_) trace_->record_read(last_action_, cell_id(c));
+    return c->value;
+  }
+
+  // Timestamp of a cell without reading it (analysis/property tests only;
+  // does not create an action or an edge).
+  template <typename T>
+  static Time stamp_of(const Cell<T>& c) {
+    return c.ts;
+  }
+
+  // ---- futures (pipelined) forks -------------------------------------------
+
+  // Fork a child thread. `fn` runs eagerly under the child's clock and should
+  // publish its results by writing cells (possibly several, at different
+  // times — the multi-result futures the paper needs for splitm).
+  template <typename F>
+  void fork(F&& fn) {
+    act();  // the fork action
+    const Time fork_time = clock_;
+    const ActionId fork_act = last_action_;
+    const Time parent_clock = clock_;
+    const ActionId parent_last = last_action_;
+    // Enter child: its first action hangs off the fork edge.
+    clock_ = fork_time;
+    last_action_ = kNoAction;
+    pending_fork_edge_ = fork_act;
+    fn();
+    pending_fork_edge_ = kNoAction;
+    // Leave child: parent resumes at its own clock.
+    clock_ = parent_clock;
+    last_action_ = parent_last;
+  }
+
+  // Fork a child computing a single value into a fresh cell.
+  template <typename F>
+  auto fork_value(F&& fn) -> Cell<std::invoke_result_t<F>>* {
+    using T = std::invoke_result_t<F>;
+    Cell<T>* c = new_cell<T>();
+    fork([&] { write(c, fn()); });
+    return c;
+  }
+
+  // Fork a child that writes into a caller-provided (usually node-embedded)
+  // cell.
+  template <typename T, typename F>
+  void fork_into(Cell<T>* c, F&& fn) {
+    fork([&] { write(c, fn()); });
+  }
+
+  // ---- strict fork-join (non-pipelined baseline) ----------------------------
+
+  // Runs f0 and f1 as parallel children and joins: the caller's clock
+  // afterwards is past *both* children's completion. Returns their results as
+  // plain (fully available) values.
+  template <typename F0, typename F1>
+  auto fork_join2(F0&& f0, F1&& f1)
+      -> std::pair<std::invoke_result_t<F0>, std::invoke_result_t<F1>> {
+    act();  // fork action
+    const Time t = clock_;
+    const ActionId fork_act = last_action_;
+
+    clock_ = t;
+    last_action_ = kNoAction;
+    pending_fork_edge_ = fork_act;
+    auto r0 = f0();
+    const Time t0 = clock_;
+    const ActionId l0 = last_action_;
+
+    clock_ = t;
+    last_action_ = kNoAction;
+    pending_fork_edge_ = fork_act;
+    auto r1 = f1();
+    const Time t1 = clock_;
+    const ActionId l1 = last_action_;
+    pending_fork_edge_ = kNoAction;
+
+    // Join action: depends on both children's last actions. A child that
+    // executed no actions contributes the fork action itself (its end time
+    // is the fork time), so the traced DAG keeps the same critical path as
+    // the clock accounting.
+    clock_ = t0 > t1 ? t0 : t1;
+    last_action_ = l0 == kNoAction ? fork_act : l0;
+    act_with_dep(t1, l1 == kNoAction ? fork_act : l1);
+    return {std::move(r0), std::move(r1)};
+  }
+
+  // ---- results --------------------------------------------------------------
+
+  Time now() const { return clock_; }
+  // Depth of the computation so far = latest action anywhere in the DAG.
+  Time depth() const { return max_time_; }
+  std::uint64_t work() const { return work_; }
+
+  // Linearity audit (paper Section 4): max times any one cell was read, and
+  // the number of reads beyond the first on any cell. Linear code has
+  // max_cell_reads() <= 1 and nonlinear_reads() == 0.
+  std::uint32_t max_cell_reads() const { return max_cell_reads_; }
+  std::uint64_t nonlinear_reads() const { return nonlinear_reads_; }
+
+  // Pipeline-delay profile: a touch "suspends" when the writer's timestamp
+  // lies ahead of the toucher's clock; the wait is the data-edge slack.
+  // These are the dynamic pipeline delays of Sections 3.1–3.3 (data
+  // dependent) versus the constant delays of Section 3.4.
+  struct WaitStats {
+    std::uint64_t touches = 0;      // total touch actions
+    std::uint64_t suspensions = 0;  // touches that had to wait
+    Time total_wait = 0;            // sum of waits
+    Time max_wait = 0;              // longest single wait
+  };
+  const WaitStats& wait_stats() const { return waits_; }
+
+  const Trace* trace() const { return trace_; }
+
+ private:
+  // A unit action whose only dependence is the thread/fork predecessor.
+  void act() {
+    const Time t = clock_ + 1;
+    finish_action(t, kNoAction);
+  }
+
+  // A unit action with an extra dependence (data edge or join edge).
+  void act_with_dep(Time dep_time, ActionId dep_act) {
+    const Time t = (clock_ > dep_time ? clock_ : dep_time) + 1;
+    finish_action(t, dep_act);
+  }
+
+  void finish_action(Time t, ActionId extra_dep) {
+    ++work_;
+    clock_ = t;
+    if (t > max_time_) max_time_ = t;
+    if (trace_) {
+      const ActionId id = trace_->new_action();
+      if (last_action_ != kNoAction) trace_->add_edge(last_action_, id);
+      if (pending_fork_edge_ != kNoAction) {
+        trace_->add_edge(pending_fork_edge_, id);
+        pending_fork_edge_ = kNoAction;
+      }
+      if (extra_dep != kNoAction) trace_->add_edge(extra_dep, id);
+      last_action_ = id;
+    } else {
+      // Still consume the fork edge marker so nesting stays balanced.
+      pending_fork_edge_ = kNoAction;
+      last_action_ = kActionUntraced;
+    }
+  }
+
+  template <typename T>
+  CellId cell_id(Cell<T>* c) {
+    if (c->id == kNoCell) c->id = next_cell_id_++;
+    return c->id;
+  }
+
+  Time clock_ = 0;
+  Time max_time_ = 0;
+  std::uint64_t work_ = 0;
+  std::uint32_t max_cell_reads_ = 0;
+  std::uint64_t nonlinear_reads_ = 0;
+  WaitStats waits_;
+
+  ActionId last_action_ = kNoAction;
+  ActionId pending_fork_edge_ = kNoAction;
+  CellId next_cell_id_ = 0;
+
+  Trace* trace_ = nullptr;
+  Arena cells_{1 << 16};
+};
+
+// Fork-join over a set of void thunks, reduced pairwise (strict baselines
+// with node fan-out > 2, e.g. 2-6 tree children).
+template <typename F>
+void fork_join_all(Engine& eng, std::span<F> fns) {
+  if (fns.empty()) return;
+  if (fns.size() == 1) {
+    fns[0]();
+    return;
+  }
+  const std::size_t mid = fns.size() / 2;
+  eng.fork_join2(
+      [&] {
+        fork_join_all(eng, fns.subspan(0, mid));
+        return 0;
+      },
+      [&] {
+        fork_join_all(eng, fns.subspan(mid));
+        return 0;
+      });
+}
+
+}  // namespace pwf::cm

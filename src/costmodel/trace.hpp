@@ -1,0 +1,58 @@
+// Computation-DAG trace recorded by the cost-model engine.
+//
+// The Section-4 simulator replays these traces: it needs, per action, the set
+// of incoming edges (to know when the action becomes ready) and outgoing
+// edges (to know what a completed action enables), plus which cell each
+// action reads/writes for the EREW and linearity audits. Actions are numbered
+// in execution (= creation) order, which is a valid topological order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace pwf::cm {
+
+using ActionId = std::uint32_t;
+using CellId = std::uint32_t;
+
+inline constexpr ActionId kNoAction = 0xFFFFFFFFu;
+// Placeholder id used when tracing is off (distinguishes "thread has a
+// predecessor" from "first action of a thread" without allocating ids).
+inline constexpr ActionId kActionUntraced = 0xFFFFFFFEu;
+inline constexpr CellId kNoCell = 0xFFFFFFFFu;
+
+class Trace {
+ public:
+  struct Edge {
+    ActionId src;
+    ActionId dst;
+  };
+
+  ActionId new_action() {
+    return static_cast<ActionId>(num_actions_++);
+  }
+
+  void add_edge(ActionId src, ActionId dst) { edges_.push_back({src, dst}); }
+
+  void record_read(ActionId a, CellId c) { reads_.push_back({a, c}); }
+  void record_write(ActionId a, CellId c) { writes_.push_back({a, c}); }
+
+  std::uint64_t num_actions() const { return num_actions_; }
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<const std::pair<ActionId, CellId>> reads() const {
+    return reads_;
+  }
+  std::span<const std::pair<ActionId, CellId>> writes() const {
+    return writes_;
+  }
+
+ private:
+  std::uint64_t num_actions_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::pair<ActionId, CellId>> reads_;
+  std::vector<std::pair<ActionId, CellId>> writes_;
+};
+
+}  // namespace pwf::cm

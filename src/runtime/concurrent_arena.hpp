@@ -1,0 +1,91 @@
+// Thread-safe monotonic arena for runtime tree nodes and cells.
+//
+// Allocation is a fetch_add on the current chunk's cursor; when a chunk
+// fills, a mutex-guarded slow path installs a bigger one. No per-node
+// deallocation — the store owning the arena is released whole, like the
+// cost-model arenas.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pwf::rt {
+
+class ConcurrentArena {
+ public:
+  explicit ConcurrentArena(std::size_t chunk_bytes = 1 << 20)
+      : chunk_bytes_(chunk_bytes) {
+    install_chunk(chunk_bytes_);
+  }
+
+  ConcurrentArena(const ConcurrentArena&) = delete;
+  ConcurrentArena& operator=(const ConcurrentArena&) = delete;
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena does not run destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    PWF_DCHECK((align & (align - 1)) == 0);
+    bytes = (bytes + align - 1) & ~(align - 1);
+    for (;;) {
+      Chunk* c = current_.load(std::memory_order_acquire);
+      const std::size_t off = c->cursor.fetch_add(bytes + align,
+                                                  std::memory_order_relaxed);
+      if (off + bytes + align <= c->size) {
+        const std::uintptr_t raw =
+            reinterpret_cast<std::uintptr_t>(c->data.get()) + off;
+        return reinterpret_cast<void*>((raw + align - 1) & ~(align - 1));
+      }
+      grow(c, bytes + align);
+    }
+  }
+
+  std::size_t bytes_reserved() const {
+    return bytes_reserved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::atomic<std::size_t> cursor{0};
+  };
+
+  void install_chunk(std::size_t size) {
+    auto c = std::make_unique<Chunk>();
+    c->data = std::make_unique<std::byte[]>(size);
+    c->size = size;
+    bytes_reserved_.fetch_add(size, std::memory_order_relaxed);
+    chunks_.push_back(std::move(c));
+    current_.store(chunks_.back().get(), std::memory_order_release);
+  }
+
+  void grow(Chunk* full, std::size_t min_bytes) {
+    std::lock_guard<std::mutex> lk(grow_mutex_);
+    // Another thread may have grown already.
+    if (current_.load(std::memory_order_acquire) != full) return;
+    std::size_t size = std::min<std::size_t>(chunk_bytes_ * 2, 1u << 26);
+    chunk_bytes_ = size;
+    while (size < min_bytes) size *= 2;
+    install_chunk(size);
+  }
+
+  std::size_t chunk_bytes_;
+  std::atomic<Chunk*> current_{nullptr};
+  std::mutex grow_mutex_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;  // guarded by grow_mutex_
+  std::atomic<std::size_t> bytes_reserved_{0};
+};
+
+}  // namespace pwf::rt

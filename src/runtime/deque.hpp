@@ -1,0 +1,132 @@
+// Chase–Lev dynamic circular work-stealing deque.
+//
+// The one place this runtime uses lock-free code (cf. Core Guidelines
+// CP.100: "unless you absolutely have to" — a work-stealing scheduler is the
+// canonical justified case). The implementation follows Chase & Lev (SPAA
+// 2005) with the C11 memory-order treatment of Lê, Pop, Cohen & Zappa
+// Nardelli (PPoPP 2013):
+//   * push/pop run only on the owner thread (bottom end);
+//   * steal runs on any thief thread (top end);
+//   * growth allocates a larger ring; retired rings are kept until
+//     destruction so racing thieves can still read stale buffers safely.
+//
+// Elements are void* (the scheduler stores coroutine handle addresses).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pwf::rt {
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::int64_t capacity_log2 = 8)
+      : top_(0), bottom_(0) {
+    buffer_.store(new Ring(capacity_log2), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Ring* r : retired_) delete r;
+  }
+
+  // Owner only.
+  void push(void* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    if (b - t > ring->capacity() - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns nullptr when empty.
+  void* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty: restore
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    void* item = ring->get(b);
+    if (t != b) return item;  // more than one element: no race possible
+    // Last element: race against thieves via CAS on top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      item = nullptr;  // a thief got it
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  // Any thread. Returns nullptr when empty or on a lost race.
+  void* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Ring* ring = buffer_.load(std::memory_order_consume);
+    void* item = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost the race
+    return item;
+  }
+
+  // Approximate size (owner's view); used only for monitoring.
+  std::int64_t size_estimate() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Ring {
+   public:
+    explicit Ring(std::int64_t capacity_log2)
+        : log_(capacity_log2),
+          mask_((std::int64_t{1} << capacity_log2) - 1),
+          slots_(new std::atomic<void*>[std::size_t{1} << capacity_log2]) {}
+
+    std::int64_t capacity() const { return mask_ + 1; }
+    std::int64_t log2() const { return log_; }
+
+    void put(std::int64_t i, void* item) {
+      slots_[i & mask_].store(item, std::memory_order_relaxed);
+    }
+    void* get(std::int64_t i) const {
+      return slots_[i & mask_].load(std::memory_order_relaxed);
+    }
+
+   private:
+    std::int64_t log_;
+    std::int64_t mask_;
+    std::unique_ptr<std::atomic<void*>[]> slots_;
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->log2() + 1);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still be reading it
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<Ring*> buffer_;
+  std::vector<Ring*> retired_;  // owner-only
+};
+
+}  // namespace pwf::rt

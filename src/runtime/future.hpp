@@ -1,0 +1,118 @@
+// Write-once future cells with coroutine suspension — the runtime's
+// counterpart of the paper's future cells.
+//
+//   * `co_await cell` is the touch operation: if the value is present it
+//     continues immediately; otherwise the coroutine parks itself *in the
+//     cell* (an intrusive waiter node living in the awaiter, which sits in
+//     the suspended frame) — O(1), no allocation.
+//   * `cell.write(v)` is the write: publishes the value and reposts every
+//     parked waiter to the scheduler — the paper's immediate reactivation.
+//   * Cells are written at most once (checked); linear programs also read
+//     them at most once, but the waiter list supports any number of readers
+//     (the general, non-linear model of Section 2).
+//
+// The cell is a single atomic word: kEmpty, a pointer to the waiter list, or
+// kWritten. External (non-worker) threads can block on a cell with
+// wait_blocking(), used by benches to join a whole computation.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <type_traits>
+
+#include "runtime/scheduler.hpp"
+#include "support/check.hpp"
+
+namespace pwf::rt {
+
+template <typename T>
+class FutCell {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "cells carry pointer-like values, as in the paper");
+
+  static constexpr std::uintptr_t kEmpty = 0;
+  static constexpr std::uintptr_t kWritten = 1;
+
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    Waiter* next = nullptr;
+  };
+
+ public:
+  FutCell() = default;
+  FutCell(const FutCell&) = delete;
+  FutCell& operator=(const FutCell&) = delete;
+
+  // Input data: mark written before any concurrent access.
+  void preset(T v) {
+    value_ = v;
+    state_.store(kWritten, std::memory_order_release);
+  }
+
+  bool written() const {
+    return state_.load(std::memory_order_acquire) == kWritten;
+  }
+
+  // The write action. Publishes the value, then reactivates all waiters.
+  void write(T v) {
+    value_ = v;
+    const std::uintptr_t old =
+        state_.exchange(kWritten, std::memory_order_acq_rel);
+    PWF_CHECK_MSG(old != kWritten, "future cell written twice");
+    state_.notify_all();  // external wait_blocking()ers
+    Waiter* w = reinterpret_cast<Waiter*>(old);
+    while (w != nullptr) {
+      Waiter* next = w->next;  // w may die the instant its coroutine runs
+      Scheduler* s = Scheduler::current();
+      PWF_CHECK(s != nullptr);
+      s->post(w->handle);
+      w = next;
+    }
+  }
+
+  struct Awaiter {
+    FutCell& cell;
+    Waiter node;
+
+    bool await_ready() const {
+      return cell.state_.load(std::memory_order_acquire) == kWritten;
+    }
+    bool await_suspend(std::coroutine_handle<> h) {
+      node.handle = h;
+      std::uintptr_t s = cell.state_.load(std::memory_order_acquire);
+      for (;;) {
+        if (s == kWritten) return false;  // written meanwhile: keep running
+        node.next = reinterpret_cast<Waiter*>(s);
+        if (cell.state_.compare_exchange_weak(
+                s, reinterpret_cast<std::uintptr_t>(&node),
+                std::memory_order_acq_rel, std::memory_order_acquire))
+          return true;  // parked; the writer will repost us
+      }
+    }
+    T await_resume() const { return cell.value_; }
+  };
+
+  Awaiter operator co_await() { return Awaiter{*this, {}}; }
+
+  // Blocking read for external threads (joins a computation from main).
+  T wait_blocking() const {
+    for (;;) {
+      const std::uintptr_t s = state_.load(std::memory_order_acquire);
+      if (s == kWritten) return value_;
+      state_.wait(s, std::memory_order_acquire);
+    }
+  }
+
+  // Post-completion access (analysis/validation, mirrors cm peek).
+  T peek() const {
+    PWF_CHECK_MSG(written(), "peek of unwritten cell");
+    return value_;
+  }
+
+ private:
+  std::atomic<std::uintptr_t> state_{kEmpty};
+  T value_{};
+};
+
+}  // namespace pwf::rt

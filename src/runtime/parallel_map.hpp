@@ -1,0 +1,102 @@
+// ParallelMap<V> — batch-updatable key→value map over the runtime treap
+// maps (rt_map.hpp). The aggregation counterpart of ParallelSet: each
+// insert_batch is one pipelined union whose value-merge function resolves
+// key collisions (sum for counters, last-writer-wins for stores, ...).
+//
+// V must be trivially copyable and default constructible (values travel
+// through future cells and arena nodes, like every value in the paper's
+// model).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/rt_map.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace pwf::rt {
+
+template <typename V>
+class ParallelMap {
+ public:
+  using Key = map::Key;
+  using Item = std::pair<Key, V>;
+
+  explicit ParallelMap(Scheduler& sched,
+                       std::uint64_t salt = 0x9e3779b97f4a7c15ULL)
+      : sched_(sched), store_(salt), root_(store_.input(nullptr)) {}
+
+  ParallelMap(const ParallelMap&) = delete;
+  ParallelMap& operator=(const ParallelMap&) = delete;
+
+  // map = map ∪ items, duplicate keys resolved by merge(old, new). Items
+  // need not be sorted; duplicate keys *within* the batch are pre-merged
+  // with the same function.
+  template <typename Merge>
+  void insert_batch(std::span<const Item> items, Merge merge) {
+    if (items.empty()) return;
+    std::vector<Item> sorted(items.begin(), items.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Item& x, const Item& y) { return x.first < y.first; });
+    std::vector<Item> dedup;
+    for (const Item& it : sorted) {
+      if (!dedup.empty() && dedup.back().first == it.first)
+        dedup.back().second = merge(dedup.back().second, it.second);
+      else
+        dedup.push_back(it);
+    }
+    map::Cell<V>* batch = store_.input(store_.build(dedup));
+    root_ = map::union_maps(store_, root_, batch, merge);
+    join_and_recount();
+  }
+
+  // Overwrite semantics (new value wins).
+  void assign_batch(std::span<const Item> items) {
+    insert_batch(items, [](const V&, const V& incoming) { return incoming; });
+  }
+
+  // Remove a batch of keys.
+  void erase_batch(std::span<const Key> keys) {
+    if (keys.empty()) return;
+    std::vector<Item> items;
+    items.reserve(keys.size());
+    for (Key k : keys) items.emplace_back(k, V{});
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end(),
+                            [](const Item& x, const Item& y) {
+                              return x.first == y.first;
+                            }),
+                items.end());
+    map::Cell<V>* batch = store_.input(store_.build(items));
+    root_ = map::diff_maps(store_, root_, batch);
+    join_and_recount();
+  }
+
+  std::optional<V> get(Key k) const { return map::lookup(root_, k); }
+  bool contains(Key k) const { return get(k).has_value(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::vector<Item> items() const { return map::wait_items(root_); }
+
+ private:
+  void join_and_recount() {
+    struct C {
+      static std::size_t count(map::Cell<V>* c) {
+        map::Node<V>* n = c->wait_blocking();
+        if (n == nullptr) return 0;
+        return 1 + count(n->left) + count(n->right);
+      }
+    };
+    size_ = C::count(root_);
+  }
+
+  Scheduler& sched_;
+  map::Store<V> store_;
+  map::Cell<V>* root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwf::rt

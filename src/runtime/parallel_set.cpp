@@ -1,0 +1,84 @@
+#include "runtime/parallel_set.hpp"
+
+#include <algorithm>
+
+namespace pwf::rt {
+
+namespace {
+
+// Waits for every reachable cell and counts nodes.
+std::size_t wait_count(treap::Cell* c) {
+  treap::Node* n = c->wait_blocking();
+  if (n == nullptr) return 0;
+  return 1 + wait_count(n->left) + wait_count(n->right);
+}
+
+}  // namespace
+
+ParallelSet::ParallelSet(Scheduler& sched, std::uint64_t salt)
+    : sched_(sched), store_(salt), root_(store_.input(nullptr)) {}
+
+ParallelSet::ParallelSet(Scheduler& sched, std::span<const Key> keys,
+                         std::uint64_t salt)
+    : sched_(sched), store_(salt), root_(nullptr) {
+  std::vector<Key> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  size_ = sorted.size();
+  root_ = store_.input(store_.build(sorted));
+}
+
+treap::Cell* ParallelSet::build_batch(std::span<const Key> keys) {
+  std::vector<Key> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return store_.input(store_.build(sorted));
+}
+
+void ParallelSet::join_and_recount() { size_ = wait_count(root_); }
+
+void ParallelSet::insert_batch(std::span<const Key> keys) {
+  if (keys.empty()) return;
+  root_ = treap::union_treaps(store_, root_, build_batch(keys));
+  join_and_recount();
+}
+
+void ParallelSet::erase_batch(std::span<const Key> keys) {
+  if (keys.empty()) return;
+  root_ = treap::diff_treaps(store_, root_, build_batch(keys));
+  join_and_recount();
+}
+
+void ParallelSet::retain_batch(std::span<const Key> keys) {
+  root_ = treap::intersect_treaps(store_, root_, build_batch(keys));
+  join_and_recount();
+}
+
+bool ParallelSet::contains(Key k) const {
+  const treap::Node* n = root_->peek();
+  while (n != nullptr) {
+    if (k < n->key)
+      n = n->left->peek();
+    else if (k > n->key)
+      n = n->right->peek();
+    else
+      return true;
+  }
+  return false;
+}
+
+std::vector<ParallelSet::Key> ParallelSet::keys() const {
+  return treap::wait_inorder(root_);
+}
+
+int ParallelSet::height() const {
+  struct H {
+    static int of(treap::Node* n) {
+      if (n == nullptr) return 0;
+      return 1 + std::max(of(n->left->peek()), of(n->right->peek()));
+    }
+  };
+  return H::of(root_->peek());
+}
+
+}  // namespace pwf::rt

@@ -1,0 +1,62 @@
+// ParallelSet — the adoptable front door to the runtime treap operations.
+//
+// A sorted set of int64 keys supporting *batch* mutation: each batch is one
+// parallel treap union / difference / intersection (Sections 3.2–3.3 of the
+// paper) executed on the coroutine futures runtime, rather than m
+// sequential updates. Batches are synchronous at the API boundary: the call
+// returns once the result tree is fully built, so reads (`contains`,
+// `keys`, iteration) never observe pending futures.
+//
+// The set borrows a Scheduler (one scheduler per process may be alive; see
+// runtime/scheduler.hpp) and owns its node storage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/rt_treap.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace pwf::rt {
+
+class ParallelSet {
+ public:
+  using Key = treap::Key;
+
+  explicit ParallelSet(Scheduler& sched,
+                       std::uint64_t salt = 0x9e3779b97f4a7c15ULL);
+
+  // Initial contents (cheaper than insert_batch on an empty set).
+  ParallelSet(Scheduler& sched, std::span<const Key> keys,
+              std::uint64_t salt = 0x9e3779b97f4a7c15ULL);
+
+  ParallelSet(const ParallelSet&) = delete;
+  ParallelSet& operator=(const ParallelSet&) = delete;
+
+  // Batch mutators — one pipelined set operation each; duplicates within the
+  // batch and against the set are handled (set semantics). Unsorted input is
+  // fine; it is sorted internally.
+  void insert_batch(std::span<const Key> keys);  // set = set ∪ keys
+  void erase_batch(std::span<const Key> keys);   // set = set \ keys
+  void retain_batch(std::span<const Key> keys);  // set = set ∩ keys
+
+  bool contains(Key k) const;
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::vector<Key> keys() const;  // in order
+  int height() const;
+
+ private:
+  // Builds a treap over a batch (sorted + deduplicated copy).
+  treap::Cell* build_batch(std::span<const Key> keys);
+  // Blocks until the tree under `root_` is fully written; refreshes size_.
+  void join_and_recount();
+
+  Scheduler& sched_;
+  treap::Store store_;
+  treap::Cell* root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwf::rt

@@ -1,0 +1,279 @@
+// Key-value treap maps on the coroutine futures runtime.
+//
+// The paper's treaps maintain a dynamic *dictionary*; real dictionaries
+// carry values. This header generalizes the Section 3.2–3.3 operations to
+// (key, value) nodes:
+//   * union_fiber takes a Merge functor: when both maps contain a key, the
+//     surviving node's value is merge(left_value, right_value) — which is
+//     what makes batch aggregation (word counts, metric rollups) a single
+//     pipelined union;
+//   * diff_fiber removes keys (values of the second operand are ignored).
+// The pipelining structure is identical to rt_treap.*; only the duplicate
+// handling differs: union must *wait* for splitm's "found" result on each
+// node (like diff does), because the merged value depends on it.
+//
+// Everything is templated on the value type V (trivially copyable, like all
+// cell-carried values in this runtime) and lives header-only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "runtime/concurrent_arena.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace pwf::rt::map {
+
+using Key = std::int64_t;
+using Pri = std::uint64_t;
+
+template <typename V>
+struct Node {
+  Key key = 0;
+  Pri pri = 0;
+  V value{};
+  FutCell<Node*>* left = nullptr;
+  FutCell<Node*>* right = nullptr;
+};
+
+template <typename V>
+using Cell = FutCell<Node<V>*>;
+
+template <typename V>
+class Store {
+ public:
+  explicit Store(std::uint64_t salt = 0x9e3779b97f4a7c15ULL) : salt_(salt) {}
+
+  Pri priority(Key k) const {
+    std::uint64_t x = static_cast<std::uint64_t>(k) ^ salt_;
+    return splitmix64(x);
+  }
+
+  Cell<V>* cell() { return arena_.template create<Cell<V>>(); }
+  Cell<V>* input(Node<V>* root) {
+    Cell<V>* c = cell();
+    c->preset(root);
+    return c;
+  }
+
+  Node<V>* make(Key key, Pri pri, V value, Cell<V>* l, Cell<V>* r) {
+    Node<V>* n = arena_.template create<Node<V>>();
+    n->key = key;
+    n->pri = pri;
+    n->value = value;
+    n->left = l;
+    n->right = r;
+    return n;
+  }
+  Node<V>* make(Key key, Pri pri, V value) {
+    return make(key, pri, value, cell(), cell());
+  }
+
+  // O(n) construction over key-sorted, duplicate-free items (input data).
+  Node<V>* build(std::span<const std::pair<Key, V>> sorted) {
+    std::vector<Node<V>*> spine;
+    for (const auto& [k, v] : sorted) {
+      Node<V>* n = make(k, priority(k), v, input(nullptr), input(nullptr));
+      Node<V>* last_popped = nullptr;
+      while (!spine.empty() && spine.back()->pri < n->pri) {
+        last_popped = spine.back();
+        spine.pop_back();
+      }
+      if (last_popped != nullptr) n->left = input(last_popped);
+      if (!spine.empty()) spine.back()->right = input(n);
+      spine.push_back(n);
+    }
+    return spine.empty() ? nullptr : spine.front();
+  }
+
+ private:
+  std::uint64_t salt_;
+  ConcurrentArena arena_;
+};
+
+// splitm with the equal node reported (always needed for maps: union's
+// value merge depends on it).
+template <typename V>
+Fiber splitm_fiber(Store<V>& st, Key s, Node<V>* t, Cell<V>* outL,
+                   Cell<V>* outR, Cell<V>* outEq) {
+  for (;;) {
+    if (t == nullptr) {
+      outL->write(nullptr);
+      outR->write(nullptr);
+      outEq->write(nullptr);
+      co_return;
+    }
+    if (s < t->key) {
+      Node<V>* keep = st.make(t->key, t->pri, t->value, st.cell(), t->right);
+      outR->write(keep);
+      outR = keep->left;
+      t = co_await *t->left;
+    } else if (s > t->key) {
+      Node<V>* keep = st.make(t->key, t->pri, t->value, t->left, st.cell());
+      outL->write(keep);
+      outL = keep->right;
+      t = co_await *t->right;
+    } else {
+      outL->write(co_await *t->left);
+      outR->write(co_await *t->right);
+      outEq->write(t);
+      co_return;
+    }
+  }
+}
+
+// Union with value merge: result value for a shared key k is
+// merge(value_in_a, value_in_b) — note the operand order is by *map*, not
+// by priority, so asymmetric merges (e.g. "b overwrites a") behave as
+// documented regardless of which root wins the priority comparison.
+template <typename V, typename Merge>
+Fiber union_fiber(Store<V>& st, Cell<V>* a, Cell<V>* b, Cell<V>* out,
+                  Merge merge, bool swapped = false) {
+  Node<V>* ta = co_await *a;
+  Node<V>* tb = co_await *b;
+  if (ta == nullptr) {
+    out->write(tb);
+    co_return;
+  }
+  if (tb == nullptr) {
+    out->write(ta);
+    co_return;
+  }
+  bool flip = swapped;
+  if (ta->pri < tb->pri) {
+    std::swap(ta, tb);
+    flip = !flip;
+  }
+  Cell<V>* l2 = st.cell();
+  Cell<V>* r2 = st.cell();
+  Cell<V>* eq = st.cell();
+  spawn(splitm_fiber(st, ta->key, tb, l2, r2, eq));
+  Node<V>* res = st.make(ta->key, ta->pri, ta->value);
+  spawn(union_fiber(st, ta->left, l2, res->left, merge, flip));
+  spawn(union_fiber(st, ta->right, r2, res->right, merge, flip));
+  // The root's final value depends on whether the key is shared; unlike the
+  // pure-set union we must wait for splitm's verdict before publishing.
+  Node<V>* dup = co_await *eq;
+  if (dup != nullptr)
+    res->value = flip ? merge(dup->value, ta->value)
+                      : merge(ta->value, dup->value);
+  out->write(res);
+}
+
+// Difference: drop the keys of `b` from `a` (b's values are irrelevant).
+template <typename V>
+Fiber join_fiber(Store<V>& st, Node<V>* t1, Node<V>* t2, Cell<V>* out) {
+  for (;;) {
+    if (t1 == nullptr) {
+      out->write(t2);
+      co_return;
+    }
+    if (t2 == nullptr) {
+      out->write(t1);
+      co_return;
+    }
+    if (t1->pri >= t2->pri) {
+      Node<V>* res = st.make(t1->key, t1->pri, t1->value, t1->left, st.cell());
+      out->write(res);
+      out = res->right;
+      t1 = co_await *t1->right;
+    } else {
+      Node<V>* res = st.make(t2->key, t2->pri, t2->value, st.cell(), t2->right);
+      out->write(res);
+      out = res->left;
+      t2 = co_await *t2->left;
+    }
+  }
+}
+
+template <typename V>
+Fiber join_after_fiber(Store<V>& st, Cell<V>* dl, Cell<V>* dr, Cell<V>* out) {
+  Node<V>* jl = co_await *dl;
+  Node<V>* jr = co_await *dr;
+  spawn(join_fiber(st, jl, jr, out));
+}
+
+template <typename V>
+Fiber diff_fiber(Store<V>& st, Cell<V>* a, Cell<V>* b, Cell<V>* out) {
+  Node<V>* t1 = co_await *a;
+  Node<V>* t2 = co_await *b;
+  if (t1 == nullptr) {
+    out->write(nullptr);
+    co_return;
+  }
+  if (t2 == nullptr) {
+    out->write(t1);
+    co_return;
+  }
+  Cell<V>* l2 = st.cell();
+  Cell<V>* r2 = st.cell();
+  Cell<V>* eq = st.cell();
+  spawn(splitm_fiber(st, t1->key, t2, l2, r2, eq));
+  Cell<V>* dl = st.cell();
+  Cell<V>* dr = st.cell();
+  spawn(diff_fiber(st, t1->left, l2, dl));
+  spawn(diff_fiber(st, t1->right, r2, dr));
+  Node<V>* found = co_await *eq;
+  if (found != nullptr) {
+    spawn(join_after_fiber(st, dl, dr, out));
+  } else {
+    Node<V>* res = st.make(t1->key, t1->pri, t1->value, dl, dr);
+    out->write(res);
+  }
+}
+
+template <typename V, typename Merge>
+Cell<V>* union_maps(Store<V>& st, Cell<V>* a, Cell<V>* b, Merge merge) {
+  Cell<V>* out = st.cell();
+  spawn(union_fiber(st, a, b, out, merge));
+  return out;
+}
+
+template <typename V>
+Cell<V>* diff_maps(Store<V>& st, Cell<V>* a, Cell<V>* b) {
+  Cell<V>* out = st.cell();
+  spawn(diff_fiber(st, a, b, out));
+  return out;
+}
+
+// ---- joins / analysis --------------------------------------------------------
+
+// Waits for every reachable cell; returns items in key order.
+template <typename V>
+std::vector<std::pair<Key, V>> wait_items(Cell<V>* root_cell) {
+  std::vector<std::pair<Key, V>> out;
+  struct W {
+    static void collect(Cell<V>* c, std::vector<std::pair<Key, V>>& acc) {
+      Node<V>* n = c->wait_blocking();
+      if (n == nullptr) return;
+      collect(n->left, acc);
+      acc.emplace_back(n->key, n->value);
+      collect(n->right, acc);
+    }
+  };
+  W::collect(root_cell, out);
+  return out;
+}
+
+// Post-completion point lookup.
+template <typename V>
+std::optional<V> lookup(Cell<V>* root_cell, Key k) {
+  const Node<V>* n = root_cell->peek();
+  while (n != nullptr) {
+    if (k < n->key)
+      n = n->left->peek();
+    else if (k > n->key)
+      n = n->right->peek();
+    else
+      return n->value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pwf::rt::map

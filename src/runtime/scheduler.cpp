@@ -1,0 +1,120 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace pwf::rt {
+
+namespace {
+std::atomic<Scheduler*> g_current{nullptr};
+thread_local int t_worker_index = -1;
+thread_local Scheduler* t_worker_scheduler = nullptr;
+}  // namespace
+
+Scheduler* Scheduler::current() {
+  return g_current.load(std::memory_order_acquire);
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  Stats s;
+  s.resumed = resumed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.injected = injected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Scheduler::Scheduler(unsigned nthreads) {
+  if (nthreads == 0) nthreads = std::max(1u, std::thread::hardware_concurrency());
+  Scheduler* expected = nullptr;
+  PWF_CHECK_MSG(
+      g_current.compare_exchange_strong(expected, this,
+                                        std::memory_order_acq_rel),
+      "only one Scheduler may be alive at a time");
+  workers_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->rng.reseed(0xC0FFEE + i);
+  }
+  threads_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lk(park_mutex_);
+    stop_ = true;
+  }
+  park_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  g_current.store(nullptr, std::memory_order_release);
+}
+
+void Scheduler::post(std::coroutine_handle<> h) {
+  if (t_worker_scheduler == this && t_worker_index >= 0) {
+    workers_[t_worker_index]->deque.push(h.address());
+  } else {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(inject_mutex_);
+    inject_.push_back(h);
+  }
+  // Wake a parked worker if any (cheap check without the lock would race
+  // with the park decision; take the lock — posts are not the hot path
+  // relative to coroutine resumption cost).
+  {
+    std::lock_guard<std::mutex> lk(park_mutex_);
+    if (parked_ == 0) return;
+  }
+  park_cv_.notify_one();
+}
+
+std::coroutine_handle<> Scheduler::find_work(unsigned index) {
+  Worker& me = *workers_[index];
+  if (void* p = me.deque.pop())
+    return std::coroutine_handle<>::from_address(p);
+  {
+    std::lock_guard<std::mutex> lk(inject_mutex_);
+    if (!inject_.empty()) {
+      auto h = inject_.back();
+      inject_.pop_back();
+      return h;
+    }
+  }
+  // Randomized stealing: a few rounds over the other workers.
+  const unsigned n = static_cast<unsigned>(workers_.size());
+  if (n > 1) {
+    for (unsigned attempt = 0; attempt < 2 * n; ++attempt) {
+      const unsigned victim =
+          static_cast<unsigned>(me.rng.below(n));
+      if (victim == index) continue;
+      if (void* p = workers_[victim]->deque.steal()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return std::coroutine_handle<>::from_address(p);
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  t_worker_index = static_cast<int>(index);
+  t_worker_scheduler = this;
+  for (;;) {
+    if (std::coroutine_handle<> h = find_work(index)) {
+      resumed_.fetch_add(1, std::memory_order_relaxed);
+      h.resume();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(park_mutex_);
+    if (stop_) break;
+    ++parked_;
+    park_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    --parked_;
+    if (stop_) break;
+  }
+  t_worker_index = -1;
+  t_worker_scheduler = nullptr;
+}
+
+}  // namespace pwf::rt

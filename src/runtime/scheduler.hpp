@@ -1,0 +1,108 @@
+// Work-stealing scheduler for the coroutine futures runtime.
+//
+// This is the "real" counterpart of the paper's Section-4 runtime: the
+// simulator (src/sim) replays the provable greedy schedule; this scheduler
+// actually executes the same programs on OS threads. Each worker owns a
+// Chase–Lev deque of ready coroutine handles; suspended coroutines live in
+// the future cells they are waiting on (src/runtime/future.hpp) and are
+// reposted by the write — the paper's constant-time suspend/reactivate,
+// which it calls critical for the depth bounds.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace pwf::rt {
+
+class Scheduler {
+ public:
+  // nthreads = 0 picks hardware_concurrency (>= 1).
+  explicit Scheduler(unsigned nthreads = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Enqueue a ready coroutine. On a worker thread it goes to the worker's
+  // own deque (LIFO end — the stack discipline the paper prefers for
+  // space); from outside it goes to the injection queue.
+  void post(std::coroutine_handle<> h);
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  // The process-wide live scheduler (future-cell writes repost waiters
+  // through it). Exactly one Scheduler may be alive at a time.
+  static Scheduler* current();
+
+  // Observability: aggregate counters since construction (approximate —
+  // relaxed atomics, intended for monitoring and tests, not invariants).
+  struct Stats {
+    std::uint64_t resumed = 0;        // coroutine resumptions executed
+    std::uint64_t steals = 0;         // successful steals
+    std::uint64_t injected = 0;       // posts from non-worker threads
+  };
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    WorkStealingDeque deque;
+    Rng rng;
+  };
+
+  void worker_loop(unsigned index);
+  std::coroutine_handle<> find_work(unsigned index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Injection queue for posts from non-worker threads.
+  std::mutex inject_mutex_;
+  std::vector<std::coroutine_handle<>> inject_;
+
+  // Parking lot.
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  bool stop_ = false;
+  unsigned parked_ = 0;
+
+  // Monitoring counters (relaxed).
+  std::atomic<std::uint64_t> resumed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+// Spawned computation: a detached coroutine. It starts suspended (the spawn
+// call posts it — the fork action), runs on whatever worker picks it up,
+// and destroys its own frame when it finishes. Results are communicated
+// exclusively through future cells, as in the paper's model.
+struct Fiber {
+  struct promise_type {
+    Fiber get_return_object() {
+      return Fiber{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+// The future/fork: schedule the fiber and return immediately.
+inline void spawn(Fiber f) {
+  Scheduler* s = Scheduler::current();
+  PWF_CHECK_MSG(s != nullptr, "spawn outside a Scheduler's lifetime");
+  s->post(f.handle);
+}
+
+}  // namespace pwf::rt

@@ -1,0 +1,51 @@
+#include "sim/dag.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pwf::sim {
+
+Dag::Dag(const cm::Trace& trace) {
+  num_actions_ = trace.num_actions();
+  const auto edges = trace.edges();
+
+  succ_off_.assign(num_actions_ + 1, 0);
+  in_degree_.assign(num_actions_, 0);
+  for (const auto& e : edges) {
+    PWF_CHECK_MSG(e.src < e.dst, "trace edge violates topological order");
+    ++succ_off_[e.src + 1];
+    ++in_degree_[e.dst];
+  }
+  for (std::size_t i = 1; i <= num_actions_; ++i)
+    succ_off_[i] += succ_off_[i - 1];
+  succ_.resize(edges.size());
+  std::vector<std::uint64_t> fill(succ_off_.begin(), succ_off_.end() - 1);
+  for (const auto& e : edges) succ_[fill[e.src]++] = e.dst;
+
+  // Longest path by one pass in topological (= id) order.
+  std::vector<std::uint32_t> dist(num_actions_, 1);
+  std::uint64_t best = num_actions_ > 0 ? 1 : 0;
+  for (std::uint32_t a = 0; a < num_actions_; ++a) {
+    const std::uint32_t da = dist[a];
+    if (da > best) best = da;
+    for (std::uint32_t s : successors(a))
+      dist[s] = std::max(dist[s], da + 1);
+  }
+  depth_ = best;
+
+  reads_.assign(num_actions_, cm::kNoCell);
+  writes_.assign(num_actions_, cm::kNoCell);
+  std::uint32_t max_cell = 0;
+  for (const auto& [a, c] : trace.reads()) {
+    reads_[a] = c;
+    max_cell = std::max(max_cell, c + 1);
+  }
+  for (const auto& [a, c] : trace.writes()) {
+    writes_[a] = c;
+    max_cell = std::max(max_cell, c + 1);
+  }
+  num_cells_ = max_cell;
+}
+
+}  // namespace pwf::sim

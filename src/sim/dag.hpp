@@ -1,0 +1,50 @@
+// Compiled computation DAG, built from a cost-model trace.
+//
+// Action ids are assigned in (eager) execution order, which is a valid
+// topological order — every thread, fork, and data edge points from a lower
+// id to a higher id. The compiler below turns the trace's edge list into CSR
+// adjacency plus per-action in-degrees and cell annotations, ready for the
+// greedy scheduler to replay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "costmodel/trace.hpp"
+
+namespace pwf::sim {
+
+class Dag {
+ public:
+  explicit Dag(const cm::Trace& trace);
+
+  std::uint64_t num_actions() const { return num_actions_; }
+  std::uint64_t work() const { return num_actions_; }
+  // Longest path in actions (so a chain of k actions has depth k). Matches
+  // the cost model's depth measure.
+  std::uint64_t depth() const { return depth_; }
+
+  std::span<const std::uint32_t> successors(std::uint32_t a) const {
+    return {succ_.data() + succ_off_[a], succ_off_[a + 1] - succ_off_[a]};
+  }
+  std::uint32_t in_degree(std::uint32_t a) const { return in_degree_[a]; }
+
+  // Cell read/written by the action, or cm::kNoCell.
+  cm::CellId read_cell(std::uint32_t a) const { return reads_[a]; }
+  cm::CellId write_cell(std::uint32_t a) const { return writes_[a]; }
+
+  std::uint32_t num_cells() const { return num_cells_; }
+
+ private:
+  std::uint64_t num_actions_ = 0;
+  std::uint64_t depth_ = 0;
+  std::uint32_t num_cells_ = 0;
+  std::vector<std::uint64_t> succ_off_;
+  std::vector<std::uint32_t> succ_;
+  std::vector<std::uint32_t> in_degree_;
+  std::vector<cm::CellId> reads_;
+  std::vector<cm::CellId> writes_;
+};
+
+}  // namespace pwf::sim

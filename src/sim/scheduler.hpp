@@ -1,0 +1,52 @@
+// Section 4's provably efficient runtime, as a discrete-event simulator.
+//
+// The paper's implementation keeps the set S of active threads on a stack;
+// each step removes m = min(|S|, p) threads from the top, executes one
+// action of each (possibly suspending on a future-cell read or reactivating
+// a suspended thread on a write), and uses a plus-scan to place the returned
+// threads back on S without concurrent writes. Because the schedule is
+// greedy, the number of steps is at most w/p + d (Blumofe–Leiserson via
+// Brent), which is Lemma 4.1's O(w/p + d) EREW-scan-model time.
+//
+// At the DAG level, "one action of each selected thread" is exactly "execute
+// a ready action and enable its successors": a thread's next action is ready
+// iff all its dependence edges (thread, fork, data) are satisfied, a suspend
+// is an action whose data edge is missing (it is simply not ready and sits
+// outside S), and a reactivation is the write action enabling the stalled
+// touch action. The simulator therefore replays recorded computation DAGs,
+// counting steps, the peak size of S (the space the paper's stack-vs-queue
+// remark is about), and auditing EREW and linearity.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/dag.hpp"
+
+namespace pwf::sim {
+
+enum class Discipline {
+  kStack,  // the paper's choice: LIFO, "probably much better for space"
+  kQueue,  // FIFO ablation (breadth-first)
+};
+
+struct ScheduleResult {
+  std::uint64_t steps = 0;     // scheduler steps = simulated time
+  std::uint64_t work = 0;      // actions executed (== dag.work())
+  std::uint64_t depth = 0;     // dag.depth(), for the bound
+  std::uint64_t max_live = 0;  // peak |S| (active-set space)
+  std::uint64_t scans = 0;     // plus-scan invocations (one per step)
+
+  bool erew_ok = true;    // no two same-cell reads scheduled on one step
+  bool linear_ok = true;  // every cell read at most once over the whole run
+
+  // The Lemma 4.1 / Brent bound, steps <= w/p + d, checked exactly in
+  // integers as steps * p <= w + d * p.
+  bool within_bound(std::uint64_t p) const {
+    return steps * p <= work + depth * p;
+  }
+};
+
+// Greedy p-processor schedule of the DAG under the given discipline.
+ScheduleResult schedule(const Dag& dag, std::uint64_t p, Discipline d);
+
+}  // namespace pwf::sim

@@ -1,0 +1,94 @@
+// Monotonic arena allocator for tree nodes.
+//
+// The algorithms in this repo are functional-style: operations share input
+// subtrees and never mutate published nodes, so individual-node lifetimes are
+// awkward for RAII pointers and a GC is out of scope. Instead every tree
+// "store" owns an Arena; nodes are bump-allocated and the whole arena is
+// released at once when the store dies. This mirrors the linear-code memory
+// discipline of the paper's Section 4 (values have a single owner; whole
+// structures are consumed/produced) without per-node bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pwf {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  // Trivially-destructible types only: the arena never runs destructors.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena does not run destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  template <typename T>
+  T* create_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    if (n == 0) return nullptr;
+    void* p = allocate(sizeof(T) * n, alignof(T));
+    return ::new (p) T[n]();
+  }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    PWF_DCHECK((align & (align - 1)) == 0);
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (offset + bytes > capacity_) {
+      grow(bytes + align);
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    cursor_ = offset + bytes;
+    bytes_used_ = bytes_total_base_ + cursor_;
+    return chunks_.back().get() + offset;
+  }
+
+  // Drops every allocation but keeps the first chunk for reuse.
+  void reset() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    cursor_ = 0;
+    capacity_ = chunks_.empty() ? 0 : first_chunk_size_;
+    bytes_total_base_ = 0;
+    bytes_used_ = 0;
+  }
+
+  std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  void grow(std::size_t min_bytes) {
+    std::size_t size = chunk_bytes_;
+    while (size < min_bytes) size *= 2;
+    // Geometric growth keeps the number of chunks logarithmic.
+    chunk_bytes_ = std::min<std::size_t>(chunk_bytes_ * 2, 1u << 24);
+    bytes_total_base_ += cursor_;
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    if (chunks_.size() == 1) first_chunk_size_ = size;
+    cursor_ = 0;
+    capacity_ = size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::size_t first_chunk_size_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t cursor_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t bytes_total_base_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace pwf

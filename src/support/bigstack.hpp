@@ -1,0 +1,60 @@
+// Run a callable on a thread with a large stack.
+//
+// The cost-model engine evaluates futures eagerly, so algorithms with long
+// fork chains (Halstead's quicksort forks once per list element) recurse as
+// deeply as their DAG is long. Rather than contorting the algorithm code into
+// iteration, benches and tests run the computation body on a dedicated
+// pthread with an explicit multi-hundred-MB stack.
+#pragma once
+
+#include <pthread.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pwf {
+
+namespace detail {
+struct BigStackCall {
+  std::function<void()>* fn;
+  std::exception_ptr error;
+};
+
+inline void* bigstack_trampoline(void* arg) {
+  auto* call = static_cast<BigStackCall*>(arg);
+  try {
+    (*call->fn)();
+  } catch (...) {
+    call->error = std::current_exception();
+  }
+  return nullptr;
+}
+}  // namespace detail
+
+// Blocks until `fn` returns; rethrows any exception it threw.
+inline void run_with_stack(std::size_t stack_bytes,
+                           std::function<void()> fn) {
+  pthread_attr_t attr;
+  PWF_CHECK(pthread_attr_init(&attr) == 0);
+  PWF_CHECK(pthread_attr_setstacksize(&attr, stack_bytes) == 0);
+  detail::BigStackCall call{&fn, nullptr};
+  pthread_t tid;
+  PWF_CHECK(pthread_create(&tid, &attr, detail::bigstack_trampoline, &call) ==
+            0);
+  pthread_attr_destroy(&attr);
+  PWF_CHECK(pthread_join(tid, nullptr) == 0);
+  if (call.error) std::rethrow_exception(call.error);
+}
+
+inline constexpr std::size_t kBigStackBytes = std::size_t{512} << 20;
+
+// Convenience wrapper with the repo-wide default stack size.
+inline void run_big(std::function<void()> fn) {
+  run_with_stack(kBigStackBytes, std::move(fn));
+}
+
+}  // namespace pwf

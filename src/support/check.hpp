@@ -1,0 +1,36 @@
+// Lightweight invariant checking used across the pwf libraries.
+//
+// PWF_CHECK is always on (it guards data-structure invariants whose violation
+// would silently corrupt results); PWF_DCHECK compiles out in release builds
+// and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pwf {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "pwf: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pwf
+
+#define PWF_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::pwf::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PWF_CHECK_MSG(expr, msg)                               \
+  do {                                                         \
+    if (!(expr)) ::pwf::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PWF_DCHECK(expr) ((void)0)
+#else
+#define PWF_DCHECK(expr) PWF_CHECK(expr)
+#endif

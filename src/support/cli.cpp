@@ -1,0 +1,58 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace pwf {
+
+Cli::Cli(int argc, char** argv, std::map<std::string, std::string> known)
+    : values_(std::move(known)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    std::string name, value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0)
+        value = argv[++i];
+      else
+        value = "1";  // bare flag = boolean true
+    }
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "unknown flag --%s; known flags:", name.c_str());
+      for (const auto& [k, v] : values_)
+        std::fprintf(stderr, " --%s(=%s)", k.c_str(), v.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    it->second = value;
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(values_.at(name).c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(values_.at(name).c_str(), nullptr);
+}
+
+std::string Cli::get_str(const std::string& name) const {
+  return values_.at(name);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string& v = values_.at(name);
+  return v == "1" || v == "true" || v == "yes";
+}
+
+}  // namespace pwf

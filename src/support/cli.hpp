@@ -1,0 +1,28 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Flags look like --name=value or --name value. Unknown flags abort with a
+// usage message so that typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pwf {
+
+class Cli {
+ public:
+  // `known` maps flag name -> default value (as string).
+  Cli(int argc, char** argv,
+      std::map<std::string, std::string> known);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_str(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pwf

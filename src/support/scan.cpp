@@ -1,0 +1,34 @@
+#include "support/scan.hpp"
+
+#include "support/check.hpp"
+
+namespace pwf {
+
+std::uint64_t exclusive_scan_u64(std::span<const std::uint64_t> in,
+                                 std::span<std::uint64_t> out) {
+  PWF_CHECK(out.size() >= in.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::uint64_t x = in[i];
+    out[i] = acc;
+    acc += x;
+  }
+  return acc;
+}
+
+std::uint64_t inclusive_scan_u64(std::span<const std::uint64_t> in,
+                                 std::span<std::uint64_t> out) {
+  PWF_CHECK(out.size() >= in.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+  return acc;
+}
+
+std::uint64_t exclusive_scan_inplace(std::vector<std::uint64_t>& v) {
+  return exclusive_scan_u64(v, v);
+}
+
+}  // namespace pwf

@@ -1,0 +1,49 @@
+// Prefix-sum (scan) primitives.
+//
+// The paper's Section-4 runtime assumes an EREW PRAM extended with a
+// unit-time plus-scan, used to place reactivated threads back on the active
+// stack without concurrent writes. The simulator charges scans through these
+// helpers, and the workload generators use them for array_split.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pwf {
+
+// Exclusive plus-scan: out[i] = sum of in[0..i-1]; returns the total.
+std::uint64_t exclusive_scan_u64(std::span<const std::uint64_t> in,
+                                 std::span<std::uint64_t> out);
+
+// Inclusive plus-scan: out[i] = sum of in[0..i].
+std::uint64_t inclusive_scan_u64(std::span<const std::uint64_t> in,
+                                 std::span<std::uint64_t> out);
+
+// In-place exclusive scan over a vector; returns the total.
+std::uint64_t exclusive_scan_inplace(std::vector<std::uint64_t>& v);
+
+// Stable two-way partition driven by a flag vector, implemented with two
+// scans exactly as the paper describes for array_split ("executing two scans
+// to determine the final locations"). Elements with flags[i]==false come
+// first, preserving order within each class. Returns the number of false
+// entries (the split point).
+template <typename T>
+std::size_t scan_partition(std::span<const T> in, std::span<const bool> flags,
+                           std::span<T> out) {
+  const std::size_t n = in.size();
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!flags[i]) ++lo;
+  std::size_t next_lo = 0, next_hi = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!flags[i])
+      out[next_lo++] = in[i];
+    else
+      out[next_hi++] = in[i];
+  }
+  return lo;
+}
+
+}  // namespace pwf

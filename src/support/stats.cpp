@@ -1,0 +1,100 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pwf {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  PWF_CHECK(x.size() == y.size() && x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return f;
+  f.a = (n * sxy - sx * sy) / denom;
+  f.b = (sy - f.a * sx) / n;
+  const double ymean = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.a * x[i] + f.b;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ymean) * (y[i] - ymean);
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+ScaleFit fit_scale(std::span<const double> f, std::span<const double> y) {
+  PWF_CHECK(f.size() == y.size() && !f.empty());
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    num += f[i] * y[i];
+    den += f[i] * f[i];
+  }
+  ScaleFit out;
+  if (den == 0) return out;
+  out.a = num / den;
+  double ss = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (y[i] == 0) continue;
+    const double rel = (y[i] - out.a * f[i]) / y[i];
+    ss += rel * rel;
+    ++counted;
+  }
+  out.rel_rms =
+      counted ? std::sqrt(ss / static_cast<double>(counted)) : 0.0;
+  return out;
+}
+
+double lg(double x) { return x <= 1.0 ? 1.0 : std::log2(x); }
+
+ModelChoice best_model(
+    std::span<const double> y,
+    const std::vector<std::pair<std::string, std::vector<double>>>& models) {
+  PWF_CHECK(!models.empty());
+  ModelChoice best;
+  bool first = true;
+  for (const auto& [name, f] : models) {
+    PWF_CHECK(f.size() == y.size());
+    const ScaleFit sf = fit_scale(f, y);
+    if (first || sf.rel_rms < best.fit.rel_rms) {
+      best.name = name;
+      best.fit = sf;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace pwf

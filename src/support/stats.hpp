@@ -1,0 +1,62 @@
+// Summary statistics and model fitting for the experiment tables.
+//
+// The paper's bounds are asymptotic; EXPERIMENTS.md judges "shape" by fitting
+// measured depth/work against candidate models (lg n, lg n·lg m, lg n lglg n,
+// m·lg(n/m), ...) and comparing normalized residuals. These helpers provide
+// the mean/stddev aggregation over seeds and the least-squares machinery.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pwf {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Fit y ≈ a*x + b by ordinary least squares; r2 is the coefficient of
+// determination (1 = perfect linear relationship).
+struct LinearFit {
+  double a = 0;
+  double b = 0;
+  double r2 = 0;
+};
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+// Fit y ≈ a*f(x) through the origin (the natural form for "depth = c·lg n"
+// claims); returns the constant a and the relative RMS residual, i.e.
+// rms( (y - a f)/y ). Smaller residual = better model.
+struct ScaleFit {
+  double a = 0;
+  double rel_rms = 0;
+};
+
+ScaleFit fit_scale(std::span<const double> f, std::span<const double> y);
+
+// Convenience: base-2 logarithm that treats values <= 1 as 1 (so lg on tiny
+// sizes never produces zero/negative model values).
+double lg(double x);
+
+// Given candidate model columns (name, values per row), pick the model with
+// the smallest relative RMS residual against y. Used by the depth benches to
+// report which asymptotic curve the data follows.
+struct ModelChoice {
+  std::string name;
+  ScaleFit fit;
+};
+
+ModelChoice best_model(
+    std::span<const double> y,
+    const std::vector<std::pair<std::string, std::vector<double>>>& models);
+
+}  // namespace pwf

@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace pwf {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PWF_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto line = [&](char fill) {
+    std::fputc('+', out);
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc(fill, out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, " %*s |", static_cast<int>(widths[c]),
+                   row[c].c_str());
+    std::fputc('\n', out);
+  };
+
+  line('-');
+  print_row(headers_);
+  line('=');
+  for (const auto& row : rows_) print_row(row);
+  line('-');
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void print_banner(const char* experiment_id, const char* paper_ref,
+                  const char* claim) {
+  std::printf("\n=== %s — %s ===\n%s\n\n", experiment_id, paper_ref, claim);
+}
+
+}  // namespace pwf

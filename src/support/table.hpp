@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer used by every bench binary, so all the
+// EXPERIMENTS.md tables share one format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pwf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells are preformatted strings; helpers below format common types.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::FILE* out = stdout) const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a bench section banner: experiment id + paper reference + claim.
+void print_banner(const char* experiment_id, const char* paper_ref,
+                  const char* claim);
+
+}  // namespace pwf

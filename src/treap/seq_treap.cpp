@@ -1,0 +1,214 @@
+#include "treap/seq_treap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace pwf::treap {
+
+std::uint64_t SeqTreap::priority(Key k) const {
+  std::uint64_t x = static_cast<std::uint64_t>(k) ^ salt_;
+  return splitmix64(x);
+}
+
+void SeqTreap::split(Ptr t, Key k, Ptr& less, Ptr& equal, Ptr& greater) {
+  if (!t) {
+    less.reset();
+    equal.reset();
+    greater.reset();
+    return;
+  }
+  if (k < t->key) {
+    Ptr sub_greater;
+    split(std::move(t->left), k, less, equal, sub_greater);
+    t->left = std::move(sub_greater);
+    greater = std::move(t);
+  } else if (k > t->key) {
+    Ptr sub_less;
+    split(std::move(t->right), k, sub_less, equal, greater);
+    t->right = std::move(sub_less);
+    less = std::move(t);
+  } else {
+    less = std::move(t->left);
+    greater = std::move(t->right);
+    equal = std::move(t);
+    equal->left.reset();
+    equal->right.reset();
+  }
+}
+
+SeqTreap::Ptr SeqTreap::join(Ptr a, Ptr b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->pri >= b->pri) {
+    a->right = join(std::move(a->right), std::move(b));
+    return a;
+  }
+  b->left = join(std::move(a), std::move(b->left));
+  return b;
+}
+
+void SeqTreap::insert(Key k) {
+  Ptr less, equal, greater;
+  split(std::move(root_), k, less, equal, greater);
+  if (!equal) {
+    equal = std::make_unique<Node>(Node{k, priority(k), nullptr, nullptr});
+    ++size_;
+  }
+  root_ = join(join(std::move(less), std::move(equal)), std::move(greater));
+}
+
+bool SeqTreap::erase(Key k) {
+  Ptr less, equal, greater;
+  split(std::move(root_), k, less, equal, greater);
+  const bool present = equal != nullptr;
+  if (present) --size_;
+  root_ = join(std::move(less), std::move(greater));
+  return present;
+}
+
+bool SeqTreap::contains(Key k) const {
+  const Node* n = root_.get();
+  while (n) {
+    if (k < n->key)
+      n = n->left.get();
+    else if (k > n->key)
+      n = n->right.get();
+    else
+      return true;
+  }
+  return false;
+}
+
+SeqTreap::Ptr SeqTreap::unite_rec(Ptr a, Ptr b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->pri < b->pri) std::swap(a, b);
+  Ptr less, equal, greater;
+  split(std::move(b), a->key, less, equal, greater);
+  a->left = unite_rec(std::move(a->left), std::move(less));
+  a->right = unite_rec(std::move(a->right), std::move(greater));
+  return a;
+}
+
+SeqTreap::Ptr SeqTreap::subtract_rec(Ptr a, Ptr b) {
+  if (!a || !b) return a;
+  Ptr less, equal, greater;
+  const Key k = a->key;
+  split(std::move(b), k, less, equal, greater);
+  Ptr dl = subtract_rec(std::move(a->left), std::move(less));
+  Ptr dr = subtract_rec(std::move(a->right), std::move(greater));
+  if (equal) return join(std::move(dl), std::move(dr));
+  a->left = std::move(dl);
+  a->right = std::move(dr);
+  return a;
+}
+
+void SeqTreap::recount() {
+  std::size_t n = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* x = stack.back();
+    stack.pop_back();
+    ++n;
+    if (x->left) stack.push_back(x->left.get());
+    if (x->right) stack.push_back(x->right.get());
+  }
+  size_ = n;
+}
+
+SeqTreap::Ptr SeqTreap::intersect_rec(Ptr a, Ptr b) {
+  if (!a || !b) return nullptr;
+  if (a->pri < b->pri) std::swap(a, b);
+  Ptr less, equal, greater;
+  split(std::move(b), a->key, less, equal, greater);
+  Ptr il = intersect_rec(std::move(a->left), std::move(less));
+  Ptr ir = intersect_rec(std::move(a->right), std::move(greater));
+  if (equal) {
+    a->left = std::move(il);
+    a->right = std::move(ir);
+    return a;
+  }
+  return join(std::move(il), std::move(ir));
+}
+
+void SeqTreap::unite(SeqTreap&& other) {
+  PWF_CHECK_MSG(salt_ == other.salt_,
+                "uniting treaps with different priority salts");
+  root_ = unite_rec(std::move(root_), std::move(other.root_));
+  other.size_ = 0;
+  recount();  // duplicates were dropped
+}
+
+void SeqTreap::subtract(SeqTreap&& other) {
+  PWF_CHECK_MSG(salt_ == other.salt_,
+                "subtracting treaps with different priority salts");
+  root_ = subtract_rec(std::move(root_), std::move(other.root_));
+  other.size_ = 0;
+  recount();
+}
+
+void SeqTreap::intersect(SeqTreap&& other) {
+  PWF_CHECK_MSG(salt_ == other.salt_,
+                "intersecting treaps with different priority salts");
+  root_ = intersect_rec(std::move(root_), std::move(other.root_));
+  other.size_ = 0;
+  recount();
+}
+
+std::vector<SeqTreap::Key> SeqTreap::keys() const {
+  std::vector<Key> out;
+  out.reserve(size_);
+  // Iterative in-order traversal (trees can be deep before balancing luck).
+  std::vector<const Node*> stack;
+  const Node* cur = root_.get();
+  while (cur || !stack.empty()) {
+    while (cur) {
+      stack.push_back(cur);
+      cur = cur->left.get();
+    }
+    cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur->key);
+    cur = cur->right.get();
+  }
+  return out;
+}
+
+
+int SeqTreap::height() const {
+  struct H {
+    static int of(const Node* n) {
+      if (!n) return 0;
+      return 1 + std::max(of(n->left.get()), of(n->right.get()));
+    }
+  };
+  return H::of(root_.get());
+}
+
+bool SeqTreap::validate() const {
+  struct V {
+    static bool ok(const Node* n, const Key* lo, const Key* hi,
+                   std::uint64_t max_pri) {
+      if (!n) return true;
+      if (lo && n->key <= *lo) return false;
+      if (hi && n->key >= *hi) return false;
+      if (n->pri > max_pri) return false;
+      return ok(n->left.get(), lo, &n->key, n->pri) &&
+             ok(n->right.get(), &n->key, hi, n->pri);
+    }
+  };
+  return V::ok(root_.get(), nullptr, nullptr,
+               std::numeric_limits<std::uint64_t>::max());
+}
+
+SeqTreap SeqTreap::from_keys(std::span<const Key> keys, std::uint64_t salt) {
+  SeqTreap t(salt);
+  for (Key k : keys) t.insert(k);
+  return t;
+}
+
+}  // namespace pwf::treap

@@ -1,0 +1,64 @@
+// A self-contained sequential treap — deliberately implemented independently
+// of the cost-model treap (different memory management, different recursion
+// structure) so tests can use it as a differential oracle, and examples can
+// use it as the "what you'd write without the paper" comparison point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace pwf::treap {
+
+class SeqTreap {
+ public:
+  using Key = std::int64_t;
+
+  explicit SeqTreap(std::uint64_t salt = 0x9e3779b97f4a7c15ULL)
+      : salt_(salt) {}
+
+  SeqTreap(SeqTreap&&) noexcept = default;
+  SeqTreap& operator=(SeqTreap&&) noexcept = default;
+
+  void insert(Key k);
+  bool erase(Key k);  // true if the key was present
+  bool contains(Key k) const;
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Set operations; all consume `other` (the paper's ops are linear).
+  void unite(SeqTreap&& other);
+  void subtract(SeqTreap&& other);
+  void intersect(SeqTreap&& other);
+
+  std::vector<Key> keys() const;  // in-order
+  int height() const;
+  bool validate() const;  // BST + heap invariants
+
+  static SeqTreap from_keys(std::span<const Key> keys,
+                            std::uint64_t salt = 0x9e3779b97f4a7c15ULL);
+
+ private:
+  struct Node {
+    Key key;
+    std::uint64_t pri;
+    std::unique_ptr<Node> left, right;
+  };
+  using Ptr = std::unique_ptr<Node>;
+
+  std::uint64_t priority(Key k) const;
+  static Ptr join(Ptr a, Ptr b);
+  // Splits by k into (<k, ==k, >k).
+  static void split(Ptr t, Key k, Ptr& less, Ptr& equal, Ptr& greater);
+  static Ptr unite_rec(Ptr a, Ptr b);
+  static Ptr subtract_rec(Ptr a, Ptr b);
+  static Ptr intersect_rec(Ptr a, Ptr b);
+  void recount();
+
+  std::uint64_t salt_;
+  Ptr root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwf::treap

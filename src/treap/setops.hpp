@@ -1,0 +1,83 @@
+// Sections 3.2–3.3: pipelined treap union and difference.
+//
+// Both are *dynamic* pipelines — the delay before a split result's root
+// appears depends on the input data — which is what makes them "particularly
+// difficult to pipeline by hand" (the paper knows of no prior PRAM algorithm
+// with a dynamic pipeline). With futures the code below is just the obvious
+// sequential recursion plus forks.
+//
+// Pipelined versions (cost model, Figures 4 and 7):
+//   union_into / diff_into     expected depth O(lg n + lg m)
+//                              union expected work O(m lg(n/m))
+// Strict fork-join baselines:
+//   union_strict / diff_strict expected depth O(lg n · lg m)
+//                              (diff worse still because of the joins)
+#pragma once
+
+#include <utility>
+
+#include "treap/treap.hpp"
+
+namespace pwf::treap {
+
+// ---- pipelined (futures) versions ------------------------------------------
+
+// splitm (Figure 4): splits the available treap rooted at `t` by key `s`.
+// Keys < s are published progressively under *outL, keys > s under *outR; a
+// node with key == s is excluded from both and, when outEq != nullptr,
+// delivered through it (nullptr if s was absent). outEq is written only when
+// the traversal terminates — the "splitm completes as soon as it finds the
+// splitter" behaviour diff depends on.
+void splitm_from(Store& st, Key s, Node* t, TreapCell* outL, TreapCell* outR,
+                 cm::Cell<Node*>* outEq);
+
+// Pipelined union (Figure 4): keys of both treaps, duplicates removed, heap
+// and BST order restored. Consumes both inputs.
+void union_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out);
+TreapCell* union_treaps(Store& st, TreapCell* a, TreapCell* b);
+
+// join (Figure 7 helper): every key of `t1` less than every key of `t2`;
+// interleaves the right spine of t1 with the left spine of t2 by priority.
+// Runs in the calling thread, publishing progressively.
+void join_from(Store& st, Node* t1, Node* t2, TreapCell* out);
+
+// Pipelined difference (Figure 7): keys of `a` not present in `b`.
+void diff_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out);
+TreapCell* diff_treaps(Store& st, TreapCell* a, TreapCell* b);
+
+// Pipelined intersection (extension; the third set operation from the
+// authors' companion paper "Fast set operations using treaps" [11]): keys
+// present in both treaps. Structurally the dual of difference — the root
+// survives exactly when splitm *finds* it — so it exercises the same
+// dynamic ascending pipeline (joins after the recursion) on the opposite
+// branch. Expected depth O(lg n + lg m), work O(m lg(n/m)).
+void intersect_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out);
+TreapCell* intersect_treaps(Store& st, TreapCell* a, TreapCell* b);
+
+// ---- strict (non-pipelined) baselines ---------------------------------------
+
+// Sequential splitm returning complete trees (+ the equal node if present).
+struct StrictSplit {
+  Node* less = nullptr;
+  Node* greater = nullptr;
+  Node* equal = nullptr;
+};
+StrictSplit splitm_strict(Store& st, Key s, Node* t);
+
+Node* join_strict(Store& st, Node* t1, Node* t2);
+
+// Fork-join union/difference: splitm runs to completion, then the two
+// recursive calls run in parallel.
+Node* union_strict(Store& st, Node* a, Node* b);
+Node* diff_strict(Store& st, Node* a, Node* b);
+Node* intersect_strict(Store& st, Node* a, Node* b);
+
+// ---- bulk-update wrappers -----------------------------------------------------
+
+// The paper: union "can be used to insert a set of keys into a treap" and
+// difference "can be used to delete a set of keys". These wrappers build the
+// key-set treap (input data) and run the pipelined operation.
+TreapCell* insert_keys(Store& st, TreapCell* t, std::span<const Key> keys);
+TreapCell* erase_keys(Store& st, TreapCell* t, std::span<const Key> keys);
+
+}  // namespace pwf::treap

@@ -1,0 +1,57 @@
+// Section 3.1: merging two in-order binary search trees.
+//
+// Three implementations share the Store/Node representation:
+//   * merge()         — the pipelined futures version (Figure 3 of the
+//                       paper). Depth O(lg n + lg m), work O(m lg(n/m)) for
+//                       balanced inputs (Theorem 3.1).
+//   * merge_strict()  — the non-pipelined baseline the paper compares
+//                       against: sequential split, then the two recursive
+//                       merges fork-joined. Depth O(lg n · lg m).
+//   * merge_reference() — plain std::merge over key vectors, used by tests
+//                       as an independent oracle.
+//
+// Keys within each input must be unique and in-order; keys may be shared
+// across the two inputs (both copies are kept, as in the paper's merge —
+// duplicate *removal* is what distinguishes treap union in Section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "trees/tree.hpp"
+
+namespace pwf::trees {
+
+// ---- pipelined (futures) version -------------------------------------------
+
+// Splits the available tree rooted at `t` by key `s` into keys < s (written
+// progressively under *outL) and keys >= s (under *outR). Runs in the calling
+// thread; fork it for the paper's semantics. Destination cells are write
+// pointers threaded down the traversal, so each result root is published the
+// moment the traversal decides it — this is what makes downstream consumers
+// able to run ahead.
+void split_from(Store& st, Key s, Node* t, TreeCell* outL, TreeCell* outR);
+
+// Pipelined merge of the trees in cells `a` and `b` into `out`. Forks one
+// split thread and two recursive merge threads per node, exactly mirroring
+//   Node(v, ?merge(L1, L2), ?merge(R1, R2))  with  (L2, R2) = ?split(v, B).
+void merge_into(Store& st, TreeCell* a, TreeCell* b, TreeCell* out);
+
+// Top-level convenience: forks merge_into and returns the result cell.
+TreeCell* merge(Store& st, TreeCell* a, TreeCell* b);
+
+// ---- strict (non-pipelined) baseline ---------------------------------------
+
+// Sequential split: the whole result is available when it returns.
+std::pair<Node*, Node*> split_strict(Store& st, Key s, Node* t);
+
+// Fork-join merge: split runs to completion, then the two submerges run in
+// parallel (the paper's "natural implementation ... O(lg^2 n) time").
+Node* merge_strict(Store& st, Node* a, Node* b);
+
+// ---- oracle -----------------------------------------------------------------
+
+// In-order merge of the key sequences (independent of the tree code paths).
+std::vector<Key> merge_reference(const std::vector<Key>& a,
+                                 const std::vector<Key>& b);
+
+}  // namespace pwf::trees

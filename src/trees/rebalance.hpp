@@ -1,0 +1,37 @@
+// Section 3.1 extension: rebalancing the (possibly unbalanced) merge result.
+//
+// The paper sketches a three-phase pipeline: (1) a pass computing subtree
+// sizes, (2) ranks, (3) a pipelined rebalance analogous to merge that splits
+// by *rank* instead of by key and uses the node of median rank as each root.
+// Total: O(lg n + lg m) depth and O(n + m) work, producing a tree of height
+// <= ceil(lg(size+1)).
+//
+// We fold phases (1) and (2) together: measure() builds a fresh
+// size-annotated copy (fork-join, O(n) work, O(h) depth — the copy also
+// keeps the computation linear: the merge output cells are read exactly
+// once, here), storing each node's left-subtree size for rank navigation.
+// rebalance() then runs the pipelined rank-split recursion.
+#pragma once
+
+#include "trees/tree.hpp"
+
+namespace pwf::trees {
+
+// Phase 1+2: size-annotated copy of the tree in `t` (consumes its cells).
+Node* measure(Store& st, TreeCell* t);
+
+// Rank split of the available size-annotated tree rooted at `t`: nodes of
+// rank < r under *outL, the node of rank r into *outMid, ranks > r under
+// *outR. Published progressively (write-pointer style), like split_from.
+void splitr_from(Store& st, std::uint64_t r, Node* t, TreeCell* outL,
+                 cm::Cell<Node*>* outMid, TreeCell* outR);
+
+// Pipelined rebalance of the size-annotated tree in `tree` (with `size`
+// nodes) into `out`.
+void rebalance_into(Store& st, TreeCell* tree, std::uint64_t size,
+                    TreeCell* out);
+
+// Convenience: measure + rebalance. Returns the result cell.
+TreeCell* rebalance(Store& st, TreeCell* tree);
+
+}  // namespace pwf::trees

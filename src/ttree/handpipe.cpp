@@ -1,0 +1,345 @@
+#include "ttree/handpipe.hpp"
+
+#include <algorithm>
+
+#include "ttree/insert.hpp"  // level_arrays
+
+namespace pwf::ttree::handpipe {
+
+namespace {
+
+std::uint64_t capacity(int h, int fanout) {
+  std::uint64_t x = 1;
+  for (int i = 0; i < h; ++i) x *= fanout;
+  return x - 1;
+}
+
+bool needs_split(const HNode* n) {
+  return n->leaf ? n->nkeys > 2 : n->nchildren() > 3;
+}
+
+std::pair<std::span<const Key>, std::span<const Key>> array_split(
+    std::span<const Key> keys, Key s) {
+  const auto lo = std::lower_bound(keys.begin(), keys.end(), s);
+  const std::size_t i = static_cast<std::size_t>(lo - keys.begin());
+  std::size_t j = i;
+  if (j < keys.size() && keys[j] == s) ++j;  // drop duplicates of members
+  return {keys.subspan(0, i), keys.subspan(j)};
+}
+
+}  // namespace
+
+HNode* HandPipeline::make_leaf(std::span<const Key> keys) {
+  PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
+  HNode* n = arena_.create<HNode>();
+  n->leaf = true;
+  n->nkeys = static_cast<std::uint8_t>(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
+  return n;
+}
+
+HNode* HandPipeline::make_internal(std::span<const Key> keys,
+                                   std::span<HNode* const> children) {
+  PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
+  PWF_CHECK(children.size() == keys.size() + 1);
+  HNode* n = arena_.create<HNode>();
+  n->leaf = false;
+  n->nkeys = static_cast<std::uint8_t>(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
+  for (std::size_t i = 0; i < children.size(); ++i) n->child[i] = children[i];
+  return n;
+}
+
+HNode* HandPipeline::build(std::span<const Key> sorted, int fanout) {
+  PWF_CHECK(fanout >= 3 && fanout <= kMaxChildren);
+  if (sorted.empty()) return nullptr;
+  int h = 1;
+  while (capacity(h, fanout) < sorted.size()) ++h;
+  struct Rec {
+    HandPipeline& hp;
+    int fanout;
+    HNode* go(std::span<const Key> keys, int height) {
+      if (height == 1) return hp.make_leaf(keys);
+      const std::uint64_t n = keys.size();
+      const std::uint64_t child_cap = capacity(height - 1, fanout);
+      int f = 2;
+      while (f < fanout && static_cast<std::uint64_t>(f) - 1 +
+                                   static_cast<std::uint64_t>(f) * child_cap <
+                               n)
+        ++f;
+      const std::uint64_t child_total =
+          n - (static_cast<std::uint64_t>(f) - 1);
+      std::vector<Key> seps;
+      std::vector<HNode*> children;
+      std::size_t pos = 0;
+      for (int i = 0; i < f; ++i) {
+        const std::uint64_t take =
+            child_total / f +
+            (static_cast<std::uint64_t>(i) < child_total % f ? 1 : 0);
+        children.push_back(go(keys.subspan(pos, take), height - 1));
+        pos += take;
+        if (i + 1 < f) seps.push_back(keys[pos++]);
+      }
+      return hp.make_internal(seps, children);
+    }
+  };
+  return Rec{*this, fanout}.go(sorted, h);
+}
+
+void HandPipeline::step_task(const Task& task, std::vector<Task>& next,
+                             std::uint64_t* work) {
+  const HNode* t = task.src;
+  const std::span<const Key> keys = task.keys;
+  PWF_CHECK(!keys.empty());
+  *work += keys.size() + t->nkeys;
+
+  if (t->leaf) {
+    Key merged[kMaxKeys];
+    std::span<const Key> old{t->keys, static_cast<std::size_t>(t->nkeys)};
+    std::size_t n = 0, i = 0, j = 0;
+    while (i < old.size() || j < keys.size()) {
+      Key k;
+      if (j == keys.size() || (i < old.size() && old[i] <= keys[j])) {
+        k = old[i++];
+        if (j < keys.size() && k == keys[j]) ++j;
+      } else {
+        k = keys[j++];
+      }
+      PWF_CHECK_MSG(n < kMaxKeys,
+                    "leaf overflow: key array was not well separated");
+      merged[n++] = k;
+    }
+    *task.dest = make_leaf({merged, n});
+    return;
+  }
+
+  // Rebuild this node: route key ranges to children, pre-splitting any
+  // child that is not a 2-3 node (its node — one level down in the previous
+  // wave's tree — is ready by the tick schedule's staggering argument).
+  Key out_keys[kMaxKeys];
+  HNode* out_child[kMaxChildren];
+  int nk = 0, nc = 0;
+  auto add_key = [&](Key k) {
+    PWF_CHECK(nk < kMaxKeys);
+    out_keys[nk++] = k;
+  };
+  auto add_child = [&](HNode* c) {
+    PWF_CHECK(nc < kMaxChildren);
+    out_child[nc++] = c;
+  };
+  // Placeholder slots to be filled by the enqueued child tasks.
+  struct Pending {
+    const HNode* src;
+    std::span<const Key> keys;
+    int slot;
+  };
+  std::vector<Pending> pending;
+
+  std::span<const Key> rest = keys;
+  for (int i = 0; i <= t->nkeys; ++i) {
+    std::span<const Key> part;
+    if (i < t->nkeys) {
+      auto [lo, hi] = array_split(rest, t->keys[i]);
+      part = lo;
+      rest = hi;
+    } else {
+      part = rest;
+    }
+    if (part.empty()) {
+      add_child(t->child[i]);
+    } else {
+      const HNode* c = t->child[i];
+      if (!needs_split(c)) {
+        pending.push_back({c, part, nc});
+        add_child(nullptr);
+      } else {
+        // Split around the middle splitter; the halves reference c's child
+        // pointers, which the previous wave has already filled.
+        if (c->leaf) {
+          const int lk = c->nkeys / 2;
+          HNode* cl = make_leaf({c->keys, static_cast<std::size_t>(lk)});
+          HNode* cr = make_leaf(
+              {c->keys + lk + 1, static_cast<std::size_t>(c->nkeys - lk - 1)});
+          const Key sep = c->keys[lk];
+          auto [a1, a2] = array_split(part, sep);
+          if (a1.empty()) {
+            add_child(cl);
+          } else {
+            pending.push_back({cl, a1, nc});
+            add_child(nullptr);
+          }
+          add_key(sep);
+          if (a2.empty()) {
+            add_child(cr);
+          } else {
+            pending.push_back({cr, a2, nc});
+            add_child(nullptr);
+          }
+        } else {
+          const int ncc = c->nchildren();
+          const int lc = ncc / 2;
+          HNode* cl =
+              make_internal({c->keys, static_cast<std::size_t>(lc - 1)},
+                            {c->child, static_cast<std::size_t>(lc)});
+          HNode* cr = make_internal(
+              {c->keys + lc, static_cast<std::size_t>(c->nkeys - lc)},
+              {c->child + lc, static_cast<std::size_t>(ncc - lc)});
+          const Key sep = c->keys[lc - 1];
+          auto [a1, a2] = array_split(part, sep);
+          if (a1.empty()) {
+            add_child(cl);
+          } else {
+            pending.push_back({cl, a1, nc});
+            add_child(nullptr);
+          }
+          add_key(sep);
+          if (a2.empty()) {
+            add_child(cr);
+          } else {
+            pending.push_back({cr, a2, nc});
+            add_child(nullptr);
+          }
+        }
+      }
+    }
+    if (i < t->nkeys) add_key(t->keys[i]);
+  }
+
+  HNode* nt = make_internal({out_keys, static_cast<std::size_t>(nk)},
+                            {out_child, static_cast<std::size_t>(nc)});
+  for (const Pending& p : pending)
+    next.push_back({p.src, p.keys, &nt->child[p.slot]});
+  *task.dest = nt;
+}
+
+HNode* HandPipeline::bulk_insert(HNode* root, std::span<const Key> sorted,
+                                 Stats* stats) {
+  PWF_CHECK_MSG(root != nullptr, "bulk insert requires a nonempty tree");
+  Stats local;
+  if (sorted.empty()) {
+    if (stats) *stats = local;
+    return root;
+  }
+
+  // Stage the well-separated waves; wave w launches at tick kDelta * w.
+  constexpr std::uint64_t kDelta = 2;
+  std::vector<std::span<const Key>> waves;
+  for (auto& level : ttree::level_arrays(sorted)) {
+    held_.push_back(std::move(level));
+    waves.push_back(held_.back());
+  }
+  local.waves = waves.size();
+
+  std::vector<std::vector<Task>> frontier(waves.size());
+  std::vector<HNode*> roots(waves.size(), nullptr);
+  std::size_t started = 0;
+  std::size_t finished = 0;
+
+  for (std::uint64_t tick = 0; finished < waves.size(); ++tick) {
+    // Launch the next wave when its slot in the stagger arrives. Its source
+    // root (the previous wave's output root) exists: wave w-1 produced it
+    // kDelta ticks ago.
+    if (started < waves.size() && tick == kDelta * started) {
+      const HNode* src_root = started == 0 ? root : roots[started - 1];
+      // Root handling: split a non-2-3 root, growing the tree one level.
+      if (needs_split(src_root)) {
+        HNode* grown = nullptr;
+        if (src_root->leaf) {
+          const int lk = src_root->nkeys / 2;
+          HNode* cl =
+              make_leaf({src_root->keys, static_cast<std::size_t>(lk)});
+          HNode* cr = make_leaf({src_root->keys + lk + 1,
+                                 static_cast<std::size_t>(src_root->nkeys -
+                                                          lk - 1)});
+          Key sep[1] = {src_root->keys[lk]};
+          HNode* ch[2] = {cl, cr};
+          grown = make_internal(sep, ch);
+        } else {
+          const int ncc = src_root->nchildren();
+          const int lc = ncc / 2;
+          HNode* cl = make_internal(
+              {src_root->keys, static_cast<std::size_t>(lc - 1)},
+              {src_root->child, static_cast<std::size_t>(lc)});
+          HNode* cr = make_internal(
+              {src_root->keys + lc,
+               static_cast<std::size_t>(src_root->nkeys - lc)},
+              {src_root->child + lc, static_cast<std::size_t>(ncc - lc)});
+          Key sep[1] = {src_root->keys[lc - 1]};
+          HNode* ch[2] = {cl, cr};
+          grown = make_internal(sep, ch);
+        }
+        src_root = grown;
+      }
+      frontier[started].push_back(
+          {src_root, waves[started], &roots[started]});
+      ++started;
+    }
+
+    // One synchronous step: every active wave advances one level.
+    std::uint64_t width = 0;
+    for (std::size_t w = 0; w < started; ++w) {
+      if (frontier[w].empty()) continue;
+      width += frontier[w].size();
+      std::vector<Task> next;
+      for (const Task& task : frontier[w])
+        step_task(task, next, &local.work);
+      frontier[w] = std::move(next);
+      if (frontier[w].empty()) ++finished;
+    }
+    local.max_frontier = std::max(local.max_frontier, width);
+    ++local.ticks;
+  }
+
+  if (stats) *stats = local;
+  return roots.back();
+}
+
+bool HandPipeline::validate(const HNode* root) {
+  struct V {
+    static int rec(const HNode* n, const Key* lo, const Key* hi) {
+      if (n == nullptr) return -1;
+      if (n->nkeys < 1 || n->nkeys > kMaxKeys) return -1;
+      for (int i = 0; i < n->nkeys; ++i) {
+        if (lo && n->keys[i] <= *lo) return -1;
+        if (hi && n->keys[i] >= *hi) return -1;
+        if (i > 0 && n->keys[i] <= n->keys[i - 1]) return -1;
+      }
+      if (n->leaf) return 1;
+      int depth = -2;
+      for (int i = 0; i <= n->nkeys; ++i) {
+        const Key* clo = i == 0 ? lo : &n->keys[i - 1];
+        const Key* chi = i == n->nkeys ? hi : &n->keys[i];
+        const int d = rec(n->child[i], clo, chi);
+        if (d < 0) return -1;
+        if (depth == -2)
+          depth = d;
+        else if (d != depth)
+          return -1;
+      }
+      return depth + 1;
+    }
+  };
+  if (root == nullptr) return true;
+  return V::rec(root, nullptr, nullptr) > 0;
+}
+
+void HandPipeline::collect_keys(const HNode* root, std::vector<Key>& out) {
+  if (root == nullptr) return;
+  if (root->leaf) {
+    for (int i = 0; i < root->nkeys; ++i) out.push_back(root->keys[i]);
+    return;
+  }
+  for (int i = 0; i < root->nkeys; ++i) {
+    collect_keys(root->child[i], out);
+    out.push_back(root->keys[i]);
+  }
+  collect_keys(root->child[root->nkeys], out);
+}
+
+int HandPipeline::height(const HNode* root) {
+  if (root == nullptr) return 0;
+  if (root->leaf) return 1;
+  return 1 + height(root->child[0]);
+}
+
+}  // namespace pwf::ttree::handpipe

@@ -1,0 +1,84 @@
+// Hand-managed synchronous pipeline for 2-6 tree bulk insertion — the
+// PVW-style baseline the paper argues futures make unnecessary.
+//
+// Where the futures version (insert.hpp) is the plain recursion with `?`
+// annotations and lets the runtime discover that wave i+1 can run two
+// levels behind wave i, this implementation *schedules the pipeline by
+// hand*: it keeps an explicit frontier of tasks per wave and advances every
+// active wave one tree level per global tick, wave w entering level l at
+// tick 2w + l. The readiness argument (why wave w may touch level-l and
+// level-(l+1) nodes of wave w-1's output at that tick) has to be made by
+// the programmer — precisely the bookkeeping the paper's Sections 1 and 5
+// call "quite cumbersome".
+//
+// It exists (a) as an executable demonstration of that contrast, and (b) as
+// an independent oracle: it must produce the same tree contents and a tick
+// count ~ 2 lg m + height, matching the futures version's depth shape.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/check.hpp"
+#include "ttree/ttree.hpp"
+
+namespace pwf::ttree::handpipe {
+
+using Key = ttree::Key;
+
+// Plain 2-6 nodes — no future cells; synchronization is the tick schedule.
+struct HNode {
+  std::uint8_t nkeys = 0;
+  bool leaf = true;
+  Key keys[kMaxKeys] = {};
+  HNode* child[kMaxChildren] = {};
+
+  int nchildren() const { return leaf ? 0 : nkeys + 1; }
+};
+
+struct Stats {
+  std::uint64_t ticks = 0;        // synchronous pipeline steps
+  std::uint64_t work = 0;         // total per-task key operations
+  std::uint64_t max_frontier = 0; // peak simultaneous tasks (PRAM width)
+  std::uint64_t waves = 0;
+};
+
+class HandPipeline {
+ public:
+  HandPipeline() = default;
+
+  // Builds the initial tree (same shape rules as ttree::Store::build).
+  HNode* build(std::span<const Key> sorted, int fanout = 3);
+
+  // Inserts the sorted key set through the hand-scheduled wavefront
+  // pipeline; returns the new root and fills `stats`.
+  HNode* bulk_insert(HNode* root, std::span<const Key> sorted, Stats* stats);
+
+  // Validation / extraction on HNodes.
+  static bool validate(const HNode* root);
+  static void collect_keys(const HNode* root, std::vector<Key>& out);
+  static int height(const HNode* root);
+
+ private:
+  struct Task {
+    const HNode* src;           // node of the previous wave's tree
+    std::span<const Key> keys;  // nonempty, well separated
+    HNode** dest;               // where the rebuilt node must be linked
+  };
+
+  HNode* make_leaf(std::span<const Key> keys);
+  HNode* make_internal(std::span<const Key> keys,
+                       std::span<HNode* const> children);
+
+  // Advances one task by one level: rebuilds `src` with the keys routed
+  // into it and enqueues child tasks on `next`.
+  void step_task(const Task& task, std::vector<Task>& next,
+                 std::uint64_t* work);
+
+  Arena arena_{1 << 18};
+  std::vector<std::vector<Key>> held_;
+};
+
+}  // namespace pwf::ttree::handpipe

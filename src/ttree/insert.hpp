@@ -1,0 +1,42 @@
+// Section 3.4: inserting a sorted set of keys into a 2-6 tree.
+//
+// The driver decomposes the m sorted keys into lg m *well-separated* level
+// arrays (median; quartiles; octiles; ...) — each array's adjacent keys are
+// separated by a previously inserted key — and inserts them as successive
+// waves. A wave publishes its new root in O(1) (keys known, children still
+// futures), so wave i+1 runs one or two levels behind wave i down the tree:
+// the paper's synchronous pipeline, obtained "by simply making the recursive
+// call ... return a future".
+//
+//   bulk_insert        pipelined: depth O(lg n + lg m), work O(m lg n)
+//   bulk_insert_strict waves fork-join internally and run one after the
+//                      other: depth O(lg n · lg m) (Theorem 3.13 baseline)
+//
+// Duplicate keys (already present in the tree) are dropped — set semantics.
+#pragma once
+
+#include "ttree/ttree.hpp"
+
+namespace pwf::ttree {
+
+// Level decomposition of a sorted, duplicate-free key array: level 0 = the
+// median, level 1 = first and third quartiles, etc. Each level, given that
+// all previous levels were inserted, is well separated.
+std::vector<std::vector<Key>> level_arrays(std::span<const Key> sorted);
+
+// One pipelined wave: inserts the well-separated sorted `keys` into the tree
+// in `root`, publishing the new tree under *out. Fork it.
+void insert_wave(Store& st, TCell* root, std::span<const Key> keys,
+                 TCell* out);
+
+// Full pipelined bulk insert into a nonempty tree. Returns the final root
+// cell (each wave's result cell feeds the next wave).
+TCell* bulk_insert(Store& st, TCell* root, std::span<const Key> sorted);
+
+// Strict baseline: each wave is a fork-join computation returning a complete
+// tree; waves run back-to-back with no overlap.
+TNode* insert_wave_strict(Store& st, TNode* root, std::span<const Key> keys);
+TNode* bulk_insert_strict(Store& st, TNode* root,
+                          std::span<const Key> sorted);
+
+}  // namespace pwf::ttree

@@ -1,0 +1,309 @@
+// Tests for the classic futures programs: Figure 1 producer/consumer,
+// Figure 2 quicksort (and the paper's claim that it gains no asymptotic
+// depth from pipelining), and the Section 5 mergesort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algos/mergesort.hpp"
+#include "algos/producer_consumer.hpp"
+#include "algos/quicksort.hpp"
+#include "support/bigstack.hpp"
+#include "support/random.hpp"
+
+namespace pwf::algos {
+namespace {
+
+// ---- list plumbing -------------------------------------------------------------
+
+TEST(List, InputListRoundTrips) {
+  cm::Engine eng;
+  ListStore st(eng);
+  std::vector<Value> v{3, 1, 4, 1, 5};
+  EXPECT_EQ(peek_list(st.input_list(v)), v);
+  EXPECT_TRUE(peek_list(st.input_list({})).empty());
+}
+
+// ---- producer / consumer --------------------------------------------------------
+
+TEST(ProducerConsumer, SumsCorrectly) {
+  cm::Engine eng;
+  ListStore st(eng);
+  const auto r = produce_consume(st, 100);
+  EXPECT_EQ(r.sum, 100 * 101 / 2);
+}
+
+TEST(ProducerConsumer, ZeroAndNegative) {
+  {
+    cm::Engine eng;
+    ListStore st(eng);
+    EXPECT_EQ(produce_consume(st, 0).sum, 0);
+  }
+  {
+    cm::Engine eng;
+    ListStore st(eng);
+    EXPECT_EQ(produce_consume(st, -1).sum, 0);  // empty list
+  }
+}
+
+TEST(ProducerConsumer, PipelinedConsumerFinishesWithProducer) {
+  run_big([] {
+    cm::Engine eng;
+    ListStore st(eng);
+    const auto r = produce_consume(st, 20000);
+    // Pipelined: the consumer trails the producer by O(1), so it finishes
+    // essentially when the producer does.
+    EXPECT_LT(static_cast<double>(r.consume_done),
+              1.2 * static_cast<double>(r.produce_done));
+  });
+}
+
+TEST(ProducerConsumer, StrictConsumerWaitsForWholeList) {
+  run_big([] {
+    cm::Engine eng;
+    ListStore st(eng);
+    const auto r = produce_consume_strict(st, 20000);
+    EXPECT_EQ(r.sum, 20000LL * 20001 / 2);
+    // Strict: consumption adds its full Θ(n) chain after production.
+    EXPECT_GT(static_cast<double>(r.consume_done),
+              1.4 * static_cast<double>(r.produce_done));
+  });
+}
+
+TEST(ProducerConsumer, PipelinedBeatsStrictTotalDepth) {
+  run_big([] {
+    double piped, strict;
+    {
+      cm::Engine eng;
+      ListStore st(eng);
+      produce_consume(st, 30000);
+      piped = static_cast<double>(eng.depth());
+    }
+    {
+      cm::Engine eng;
+      ListStore st(eng);
+      produce_consume_strict(st, 30000);
+      strict = static_cast<double>(eng.depth());
+    }
+    EXPECT_GT(strict, 2.0 * piped);
+  });
+}
+
+// ---- quicksort -------------------------------------------------------------------
+
+class QuicksortCase
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(QuicksortCase, SortsRandomInput) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<Value> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.range(-1000, 1000));
+  std::vector<Value> expected = v;
+  std::sort(expected.begin(), expected.end());
+  run_big([&] {
+    cm::Engine eng;
+    ListStore st(eng);
+    EXPECT_EQ(peek_list(quicksort(st, v)), expected);
+    EXPECT_EQ(eng.nonlinear_reads(), 0u);
+  });
+  run_big([&] {
+    cm::Engine eng;
+    ListStore st(eng);
+    EXPECT_EQ(peek_list(quicksort_strict(st, v)), expected);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QuicksortCase,
+    ::testing::Values(std::pair<std::size_t, std::uint64_t>{0, 1},
+                      std::pair<std::size_t, std::uint64_t>{1, 2},
+                      std::pair<std::size_t, std::uint64_t>{2, 3},
+                      std::pair<std::size_t, std::uint64_t>{100, 4},
+                      std::pair<std::size_t, std::uint64_t>{1000, 5},
+                      std::pair<std::size_t, std::uint64_t>{10000, 6}));
+
+TEST(Quicksort, SortedAndReverseInputs) {
+  std::vector<Value> asc, desc;
+  for (Value i = 0; i < 2000; ++i) asc.push_back(i);
+  desc.assign(asc.rbegin(), asc.rend());
+  run_big([&] {
+    cm::Engine eng;
+    ListStore st(eng);
+    EXPECT_EQ(peek_list(quicksort(st, desc)), asc);
+  });
+  run_big([&] {
+    cm::Engine eng;
+    ListStore st(eng);
+    EXPECT_EQ(peek_list(quicksort(st, asc)), asc);
+  });
+}
+
+TEST(Quicksort, DuplicatesSurvive) {
+  std::vector<Value> v{5, 5, 5, 1, 1, 9};
+  cm::Engine eng;
+  ListStore st(eng);
+  std::vector<Value> expected = v;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(peek_list(quicksort(st, v)), expected);
+}
+
+TEST(QuicksortDepth, LinearWithAndWithoutPipelining) {
+  // The paper's point about Figure 2: expected depth is Θ(n) in both
+  // versions — pipelining buys constant factors only. Check depth/n is
+  // bounded and that doubling n roughly doubles depth for both.
+  run_big([] {
+    Rng rng(7);
+    double prev_piped = 0, prev_strict = 0;
+    for (std::size_t n : {4000u, 8000u, 16000u}) {
+      std::vector<Value> v;
+      for (std::size_t i = 0; i < n; ++i)
+        v.push_back(rng.range(-1 << 20, 1 << 20));
+      double piped, strict;
+      {
+        cm::Engine eng;
+        ListStore st(eng);
+        quicksort(st, v);
+        piped = static_cast<double>(eng.depth());
+      }
+      {
+        cm::Engine eng;
+        ListStore st(eng);
+        quicksort_strict(st, v);
+        strict = static_cast<double>(eng.depth());
+      }
+      if (prev_piped > 0) {
+        // Linear growth (coarse: random pivots add variance).
+        EXPECT_NEAR(piped / prev_piped, 2.0, 1.2);
+        EXPECT_NEAR(strict / prev_strict, 2.0, 1.2);
+      }
+      // Both versions are Θ(n): within constant factors of n and of each
+      // other.
+      EXPECT_GT(piped, static_cast<double>(n) * 0.5);
+      EXPECT_LT(piped, static_cast<double>(n) * 30.0);
+      EXPECT_GT(strict, static_cast<double>(n) * 0.5);
+      EXPECT_LT(strict, static_cast<double>(n) * 30.0);
+      EXPECT_LT(strict / piped, 10.0);
+      EXPECT_GT(strict / piped, 1.0 / 10.0);
+      prev_piped = piped;
+      prev_strict = strict;
+    }
+  });
+}
+
+// ---- mergesort -------------------------------------------------------------------
+
+class MergesortCase
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(MergesortCase, SortsRandomInput) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<trees::Key> v;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(rng.range(-1 << 20, 1 << 20));
+  std::vector<trees::Key> expected = v;
+  std::sort(expected.begin(), expected.end());
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    std::vector<trees::Key> got;
+    trees::collect_inorder(trees::peek(mergesort(st, v)), got);
+    EXPECT_EQ(got, expected);
+  }
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    std::vector<trees::Key> got;
+    trees::collect_inorder(mergesort_strict(st, v), got);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MergesortCase,
+    ::testing::Values(std::pair<std::size_t, std::uint64_t>{0, 1},
+                      std::pair<std::size_t, std::uint64_t>{1, 2},
+                      std::pair<std::size_t, std::uint64_t>{2, 3},
+                      std::pair<std::size_t, std::uint64_t>{255, 4},
+                      std::pair<std::size_t, std::uint64_t>{256, 5},
+                      std::pair<std::size_t, std::uint64_t>{5000, 6}));
+
+TEST(MergesortBalanced, SortsAndIsHeightOptimal) {
+  Rng rng(17);
+  std::vector<trees::Key> v;
+  const std::size_t n = 1 << 12;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(rng.range(-1 << 24, 1 << 24));
+  std::vector<trees::Key> expected = v;
+  std::sort(expected.begin(), expected.end());
+  cm::Engine eng;
+  trees::Store st(eng);
+  trees::TreeCell* out = mergesort_balanced(st, v);
+  std::vector<trees::Key> got;
+  trees::collect_inorder(trees::peek(out), got);
+  EXPECT_EQ(got, expected);
+  EXPECT_LE(trees::height(trees::peek(out)),
+            static_cast<int>(std::ceil(std::log2(static_cast<double>(n) + 1))) + 1);
+  // Guaranteed polylog depth: lg n levels x O(lg n) per level.
+  const double lgn = std::log2(static_cast<double>(n));
+  EXPECT_LT(static_cast<double>(eng.depth()), 40.0 * lgn * lgn);
+}
+
+TEST(MergesortBalanced, TinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    std::vector<trees::Key> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<trees::Key>(n - i));
+    cm::Engine eng;
+    trees::Store st(eng);
+    trees::TreeCell* out = mergesort_balanced(st, v);
+    std::vector<trees::Key> got;
+    trees::collect_inorder(trees::peek(out), got);
+    std::vector<trees::Key> expected = v;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(MergesortDepth, PipeliningHelpsALot) {
+  Rng rng(8);
+  std::vector<trees::Key> v;
+  for (std::size_t i = 0; i < (1u << 12); ++i)
+    v.push_back(rng.range(-1 << 24, 1 << 24));
+  double piped, strict;
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    mergesort(st, v);
+    piped = static_cast<double>(eng.depth());
+  }
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    mergesort_strict(st, v);
+    strict = static_cast<double>(eng.depth());
+  }
+  // Θ(lg^3 n) vs conjectured ~Θ(lg n lglg n): expect a large gap.
+  EXPECT_GT(strict, 3.0 * piped);
+}
+
+TEST(MergesortDepth, PolylogarithmicUpperBound) {
+  // Even without the conjecture, pipelined depth must be at most ~lg^2 n.
+  Rng rng(9);
+  std::vector<trees::Key> v;
+  const std::size_t n = 1 << 13;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(rng.range(-1 << 24, 1 << 24));
+  cm::Engine eng;
+  trees::Store st(eng);
+  mergesort(st, v);
+  const double lgn = std::log2(static_cast<double>(n));
+  EXPECT_LT(static_cast<double>(eng.depth()), 25.0 * lgn * lgn);
+}
+
+}  // namespace
+}  // namespace pwf::algos

@@ -1,0 +1,95 @@
+// Tests for Cole's pipelined merge sort: correctness against std::sort and
+// the schedule properties (3·height stages, O(n lg n) work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algos/cole.hpp"
+#include "support/random.hpp"
+
+namespace pwf::algos::cole {
+namespace {
+
+std::vector<Value> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> v;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(rng.range(-(1ll << 40), 1ll << 40));
+  return v;
+}
+
+class ColeSort : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ColeSort, SortsRandomInput) {
+  const std::size_t n = GetParam();
+  const auto v = random_values(n, n * 7 + 1);
+  std::vector<Value> expected = v;
+  std::sort(expected.begin(), expected.end());
+  ColeStats stats;
+  EXPECT_EQ(cole_sort(v, &stats), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ColeSort,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 32,
+                                           33, 100, 1000, 1 << 12,
+                                           (1 << 12) + 17));
+
+TEST(ColeSort, SortedReverseAndDuplicates) {
+  std::vector<Value> asc;
+  for (Value i = 0; i < 500; ++i) asc.push_back(i);
+  std::vector<Value> desc(asc.rbegin(), asc.rend());
+  EXPECT_EQ(cole_sort(asc, nullptr), asc);
+  EXPECT_EQ(cole_sort(desc, nullptr), asc);
+  std::vector<Value> dups(300, 7);
+  dups.insert(dups.end(), 300, 3);
+  std::vector<Value> expected = dups;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(cole_sort(dups, nullptr), expected);
+}
+
+TEST(ColeSchedule, StagesAreThreeTimesHeight) {
+  for (int lg = 6; lg <= 14; lg += 2) {
+    const std::size_t n = 1ull << lg;
+    ColeStats stats;
+    cole_sort(random_values(n, lg), &stats);
+    EXPECT_EQ(stats.tree_height, lg);
+    // Root at height lg completes at stage 3·lg (leaves complete at 0).
+    EXPECT_EQ(stats.stages, static_cast<std::uint64_t>(3 * lg)) << "n=" << n;
+  }
+}
+
+TEST(ColeSchedule, WorkIsNLogN) {
+  double prev_per = 0;
+  for (int lg = 8; lg <= 14; lg += 3) {
+    const std::size_t n = 1ull << lg;
+    ColeStats stats;
+    cole_sort(random_values(n, 100 + lg), &stats);
+    const double per =
+        static_cast<double>(stats.work) / (static_cast<double>(n) * lg);
+    EXPECT_GT(per, 0.5);
+    EXPECT_LT(per, 8.0);
+    if (prev_per > 0) {
+      EXPECT_NEAR(per, prev_per, 1.0);  // stable constant
+    }
+    prev_per = per;
+  }
+}
+
+TEST(ColeSchedule, NonPowerSizesStayOnSchedule) {
+  for (std::size_t n : {1000u, 1023u, 1025u, 3000u}) {
+    ColeStats stats;
+    const auto v = random_values(n, n);
+    std::vector<Value> expected = v;
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(cole_sort(v, &stats), expected);
+    // Height is ceil(lg n); stages stay within 3·(height+1).
+    const auto h = static_cast<std::uint64_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    EXPECT_LE(stats.stages, 3 * (h + 1)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace pwf::algos::cole

@@ -1,0 +1,271 @@
+// Unit tests for the Section-2 cost model engine: that fork/touch/write
+// produce exactly the DAG timestamps of the paper's model.
+#include <gtest/gtest.h>
+
+#include "costmodel/engine.hpp"
+
+namespace pwf::cm {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  EXPECT_EQ(eng.depth(), 0u);
+  EXPECT_EQ(eng.work(), 0u);
+}
+
+TEST(Engine, StepAdvancesClockAndWork) {
+  Engine eng;
+  eng.step();
+  EXPECT_EQ(eng.now(), 1u);
+  EXPECT_EQ(eng.work(), 1u);
+  eng.steps(5);
+  EXPECT_EQ(eng.now(), 6u);
+  EXPECT_EQ(eng.work(), 6u);
+  EXPECT_EQ(eng.depth(), 6u);
+}
+
+TEST(Engine, WriteStampsCell) {
+  Engine eng;
+  eng.steps(3);
+  auto* c = eng.new_cell<int>();
+  eng.write(c, 42);
+  EXPECT_TRUE(c->written);
+  EXPECT_EQ(c->value, 42);
+  EXPECT_EQ(c->ts, 4u);  // the write is itself an action
+}
+
+TEST(Engine, TouchWaitsForWriter) {
+  Engine eng;
+  auto* c = eng.new_cell<int>();
+  // Child thread computes for 10 steps then writes.
+  eng.fork([&] {
+    eng.steps(10);
+    eng.write(c, 7);
+  });
+  // Parent clock is only past the fork (1 action); touching jumps it past
+  // the write (the data edge).
+  EXPECT_EQ(eng.now(), 1u);
+  const int v = eng.touch(c);
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(eng.now(), 13u);  // fork=1, child 1+10 steps +1 write=12, +1 touch
+}
+
+TEST(Engine, TouchOfAvailableValueCostsOneAction) {
+  Engine eng;
+  auto* c = eng.input_cell<int>(5);
+  eng.steps(20);
+  const Time before = eng.now();
+  EXPECT_EQ(eng.touch(c), 5);
+  EXPECT_EQ(eng.now(), before + 1);
+}
+
+TEST(Engine, ForkReturnsImmediately) {
+  Engine eng;
+  eng.fork([&] { eng.steps(1000); });
+  EXPECT_EQ(eng.now(), 1u);        // parent paid only the fork action
+  EXPECT_EQ(eng.depth(), 1001u);   // child work shows up in global depth
+  EXPECT_EQ(eng.work(), 1001u);
+}
+
+TEST(Engine, ChildStartsAtForkTimePlusOne) {
+  Engine eng;
+  eng.steps(4);
+  Time child_first = 0;
+  eng.fork([&] {
+    eng.step();
+    child_first = eng.now();
+  });
+  EXPECT_EQ(child_first, 6u);  // fork action at 5, first child action at 6
+}
+
+TEST(Engine, ForkValueConvenience) {
+  Engine eng;
+  auto* c = eng.fork_value([&] {
+    eng.steps(3);
+    return 99;
+  });
+  EXPECT_EQ(eng.touch(c), 99);
+}
+
+TEST(Engine, PipelineOverlapsProducersAndConsumers) {
+  // Producer writes two cells at very different times; a consumer that only
+  // needs the early cell is not delayed by the late one.
+  Engine eng;
+  auto* early = eng.new_cell<int>();
+  auto* late = eng.new_cell<int>();
+  eng.fork([&] {
+    eng.write(early, 1);
+    eng.steps(100);
+    eng.write(late, 2);
+  });
+  EXPECT_EQ(eng.touch(early), 1);
+  EXPECT_LT(eng.now(), 10u);
+  EXPECT_EQ(eng.touch(late), 2);
+  EXPECT_GT(eng.now(), 100u);
+}
+
+TEST(Engine, ForkJoinWaitsForBothChildren) {
+  Engine eng;
+  auto [a, b] = eng.fork_join2(
+      [&] {
+        eng.steps(50);
+        return 1;
+      },
+      [&] {
+        eng.steps(5);
+        return 2;
+      });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  // Join is bounded below by the slower child: 1 fork + 50 steps + 1 join.
+  EXPECT_EQ(eng.now(), 52u);
+}
+
+TEST(Engine, ForkJoinDepthIsMaxNotSum) {
+  Engine eng;
+  eng.fork_join2(
+      [&] {
+        eng.steps(30);
+        return 0;
+      },
+      [&] {
+        eng.steps(30);
+        return 0;
+      });
+  EXPECT_EQ(eng.now(), 32u);    // not 62: the children overlap
+  EXPECT_EQ(eng.work(), 62u);   // but both are paid for in work
+}
+
+TEST(Engine, NestedForkJoinComposes) {
+  Engine eng;
+  eng.fork_join2(
+      [&] {
+        eng.fork_join2([&] { eng.steps(10); return 0; },
+                       [&] { eng.steps(10); return 0; });
+        return 0;
+      },
+      [&] {
+        eng.steps(4);
+        return 0;
+      });
+  EXPECT_EQ(eng.now(), 14u);  // 2 forks + 10 + 2 joins
+}
+
+TEST(Engine, LinearityCountersTrackRereads) {
+  Engine eng;
+  auto* c = eng.input_cell<int>(1);
+  EXPECT_EQ(eng.max_cell_reads(), 0u);
+  eng.touch(c);
+  EXPECT_EQ(eng.max_cell_reads(), 1u);
+  EXPECT_EQ(eng.nonlinear_reads(), 0u);
+  eng.touch(c);
+  EXPECT_EQ(eng.max_cell_reads(), 2u);
+  EXPECT_EQ(eng.nonlinear_reads(), 1u);
+}
+
+TEST(EngineDeath, DoubleWriteAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Engine eng;
+  auto* c = eng.new_cell<int>();
+  eng.write(c, 1);
+  EXPECT_DEATH(eng.write(c, 2), "written twice");
+}
+
+TEST(EngineDeath, TouchOfUnwrittenCellAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Engine eng;
+  auto* c = eng.new_cell<int>();
+  EXPECT_DEATH(eng.touch(c), "unwritten");
+}
+
+TEST(Engine, ArrayOpHasConstantDepthLinearWork) {
+  Engine eng;
+  const Time t0 = eng.now();
+  const std::uint64_t w0 = eng.work();
+  eng.array_op(1000);
+  EXPECT_LE(eng.now() - t0, 3u);
+  EXPECT_GE(eng.work() - w0, 1000u);
+}
+
+TEST(Engine, PresetCellAvailableAtTimeZero) {
+  Engine eng;
+  Cell<int> c;
+  Engine::preset(c, 11);
+  EXPECT_TRUE(c.written);
+  EXPECT_EQ(c.ts, 0u);
+  EXPECT_EQ(eng.touch(&c), 11);
+}
+
+TEST(Engine, WaitStatsProfileDataEdges) {
+  Engine eng;
+  auto* c = eng.new_cell<int>();
+  eng.fork([&] {
+    eng.steps(20);
+    eng.write(c, 1);
+  });
+  EXPECT_EQ(eng.wait_stats().touches, 0u);
+  eng.touch(c);  // waits ~20
+  EXPECT_EQ(eng.wait_stats().touches, 1u);
+  EXPECT_EQ(eng.wait_stats().suspensions, 1u);
+  EXPECT_EQ(eng.wait_stats().max_wait, 21u);  // child wrote at 22, clock was 1
+  auto* ready = eng.input_cell<int>(2);
+  eng.touch(ready);  // no wait: value from time 0
+  EXPECT_EQ(eng.wait_stats().touches, 2u);
+  EXPECT_EQ(eng.wait_stats().suspensions, 1u);
+}
+
+// ---- tracing ------------------------------------------------------------------
+
+TEST(Trace, RecordsActionsAndEdges) {
+  Engine eng(/*trace_enabled=*/true);
+  eng.steps(3);  // a chain: 2 thread edges
+  ASSERT_NE(eng.trace(), nullptr);
+  EXPECT_EQ(eng.trace()->num_actions(), 3u);
+  EXPECT_EQ(eng.trace()->edges().size(), 2u);
+  for (const auto& e : eng.trace()->edges()) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(Trace, ForkCreatesForkEdge) {
+  Engine eng(true);
+  eng.fork([&] { eng.step(); });
+  // fork action + child action, one fork edge.
+  EXPECT_EQ(eng.trace()->num_actions(), 2u);
+  EXPECT_EQ(eng.trace()->edges().size(), 1u);
+}
+
+TEST(Trace, TouchCreatesDataEdge) {
+  Engine eng(true);
+  auto* c = eng.new_cell<int>();
+  eng.fork([&] { eng.write(c, 1); });
+  eng.touch(c);
+  // Actions: fork, write, touch. Edges: fork->write (fork edge),
+  // fork->touch (thread edge), write->touch (data edge).
+  EXPECT_EQ(eng.trace()->num_actions(), 3u);
+  EXPECT_EQ(eng.trace()->edges().size(), 3u);
+  EXPECT_EQ(eng.trace()->reads().size(), 1u);
+  EXPECT_EQ(eng.trace()->writes().size(), 1u);
+}
+
+TEST(Trace, ArrayOpFanOutFanIn) {
+  Engine eng(true);
+  eng.array_op(10);
+  // source + 10 middles + sink.
+  EXPECT_EQ(eng.trace()->num_actions(), 12u);
+  EXPECT_EQ(eng.trace()->edges().size(), 20u);
+}
+
+TEST(Engine, ForkJoinAllRunsEverythingInParallel) {
+  Engine eng;
+  int hits = 0;
+  auto mk = [&] { return std::function<void()>([&] { eng.steps(10); ++hits; }); };
+  std::vector<std::function<void()>> fns{mk(), mk(), mk(), mk(), mk()};
+  fork_join_all(eng, std::span<std::function<void()>>(fns));
+  EXPECT_EQ(hits, 5);
+  // Depth ~ lg(5) forks/joins + 10, far below 50.
+  EXPECT_LT(eng.now(), 25u);
+  EXPECT_GE(eng.work(), 50u);
+}
+
+}  // namespace
+}  // namespace pwf::cm

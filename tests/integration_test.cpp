@@ -1,0 +1,170 @@
+// Cross-module integration tests: cost-model algorithms traced end-to-end
+// into the Section-4 simulator; cost-model and real-runtime implementations
+// agreeing on results; the merge → rebalance pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "algos/mergesort.hpp"
+#include "costmodel/engine.hpp"
+#include "runtime/rt_treap.hpp"
+#include "runtime/rt_ttree.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/dag.hpp"
+#include "sim/scheduler.hpp"
+#include "support/random.hpp"
+#include "treap/setops.hpp"
+#include "trees/merge.hpp"
+#include "trees/rebalance.hpp"
+#include "ttree/insert.hpp"
+
+namespace pwf {
+namespace {
+
+std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::int64_t> s;
+  while (s.size() < n) s.insert(rng.range(0, 1 << 24));
+  return {s.begin(), s.end()};
+}
+
+// Every cost-model algorithm, traced and scheduled: the Lemma 4.1 bound and
+// the audits must hold for all of them — the runtime is algorithm-agnostic.
+TEST(EndToEnd, AllAlgorithmsScheduleWithinBounds) {
+  struct Run {
+    const char* name;
+    std::function<void(cm::Engine&)> body;
+  };
+  const auto keys_a = random_keys(400, 1);
+  const auto keys_b = random_keys(400, 2);
+  std::vector<Run> runs;
+  runs.push_back({"merge", [&](cm::Engine& eng) {
+                    trees::Store st(eng);
+                    trees::merge(st, st.input(st.build_balanced(keys_a)),
+                                 st.input(st.build_balanced(keys_b)));
+                  }});
+  runs.push_back({"union", [&](cm::Engine& eng) {
+                    treap::Store st(eng);
+                    treap::union_treaps(st, st.input(st.build(keys_a)),
+                                        st.input(st.build(keys_b)));
+                  }});
+  runs.push_back({"diff", [&](cm::Engine& eng) {
+                    treap::Store st(eng);
+                    treap::diff_treaps(st, st.input(st.build(keys_a)),
+                                       st.input(st.build(keys_b)));
+                  }});
+  runs.push_back({"ttree-insert", [&](cm::Engine& eng) {
+                    ttree::Store st(eng);
+                    ttree::bulk_insert(st, st.input(st.build(keys_a, 3)),
+                                       keys_b);
+                  }});
+  runs.push_back({"mergesort", [&](cm::Engine& eng) {
+                    trees::Store st(eng);
+                    std::vector<trees::Key> v(keys_a.begin(), keys_a.end());
+                    Rng rng(3);
+                    std::shuffle(v.begin(), v.end(), rng);
+                    algos::mergesort(st, v);
+                  }});
+  for (auto& run : runs) {
+    cm::Engine eng(/*trace=*/true);
+    run.body(eng);
+    sim::Dag dag(*eng.trace());
+    EXPECT_EQ(dag.depth(), eng.depth()) << run.name;
+    for (std::uint64_t p : {1, 4, 32, 256}) {
+      const auto r = sim::schedule(dag, p, sim::Discipline::kStack);
+      EXPECT_TRUE(r.within_bound(p)) << run.name << " p=" << p;
+      EXPECT_TRUE(r.erew_ok) << run.name;
+      EXPECT_TRUE(r.linear_ok) << run.name;
+    }
+  }
+}
+
+TEST(EndToEnd, MergeThenRebalanceKeepsLogDepthPipeline) {
+  const auto a = random_keys(2000, 4);
+  const auto b = random_keys(2000, 5);
+  cm::Engine eng;
+  trees::Store st(eng);
+  trees::TreeCell* merged = trees::merge(
+      st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+  trees::TreeCell* balanced = trees::rebalance(st, merged);
+  std::vector<trees::Key> got;
+  trees::collect_inorder(trees::peek(balanced), got);
+  std::vector<trees::Key> expected;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(expected));
+  EXPECT_EQ(got, expected);
+  // Whole pipeline stays polylogarithmic in depth.
+  EXPECT_LT(static_cast<double>(eng.depth()),
+            40.0 * 2 * std::log2(4000.0));
+}
+
+TEST(EndToEnd, CostModelAndRuntimeUnionProduceIdenticalTreaps) {
+  // Treap shape is determined by keys+priorities, and both implementations
+  // hash priorities identically — the result trees must match exactly.
+  const auto a = random_keys(1000, 6);
+  const auto b = random_keys(1000, 7);
+  std::vector<std::int64_t> cm_keys;
+  int cm_height = 0;
+  {
+    cm::Engine eng;
+    treap::Store st(eng);
+    treap::TreapCell* out = treap::union_treaps(
+        st, st.input(st.build(a)), st.input(st.build(b)));
+    treap::collect_inorder(treap::peek(out), cm_keys);
+    cm_height = treap::height(treap::peek(out));
+  }
+  {
+    rt::Scheduler sched(2);
+    rt::treap::Store st;
+    rt::treap::Cell* out = rt::treap::union_treaps(
+        st, st.input(st.build(a)), st.input(st.build(b)));
+    const auto rt_keys = rt::treap::wait_inorder(out);
+    EXPECT_EQ(rt_keys, cm_keys);
+    // Height: walk via peeks after completion.
+    struct H {
+      static int of(rt::treap::Node* n) {
+        if (!n) return 0;
+        return 1 + std::max(of(n->left->peek()), of(n->right->peek()));
+      }
+    };
+    EXPECT_EQ(H::of(out->peek()), cm_height);
+  }
+}
+
+TEST(EndToEnd, TtreeCostModelAndRuntimeAgree) {
+  const auto tree_keys = random_keys(800, 8);
+  const auto new_keys = random_keys(300, 9);
+  std::vector<std::int64_t> cm_result;
+  {
+    cm::Engine eng;
+    ttree::Store st(eng);
+    ttree::TCell* out =
+        ttree::bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+    ttree::collect_keys(ttree::peek(out), cm_result);
+  }
+  {
+    rt::Scheduler sched(2);
+    rt::ttree::Store st;
+    rt::ttree::Cell* out = rt::ttree::bulk_insert(
+        st, st.input(st.build(tree_keys, 3)), new_keys);
+    EXPECT_EQ(rt::ttree::wait_keys(out), cm_result);
+  }
+}
+
+TEST(EndToEnd, TraceOfRebalancePipelineSchedules) {
+  const auto a = random_keys(500, 10);
+  const auto b = random_keys(500, 11);
+  cm::Engine eng(true);
+  trees::Store st(eng);
+  trees::TreeCell* merged = trees::merge(
+      st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+  trees::rebalance(st, merged);
+  sim::Dag dag(*eng.trace());
+  const auto r = sim::schedule(dag, 16, sim::Discipline::kStack);
+  EXPECT_TRUE(r.within_bound(16));
+  EXPECT_TRUE(r.erew_ok);
+}
+
+}  // namespace
+}  // namespace pwf

@@ -1,0 +1,165 @@
+// Tests for the key-value treap maps (rt_map.hpp) and the ParallelMap
+// facade: merge semantics, operand ordering, batch aggregation against a
+// std::map reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "runtime/parallel_map.hpp"
+#include "runtime/rt_map.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/random.hpp"
+
+namespace pwf::rt {
+namespace {
+
+using Item = std::pair<map::Key, std::int64_t>;
+
+std::vector<Item> items_of(std::initializer_list<Item> xs) { return xs; }
+
+TEST(RtMap, BuildAndLookup) {
+  Scheduler sched(2);
+  map::Store<std::int64_t> st;
+  std::vector<Item> data{{1, 10}, {3, 30}, {5, 50}};
+  auto* root = st.input(st.build(data));
+  EXPECT_EQ(map::lookup(root, 3), 30);
+  EXPECT_EQ(map::lookup(root, 4), std::nullopt);
+  EXPECT_EQ(map::wait_items(root), data);
+}
+
+TEST(RtMap, UnionMergesSharedKeysWithSum) {
+  Scheduler sched(2);
+  map::Store<std::int64_t> st;
+  std::vector<Item> a{{1, 10}, {2, 20}, {3, 30}};
+  std::vector<Item> b{{2, 200}, {3, 300}, {4, 400}};
+  auto* out = map::union_maps(
+      st, st.input(st.build(a)), st.input(st.build(b)),
+      [](std::int64_t x, std::int64_t y) { return x + y; });
+  EXPECT_EQ(map::wait_items(out),
+            items_of({{1, 10}, {2, 220}, {3, 330}, {4, 400}}));
+}
+
+TEST(RtMap, UnionMergeOperandOrderIsByMapNotPriority) {
+  // "b wins" overwrite semantics must hold for every key, whichever root
+  // had the higher priority.
+  Scheduler sched(2);
+  map::Store<std::int64_t> st;
+  Rng rng(3);
+  std::vector<Item> a, b;
+  for (map::Key k = 0; k < 500; ++k) {
+    if (rng.coin()) a.emplace_back(k, 1000 + k);
+    if (rng.coin()) b.emplace_back(k, 2000 + k);
+  }
+  auto* out = map::union_maps(
+      st, st.input(st.build(a)), st.input(st.build(b)),
+      [](std::int64_t, std::int64_t bval) { return bval; });
+  std::map<map::Key, std::int64_t> ref;
+  for (const auto& [k, v] : a) ref[k] = v;
+  for (const auto& [k, v] : b) ref[k] = v;  // b overwrites
+  EXPECT_EQ(map::wait_items(out),
+            std::vector<Item>(ref.begin(), ref.end()));
+}
+
+TEST(RtMap, DiffRemovesKeys) {
+  Scheduler sched(2);
+  map::Store<std::int64_t> st;
+  std::vector<Item> a{{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  std::vector<Item> b{{2, 0}, {4, 0}, {9, 0}};
+  auto* out = map::diff_maps(st, st.input(st.build(a)),
+                             st.input(st.build(b)));
+  EXPECT_EQ(map::wait_items(out), items_of({{1, 10}, {3, 30}}));
+}
+
+TEST(ParallelMap, CounterAggregation) {
+  Scheduler sched(2);
+  ParallelMap<std::int64_t> m(sched);
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  m.insert_batch(items_of({{1, 1}, {2, 1}, {1, 1}}), add);  // in-batch dup
+  EXPECT_EQ(m.get(1), 2);
+  EXPECT_EQ(m.get(2), 1);
+  m.insert_batch(items_of({{1, 5}, {3, 7}}), add);
+  EXPECT_EQ(m.get(1), 7);
+  EXPECT_EQ(m.get(3), 7);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(ParallelMap, AssignOverwrites) {
+  Scheduler sched(2);
+  ParallelMap<std::int64_t> m(sched);
+  m.assign_batch(items_of({{1, 10}, {2, 20}}));
+  m.assign_batch(items_of({{2, 99}, {3, 30}}));
+  EXPECT_EQ(m.get(1), 10);
+  EXPECT_EQ(m.get(2), 99);
+  EXPECT_EQ(m.get(3), 30);
+}
+
+TEST(ParallelMap, EraseBatch) {
+  Scheduler sched(2);
+  ParallelMap<std::int64_t> m(sched);
+  m.assign_batch(items_of({{1, 1}, {2, 2}, {3, 3}}));
+  std::vector<map::Key> gone{2, 7};
+  m.erase_batch(gone);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_TRUE(m.contains(3));
+}
+
+class ParallelMapSession : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelMapSession, RandomSessionMatchesStdMap) {
+  const unsigned threads = static_cast<unsigned>(GetParam());
+  Scheduler sched(threads);
+  Rng rng(77 + threads);
+  ParallelMap<std::int64_t> m(sched);
+  std::map<map::Key, std::int64_t> ref;
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  for (int round = 0; round < 25; ++round) {
+    if (rng.below(4) != 0) {
+      std::vector<Item> batch;
+      const std::size_t sz = 1 + rng.below(300);
+      for (std::size_t i = 0; i < sz; ++i)
+        batch.emplace_back(rng.range(0, 2000),
+                           static_cast<std::int64_t>(rng.below(100)));
+      m.insert_batch(batch, add);
+      for (const auto& [k, v] : batch) ref[k] += v;
+    } else {
+      std::vector<map::Key> keys;
+      const std::size_t sz = 1 + rng.below(200);
+      for (std::size_t i = 0; i < sz; ++i) keys.push_back(rng.range(0, 2000));
+      m.erase_batch(keys);
+      for (map::Key k : keys) ref.erase(k);
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "round " << round;
+    ASSERT_EQ(m.items(), std::vector<Item>(ref.begin(), ref.end()))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelMapSession,
+                         ::testing::Values(1, 2, 4));
+
+TEST(ParallelMap, LargeShardAggregation) {
+  // Word-count style: several shards of (key, count), merged by sum.
+  Scheduler sched(4);
+  Rng rng(5);
+  ParallelMap<std::int64_t> m(sched);
+  std::map<map::Key, std::int64_t> ref;
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  for (int shard = 0; shard < 6; ++shard) {
+    std::vector<Item> batch;
+    for (int i = 0; i < 20000; ++i)
+      batch.emplace_back(rng.range(0, 5000), 1);
+    m.insert_batch(batch, add);
+    for (const auto& [k, v] : batch) ref[k] += v;
+  }
+  ASSERT_EQ(m.items(), std::vector<Item>(ref.begin(), ref.end()));
+  // Total count preserved.
+  std::int64_t total = 0;
+  for (const auto& [k, v] : m.items()) total += v;
+  EXPECT_EQ(total, 6 * 20000);
+}
+
+}  // namespace
+}  // namespace pwf::rt

@@ -1,0 +1,135 @@
+// Tests for the ParallelSet facade: batch set semantics against std::set,
+// across thread counts, batch shapes, and long randomized sessions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "runtime/parallel_set.hpp"
+#include "support/random.hpp"
+
+namespace pwf::rt {
+namespace {
+
+std::vector<std::int64_t> draw(Rng& rng, std::size_t n,
+                               std::int64_t universe = 1 << 20) {
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.range(0, universe));
+  return out;  // duplicates allowed — the facade must handle them
+}
+
+TEST(ParallelSet, StartsEmpty) {
+  Scheduler sched(2);
+  ParallelSet s(sched);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.keys().empty());
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ParallelSet, InitialContents) {
+  Scheduler sched(2);
+  std::vector<std::int64_t> keys{5, 1, 3, 5, 1};  // dups collapse
+  ParallelSet s(sched, keys);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.keys(), (std::vector<std::int64_t>{1, 3, 5}));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(ParallelSet, InsertBatchUnions) {
+  Scheduler sched(2);
+  ParallelSet s(sched, std::vector<std::int64_t>{1, 2, 3});
+  s.insert_batch(std::vector<std::int64_t>{3, 4, 5});
+  EXPECT_EQ(s.keys(), (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(ParallelSet, EraseBatchSubtracts) {
+  Scheduler sched(2);
+  ParallelSet s(sched, std::vector<std::int64_t>{1, 2, 3, 4, 5});
+  s.erase_batch(std::vector<std::int64_t>{2, 4, 9});
+  EXPECT_EQ(s.keys(), (std::vector<std::int64_t>{1, 3, 5}));
+}
+
+TEST(ParallelSet, RetainBatchIntersects) {
+  Scheduler sched(2);
+  ParallelSet s(sched, std::vector<std::int64_t>{1, 2, 3, 4, 5});
+  s.retain_batch(std::vector<std::int64_t>{2, 4, 6});
+  EXPECT_EQ(s.keys(), (std::vector<std::int64_t>{2, 4}));
+  s.retain_batch({});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ParallelSet, EmptyBatchesAreNoOps) {
+  Scheduler sched(2);
+  ParallelSet s(sched, std::vector<std::int64_t>{7});
+  s.insert_batch({});
+  s.erase_batch({});
+  EXPECT_EQ(s.keys(), (std::vector<std::int64_t>{7}));
+}
+
+class ParallelSetSession : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSetSession, LongRandomSessionMatchesStdSet) {
+  const unsigned threads = static_cast<unsigned>(GetParam());
+  Scheduler sched(threads);
+  Rng rng(1000 + threads);
+  ParallelSet s(sched);
+  std::set<std::int64_t> ref;
+  for (int round = 0; round < 30; ++round) {
+    const auto op = rng.below(3);
+    const auto batch = draw(rng, 1 + rng.below(400));
+    if (op == 0) {
+      s.insert_batch(batch);
+      ref.insert(batch.begin(), batch.end());
+    } else if (op == 1) {
+      s.erase_batch(batch);
+      for (auto k : batch) ref.erase(k);
+    } else {
+      // retain: keep only batch ∩ ref — use a superset of ref occasionally
+      // to avoid draining the set too fast.
+      std::vector<std::int64_t> keep = batch;
+      keep.insert(keep.end(), ref.begin(), ref.end());
+      if (rng.coin()) keep.resize(keep.size() / 2);
+      s.retain_batch(keep);
+      std::set<std::int64_t> keep_set(keep.begin(), keep.end());
+      std::set<std::int64_t> next;
+      for (auto k : ref)
+        if (keep_set.count(k)) next.insert(k);
+      ref = std::move(next);
+    }
+    ASSERT_EQ(s.size(), ref.size()) << "round " << round;
+    ASSERT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSetSession,
+                         ::testing::Values(1, 2, 4));
+
+TEST(ParallelSet, HeightStaysLogarithmic) {
+  Scheduler sched(2);
+  Rng rng(9);
+  ParallelSet s(sched);
+  for (int i = 0; i < 8; ++i) s.insert_batch(draw(rng, 2000, 1 << 26));
+  EXPECT_GT(s.size(), 10000u);
+  EXPECT_LT(s.height(), 6 * 15);  // ~ c lg n, reject linear height
+}
+
+TEST(ParallelSet, LargeBatches) {
+  Scheduler sched(4);
+  Rng rng(11);
+  const auto a = draw(rng, 50000, 1 << 26);
+  const auto b = draw(rng, 50000, 1 << 26);
+  ParallelSet s(sched, a);
+  s.insert_batch(b);
+  std::set<std::int64_t> ref(a.begin(), a.end());
+  ref.insert(b.begin(), b.end());
+  EXPECT_EQ(s.size(), ref.size());
+  EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
+}  // namespace
+}  // namespace pwf::rt

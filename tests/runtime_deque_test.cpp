@@ -1,0 +1,116 @@
+// Tests for the Chase–Lev work-stealing deque: single-owner semantics and a
+// multi-threaded exactly-once stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque.hpp"
+
+namespace pwf::rt {
+namespace {
+
+TEST(Deque, LifoForOwner) {
+  WorkStealingDeque d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.pop(), &c);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.pop(), &a);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, FifoForThief) {
+  WorkStealingDeque d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.steal(), &a);
+  EXPECT_EQ(d.steal(), &b);
+  EXPECT_EQ(d.steal(), &c);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, MixedPopAndSteal) {
+  WorkStealingDeque d;
+  int xs[4];
+  for (int i = 0; i < 4; ++i) d.push(&xs[i]);
+  EXPECT_EQ(d.pop(), &xs[3]);
+  EXPECT_EQ(d.steal(), &xs[0]);
+  EXPECT_EQ(d.pop(), &xs[2]);
+  EXPECT_EQ(d.steal(), &xs[1]);
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  WorkStealingDeque d(/*capacity_log2=*/2);  // 4 slots
+  std::vector<int> xs(1000);
+  for (int i = 0; i < 1000; ++i) d.push(&xs[i]);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(d.pop(), &xs[i]);
+}
+
+TEST(Deque, InterleavedPushPop) {
+  WorkStealingDeque d;
+  int x = 0;
+  for (int round = 0; round < 10000; ++round) {
+    d.push(&x);
+    EXPECT_EQ(d.pop(), &x);
+  }
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(DequeStress, EveryItemConsumedExactlyOnce) {
+  // One owner pushes N items and pops; several thieves steal concurrently.
+  // Every item must be received exactly once across all consumers.
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque d(4);
+  std::vector<int> items(kItems);
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<std::uint8_t>> seen(kItems);
+
+  auto mark = [&](void* p) {
+    const auto idx = static_cast<int>(static_cast<int*>(p) - items.data());
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, kItems);
+    const auto prev = seen[idx].fetch_add(1);
+    ASSERT_EQ(prev, 0u) << "item " << idx << " consumed twice";
+    consumed.fetch_add(1);
+  };
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t)
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             consumed.load() < kItems) {
+        if (void* p = d.steal()) mark(p);
+        if (consumed.load() >= kItems) break;
+      }
+    });
+
+  // Owner: pushes in bursts, pops some itself.
+  int pushed = 0;
+  while (pushed < kItems) {
+    const int burst = std::min(64, kItems - pushed);
+    for (int i = 0; i < burst; ++i) d.push(&items[pushed++]);
+    for (int i = 0; i < burst / 2; ++i)
+      if (void* p = d.pop()) mark(p);
+  }
+  done.store(true, std::memory_order_release);
+  while (consumed.load() < kItems)
+    if (void* p = d.pop()) mark(p);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(seen[i].load(), 1u);
+}
+
+}  // namespace
+}  // namespace pwf::rt

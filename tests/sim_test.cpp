@@ -1,0 +1,216 @@
+// Tests for the Section-4 greedy-schedule simulator: DAG compilation,
+// Brent/Lemma 4.1 step bounds under both disciplines, EREW/linearity audits,
+// and agreement between the simulator's notion of depth and the engine's.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "costmodel/engine.hpp"
+#include "sim/dag.hpp"
+#include "sim/scheduler.hpp"
+#include "support/random.hpp"
+#include "treap/setops.hpp"
+#include "treap/treap.hpp"
+#include "trees/merge.hpp"
+
+namespace pwf::sim {
+namespace {
+
+std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::int64_t> s;
+  while (s.size() < n) s.insert(rng.range(0, 1 << 24));
+  return {s.begin(), s.end()};
+}
+
+TEST(Dag, ChainHasDepthEqualWork) {
+  cm::Engine eng(true);
+  eng.steps(100);
+  Dag dag(*eng.trace());
+  EXPECT_EQ(dag.work(), 100u);
+  EXPECT_EQ(dag.depth(), 100u);
+}
+
+TEST(Dag, DepthMatchesEngineDepthOnForkJoin) {
+  cm::Engine eng(true);
+  eng.fork_join2([&] { eng.steps(30); return 0; },
+                 [&] { eng.steps(7); return 0; });
+  Dag dag(*eng.trace());
+  EXPECT_EQ(dag.depth(), eng.depth());
+  EXPECT_EQ(dag.work(), eng.work());
+}
+
+TEST(Dag, DepthMatchesEngineOnPipelinedMerge) {
+  const auto keys_a = random_keys(500, 1);
+  const auto keys_b = random_keys(700, 2);
+  cm::Engine eng(true);
+  trees::Store st(eng);
+  trees::merge(st, st.input(st.build_balanced(keys_a)),
+               st.input(st.build_balanced(keys_b)));
+  Dag dag(*eng.trace());
+  EXPECT_EQ(dag.depth(), eng.depth());
+  EXPECT_EQ(dag.work(), eng.work());
+}
+
+TEST(Schedule, SingleProcessorExecutesSerially) {
+  cm::Engine eng(true);
+  eng.fork_join2([&] { eng.steps(20); return 0; },
+                 [&] { eng.steps(20); return 0; });
+  Dag dag(*eng.trace());
+  const ScheduleResult r = schedule(dag, 1, Discipline::kStack);
+  EXPECT_EQ(r.steps, dag.work());  // p=1: one action per step
+  EXPECT_TRUE(r.within_bound(1));
+}
+
+TEST(Schedule, ManyProcessorsReachDepth) {
+  cm::Engine eng(true);
+  eng.fork_join2([&] { eng.steps(50); return 0; },
+                 [&] { eng.steps(50); return 0; });
+  Dag dag(*eng.trace());
+  // With p >= width, the greedy schedule finishes in exactly depth steps.
+  const ScheduleResult r = schedule(dag, 1024, Discipline::kStack);
+  EXPECT_EQ(r.steps, dag.depth());
+}
+
+class ScheduleBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleBound, MergeDagWithinBrentBound) {
+  const std::uint64_t p = GetParam();
+  const auto keys_a = random_keys(800, 3);
+  const auto keys_b = random_keys(800, 4);
+  cm::Engine eng(true);
+  trees::Store st(eng);
+  trees::merge(st, st.input(st.build_balanced(keys_a)),
+               st.input(st.build_balanced(keys_b)));
+  Dag dag(*eng.trace());
+  for (const Discipline d : {Discipline::kStack, Discipline::kQueue}) {
+    const ScheduleResult r = schedule(dag, p, d);
+    EXPECT_TRUE(r.within_bound(p)) << "p=" << p;
+    EXPECT_TRUE(r.erew_ok);
+    EXPECT_TRUE(r.linear_ok);
+    // Greedy can never beat both limits either.
+    EXPECT_GE(r.steps, dag.depth());
+    EXPECT_GE(r.steps * p, dag.work());
+  }
+}
+
+TEST_P(ScheduleBound, UnionDagWithinBrentBound) {
+  const std::uint64_t p = GetParam();
+  const auto keys_a = random_keys(600, 5);
+  const auto keys_b = random_keys(600, 6);
+  cm::Engine eng(true);
+  treap::Store st(eng);
+  treap::union_treaps(st, st.input(st.build(keys_a)),
+                      st.input(st.build(keys_b)));
+  Dag dag(*eng.trace());
+  const ScheduleResult r = schedule(dag, p, Discipline::kStack);
+  EXPECT_TRUE(r.within_bound(p));
+  EXPECT_TRUE(r.erew_ok);
+  EXPECT_TRUE(r.linear_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Processors, ScheduleBound,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64, 256, 1024));
+
+TEST(Schedule, SpeedupIsRealUntilDepthDominates) {
+  const auto keys_a = random_keys(1500, 7);
+  const auto keys_b = random_keys(1500, 8);
+  cm::Engine eng(true);
+  treap::Store st(eng);
+  treap::union_treaps(st, st.input(st.build(keys_a)),
+                      st.input(st.build(keys_b)));
+  Dag dag(*eng.trace());
+  const auto s1 = schedule(dag, 1, Discipline::kStack).steps;
+  const auto s4 = schedule(dag, 4, Discipline::kStack).steps;
+  const auto s16 = schedule(dag, 16, Discipline::kStack).steps;
+  EXPECT_GT(static_cast<double>(s1) / static_cast<double>(s4), 2.5);
+  EXPECT_GT(static_cast<double>(s4) / static_cast<double>(s16), 2.0);
+}
+
+TEST(Schedule, QueueAndStackBothExecuteEverything) {
+  cm::Engine eng(true);
+  eng.fork([&] {
+    eng.fork([&] { eng.steps(10); });
+    eng.steps(5);
+  });
+  eng.steps(3);
+  Dag dag(*eng.trace());
+  const auto rs = schedule(dag, 2, Discipline::kStack);
+  const auto rq = schedule(dag, 2, Discipline::kQueue);
+  EXPECT_EQ(rs.work, rq.work);
+  EXPECT_TRUE(rs.within_bound(2));
+  EXPECT_TRUE(rq.within_bound(2));
+}
+
+TEST(Schedule, StackUsesNoMoreSpaceThanQueueOnTreeDags) {
+  // The paper's closing remark in Section 4: the stack (depth-first)
+  // discipline "is probably much better for space than a queue discipline".
+  // On a recursive fork tree this is dramatic; assert the direction.
+  cm::Engine eng(true);
+  struct Rec {
+    cm::Engine& eng;
+    void operator()(int d) {
+      if (d == 0) {
+        eng.steps(2);
+        return;
+      }
+      eng.fork([&] { (*this)(d - 1); });
+      eng.fork([&] { (*this)(d - 1); });
+      eng.step();
+    }
+  };
+  Rec{eng}(12);
+  Dag dag(*eng.trace());
+  const auto rs = schedule(dag, 4, Discipline::kStack);
+  const auto rq = schedule(dag, 4, Discipline::kQueue);
+  EXPECT_LT(rs.max_live, rq.max_live);
+}
+
+TEST(Schedule, StackSpaceScalesWithProcessors) {
+  // Blumofe–Leiserson-flavoured space property for the LIFO discipline on
+  // our (fully strict-ish) DAGs: peak |S| at p processors stays within
+  // p * (peak |S| at one processor) plus p slack.
+  const auto keys_a = random_keys(1000, 9);
+  const auto keys_b = random_keys(1000, 10);
+  cm::Engine eng(true);
+  treap::Store st(eng);
+  treap::union_treaps(st, st.input(st.build(keys_a)),
+                      st.input(st.build(keys_b)));
+  Dag dag(*eng.trace());
+  const auto s1 = schedule(dag, 1, Discipline::kStack).max_live;
+  for (std::uint64_t p : {2ull, 8ull, 64ull, 256ull}) {
+    const auto sp = schedule(dag, p, Discipline::kStack).max_live;
+    EXPECT_LE(sp, s1 * p + p) << "p=" << p;
+  }
+}
+
+TEST(Schedule, LinearityAuditFlagsRereads) {
+  cm::Engine eng(true);
+  auto* c = eng.input_cell<int>(1);
+  eng.touch(c);
+  eng.touch(c);  // deliberately nonlinear
+  Dag dag(*eng.trace());
+  const auto r = schedule(dag, 2, Discipline::kStack);
+  EXPECT_FALSE(r.linear_ok);
+}
+
+TEST(Schedule, EmptyDag) {
+  cm::Engine eng(true);
+  Dag dag(*eng.trace());
+  const auto r = schedule(dag, 4, Discipline::kStack);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(Schedule, ArrayOpParallelizes) {
+  cm::Engine eng(true);
+  eng.array_op(1000);
+  Dag dag(*eng.trace());
+  const auto r1 = schedule(dag, 1, Discipline::kStack);
+  const auto r100 = schedule(dag, 100, Discipline::kStack);
+  EXPECT_EQ(r1.steps, dag.work());
+  EXPECT_LE(r100.steps, dag.work() / 100 + dag.depth());
+}
+
+}  // namespace
+}  // namespace pwf::sim

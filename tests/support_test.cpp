@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/cli.hpp"
+#include "support/random.hpp"
+#include "support/scan.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace pwf {
+namespace {
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(17);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) ++buckets[r.below(10)];
+  for (int b : buckets) EXPECT_NEAR(b, 10000, 600);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Rng r(19);
+  std::shuffle(v.begin(), v.end(), r);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(v, sorted);  // astronomically unlikely to stay sorted
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// ---- scans ------------------------------------------------------------------
+
+TEST(Scan, ExclusiveBasic) {
+  std::vector<std::uint64_t> in{3, 1, 4, 1, 5};
+  std::vector<std::uint64_t> out(5);
+  const std::uint64_t total = exclusive_scan_u64(in, out);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Scan, InclusiveBasic) {
+  std::vector<std::uint64_t> in{3, 1, 4};
+  std::vector<std::uint64_t> out(3);
+  const std::uint64_t total = inclusive_scan_u64(in, out);
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{3, 4, 8}));
+}
+
+TEST(Scan, ExclusiveInPlaceAliases) {
+  std::vector<std::uint64_t> v{1, 2, 3, 4};
+  EXPECT_EQ(exclusive_scan_inplace(v), 10u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 1, 3, 6}));
+}
+
+TEST(Scan, EmptyInput) {
+  std::vector<std::uint64_t> in, out;
+  EXPECT_EQ(exclusive_scan_u64(in, out), 0u);
+}
+
+TEST(Scan, PartitionStable) {
+  std::vector<int> in{5, 2, 7, 1, 9, 4};
+  const bool flags[6] = {true, false, true, false, true, false};
+  std::vector<int> out(6);
+  const std::size_t split =
+      scan_partition<int>(in, std::span<const bool>(flags, 6), out);
+  EXPECT_EQ(split, 3u);
+  EXPECT_EQ(out, (std::vector<int>{2, 1, 4, 5, 7, 9}));
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, SummarizeBasics) {
+  std::vector<double> xs{1, 2, 3, 4};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Stats, LinearFitExact) {
+  std::vector<double> x{1, 2, 3, 4}, y{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.a, 2.0, 1e-9);
+  EXPECT_NEAR(f.b, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, ScaleFitExact) {
+  std::vector<double> f{1, 2, 3}, y{4, 8, 12};  // y = 4f
+  const ScaleFit s = fit_scale(f, y);
+  EXPECT_NEAR(s.a, 4.0, 1e-9);
+  EXPECT_NEAR(s.rel_rms, 0.0, 1e-9);
+}
+
+TEST(Stats, BestModelPicksTheRightCurve) {
+  // y grows like x^2; offer x and x^2.
+  std::vector<double> y, m1, m2;
+  for (double x = 1; x <= 20; ++x) {
+    y.push_back(3 * x * x);
+    m1.push_back(x);
+    m2.push_back(x * x);
+  }
+  const ModelChoice c = best_model(
+      y, {{"linear", m1}, {"quadratic", m2}});
+  EXPECT_EQ(c.name, "quadratic");
+  EXPECT_NEAR(c.fit.a, 3.0, 1e-9);
+}
+
+TEST(Stats, LgClampsSmallValues) {
+  EXPECT_DOUBLE_EQ(lg(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(lg(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(lg(8.0), 3.0);
+}
+
+// ---- arena ------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreDistinctAndAligned) {
+  Arena a(128);
+  std::vector<std::uint64_t*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    auto* p = a.create<std::uint64_t>(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t), 0u);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(*ptrs[i], static_cast<std::uint64_t>(i));
+}
+
+TEST(Arena, GrowsPastChunkSize) {
+  Arena a(64);
+  // 100 * 64 bytes blows well past the first chunk.
+  for (int i = 0; i < 100; ++i) {
+    auto* p = static_cast<char*>(a.allocate(64, 8));
+    std::memset(p, i, 64);
+  }
+  EXPECT_GE(a.bytes_used(), 64u * 100u);
+}
+
+TEST(Arena, CreateArrayZeroInitializes) {
+  Arena a;
+  int* xs = a.create_array<int>(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(xs[i], 0);
+  EXPECT_EQ(a.create_array<int>(0), nullptr);
+}
+
+TEST(Arena, ResetReclaims) {
+  Arena a(1 << 12);
+  a.allocate(100, 8);
+  a.reset();
+  EXPECT_EQ(a.bytes_used(), 0u);
+  auto* p = a.create<int>(7);
+  EXPECT_EQ(*p, 7);
+}
+
+// ---- cli --------------------------------------------------------------------
+
+TEST(Cli, DefaultsAndOverrides) {
+  const char* argv[] = {"prog", "--n=42", "--name", "bench", "--flag"};
+  Cli cli(5, const_cast<char**>(argv),
+          {{"n", "1"}, {"name", "x"}, {"flag", "0"}, {"untouched", "9"}});
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_EQ(cli.get_str("name"), "bench");
+  EXPECT_TRUE(cli.get_bool("flag"));
+  EXPECT_EQ(cli.get_int("untouched"), 9);
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--x=2.5"};
+  Cli cli(2, const_cast<char**>(argv), {{"x", "0"}});
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 2.5);
+}
+
+// ---- table ------------------------------------------------------------------
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(Table, PrintsAllCells) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  // Render to a memstream and check content.
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* f = open_memstream(&buf, &len);
+  t.print(f);
+  std::fclose(f);
+  std::string s(buf, len);
+  free(buf);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwf

@@ -1,0 +1,621 @@
+// Tests for Sections 3.2–3.3: treap construction, pipelined splitm / union /
+// difference / join, strict baselines, the SeqTreap oracle, and the paper's
+// τ-value / depth / work properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <map>
+
+#include "costmodel/engine.hpp"
+#include "support/random.hpp"
+#include "treap/map_union.hpp"
+#include "treap/seq_treap.hpp"
+#include "treap/setops.hpp"
+#include "treap/treap.hpp"
+
+namespace pwf::treap {
+namespace {
+
+std::vector<Key> random_keys(std::size_t n, std::uint64_t seed,
+                             std::int64_t universe = 1 << 24) {
+  Rng rng(seed);
+  std::set<Key> s;
+  while (s.size() < n) s.insert(rng.range(0, universe));
+  return {s.begin(), s.end()};
+}
+
+std::vector<Key> set_union_ref(const std::vector<Key>& a,
+                               const std::vector<Key>& b) {
+  std::vector<Key> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<Key> set_diff_ref(const std::vector<Key>& a,
+                              const std::vector<Key>& b) {
+  std::vector<Key> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<Key> set_intersect_ref(const std::vector<Key>& a,
+                                   const std::vector<Key>& b) {
+  std::vector<Key> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(TreapBuild, ValidAndOrdered) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto keys = random_keys(2000, 1);
+  Node* root = st.build(keys);
+  EXPECT_TRUE(validate(st, root));
+  std::vector<Key> got;
+  collect_inorder(root, got);
+  EXPECT_EQ(got, keys);
+  EXPECT_EQ(count_nodes(root), keys.size());
+}
+
+TEST(TreapBuild, HeightIsLogarithmicInExpectation) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto keys = random_keys(1 << 14, 2);
+  Node* root = st.build(keys);
+  // Expected height ~ 3 lg n; allow ample slack but reject linear height.
+  EXPECT_LT(height(root), 8 * 14);
+}
+
+TEST(TreapBuild, DeduplicatesInput) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> keys{5, 1, 5, 3, 1};
+  Node* root = st.build(keys);
+  std::vector<Key> got;
+  collect_inorder(root, got);
+  EXPECT_EQ(got, (std::vector<Key>{1, 3, 5}));
+}
+
+TEST(TreapBuild, Empty) {
+  cm::Engine eng;
+  Store st(eng);
+  EXPECT_EQ(st.build({}), nullptr);
+}
+
+TEST(Splitm, ExcludesFoundSplitter) {
+  cm::Engine eng;
+  Store st(eng);
+  const std::vector<Key> keys{1, 3, 5, 7, 9};
+  Node* root = st.build(keys);
+  TreapCell* l = st.cell();
+  TreapCell* r = st.cell();
+  auto* eq = eng.new_cell<Node*>();
+  eng.fork([&] { splitm_from(st, 5, root, l, r, eq); });
+  std::vector<Key> lv, rv;
+  collect_inorder(peek(l), lv);
+  collect_inorder(peek(r), rv);
+  EXPECT_EQ(lv, (std::vector<Key>{1, 3}));
+  EXPECT_EQ(rv, (std::vector<Key>{7, 9}));
+  ASSERT_NE(eq->value, nullptr);
+  EXPECT_EQ(eq->value->key, 5);
+}
+
+TEST(Splitm, AbsentSplitterReportsNull) {
+  cm::Engine eng;
+  Store st(eng);
+  Node* root = st.build(std::vector<Key>{1, 3, 5});
+  TreapCell* l = st.cell();
+  TreapCell* r = st.cell();
+  auto* eq = eng.new_cell<Node*>();
+  eng.fork([&] { splitm_from(st, 4, root, l, r, eq); });
+  std::vector<Key> lv, rv;
+  collect_inorder(peek(l), lv);
+  collect_inorder(peek(r), rv);
+  EXPECT_EQ(lv, (std::vector<Key>{1, 3}));
+  EXPECT_EQ(rv, (std::vector<Key>{5}));
+  EXPECT_EQ(eq->value, nullptr);
+}
+
+TEST(Join, InterleavesByPriority) {
+  cm::Engine eng;
+  Store st(eng);
+  Node* a = st.build(std::vector<Key>{1, 2, 3, 4});
+  Node* b = st.build(std::vector<Key>{10, 11, 12});
+  TreapCell* out = st.cell();
+  eng.fork([&] { join_from(st, a, b, out); });
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, (std::vector<Key>{1, 2, 3, 4, 10, 11, 12}));
+  EXPECT_TRUE(validate(st, peek(out)));
+}
+
+TEST(Join, EmptySides) {
+  cm::Engine eng;
+  Store st(eng);
+  Node* a = st.build(std::vector<Key>{1, 2});
+  {
+    TreapCell* out = st.cell();
+    eng.fork([&] { join_from(st, a, nullptr, out); });
+    EXPECT_EQ(peek(out), a);
+  }
+  {
+    TreapCell* out = st.cell();
+    eng.fork([&] { join_from(st, nullptr, nullptr, out); });
+    EXPECT_EQ(peek(out), nullptr);
+  }
+}
+
+struct SetOpCase {
+  std::size_t n, m;
+  double overlap;  // fraction of m drawn from a's keys
+  std::uint64_t seed;
+};
+
+class SetOps : public ::testing::TestWithParam<SetOpCase> {
+ protected:
+  void build_inputs() {
+    const auto& [n, m, overlap, seed] = GetParam();
+    a_ = random_keys(n, seed * 2 + 1);
+    Rng rng(seed * 2 + 2);
+    std::set<Key> bset;
+    const std::size_t from_a =
+        std::min(static_cast<std::size_t>(overlap * static_cast<double>(m)),
+                 a_.size());
+    while (bset.size() < from_a && !a_.empty())
+      bset.insert(a_[rng.below(a_.size())]);
+    while (bset.size() < m) bset.insert(rng.range(0, 1 << 24));
+    b_.assign(bset.begin(), bset.end());
+  }
+  std::vector<Key> a_, b_;
+};
+
+TEST_P(SetOps, PipelinedUnionMatchesReference) {
+  build_inputs();
+  cm::Engine eng;
+  Store st(eng);
+  TreapCell* out = union_treaps(st, st.input(st.build(a_)),
+                                st.input(st.build(b_)));
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, set_union_ref(a_, b_));
+  EXPECT_TRUE(validate(st, peek(out)));
+  EXPECT_EQ(eng.nonlinear_reads(), 0u);  // linear code
+}
+
+TEST_P(SetOps, PipelinedDiffMatchesReference) {
+  build_inputs();
+  cm::Engine eng;
+  Store st(eng);
+  TreapCell* out =
+      diff_treaps(st, st.input(st.build(a_)), st.input(st.build(b_)));
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, set_diff_ref(a_, b_));
+  EXPECT_TRUE(validate(st, peek(out)));
+  EXPECT_EQ(eng.nonlinear_reads(), 0u);
+}
+
+TEST_P(SetOps, PipelinedIntersectMatchesReference) {
+  build_inputs();
+  cm::Engine eng;
+  Store st(eng);
+  TreapCell* out =
+      intersect_treaps(st, st.input(st.build(a_)), st.input(st.build(b_)));
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, set_intersect_ref(a_, b_));
+  EXPECT_TRUE(validate(st, peek(out)));
+  EXPECT_EQ(eng.nonlinear_reads(), 0u);
+}
+
+TEST_P(SetOps, StrictIntersectMatchesReference) {
+  build_inputs();
+  cm::Engine eng;
+  Store st(eng);
+  Node* res = intersect_strict(st, st.build(a_), st.build(b_));
+  std::vector<Key> got;
+  collect_inorder(res, got);
+  EXPECT_EQ(got, set_intersect_ref(a_, b_));
+  EXPECT_TRUE(validate(st, res));
+}
+
+TEST_P(SetOps, SeqTreapIntersectMatchesReference) {
+  build_inputs();
+  SeqTreap ta = SeqTreap::from_keys(a_);
+  ta.intersect(SeqTreap::from_keys(b_));
+  EXPECT_EQ(ta.keys(), set_intersect_ref(a_, b_));
+  EXPECT_TRUE(ta.validate());
+  EXPECT_EQ(ta.size(), set_intersect_ref(a_, b_).size());
+}
+
+TEST_P(SetOps, StrictVariantsMatchReference) {
+  build_inputs();
+  {
+    cm::Engine eng;
+    Store st(eng);
+    Node* res = union_strict(st, st.build(a_), st.build(b_));
+    std::vector<Key> got;
+    collect_inorder(res, got);
+    EXPECT_EQ(got, set_union_ref(a_, b_));
+    EXPECT_TRUE(validate(st, res));
+  }
+  {
+    cm::Engine eng;
+    Store st(eng);
+    Node* res = diff_strict(st, st.build(a_), st.build(b_));
+    std::vector<Key> got;
+    collect_inorder(res, got);
+    EXPECT_EQ(got, set_diff_ref(a_, b_));
+    EXPECT_TRUE(validate(st, res));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SetOps,
+    ::testing::Values(SetOpCase{0, 0, 0, 1}, SetOpCase{1, 0, 0, 2},
+                      SetOpCase{0, 1, 0, 3}, SetOpCase{1, 1, 1.0, 4},
+                      SetOpCase{100, 100, 0.0, 5},
+                      SetOpCase{100, 100, 0.5, 6},
+                      SetOpCase{100, 100, 1.0, 7},
+                      SetOpCase{1000, 50, 0.3, 8},
+                      SetOpCase{50, 1000, 0.1, 9},
+                      SetOpCase{4096, 4096, 0.25, 10},
+                      SetOpCase{2048, 2048, 0.9, 11},
+                      SetOpCase{3000, 10, 1.0, 12}));
+
+TEST(IntersectDepth, ExpectedlyLogarithmic) {
+  const std::size_t n = 1 << 13;
+  double total = 0;
+  const int kSeeds = 5;
+  for (int s = 0; s < kSeeds; ++s) {
+    const auto a = random_keys(n, 700 + s);
+    auto b = random_keys(n / 2, 800 + s);
+    for (std::size_t i = 0; i < b.size() / 2 && i * 2 < a.size(); ++i)
+      b[i] = a[i * 2];
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    cm::Engine eng;
+    Store st(eng);
+    intersect_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+    total += static_cast<double>(eng.depth());
+  }
+  EXPECT_LT(total / kSeeds, 60.0 * 2.0 * std::log2(static_cast<double>(n)));
+}
+
+TEST(Intersect, DisjointSetsGiveEmpty) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> a{1, 3, 5}, b{2, 4, 6};
+  TreapCell* out =
+      intersect_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+  EXPECT_EQ(peek(out), nullptr);
+}
+
+TEST(Intersect, IdenticalSetsGiveSameSet) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto a = random_keys(500, 55);
+  TreapCell* out =
+      intersect_treaps(st, st.input(st.build(a)), st.input(st.build(a)));
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, a);
+}
+
+TEST(UnionDepth, ExpectedlyLogarithmic) {
+  // Corollary 3.6: expected depth O(lg n + lg m). Average over seeds.
+  for (std::size_t n : {1u << 10, 1u << 13}) {
+    double total = 0;
+    const int kSeeds = 5;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto a = random_keys(n, 100 + s);
+      const auto b = random_keys(n, 200 + s);
+      cm::Engine eng;
+      Store st(eng);
+      union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+      total += static_cast<double>(eng.depth());
+    }
+    const double avg = total / kSeeds;
+    EXPECT_LT(avg, 40.0 * 2.0 * std::log2(static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(UnionDepth, PipelinedBeatsStrict) {
+  const std::size_t n = 1 << 13;
+  const auto a = random_keys(n, 31);
+  const auto b = random_keys(n, 32);
+  double piped, strict;
+  {
+    cm::Engine eng;
+    Store st(eng);
+    union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+    piped = static_cast<double>(eng.depth());
+  }
+  {
+    cm::Engine eng;
+    Store st(eng);
+    union_strict(st, st.build(a), st.build(b));
+    strict = static_cast<double>(eng.depth());
+  }
+  EXPECT_GT(strict, 1.5 * piped);
+}
+
+TEST(UnionWork, SublinearForSmallM) {
+  // Theorem 3.7: O(m lg(n/m)) — with m = 32, n = 2^15 work must be far below n.
+  const auto a = random_keys(1 << 15, 41);
+  const auto b = random_keys(32, 42);
+  cm::Engine eng;
+  Store st(eng);
+  union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+  EXPECT_LT(eng.work(), 1u << 14);
+}
+
+TEST(DiffDepth, ExpectedlyLogarithmic) {
+  // Corollary 3.12.
+  const std::size_t n = 1 << 13;
+  double total = 0;
+  const int kSeeds = 5;
+  for (int s = 0; s < kSeeds; ++s) {
+    const auto a = random_keys(n, 300 + s);
+    auto b = random_keys(n / 2, 400 + s);
+    // Make half of b come from a so joins actually happen.
+    for (std::size_t i = 0; i < b.size() / 2 && i < a.size(); ++i)
+      b[i] = a[i * 2];
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    cm::Engine eng;
+    Store st(eng);
+    diff_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+    total += static_cast<double>(eng.depth());
+  }
+  EXPECT_LT(total / kSeeds, 60.0 * 2.0 * std::log2(static_cast<double>(n)));
+}
+
+// ---- Lemma 3.4: tau-values for splitm ----------------------------------------
+
+TEST(TauValues, SplitmResultsSatisfyLemma34) {
+  // Call splitm at a known time t on a treap whose nodes are all available
+  // at time 0 (τ = 0). Lemma 3.4: for each result tree T' and node v in it,
+  //   t(v) <= max{t, τ} + ks (1 + h(T) - h(v)).
+  // Freshly created nodes carry their creation stamp; untouched input
+  // subtrees keep stamp 0 and satisfy the bound trivially.
+  const auto keys = random_keys(4000, 77);
+  cm::Engine eng;
+  Store st(eng);
+  Node* root = st.build(keys);
+  const int hT = height(root);
+  eng.steps(17);  // make the call time t nonzero
+  const double t = static_cast<double>(eng.now());
+  TreapCell* l = st.cell();
+  TreapCell* r = st.cell();
+  eng.fork([&] { splitm_from(st, keys[keys.size() / 3] + 1, root, l, r,
+                             nullptr); });
+  constexpr double ks = 8.0;  // generous constant for our action counts
+  struct Walk {
+    double t, ks;
+    int hT;
+    void check(const Node* v) {
+      if (v == nullptr) return;
+      const int hv = height(v);
+      EXPECT_LE(static_cast<double>(v->created),
+                t + ks * (1 + hT - hv))
+          << "node key " << v->key;
+      check(peek(v->left));
+      check(peek(v->right));
+    }
+  };
+  Walk{t, ks, hT}.check(peek(l));
+  Walk{t, ks, hT}.check(peek(r));
+}
+
+// ---- bulk-update wrappers -------------------------------------------------------
+
+TEST(BulkWrappers, InsertAndEraseKeys) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto base = random_keys(800, 61);
+  const auto add = random_keys(300, 62);
+  const auto del = random_keys(200, 63);
+  TreapCell* t = st.input(st.build(base));
+  t = insert_keys(st, t, add);
+  t = erase_keys(st, t, del);
+  std::set<Key> ref(base.begin(), base.end());
+  ref.insert(add.begin(), add.end());
+  for (Key k : del) ref.erase(k);
+  std::vector<Key> got;
+  collect_inorder(peek(t), got);
+  EXPECT_EQ(got, std::vector<Key>(ref.begin(), ref.end()));
+  EXPECT_TRUE(validate(st, peek(t)));
+}
+
+TEST(BulkWrappers, EmptyBatchesReturnSameCell) {
+  cm::Engine eng;
+  Store st(eng);
+  TreapCell* t = st.input(st.build(random_keys(10, 64)));
+  EXPECT_EQ(insert_keys(st, t, {}), t);
+  EXPECT_EQ(erase_keys(st, t, {}), t);
+}
+
+// ---- value-merging union (map_union) -------------------------------------------
+
+TEST(MapUnion, SumsSharedKeys) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<std::pair<Key, std::int64_t>> a{{1, 10}, {2, 20}, {3, 30}};
+  std::vector<std::pair<Key, std::int64_t>> b{{2, 200}, {4, 400}};
+  TreapCell* out =
+      union_merge(st, st.input(build_map(st, a)), st.input(build_map(st, b)),
+                  [](std::int64_t x, std::int64_t y) { return x + y; });
+  std::vector<std::pair<Key, std::int64_t>> got;
+  collect_items(peek(out), got);
+  EXPECT_EQ(got, (std::vector<std::pair<Key, std::int64_t>>{
+                     {1, 10}, {2, 220}, {3, 30}, {4, 400}}));
+  EXPECT_TRUE(validate(st, peek(out)));
+  EXPECT_EQ(eng.nonlinear_reads(), 0u);
+}
+
+TEST(MapUnion, OperandOrderIsByMapNotPriority) {
+  cm::Engine eng;
+  Store st(eng);
+  Rng rng(71);
+  std::vector<std::pair<Key, std::int64_t>> a, b;
+  std::map<Key, std::int64_t> ref;
+  for (Key k = 0; k < 600; ++k) {
+    if (rng.coin()) {
+      a.emplace_back(k, 1000 + k);
+      ref[k] = 1000 + k;
+    }
+    if (rng.coin()) {
+      b.emplace_back(k, 2000 + k);
+      ref[k] = 2000 + k;  // "b wins"
+    }
+  }
+  TreapCell* out =
+      union_merge(st, st.input(build_map(st, a)), st.input(build_map(st, b)),
+                  [](std::int64_t, std::int64_t bv) { return bv; });
+  std::vector<std::pair<Key, std::int64_t>> got;
+  collect_items(peek(out), got);
+  EXPECT_EQ(got, (std::vector<std::pair<Key, std::int64_t>>(ref.begin(),
+                                                            ref.end())));
+}
+
+TEST(MapUnion, DepthStaysLogarithmic) {
+  // The eq-wait per node resembles diff's ascending information; expected
+  // depth must stay O(lg n + lg m).
+  const std::size_t n = 1 << 13;
+  double total = 0;
+  const int kSeeds = 4;
+  for (int s = 0; s < kSeeds; ++s) {
+    const auto ka = random_keys(n, 500 + s);
+    const auto kb = random_keys(n, 600 + s);
+    std::vector<std::pair<Key, std::int64_t>> a, b;
+    for (Key k : ka) a.emplace_back(k, 1);
+    for (Key k : kb) b.emplace_back(k, 1);
+    cm::Engine eng;
+    Store st(eng);
+    union_merge(st, st.input(build_map(st, a)), st.input(build_map(st, b)),
+                [](std::int64_t x, std::int64_t y) { return x + y; });
+    total += static_cast<double>(eng.depth());
+  }
+  EXPECT_LT(total / kSeeds, 60.0 * 2.0 * std::log2(static_cast<double>(n)));
+}
+
+// ---- Theorem 3.5 pointwise: union result timestamps -----------------------------
+
+TEST(UnionTimestamps, ResultBoundedByHeightSum) {
+  // Theorem 3.5: calling union at time t on ready treaps, every node of the
+  // result has t(v) <= t + O(h(T1) + h(T2)).
+  const auto a = random_keys(4000, 81);
+  const auto b = random_keys(4000, 82);
+  cm::Engine eng;
+  Store st(eng);
+  Node* ra = st.build(a);
+  Node* rb = st.build(b);
+  const int h_sum = height(ra) + height(rb);
+  eng.steps(13);
+  const double t = static_cast<double>(eng.now());
+  TreapCell* out = union_treaps(st, st.input(ra), st.input(rb));
+  const double max_ts = static_cast<double>(max_created(peek(out)));
+  EXPECT_LE(max_ts, t + 12.0 * h_sum);
+}
+
+// ---- Lemma 3.10: rho-values for join ------------------------------------------
+
+TEST(RhoValues, JoinResultSatisfiesLemma310) {
+  // Join two ready treaps (ρ = 0) at time t: Lemma 3.10 says the result has
+  // a valid ρ-value max{t, ρ1, ρ2} + k, i.e. every node v satisfies
+  //   t(v) <= (t + k) + k * depth(v).
+  // Input nodes keep stamp 0; freshly created spine nodes carry their
+  // publication time.
+  const auto keys = random_keys(4000, 99);
+  const std::vector<Key> lo(keys.begin(), keys.begin() + 2000);
+  const std::vector<Key> hi(keys.begin() + 2000, keys.end());
+  cm::Engine eng;
+  Store st(eng);
+  Node* t1 = st.build(lo);
+  Node* t2 = st.build(hi);
+  eng.steps(9);  // nonzero call time
+  const double t_call = static_cast<double>(eng.now());
+  TreapCell* out = st.cell();
+  eng.fork([&] { join_from(st, t1, t2, out); });
+  constexpr double k = 8.0;
+  struct Walk {
+    double t_call, k;
+    void check(const Node* v, int depth) {
+      if (v == nullptr) return;
+      EXPECT_LE(static_cast<double>(v->created),
+                (t_call + k) + k * (depth + 1))
+          << "key " << v->key << " at depth " << depth;
+      check(peek(v->left), depth + 1);
+      check(peek(v->right), depth + 1);
+    }
+  };
+  Walk{t_call, k}.check(peek(out), 0);
+}
+
+// ---- SeqTreap oracle -----------------------------------------------------------
+
+TEST(SeqTreap, InsertEraseContains) {
+  SeqTreap t;
+  Rng rng(5);
+  std::set<Key> ref;
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = rng.range(0, 500);
+    if (rng.coin()) {
+      t.insert(k);
+      ref.insert(k);
+    } else {
+      EXPECT_EQ(t.erase(k), ref.erase(k) > 0);
+    }
+    if (i % 512 == 0) {
+      EXPECT_TRUE(t.validate());
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_EQ(t.keys(), std::vector<Key>(ref.begin(), ref.end()));
+  for (Key k = 0; k <= 500; ++k) EXPECT_EQ(t.contains(k), ref.count(k) > 0);
+}
+
+TEST(SeqTreap, UniteAndSubtractMatchStdSet) {
+  const auto a = random_keys(700, 8);
+  const auto b = random_keys(900, 9);
+  {
+    SeqTreap ta = SeqTreap::from_keys(a);
+    SeqTreap tb = SeqTreap::from_keys(b);
+    ta.unite(std::move(tb));
+    EXPECT_EQ(ta.keys(), set_union_ref(a, b));
+    EXPECT_TRUE(ta.validate());
+  }
+  {
+    SeqTreap ta = SeqTreap::from_keys(a);
+    SeqTreap tb = SeqTreap::from_keys(b);
+    ta.subtract(std::move(tb));
+    EXPECT_EQ(ta.keys(), set_diff_ref(a, b));
+    EXPECT_TRUE(ta.validate());
+  }
+}
+
+TEST(SeqTreap, AgreesWithParallelUnion) {
+  const auto a = random_keys(512, 21);
+  const auto b = random_keys(512, 22);
+  SeqTreap sa = SeqTreap::from_keys(a);
+  sa.unite(SeqTreap::from_keys(b));
+  cm::Engine eng;
+  Store st(eng);
+  TreapCell* out =
+      union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, sa.keys());
+}
+
+}  // namespace
+}  // namespace pwf::treap

@@ -1,0 +1,313 @@
+// Tests for Section 3.1: pipelined binary-tree merge, the strict baseline,
+// and the rebalance extension — correctness against an independent oracle
+// plus the paper's depth/work bounds as properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "costmodel/engine.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "trees/merge.hpp"
+#include "trees/rebalance.hpp"
+#include "trees/tree.hpp"
+
+namespace pwf::trees {
+namespace {
+
+// Disjoint odd/even key sets of the given sizes, or random interleaved sets.
+std::pair<std::vector<Key>, std::vector<Key>> make_inputs(std::size_t n,
+                                                          std::size_t m,
+                                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> pool;
+  pool.reserve(2 * (n + m));
+  for (std::size_t i = 0; i < 2 * (n + m); ++i)
+    pool.push_back(static_cast<Key>(i) * 3 + static_cast<Key>(rng.below(3)));
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  std::shuffle(pool.begin(), pool.end(), rng);
+  PWF_CHECK(pool.size() >= n + m);
+  std::vector<Key> a(pool.begin(), pool.begin() + n);
+  std::vector<Key> b(pool.begin() + n, pool.begin() + n + m);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return {a, b};
+}
+
+TEST(Tree, BuildBalancedShapeAndOrder) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> keys;
+  for (Key k = 0; k < 1000; ++k) keys.push_back(2 * k);
+  Node* root = st.build_balanced(keys);
+  EXPECT_TRUE(is_sorted_bst(root));
+  EXPECT_EQ(count_nodes(root), 1000u);
+  EXPECT_LE(height(root), 10);  // ceil(lg 1001)
+  std::vector<Key> got;
+  collect_inorder(root, got);
+  EXPECT_EQ(got, keys);
+}
+
+TEST(Tree, BuildBalancedEmptyAndSingleton) {
+  cm::Engine eng;
+  Store st(eng);
+  EXPECT_EQ(st.build_balanced({}), nullptr);
+  std::vector<Key> one{42};
+  Node* root = st.build_balanced(one);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->key, 42);
+  EXPECT_EQ(height(root), 1);
+}
+
+TEST(Split, PartitionsByKey) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> keys{1, 3, 5, 7, 9, 11, 13};
+  Node* root = st.build_balanced(keys);
+  TreeCell* outL = st.cell();
+  TreeCell* outR = st.cell();
+  eng.fork([&] { split_from(st, 8, root, outL, outR); });
+  std::vector<Key> l, r;
+  collect_inorder(peek(outL), l);
+  collect_inorder(peek(outR), r);
+  EXPECT_EQ(l, (std::vector<Key>{1, 3, 5, 7}));
+  EXPECT_EQ(r, (std::vector<Key>{9, 11, 13}));
+  EXPECT_TRUE(is_sorted_bst(peek(outL)));
+  EXPECT_TRUE(is_sorted_bst(peek(outR)));
+}
+
+TEST(Split, SplitterEqualToKeyGoesRight) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> keys{1, 2, 3};
+  Node* root = st.build_balanced(keys);
+  TreeCell* outL = st.cell();
+  TreeCell* outR = st.cell();
+  eng.fork([&] { split_from(st, 2, root, outL, outR); });
+  std::vector<Key> l, r;
+  collect_inorder(peek(outL), l);
+  collect_inorder(peek(outR), r);
+  EXPECT_EQ(l, (std::vector<Key>{1}));
+  EXPECT_EQ(r, (std::vector<Key>{2, 3}));  // >= side keeps the equal key
+}
+
+TEST(Split, ExtremeSplitters) {
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> keys{10, 20, 30};
+  Node* root = st.build_balanced(keys);
+  TreeCell* l1 = st.cell();
+  TreeCell* r1 = st.cell();
+  eng.fork([&] { split_from(st, -100, root, l1, r1); });
+  EXPECT_EQ(peek(l1), nullptr);
+  std::vector<Key> r;
+  collect_inorder(peek(r1), r);
+  EXPECT_EQ(r, keys);
+}
+
+TEST(Split, EmptyTree) {
+  cm::Engine eng;
+  Store st(eng);
+  TreeCell* l = st.cell();
+  TreeCell* r = st.cell();
+  eng.fork([&] { split_from(st, 5, nullptr, l, r); });
+  EXPECT_EQ(peek(l), nullptr);
+  EXPECT_EQ(peek(r), nullptr);
+}
+
+struct MergeCase {
+  std::size_t n, m;
+  std::uint64_t seed;
+};
+
+class MergeCorrectness : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MergeCorrectness, PipelinedMatchesReference) {
+  const auto [n, m, seed] = GetParam();
+  auto [a, b] = make_inputs(n, m, seed);
+  cm::Engine eng;
+  Store st(eng);
+  TreeCell* ta = st.input(st.build_balanced(a));
+  TreeCell* tb = st.input(st.build_balanced(b));
+  TreeCell* out = merge(st, ta, tb);
+  std::vector<Key> got;
+  collect_inorder(peek(out), got);
+  EXPECT_EQ(got, merge_reference(a, b));
+  EXPECT_TRUE(is_sorted_bst(peek(out)));
+  // The merge code is linear: every future cell is read at most once.
+  EXPECT_EQ(eng.nonlinear_reads(), 0u);
+  EXPECT_LE(eng.max_cell_reads(), 1u);
+}
+
+TEST_P(MergeCorrectness, StrictMatchesReference) {
+  const auto [n, m, seed] = GetParam();
+  auto [a, b] = make_inputs(n, m, seed);
+  cm::Engine eng;
+  Store st(eng);
+  Node* res = merge_strict(st, st.build_balanced(a), st.build_balanced(b));
+  std::vector<Key> got;
+  collect_inorder(res, got);
+  EXPECT_EQ(got, merge_reference(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MergeCorrectness,
+    ::testing::Values(MergeCase{0, 0, 1}, MergeCase{1, 0, 2},
+                      MergeCase{0, 1, 3}, MergeCase{1, 1, 4},
+                      MergeCase{7, 3, 5}, MergeCase{64, 64, 6},
+                      MergeCase{100, 1000, 7}, MergeCase{1000, 100, 8},
+                      MergeCase{4096, 4096, 9}, MergeCase{5000, 31, 10},
+                      MergeCase{333, 777, 11}));
+
+TEST(MergeDepth, PipelinedIsLogarithmic) {
+  // Theorem 3.1: depth O(lg n + lg m). Check depth / (lg n + lg m) stays
+  // bounded by a modest constant across a wide size range.
+  for (std::size_t n : {1u << 8, 1u << 10, 1u << 12, 1u << 14}) {
+    auto [a, b] = make_inputs(n, n, n);
+    cm::Engine eng;
+    Store st(eng);
+    TreeCell* out = merge(st, st.input(st.build_balanced(a)),
+                          st.input(st.build_balanced(b)));
+    (void)out;
+    const double bound = 2.0 * std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(eng.depth()), 14.0 * bound)
+        << "n=m=" << n << " depth=" << eng.depth();
+  }
+}
+
+TEST(MergeDepth, PipelinedBeatsStrictAsymptotically) {
+  // The ratio strict/pipelined should grow with n (Θ(lg n) vs Θ(lg² n)).
+  double prev_ratio = 0;
+  for (std::size_t n : {1u << 8, 1u << 11, 1u << 14}) {
+    auto [a, b] = make_inputs(n, n, 99);
+    double piped, strict;
+    {
+      cm::Engine eng;
+      Store st(eng);
+      merge(st, st.input(st.build_balanced(a)),
+            st.input(st.build_balanced(b)));
+      piped = static_cast<double>(eng.depth());
+    }
+    {
+      cm::Engine eng;
+      Store st(eng);
+      merge_strict(st, st.build_balanced(a), st.build_balanced(b));
+      strict = static_cast<double>(eng.depth());
+    }
+    const double ratio = strict / piped;
+    EXPECT_GT(ratio, prev_ratio) << "n=" << n;
+    prev_ratio = ratio;
+  }
+  // The pipelined version has larger per-level constants, so the Θ(lg n)
+  // advantage emerges gradually; at n = 2^14 the ratio is ~1.7 and growing
+  // (bench E1 shows it keep widening at larger n).
+  EXPECT_GT(prev_ratio, 1.5);
+}
+
+TEST(MergeWork, NearlyLinearWhenSizesEqual) {
+  // Work O(m lg(n/m)) = O(n) when n = m.
+  auto [a, b] = make_inputs(1 << 13, 1 << 13, 5);
+  cm::Engine eng;
+  Store st(eng);
+  merge(st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+  EXPECT_LT(eng.work(), 40u * (1 << 13));
+}
+
+TEST(MergeWork, SublinearInLargeTreeWhenSmallTreeTiny) {
+  // Work O(m lg(n/m)): with m = 16 and n = 2^15 the merge must not walk all
+  // of n.
+  auto [a, b] = make_inputs(1 << 15, 16, 6);
+  cm::Engine eng;
+  Store st(eng);
+  merge(st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+  EXPECT_LT(eng.work(), 5000u);  // ~ 16 * 15 * c, far below 2^15
+}
+
+// ---- rebalance ----------------------------------------------------------------
+
+TEST(Rebalance, ProducesBalancedTreeWithSameKeys) {
+  auto [a, b] = make_inputs(3000, 500, 7);
+  cm::Engine eng;
+  Store st(eng);
+  TreeCell* merged = merge(st, st.input(st.build_balanced(a)),
+                           st.input(st.build_balanced(b)));
+  TreeCell* balanced = rebalance(st, merged);
+  std::vector<Key> got;
+  collect_inorder(peek(balanced), got);
+  EXPECT_EQ(got, merge_reference(a, b));
+  EXPECT_TRUE(is_sorted_bst(peek(balanced)));
+  const double nn = static_cast<double>(got.size());
+  EXPECT_LE(height(peek(balanced)),
+            static_cast<int>(std::ceil(std::log2(nn + 1))) + 1);
+}
+
+TEST(Rebalance, DepthStaysLogarithmic) {
+  auto [a, b] = make_inputs(1 << 12, 1 << 12, 8);
+  cm::Engine eng;
+  Store st(eng);
+  TreeCell* merged = merge(st, st.input(st.build_balanced(a)),
+                           st.input(st.build_balanced(b)));
+  TreeCell* balanced = rebalance(st, merged);
+  (void)balanced;
+  const double bound = 2.0 * std::log2(static_cast<double>(1 << 12));
+  EXPECT_LT(static_cast<double>(eng.depth()), 25.0 * bound);
+}
+
+TEST(Rebalance, WorkIsLinear) {
+  auto [a, b] = make_inputs(1 << 12, 1 << 12, 9);
+  cm::Engine eng;
+  Store st(eng);
+  TreeCell* merged = merge(st, st.input(st.build_balanced(a)),
+                           st.input(st.build_balanced(b)));
+  const std::uint64_t w_merge = eng.work();
+  rebalance(st, merged);
+  EXPECT_LT(eng.work() - w_merge, 60u * (2u << 12));
+}
+
+TEST(Rebalance, TinyTrees) {
+  for (std::size_t n : {1u, 2u, 3u, 5u}) {
+    std::vector<Key> keys;
+    for (std::size_t i = 0; i < n; ++i) keys.push_back(static_cast<Key>(i));
+    cm::Engine eng;
+    Store st(eng);
+    TreeCell* in = st.input(st.build_balanced(keys));
+    TreeCell* out = rebalance(st, in);
+    std::vector<Key> got;
+    collect_inorder(peek(out), got);
+    EXPECT_EQ(got, keys);
+  }
+}
+
+// ---- timestamps / tau-values ----------------------------------------------------
+
+TEST(MergeTimestamps, ResultNodesRespectTauStyleBound) {
+  // A coarse check of the Lemma 3.4 flavour: every node's creation time is
+  // at most c * (lg n + lg m + (h(T) - h(v))) for a modest c — i.e. delays
+  // are always compensated by height decreases.
+  auto [a, b] = make_inputs(1 << 10, 1 << 10, 12);
+  cm::Engine eng;
+  Store st(eng);
+  TreeCell* out = merge(st, st.input(st.build_balanced(a)),
+                        st.input(st.build_balanced(b)));
+  Node* root = peek(out);
+  const int h_root = height(root);
+  const double base = 2.0 * std::log2(1 << 10);
+  struct Walk {
+    int h_root;
+    double base;
+    void check(const Node* v, int depth_from_root) {
+      if (v == nullptr) return;
+      EXPECT_LT(static_cast<double>(v->created),
+                14.0 * (base + static_cast<double>(depth_from_root) + 1));
+      check(peek(v->left), depth_from_root + 1);
+      check(peek(v->right), depth_from_root + 1);
+    }
+  };
+  Walk{h_root, base}.check(root, 0);
+}
+
+}  // namespace
+}  // namespace pwf::trees

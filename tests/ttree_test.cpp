@@ -1,0 +1,316 @@
+// Tests for Section 3.4: 2-6 tree structure, the level-array decomposition,
+// pipelined and strict bulk insertion, and the γ-value property behind
+// Theorem 3.13.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "costmodel/engine.hpp"
+#include "support/random.hpp"
+#include "ttree/handpipe.hpp"
+#include "ttree/insert.hpp"
+#include "ttree/ttree.hpp"
+
+namespace pwf::ttree {
+namespace {
+
+std::vector<Key> random_keys(std::size_t n, std::uint64_t seed,
+                             std::int64_t universe = 1 << 24) {
+  Rng rng(seed);
+  std::set<Key> s;
+  while (s.size() < n) s.insert(rng.range(0, universe));
+  return {s.begin(), s.end()};
+}
+
+TEST(Build, ValidForBothFanouts) {
+  cm::Engine eng;
+  Store st(eng);
+  for (int fanout : {3, 6}) {
+    for (std::size_t n : {1u, 2u, 5u, 6u, 7u, 40u, 1000u, 4096u}) {
+      const auto keys = random_keys(n, n + fanout);
+      TNode* root = st.build(keys, fanout);
+      ASSERT_TRUE(validate(root)) << "n=" << n << " fanout=" << fanout;
+      std::vector<Key> got;
+      collect_keys(root, got);
+      EXPECT_EQ(got, keys);
+      EXPECT_EQ(count_keys(root), n);
+    }
+  }
+}
+
+TEST(Build, EmptyIsNull) {
+  cm::Engine eng;
+  Store st(eng);
+  EXPECT_EQ(st.build({}), nullptr);
+}
+
+TEST(Build, HeightLogarithmic) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto keys = random_keys(1 << 14, 3);
+  EXPECT_LE(height(st.build(keys, 3)), 15);  // log3(2^14) ~ 9
+  EXPECT_LE(height(st.build(keys, 6)), 9);
+}
+
+TEST(Contains, FindsSplittersAndLeafKeys) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto keys = random_keys(500, 4);
+  TNode* root = st.build(keys, 3);
+  for (Key k : keys) EXPECT_TRUE(contains(root, k));
+  EXPECT_FALSE(contains(root, -1));
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = rng.range(0, 1 << 24);
+    EXPECT_EQ(contains(root, k),
+              std::binary_search(keys.begin(), keys.end(), k));
+  }
+}
+
+TEST(LevelArrays, CoverAllKeysOnceAndSorted) {
+  const auto keys = random_keys(1000, 6);
+  const auto levels = level_arrays(keys);
+  std::vector<Key> all;
+  for (const auto& level : levels) {
+    EXPECT_TRUE(std::is_sorted(level.begin(), level.end()));
+    all.insert(all.end(), level.begin(), level.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, keys);
+  // lg m levels.
+  EXPECT_LE(levels.size(), static_cast<std::size_t>(std::log2(1000) + 2));
+}
+
+TEST(LevelArrays, EachLevelWellSeparatedByPreviousLevels) {
+  // Between two adjacent keys of level d there is a key in some level < d.
+  const auto keys = random_keys(2000, 7);
+  const auto levels = level_arrays(keys);
+  std::set<Key> inserted;
+  for (const auto& level : levels) {
+    for (std::size_t i = 0; i + 1 < level.size(); ++i) {
+      auto it = inserted.upper_bound(level[i]);
+      ASSERT_TRUE(it != inserted.end() && *it < level[i + 1])
+          << "adjacent keys " << level[i] << "," << level[i + 1]
+          << " not separated";
+    }
+    inserted.insert(level.begin(), level.end());
+  }
+}
+
+TEST(LevelArrays, PowersAndEdges) {
+  EXPECT_TRUE(level_arrays({}).empty());
+  std::vector<Key> one{5};
+  const auto l1 = level_arrays(one);
+  ASSERT_EQ(l1.size(), 1u);
+  EXPECT_EQ(l1[0], one);
+}
+
+struct InsertCase {
+  std::size_t n, m;
+  int fanout;
+  std::uint64_t seed;
+};
+
+class BulkInsert : public ::testing::TestWithParam<InsertCase> {};
+
+TEST_P(BulkInsert, PipelinedMatchesSet) {
+  const auto [n, m, fanout, seed] = GetParam();
+  auto tree_keys = random_keys(n, seed * 3 + 1);
+  auto new_keys = random_keys(m, seed * 3 + 2);
+  cm::Engine eng;
+  Store st(eng);
+  TCell* root = st.input(st.build(tree_keys, fanout));
+  TCell* out = bulk_insert(st, root, new_keys);
+  EXPECT_TRUE(validate(peek(out)));
+  std::vector<Key> got;
+  collect_keys(peek(out), got);
+  std::set<Key> ref(tree_keys.begin(), tree_keys.end());
+  ref.insert(new_keys.begin(), new_keys.end());
+  EXPECT_EQ(got, std::vector<Key>(ref.begin(), ref.end()));
+}
+
+TEST_P(BulkInsert, StrictMatchesSet) {
+  const auto [n, m, fanout, seed] = GetParam();
+  auto tree_keys = random_keys(n, seed * 3 + 1);
+  auto new_keys = random_keys(m, seed * 3 + 2);
+  cm::Engine eng;
+  Store st(eng);
+  TNode* out = bulk_insert_strict(st, st.build(tree_keys, fanout), new_keys);
+  EXPECT_TRUE(validate(out));
+  std::vector<Key> got;
+  collect_keys(out, got);
+  std::set<Key> ref(tree_keys.begin(), tree_keys.end());
+  ref.insert(new_keys.begin(), new_keys.end());
+  EXPECT_EQ(got, std::vector<Key>(ref.begin(), ref.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BulkInsert,
+    ::testing::Values(InsertCase{10, 1, 3, 1}, InsertCase{10, 5, 3, 2},
+                      InsertCase{100, 10, 3, 3}, InsertCase{100, 100, 3, 4},
+                      InsertCase{1000, 100, 3, 5},
+                      InsertCase{1000, 1000, 3, 6},
+                      InsertCase{1000, 1000, 6, 7},
+                      InsertCase{4096, 512, 6, 8},
+                      InsertCase{4096, 4096, 3, 9},
+                      InsertCase{50, 2000, 3, 10},
+                      InsertCase{1, 1000, 3, 11}));
+
+TEST(BulkInsertDuplicates, ExistingKeysAreDropped) {
+  cm::Engine eng;
+  Store st(eng);
+  const auto tree_keys = random_keys(500, 12);
+  // Insert a mix of present and absent keys.
+  std::vector<Key> new_keys;
+  for (std::size_t i = 0; i < tree_keys.size(); i += 7)
+    new_keys.push_back(tree_keys[i]);
+  for (Key k : random_keys(100, 13)) new_keys.push_back(k);
+  std::sort(new_keys.begin(), new_keys.end());
+  new_keys.erase(std::unique(new_keys.begin(), new_keys.end()),
+                 new_keys.end());
+  TCell* out = bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+  EXPECT_TRUE(validate(peek(out)));
+  std::set<Key> ref(tree_keys.begin(), tree_keys.end());
+  ref.insert(new_keys.begin(), new_keys.end());
+  std::vector<Key> got;
+  collect_keys(peek(out), got);
+  EXPECT_EQ(got, std::vector<Key>(ref.begin(), ref.end()));
+}
+
+TEST(InsertDepth, PipelinedIsAdditive) {
+  // Theorem 3.13: pipelined depth O(lg n + lg m); strict is O(lg n lg m).
+  const std::size_t n = 1 << 14;
+  const std::size_t m = 1 << 10;
+  const auto tree_keys = random_keys(n, 14);
+  const auto new_keys = random_keys(m, 15);
+  double piped, strict;
+  {
+    cm::Engine eng;
+    Store st(eng);
+    bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+    piped = static_cast<double>(eng.depth());
+  }
+  {
+    cm::Engine eng;
+    Store st(eng);
+    bulk_insert_strict(st, st.build(tree_keys, 3), new_keys);
+    strict = static_cast<double>(eng.depth());
+  }
+  EXPECT_LT(piped, 60.0 * (std::log2(static_cast<double>(n)) +
+                           std::log2(static_cast<double>(m))));
+  EXPECT_GT(strict, 1.5 * piped);
+}
+
+TEST(InsertWork, IsMLogN) {
+  const std::size_t n = 1 << 14;
+  const auto tree_keys = random_keys(n, 16);
+  const auto new_keys = random_keys(64, 17);
+  cm::Engine eng;
+  Store st(eng);
+  bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+  // O(m lg n): 64 * 14 * c; must be far below n.
+  EXPECT_LT(eng.work(), 1u << 13);
+}
+
+TEST(GammaValues, NodesRespectPerLevelBound) {
+  // Theorem 3.13's γ-value argument: after inserting lg m waves, every node
+  // of the final tree satisfies t(v) <= γ + kb * depth(v) with
+  // γ = O(lg m). Constants are generous; the point is linear-in-depth decay,
+  // not lg n * lg m blowup.
+  const std::size_t n = 1 << 12;
+  const std::size_t m = 1 << 8;
+  const auto tree_keys = random_keys(n, 18);
+  const auto new_keys = random_keys(m, 19);
+  cm::Engine eng;
+  Store st(eng);
+  TCell* out = bulk_insert(st, st.input(st.build(tree_keys, 3)), new_keys);
+  TNode* root = peek(out);
+  constexpr double kb = 30.0;
+  const double gamma =
+      kb * (std::log2(static_cast<double>(m)) + 3);
+  struct Walk {
+    double gamma, kb;
+    void check(const TNode* v, int depth) {
+      EXPECT_LE(static_cast<double>(v->created),
+                gamma + kb * (depth + 1))
+          << "depth " << depth;
+      if (v->leaf) return;
+      for (int i = 0; i <= v->nkeys; ++i)
+        check(peek(v->child[i]), depth + 1);
+    }
+  };
+  Walk{gamma, kb}.check(root, 0);
+}
+
+// ---- hand-managed synchronous pipeline (PVW-style baseline) -------------------
+
+TEST(HandPipeline, MatchesFuturesVersionContents) {
+  for (const auto& [n, m, seed] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::uint64_t>>{
+           {10, 5, 1}, {100, 100, 2}, {1000, 1000, 3}, {4096, 512, 4},
+           {50, 2000, 5}, {1, 500, 6}}) {
+    const auto tree_keys = random_keys(n, seed * 5 + 1);
+    const auto new_keys = random_keys(m, seed * 5 + 2);
+    handpipe::HandPipeline hp;
+    handpipe::Stats stats;
+    handpipe::HNode* root =
+        hp.bulk_insert(hp.build(tree_keys, 3), new_keys, &stats);
+    ASSERT_TRUE(handpipe::HandPipeline::validate(root));
+    std::vector<Key> got;
+    handpipe::HandPipeline::collect_keys(root, got);
+    std::set<Key> ref(tree_keys.begin(), tree_keys.end());
+    ref.insert(new_keys.begin(), new_keys.end());
+    EXPECT_EQ(got, std::vector<Key>(ref.begin(), ref.end()))
+        << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(HandPipeline, TickCountIsAdditive) {
+  // The synchronous schedule finishes in ~ 2·(#waves) + height ticks —
+  // the same O(lg n + lg m) shape the futures version achieves implicitly.
+  const std::size_t n = 1 << 14;
+  const std::size_t m = 1 << 10;
+  const auto tree_keys = random_keys(n, 31);
+  const auto new_keys = random_keys(m, 32);
+  handpipe::HandPipeline hp;
+  handpipe::Stats stats;
+  handpipe::HNode* root =
+      hp.bulk_insert(hp.build(tree_keys, 3), new_keys, &stats);
+  ASSERT_TRUE(handpipe::HandPipeline::validate(root));
+  const double lg_n = std::log2(static_cast<double>(n));
+  const double lg_m = std::log2(static_cast<double>(m));
+  EXPECT_LT(static_cast<double>(stats.ticks), 3.0 * (lg_n + 2 * lg_m) + 10);
+  EXPECT_EQ(stats.waves, 11u);  // lg m + 1 well-separated arrays
+}
+
+TEST(HandPipeline, WorkMatchesFuturesWorkShape) {
+  const std::size_t n = 1 << 13;
+  const auto tree_keys = random_keys(n, 33);
+  const auto new_keys = random_keys(256, 34);
+  handpipe::HandPipeline hp;
+  handpipe::Stats stats;
+  hp.bulk_insert(hp.build(tree_keys, 3), new_keys, &stats);
+  // O(m lg n) task-key operations.
+  EXPECT_LT(stats.work, 40u * 256u * 13u);
+}
+
+TEST(WaveInsert, SingleWellSeparatedWave) {
+  // Direct use of insert_wave with a handcrafted well-separated array.
+  cm::Engine eng;
+  Store st(eng);
+  std::vector<Key> tree_keys;
+  for (Key k = 0; k < 100; k += 2) tree_keys.push_back(k);  // evens
+  TCell* root = st.input(st.build(tree_keys, 3));
+  std::vector<Key> wave{11, 21, 31, 41};  // separated by even keys
+  TCell* out = st.cell();
+  eng.fork([&] { insert_wave(st, root, wave, out); });
+  EXPECT_TRUE(validate(peek(out)));
+  for (Key k : wave) EXPECT_TRUE(contains(peek(out), k));
+  EXPECT_EQ(count_keys(peek(out)), tree_keys.size() + wave.size());
+}
+
+}  // namespace
+}  // namespace pwf::ttree
