@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_mergesort_depth.dir/bench_e11_mergesort_depth.cpp.o"
+  "CMakeFiles/bench_e11_mergesort_depth.dir/bench_e11_mergesort_depth.cpp.o.d"
+  "bench_e11_mergesort_depth"
+  "bench_e11_mergesort_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_mergesort_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

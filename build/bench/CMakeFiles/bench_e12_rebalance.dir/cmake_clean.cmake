@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_rebalance.dir/bench_e12_rebalance.cpp.o"
+  "CMakeFiles/bench_e12_rebalance.dir/bench_e12_rebalance.cpp.o.d"
+  "bench_e12_rebalance"
+  "bench_e12_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

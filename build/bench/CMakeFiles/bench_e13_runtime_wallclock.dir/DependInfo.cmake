@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e13_runtime_wallclock.cpp" "bench/CMakeFiles/bench_e13_runtime_wallclock.dir/bench_e13_runtime_wallclock.cpp.o" "gcc" "bench/CMakeFiles/bench_e13_runtime_wallclock.dir/bench_e13_runtime_wallclock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pwf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pwf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/treap/CMakeFiles/pwf_treap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttree/CMakeFiles/pwf_ttree.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pwf_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_runtime_wallclock.dir/bench_e13_runtime_wallclock.cpp.o"
+  "CMakeFiles/bench_e13_runtime_wallclock.dir/bench_e13_runtime_wallclock.cpp.o.d"
+  "bench_e13_runtime_wallclock"
+  "bench_e13_runtime_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_runtime_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_linearity_audit.dir/bench_e14_linearity_audit.cpp.o"
+  "CMakeFiles/bench_e14_linearity_audit.dir/bench_e14_linearity_audit.cpp.o.d"
+  "bench_e14_linearity_audit"
+  "bench_e14_linearity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_linearity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_pipeline_delays.dir/bench_e17_pipeline_delays.cpp.o"
+  "CMakeFiles/bench_e17_pipeline_delays.dir/bench_e17_pipeline_delays.cpp.o.d"
+  "bench_e17_pipeline_delays"
+  "bench_e17_pipeline_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_pipeline_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_hand_vs_futures.dir/bench_e18_hand_vs_futures.cpp.o"
+  "CMakeFiles/bench_e18_hand_vs_futures.dir/bench_e18_hand_vs_futures.cpp.o.d"
+  "bench_e18_hand_vs_futures"
+  "bench_e18_hand_vs_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_hand_vs_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e18_hand_vs_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_sorting_landscape.dir/bench_e20_sorting_landscape.cpp.o"
+  "CMakeFiles/bench_e20_sorting_landscape.dir/bench_e20_sorting_landscape.cpp.o.d"
+  "bench_e20_sorting_landscape"
+  "bench_e20_sorting_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_sorting_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

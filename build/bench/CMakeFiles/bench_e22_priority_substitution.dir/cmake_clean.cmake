@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e22_priority_substitution.dir/bench_e22_priority_substitution.cpp.o"
+  "CMakeFiles/bench_e22_priority_substitution.dir/bench_e22_priority_substitution.cpp.o.d"
+  "bench_e22_priority_substitution"
+  "bench_e22_priority_substitution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e22_priority_substitution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

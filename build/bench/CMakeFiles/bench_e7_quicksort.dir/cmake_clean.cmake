@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_quicksort.dir/bench_e7_quicksort.cpp.o"
+  "CMakeFiles/bench_e7_quicksort.dir/bench_e7_quicksort.cpp.o.d"
+  "bench_e7_quicksort"
+  "bench_e7_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_producer_consumer.dir/bench_e8_producer_consumer.cpp.o"
+  "CMakeFiles/bench_e8_producer_consumer.dir/bench_e8_producer_consumer.cpp.o.d"
+  "bench_e8_producer_consumer"
+  "bench_e8_producer_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_producer_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

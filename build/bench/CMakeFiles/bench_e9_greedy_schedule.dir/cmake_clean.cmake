@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_greedy_schedule.dir/bench_e9_greedy_schedule.cpp.o"
+  "CMakeFiles/bench_e9_greedy_schedule.dir/bench_e9_greedy_schedule.cpp.o.d"
+  "bench_e9_greedy_schedule"
+  "bench_e9_greedy_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_greedy_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

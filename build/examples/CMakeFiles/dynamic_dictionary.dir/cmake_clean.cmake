@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_dictionary.dir/dynamic_dictionary.cpp.o"
+  "CMakeFiles/dynamic_dictionary.dir/dynamic_dictionary.cpp.o.d"
+  "dynamic_dictionary"
+  "dynamic_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

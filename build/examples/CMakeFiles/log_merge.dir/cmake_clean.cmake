@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_merge.dir/log_merge.cpp.o"
+  "CMakeFiles/log_merge.dir/log_merge.cpp.o.d"
+  "log_merge"
+  "log_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

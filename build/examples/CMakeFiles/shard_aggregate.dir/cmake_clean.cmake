@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_aggregate.dir/shard_aggregate.cpp.o"
+  "CMakeFiles/shard_aggregate.dir/shard_aggregate.cpp.o.d"
+  "shard_aggregate"
+  "shard_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttree_bulkload.dir/ttree_bulkload.cpp.o"
+  "CMakeFiles/ttree_bulkload.dir/ttree_bulkload.cpp.o.d"
+  "ttree_bulkload"
+  "ttree_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttree_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;pwf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dynamic_dictionary "/root/repo/build/examples/dynamic_dictionary")
+set_tests_properties(example.dynamic_dictionary PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;pwf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.log_merge "/root/repo/build/examples/log_merge")
+set_tests_properties(example.log_merge PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;pwf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.ttree_bulkload "/root/repo/build/examples/ttree_bulkload")
+set_tests_properties(example.ttree_bulkload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;pwf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.shard_aggregate "/root/repo/build/examples/shard_aggregate")
+set_tests_properties(example.shard_aggregate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;pwf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.schedule_trace "/root/repo/build/examples/schedule_trace")
+set_tests_properties(example.schedule_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;pwf_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/cole.cpp" "src/algos/CMakeFiles/pwf_algos.dir/cole.cpp.o" "gcc" "src/algos/CMakeFiles/pwf_algos.dir/cole.cpp.o.d"
+  "/root/repo/src/algos/list.cpp" "src/algos/CMakeFiles/pwf_algos.dir/list.cpp.o" "gcc" "src/algos/CMakeFiles/pwf_algos.dir/list.cpp.o.d"
+  "/root/repo/src/algos/mergesort.cpp" "src/algos/CMakeFiles/pwf_algos.dir/mergesort.cpp.o" "gcc" "src/algos/CMakeFiles/pwf_algos.dir/mergesort.cpp.o.d"
+  "/root/repo/src/algos/producer_consumer.cpp" "src/algos/CMakeFiles/pwf_algos.dir/producer_consumer.cpp.o" "gcc" "src/algos/CMakeFiles/pwf_algos.dir/producer_consumer.cpp.o.d"
+  "/root/repo/src/algos/quicksort.cpp" "src/algos/CMakeFiles/pwf_algos.dir/quicksort.cpp.o" "gcc" "src/algos/CMakeFiles/pwf_algos.dir/quicksort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/pwf_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/pwf_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pwf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_algos.dir/cole.cpp.o"
+  "CMakeFiles/pwf_algos.dir/cole.cpp.o.d"
+  "CMakeFiles/pwf_algos.dir/list.cpp.o"
+  "CMakeFiles/pwf_algos.dir/list.cpp.o.d"
+  "CMakeFiles/pwf_algos.dir/mergesort.cpp.o"
+  "CMakeFiles/pwf_algos.dir/mergesort.cpp.o.d"
+  "CMakeFiles/pwf_algos.dir/producer_consumer.cpp.o"
+  "CMakeFiles/pwf_algos.dir/producer_consumer.cpp.o.d"
+  "CMakeFiles/pwf_algos.dir/quicksort.cpp.o"
+  "CMakeFiles/pwf_algos.dir/quicksort.cpp.o.d"
+  "libpwf_algos.a"
+  "libpwf_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

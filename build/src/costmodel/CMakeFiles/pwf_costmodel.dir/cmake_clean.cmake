@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_costmodel.dir/engine.cpp.o"
+  "CMakeFiles/pwf_costmodel.dir/engine.cpp.o.d"
+  "libpwf_costmodel.a"
+  "libpwf_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

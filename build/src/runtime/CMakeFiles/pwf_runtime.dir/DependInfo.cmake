@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/parallel_set.cpp" "src/runtime/CMakeFiles/pwf_runtime.dir/parallel_set.cpp.o" "gcc" "src/runtime/CMakeFiles/pwf_runtime.dir/parallel_set.cpp.o.d"
+  "/root/repo/src/runtime/rt_treap.cpp" "src/runtime/CMakeFiles/pwf_runtime.dir/rt_treap.cpp.o" "gcc" "src/runtime/CMakeFiles/pwf_runtime.dir/rt_treap.cpp.o.d"
+  "/root/repo/src/runtime/rt_trees.cpp" "src/runtime/CMakeFiles/pwf_runtime.dir/rt_trees.cpp.o" "gcc" "src/runtime/CMakeFiles/pwf_runtime.dir/rt_trees.cpp.o.d"
+  "/root/repo/src/runtime/rt_ttree.cpp" "src/runtime/CMakeFiles/pwf_runtime.dir/rt_ttree.cpp.o" "gcc" "src/runtime/CMakeFiles/pwf_runtime.dir/rt_ttree.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/pwf_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/pwf_runtime.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pwf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttree/CMakeFiles/pwf_ttree.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pwf_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

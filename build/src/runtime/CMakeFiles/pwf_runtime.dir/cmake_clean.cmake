@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_runtime.dir/parallel_set.cpp.o"
+  "CMakeFiles/pwf_runtime.dir/parallel_set.cpp.o.d"
+  "CMakeFiles/pwf_runtime.dir/rt_treap.cpp.o"
+  "CMakeFiles/pwf_runtime.dir/rt_treap.cpp.o.d"
+  "CMakeFiles/pwf_runtime.dir/rt_trees.cpp.o"
+  "CMakeFiles/pwf_runtime.dir/rt_trees.cpp.o.d"
+  "CMakeFiles/pwf_runtime.dir/rt_ttree.cpp.o"
+  "CMakeFiles/pwf_runtime.dir/rt_ttree.cpp.o.d"
+  "CMakeFiles/pwf_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/pwf_runtime.dir/scheduler.cpp.o.d"
+  "libpwf_runtime.a"
+  "libpwf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

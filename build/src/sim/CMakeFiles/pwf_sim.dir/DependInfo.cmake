@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dag.cpp" "src/sim/CMakeFiles/pwf_sim.dir/dag.cpp.o" "gcc" "src/sim/CMakeFiles/pwf_sim.dir/dag.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/pwf_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/pwf_sim.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/pwf_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pwf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_sim.dir/dag.cpp.o"
+  "CMakeFiles/pwf_sim.dir/dag.cpp.o.d"
+  "CMakeFiles/pwf_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pwf_sim.dir/scheduler.cpp.o.d"
+  "libpwf_sim.a"
+  "libpwf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_support.dir/cli.cpp.o"
+  "CMakeFiles/pwf_support.dir/cli.cpp.o.d"
+  "CMakeFiles/pwf_support.dir/scan.cpp.o"
+  "CMakeFiles/pwf_support.dir/scan.cpp.o.d"
+  "CMakeFiles/pwf_support.dir/stats.cpp.o"
+  "CMakeFiles/pwf_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pwf_support.dir/table.cpp.o"
+  "CMakeFiles/pwf_support.dir/table.cpp.o.d"
+  "libpwf_support.a"
+  "libpwf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treap/map_union.cpp" "src/treap/CMakeFiles/pwf_treap.dir/map_union.cpp.o" "gcc" "src/treap/CMakeFiles/pwf_treap.dir/map_union.cpp.o.d"
+  "/root/repo/src/treap/seq_treap.cpp" "src/treap/CMakeFiles/pwf_treap.dir/seq_treap.cpp.o" "gcc" "src/treap/CMakeFiles/pwf_treap.dir/seq_treap.cpp.o.d"
+  "/root/repo/src/treap/setops.cpp" "src/treap/CMakeFiles/pwf_treap.dir/setops.cpp.o" "gcc" "src/treap/CMakeFiles/pwf_treap.dir/setops.cpp.o.d"
+  "/root/repo/src/treap/treap.cpp" "src/treap/CMakeFiles/pwf_treap.dir/treap.cpp.o" "gcc" "src/treap/CMakeFiles/pwf_treap.dir/treap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/pwf_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pwf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_treap.dir/map_union.cpp.o"
+  "CMakeFiles/pwf_treap.dir/map_union.cpp.o.d"
+  "CMakeFiles/pwf_treap.dir/seq_treap.cpp.o"
+  "CMakeFiles/pwf_treap.dir/seq_treap.cpp.o.d"
+  "CMakeFiles/pwf_treap.dir/setops.cpp.o"
+  "CMakeFiles/pwf_treap.dir/setops.cpp.o.d"
+  "CMakeFiles/pwf_treap.dir/treap.cpp.o"
+  "CMakeFiles/pwf_treap.dir/treap.cpp.o.d"
+  "libpwf_treap.a"
+  "libpwf_treap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_treap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

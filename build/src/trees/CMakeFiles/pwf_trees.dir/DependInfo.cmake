@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/merge.cpp" "src/trees/CMakeFiles/pwf_trees.dir/merge.cpp.o" "gcc" "src/trees/CMakeFiles/pwf_trees.dir/merge.cpp.o.d"
+  "/root/repo/src/trees/rebalance.cpp" "src/trees/CMakeFiles/pwf_trees.dir/rebalance.cpp.o" "gcc" "src/trees/CMakeFiles/pwf_trees.dir/rebalance.cpp.o.d"
+  "/root/repo/src/trees/tree.cpp" "src/trees/CMakeFiles/pwf_trees.dir/tree.cpp.o" "gcc" "src/trees/CMakeFiles/pwf_trees.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/pwf_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pwf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_trees.dir/merge.cpp.o"
+  "CMakeFiles/pwf_trees.dir/merge.cpp.o.d"
+  "CMakeFiles/pwf_trees.dir/rebalance.cpp.o"
+  "CMakeFiles/pwf_trees.dir/rebalance.cpp.o.d"
+  "CMakeFiles/pwf_trees.dir/tree.cpp.o"
+  "CMakeFiles/pwf_trees.dir/tree.cpp.o.d"
+  "libpwf_trees.a"
+  "libpwf_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

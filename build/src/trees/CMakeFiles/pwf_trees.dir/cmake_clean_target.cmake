@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpwf_trees.a"
+)

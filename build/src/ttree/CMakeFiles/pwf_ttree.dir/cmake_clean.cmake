@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwf_ttree.dir/handpipe.cpp.o"
+  "CMakeFiles/pwf_ttree.dir/handpipe.cpp.o.d"
+  "CMakeFiles/pwf_ttree.dir/insert.cpp.o"
+  "CMakeFiles/pwf_ttree.dir/insert.cpp.o.d"
+  "CMakeFiles/pwf_ttree.dir/ttree.cpp.o"
+  "CMakeFiles/pwf_ttree.dir/ttree.cpp.o.d"
+  "libpwf_ttree.a"
+  "libpwf_ttree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwf_ttree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pwf_ttree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cole_test.dir/cole_test.cpp.o"
+  "CMakeFiles/cole_test.dir/cole_test.cpp.o.d"
+  "cole_test"
+  "cole_test.pdb"
+  "cole_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_map_test.dir/parallel_map_test.cpp.o"
+  "CMakeFiles/parallel_map_test.dir/parallel_map_test.cpp.o.d"
+  "parallel_map_test"
+  "parallel_map_test.pdb"
+  "parallel_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

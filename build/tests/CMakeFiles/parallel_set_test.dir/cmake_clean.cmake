@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_set_test.dir/parallel_set_test.cpp.o"
+  "CMakeFiles/parallel_set_test.dir/parallel_set_test.cpp.o.d"
+  "parallel_set_test"
+  "parallel_set_test.pdb"
+  "parallel_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_sweep_test.dir/randomized_sweep_test.cpp.o"
+  "CMakeFiles/randomized_sweep_test.dir/randomized_sweep_test.cpp.o.d"
+  "randomized_sweep_test"
+  "randomized_sweep_test.pdb"
+  "randomized_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

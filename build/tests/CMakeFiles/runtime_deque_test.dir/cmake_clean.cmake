@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_deque_test.dir/runtime_deque_test.cpp.o"
+  "CMakeFiles/runtime_deque_test.dir/runtime_deque_test.cpp.o.d"
+  "runtime_deque_test"
+  "runtime_deque_test.pdb"
+  "runtime_deque_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_deque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treap_test.dir/treap_test.cpp.o"
+  "CMakeFiles/treap_test.dir/treap_test.cpp.o.d"
+  "treap_test"
+  "treap_test.pdb"
+  "treap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

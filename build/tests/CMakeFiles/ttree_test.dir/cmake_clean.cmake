@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttree_test.dir/ttree_test.cpp.o"
+  "CMakeFiles/ttree_test.dir/ttree_test.cpp.o.d"
+  "ttree_test"
+  "ttree_test.pdb"
+  "ttree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

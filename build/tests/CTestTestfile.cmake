@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/costmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/trees_test[1]_include.cmake")
+include("/root/repo/build/tests/treap_test[1]_include.cmake")
+include("/root/repo/build/tests/ttree_test[1]_include.cmake")
+include("/root/repo/build/tests/algos_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_deque_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_set_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_map_test[1]_include.cmake")
+include("/root/repo/build/tests/randomized_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/cole_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_model_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_support_test[1]_include.cmake")
