@@ -1,0 +1,163 @@
+#include "analyze/rt_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace pwf::rt::analyze {
+
+namespace {
+
+// Cap the raw event log so pathological runs don't exhaust memory; the
+// per-cell tallies (what the audit decisions use) are always complete.
+constexpr std::size_t kMaxLoggedEvents = 1u << 20;
+
+struct State {
+  std::mutex mu;
+  std::uint64_t seq = 0;
+  std::vector<Event> log;
+  // Live incarnation per address, plus the violations of incarnations that
+  // were retired when their address was reused by a new cell.
+  std::unordered_map<const void*, CellCounts> cells;
+  std::vector<CellCounts> retired_double;
+  std::vector<CellCounts> retired_parked;
+  std::vector<CellCounts> retired_nonlinear;
+
+  // Keep a retired incarnation's verdicts. A retired cell with a waiter
+  // still parked is a deadlock: the cell is gone, nobody can wake the
+  // waiter.
+  void retire(const CellCounts& c) {
+    if (c.presets + c.writes > 1) retired_double.push_back(c);
+    if (c.parks > 0 && c.presets + c.writes == 0) retired_parked.push_back(c);
+    if (c.touches > 1) retired_nonlinear.push_back(c);
+  }
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+thread_local int t_worker = -1;
+thread_local const void* t_fiber = nullptr;
+
+}  // namespace
+
+const char* event_name(Ev e) {
+  switch (e) {
+    case Ev::kCreate: return "create";
+    case Ev::kPreset: return "preset";
+    case Ev::kWrite: return "write";
+    case Ev::kTouch: return "touch";
+    case Ev::kPark: return "park";
+  }
+  return "?";
+}
+
+void record(Ev kind, const void* cell) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.log.size() < kMaxLoggedEvents)
+    s.log.push_back({s.seq, cell, t_fiber, t_worker, kind});
+  ++s.seq;
+  CellCounts& c = s.cells[cell];
+  switch (kind) {
+    case Ev::kCreate:
+      if (c.cell != nullptr) {
+        s.retire(c);
+        c = CellCounts{};
+      }
+      break;
+    case Ev::kPreset: ++c.presets; break;
+    case Ev::kWrite: ++c.writes; break;
+    case Ev::kTouch: ++c.touches; break;
+    case Ev::kPark: ++c.parks; break;
+  }
+  c.cell = cell;
+}
+
+void set_worker(int index) { t_worker = index; }
+void set_current_fiber(const void* frame) { t_fiber = frame; }
+
+RtReport audit() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  RtReport rep;
+  rep.events = s.seq;
+  rep.cells = s.cells.size();
+  for (const auto& [ptr, c] : s.cells) {
+    if (c.presets + c.writes > 1) rep.double_written.push_back(c);
+    if (c.parks > 0 && c.presets + c.writes == 0)
+      rep.never_written.push_back(c);
+    if (c.touches > 1) rep.nonlinear.push_back(c);
+  }
+  rep.double_written.insert(rep.double_written.end(), s.retired_double.begin(),
+                            s.retired_double.end());
+  rep.never_written.insert(rep.never_written.end(), s.retired_parked.begin(),
+                           s.retired_parked.end());
+  rep.nonlinear.insert(rep.nonlinear.end(), s.retired_nonlinear.begin(),
+                       s.retired_nonlinear.end());
+  auto by_ptr = [](const CellCounts& a, const CellCounts& b) {
+    return a.cell < b.cell;
+  };
+  std::sort(rep.double_written.begin(), rep.double_written.end(), by_ptr);
+  std::sort(rep.never_written.begin(), rep.never_written.end(), by_ptr);
+  std::sort(rep.nonlinear.begin(), rep.nonlinear.end(), by_ptr);
+  return rep;
+}
+
+std::vector<Event> recent_events(std::size_t max) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  const std::size_t n = std::min(max, s.log.size());
+  return {s.log.end() - static_cast<std::ptrdiff_t>(n), s.log.end()};
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.seq = 0;
+  s.log.clear();
+  s.cells.clear();
+  s.retired_double.clear();
+  s.retired_parked.clear();
+  s.retired_nonlinear.clear();
+}
+
+void audit_at_shutdown() {
+  const RtReport rep = audit();
+  if (!rep.ok() || !rep.nonlinear.empty()) {
+    std::fprintf(stderr,
+                 "pwf-analyze(rt): audit of %llu events over %llu cells:\n",
+                 static_cast<unsigned long long>(rep.events),
+                 static_cast<unsigned long long>(rep.cells));
+    for (const auto& c : rep.double_written)
+      std::fprintf(stderr,
+                   "  [double-write] cell %p: %u writes + %u presets\n",
+                   c.cell, c.writes, c.presets);
+    for (const auto& c : rep.never_written)
+      std::fprintf(stderr,
+                   "  [never-written] cell %p: %u waiter(s) parked forever "
+                   "(touched but no write reaches it)\n",
+                   c.cell, c.parks);
+    for (const auto& c : rep.nonlinear)
+      std::fprintf(stderr,
+                   "  [nonlinear] cell %p: %u touches (linear code reads "
+                   "each cell at most once)\n",
+                   c.cell, c.touches);
+    for (const Event& e : recent_events(16))
+      std::fprintf(stderr, "    event %llu: %s cell %p worker %d fiber %p\n",
+                   static_cast<unsigned long long>(e.seq), event_name(e.kind),
+                   e.cell, e.worker, e.fiber);
+  }
+  const bool clean = rep.ok();
+  reset();
+  PWF_CHECK_MSG(clean,
+                "pwf-analyze(rt): runtime audit failed (double write or "
+                "parked-forever waiter)");
+}
+
+}  // namespace pwf::rt::analyze

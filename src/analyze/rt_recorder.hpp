@@ -1,0 +1,90 @@
+// pwf-analyze: event recorder for the coroutine futures runtime.
+//
+// The offline verifier (verifier.hpp) checks traces of the *cost model*;
+// this recorder mirrors those checks inside the real runtime. When the
+// build is configured with -DPWF_ANALYZE=ON, FutCell and the Scheduler log
+// every preset/write/touch/park with the acting worker and fiber (the
+// resumed coroutine frame), and the Scheduler destructor audits the log:
+//
+//   * double writes / preset-after-write  (also caught eagerly by the
+//     PWF_CHECKs in FutCell — the audit is the backstop and the report);
+//   * cells parked on but never written   — waiters that would sleep
+//     forever; without the audit this is a silent hang at shutdown;
+//   * non-linear reads                    — cells touched more than once,
+//     reported (not fatal: the runtime's waiter list deliberately supports
+//     the general multi-reader model of Section 2).
+//
+// The recorder is compiled unconditionally (so tools can link against it),
+// but the runtime only calls into it under PWF_ANALYZE — with the option
+// off there is zero instrumentation on the hot paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pwf::rt::analyze {
+
+enum class Ev : std::uint8_t {
+  kCreate,  // FutCell constructed (cells are arena/stack allocated, so an
+            // address can host several cell incarnations; a create retires
+            // the previous incarnation at that address)
+  kPreset,
+  kWrite,
+  kTouch,  // completed read (await_resume or an immediately-ready await)
+  kPark,   // reader suspended on an unwritten cell
+};
+
+const char* event_name(Ev e);
+
+struct Event {
+  std::uint64_t seq;
+  const void* cell;
+  const void* fiber;  // coroutine frame being resumed; null on external threads
+  int worker;         // worker index; -1 on external threads
+  Ev kind;
+};
+
+// Per-cell tallies derived from the log.
+struct CellCounts {
+  const void* cell = nullptr;
+  std::uint32_t presets = 0;
+  std::uint32_t writes = 0;
+  std::uint32_t touches = 0;
+  std::uint32_t parks = 0;
+};
+
+struct RtReport {
+  std::uint64_t events = 0;
+  std::uint64_t cells = 0;
+  std::vector<CellCounts> double_written;  // presets + writes > 1
+  std::vector<CellCounts> never_written;   // parked on, never preset/written
+  std::vector<CellCounts> nonlinear;       // touched more than once
+
+  // Deadlocks and double writes are hard violations; nonlinear reads are a
+  // property report.
+  bool ok() const { return double_written.empty() && never_written.empty(); }
+};
+
+// ---- recording (called from FutCell / Scheduler under PWF_ANALYZE) --------
+
+void record(Ev kind, const void* cell);
+// Worker-thread identity, set by Scheduler::worker_loop.
+void set_worker(int index);
+// Fiber identity: the coroutine frame the worker is about to resume.
+void set_current_fiber(const void* frame);
+
+// ---- auditing -------------------------------------------------------------
+
+// Snapshot audit of everything recorded since the last reset().
+RtReport audit();
+// Recent events (up to `max`, newest last) — diagnostic context for reports.
+std::vector<Event> recent_events(std::size_t max);
+void reset();
+
+// Scheduler-shutdown audit: prints the report to stderr if it is not clean
+// and aborts on hard violations (a parked-forever waiter is a deadlock the
+// process would otherwise hang on silently). Resets the recorder so
+// back-to-back Scheduler lifetimes audit independently.
+void audit_at_shutdown();
+
+}  // namespace pwf::rt::analyze

@@ -1,0 +1,318 @@
+#include "analyze/verifier.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace pwf::analyze {
+
+namespace {
+
+using cm::ActionId;
+using cm::CellId;
+using cm::EdgeKind;
+using cm::Trace;
+
+// CSR adjacency (successors and predecessors) over the validated edges.
+struct Graph {
+  std::uint32_t n = 0;
+  std::vector<std::uint32_t> succ_off, succ;
+  std::vector<std::uint32_t> pred_off, pred;
+  std::vector<std::uint32_t> level;  // earliest-start time, 1-based
+
+  std::span<const std::uint32_t> succs(ActionId a) const {
+    return {succ.data() + succ_off[a], succ_off[a + 1] - succ_off[a]};
+  }
+  std::span<const std::uint32_t> preds(ActionId a) const {
+    return {pred.data() + pred_off[a], pred_off[a + 1] - pred_off[a]};
+  }
+};
+
+Graph build_graph(const Trace& trace, std::vector<Trace::Edge>& valid) {
+  Graph g;
+  g.n = static_cast<std::uint32_t>(trace.num_actions());
+  g.succ_off.assign(g.n + 1, 0);
+  g.pred_off.assign(g.n + 1, 0);
+  for (const auto& e : valid) {
+    ++g.succ_off[e.src + 1];
+    ++g.pred_off[e.dst + 1];
+  }
+  for (std::uint32_t i = 1; i <= g.n; ++i) {
+    g.succ_off[i] += g.succ_off[i - 1];
+    g.pred_off[i] += g.pred_off[i - 1];
+  }
+  g.succ.resize(valid.size());
+  g.pred.resize(valid.size());
+  std::vector<std::uint32_t> sfill(g.succ_off.begin(), g.succ_off.end() - 1);
+  std::vector<std::uint32_t> pfill(g.pred_off.begin(), g.pred_off.end() - 1);
+  for (const auto& e : valid) {
+    g.succ[sfill[e.src]++] = e.dst;
+    g.pred[pfill[e.dst]++] = e.src;
+  }
+  // Earliest-start levels: ids are a topological order, so one ascending
+  // pass suffices. This reproduces the engine's clock (every action runs one
+  // step after its latest dependence), which is the EREW timestep.
+  g.level.assign(g.n, 1);
+  for (std::uint32_t a = 0; a < g.n; ++a)
+    for (std::uint32_t p : g.preds(a))
+      g.level[a] = std::max(g.level[a], g.level[p] + 1);
+  return g;
+}
+
+// Reachability w ->* r. Ids are topological, so the search never needs to
+// visit an id > r; `stamp`/`epoch` make the visited set reusable across
+// queries without clearing.
+bool reachable(const Graph& g, ActionId w, ActionId r,
+               std::vector<std::uint32_t>& stamp, std::uint32_t epoch) {
+  if (w >= r) return false;
+  std::deque<ActionId> queue{w};
+  stamp[w] = epoch;
+  while (!queue.empty()) {
+    const ActionId a = queue.front();
+    queue.pop_front();
+    for (std::uint32_t s : g.succs(a)) {
+      if (s > r || stamp[s] == epoch) continue;
+      if (s == r) return true;
+      stamp[s] = epoch;
+      queue.push_back(s);
+    }
+  }
+  return false;
+}
+
+// Shortest root->a path (BFS over predecessor edges from `a`, stopping at
+// the first source action reached) — the witness of how the computation got
+// to the offending action.
+std::vector<ActionId> witness_path(const Graph& g, ActionId a) {
+  if (a >= g.n) return {};
+  std::vector<ActionId> parent(g.n, cm::kNoAction);
+  std::deque<ActionId> queue{a};
+  parent[a] = a;
+  ActionId root = cm::kNoAction;
+  while (!queue.empty() && root == cm::kNoAction) {
+    const ActionId cur = queue.front();
+    queue.pop_front();
+    if (g.preds(cur).empty()) {
+      root = cur;
+      break;
+    }
+    for (std::uint32_t p : g.preds(cur)) {
+      if (parent[p] != cm::kNoAction) continue;
+      parent[p] = cur;
+      queue.push_back(p);
+    }
+  }
+  std::vector<ActionId> path;
+  for (ActionId cur = root; cur != cm::kNoAction;) {
+    path.push_back(cur);
+    if (cur == a) break;
+    cur = parent[cur];
+  }
+  return path;
+}
+
+struct CellAccesses {
+  std::vector<ActionId> writes;
+  std::vector<ActionId> reads;
+  bool preset = false;
+};
+
+std::string action_str(const Trace& trace, ActionId a) {
+  std::string s = "action " + std::to_string(a);
+  if (a < trace.threads().size())
+    s += " (thread " + std::to_string(trace.threads()[a]) + ")";
+  return s;
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kMalformedEdge: return "malformed-edge";
+    case ViolationKind::kDoubleWrite: return "double-write";
+    case ViolationKind::kReadNeverWritten: return "read-never-written";
+    case ViolationKind::kReadRacesWrite: return "read-races-write";
+    case ViolationKind::kErewConflict: return "erew-conflict";
+    case ViolationKind::kNonLinearRead: return "nonlinear-read";
+  }
+  return "?";
+}
+
+std::string Report::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%llu actions, %llu edges, %llu cells, "
+                "%llu reads, %llu writes, max reads/cell %u, "
+                "nonlinear cells %llu",
+                static_cast<unsigned long long>(num_actions),
+                static_cast<unsigned long long>(num_edges),
+                static_cast<unsigned long long>(num_cells),
+                static_cast<unsigned long long>(num_reads),
+                static_cast<unsigned long long>(num_writes), max_cell_reads,
+                static_cast<unsigned long long>(nonlinear_cells));
+  std::string out = buf;
+  for (const auto& v : violations) {
+    out += "\n  [";
+    out += violation_kind_name(v.kind);
+    out += "] ";
+    if (v.cell != cm::kNoCell) out += "cell " + std::to_string(v.cell) + ": ";
+    out += v.detail;
+    if (!v.path.empty()) {
+      out += "\n    witness path:";
+      for (ActionId a : v.path) out += " -> " + std::to_string(a);
+    }
+  }
+  if (truncated) out += "\n  ... further violations truncated";
+  return out;
+}
+
+Report verify(const cm::Trace& trace, const Options& opts) {
+  Report rep;
+  rep.num_actions = trace.num_actions();
+  rep.num_edges = trace.edges().size();
+  rep.num_reads = trace.reads().size();
+  rep.num_writes = trace.writes().size();
+
+  auto add = [&](Violation v) {
+    if (rep.violations.size() >= opts.max_violations) {
+      rep.truncated = true;
+      return false;
+    }
+    rep.violations.push_back(std::move(v));
+    return true;
+  };
+
+  const std::uint32_t n = static_cast<std::uint32_t>(trace.num_actions());
+
+  // Edge validation: ids in range and in topological (execution) order.
+  std::vector<Trace::Edge> valid;
+  valid.reserve(trace.edges().size());
+  for (const auto& e : trace.edges()) {
+    if (e.src >= n || e.dst >= n || e.src >= e.dst) {
+      add({ViolationKind::kMalformedEdge, cm::kNoCell, e.src, e.dst, {},
+           std::string(edge_kind_name(e.kind)) + " edge " +
+               std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+               " violates topological action order"});
+      continue;
+    }
+    valid.push_back(e);
+  }
+
+  Graph g = build_graph(trace, valid);
+
+  // Group accesses per cell.
+  std::unordered_map<CellId, CellAccesses> cells;
+  for (const auto& [a, c] : trace.writes())
+    if (a < n) cells[c].writes.push_back(a);
+  for (const auto& [a, c] : trace.reads())
+    if (a < n) cells[c].reads.push_back(a);
+  for (CellId c : trace.presets()) cells[c].preset = true;
+  rep.num_cells = cells.size();
+
+  // Deterministic report order.
+  std::vector<CellId> order;
+  order.reserve(cells.size());
+  for (const auto& [c, _] : cells) order.push_back(c);
+  std::sort(order.begin(), order.end());
+
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t epoch = 0;
+
+  for (CellId c : order) {
+    CellAccesses& acc = cells[c];
+    std::sort(acc.writes.begin(), acc.writes.end());
+    std::sort(acc.reads.begin(), acc.reads.end());
+
+    // Write-once.
+    for (std::size_t i = 1; i < acc.writes.size(); ++i)
+      add({ViolationKind::kDoubleWrite, c, acc.writes[0], acc.writes[i],
+           witness_path(g, acc.writes[i]),
+           "written by " + action_str(trace, acc.writes[0]) + " and again by " +
+               action_str(trace, acc.writes[i])});
+    if (acc.preset && !acc.writes.empty())
+      add({ViolationKind::kDoubleWrite, c, acc.writes[0], cm::kNoAction,
+           witness_path(g, acc.writes[0]),
+           "preset input cell written by " + action_str(trace, acc.writes[0])});
+
+    // Determinacy-race check: every read must be ordered after the write by
+    // a DAG path (any write — double writes are reported above).
+    for (ActionId r : acc.reads) {
+      if (acc.writes.empty()) {
+        if (acc.preset) continue;  // input data, available at time 0
+        add({ViolationKind::kReadNeverWritten, c, cm::kNoAction, r,
+             witness_path(g, r),
+             "read by " + action_str(trace, r) +
+                 " but never written: the reading thread would park forever"});
+        continue;
+      }
+      bool ordered = false;
+      for (ActionId w : acc.writes) {
+        // Fast path: the write is a direct predecessor (the data edge the
+        // engine records). Fall back to bounded reachability.
+        for (std::uint32_t p : g.preds(r)) ordered |= (p == w);
+        if (!ordered) ordered = reachable(g, w, r, stamp, ++epoch);
+        if (ordered) break;
+      }
+      if (!ordered)
+        add({ViolationKind::kReadRacesWrite, c, acc.writes[0], r,
+             witness_path(g, r),
+             "read by " + action_str(trace, r) +
+                 " is not ordered after the write by " +
+                 action_str(trace, acc.writes[0]) +
+                 " (no DAG path; determinacy race)"});
+    }
+
+    // Linearity (Section 4): at most one read per cell.
+    const auto nreads = static_cast<std::uint32_t>(acc.reads.size());
+    rep.max_cell_reads = std::max(rep.max_cell_reads, nreads);
+    if (nreads > 1) {
+      ++rep.nonlinear_cells;
+      if (opts.check_linearity)
+        for (std::size_t i = 1; i < acc.reads.size(); ++i)
+          add({ViolationKind::kNonLinearRead, c, acc.reads[0], acc.reads[i],
+               witness_path(g, acc.reads[i]),
+               "read by " + action_str(trace, acc.reads[0]) + " and again by " +
+                   action_str(trace, acc.reads[i]) +
+                   " (Section 4 requires linear code)"});
+    }
+
+    // EREW: no two same-cell accesses on one timestep. Levels are the
+    // earliest-start schedule, which is how the engine's clocks place
+    // actions; two accesses on one level are concurrent in that schedule.
+    if (opts.check_erew) {
+      std::vector<std::pair<std::uint32_t, ActionId>> by_level;
+      for (ActionId w : acc.writes)
+        if (w < n) by_level.emplace_back(g.level[w], w);
+      for (ActionId r : acc.reads)
+        if (r < n) by_level.emplace_back(g.level[r], r);
+      std::sort(by_level.begin(), by_level.end());
+      for (std::size_t i = 1; i < by_level.size(); ++i)
+        if (by_level[i].first == by_level[i - 1].first)
+          add({ViolationKind::kErewConflict, c, by_level[i - 1].second,
+               by_level[i].second, witness_path(g, by_level[i].second),
+               action_str(trace, by_level[i - 1].second) + " and " +
+                   action_str(trace, by_level[i].second) +
+                   " access the cell on the same timestep " +
+                   std::to_string(by_level[i].first)});
+    }
+  }
+
+  return rep;
+}
+
+void verify_and_report(const cm::Trace& trace, const char* what) {
+  // Linearity is a Section-4 property, not a well-formedness requirement of
+  // the Section-2 model, so the always-on hook reports it as a statistic
+  // only; tests that demand linear code call verify() directly.
+  Options opts;
+  opts.check_linearity = false;
+  const Report rep = verify(trace, opts);
+  std::fprintf(stderr, "%s [%s]: %s\n", rep.ok() ? "pwf-analyze ok" : "pwf-analyze FAILED",
+               what, rep.to_string().c_str());
+  PWF_CHECK_MSG(rep.ok(), "pwf-analyze: trace verification failed");
+}
+
+}  // namespace pwf::analyze

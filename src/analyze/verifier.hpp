@@ -1,0 +1,94 @@
+// pwf-analyze: offline well-formedness verifier for computation-DAG traces.
+//
+// The paper's work/depth bounds (Section 2) and space bounds (Section 4)
+// assume *well-formed* future programs. This pass checks a recorded
+// cm::Trace for exactly those disciplines:
+//
+//   * write-once      — every future cell is written by at most one action;
+//   * race-freedom    — every read of a cell is ordered after the cell's
+//                       write by a DAG path (determinacy race otherwise).
+//                       Action ids are a topological order, so reachability
+//                       searches are bounded to the [writer, reader] window;
+//   * no dangling read — a read of a cell with no write and no preset
+//                       record is a touch of a never-written cell: in the
+//                       real runtime that thread parks forever;
+//   * EREW            — no two accesses to one cell on the same DAG
+//                       timestep (level = earliest-start time, the engine's
+//                       clock semantics), the paper's exclusive-read
+//                       exclusive-write machine model;
+//   * linearity       — every cell read at most once (Section 4's
+//                       restriction; optional, reported as stats either
+//                       way).
+//
+// Violations carry the action ids (with their thread ids), the cell id, and
+// a shortest root-to-offender witness path through the DAG — the "stack
+// trace" of how the computation reached the offending action.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "costmodel/trace.hpp"
+
+namespace pwf::analyze {
+
+enum class ViolationKind : std::uint8_t {
+  kMalformedEdge,     // edge not in topological (id) order, or out of range
+  kDoubleWrite,       // two write actions on one cell
+  kReadNeverWritten,  // read of a cell with no write and no preset
+  kReadRacesWrite,    // read not ordered after the cell's write
+  kErewConflict,      // two same-cell accesses on the same timestep
+  kNonLinearRead,     // second (or later) read of a cell
+};
+
+const char* violation_kind_name(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind;
+  cm::CellId cell = cm::kNoCell;
+  // The two actions involved: `first` is the earlier/establishing access
+  // (e.g. the write), `second` the offending one. kNoAction when absent.
+  cm::ActionId first = cm::kNoAction;
+  cm::ActionId second = cm::kNoAction;
+  // Shortest path from a DAG root to the offending action (witness of how
+  // the computation reached it). Empty if not applicable.
+  std::vector<cm::ActionId> path;
+  std::string detail;
+};
+
+struct Options {
+  bool check_linearity = true;  // flag >1 read per cell as a violation
+  bool check_erew = true;
+  // Stop collecting after this many violations (diagnostics stay readable
+  // on badly broken traces; the report notes the truncation).
+  std::size_t max_violations = 64;
+};
+
+struct Report {
+  std::vector<Violation> violations;
+  bool truncated = false;
+
+  // Trace statistics (filled even when the trace is clean).
+  std::uint64_t num_actions = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_cells = 0;
+  std::uint64_t num_reads = 0;
+  std::uint64_t num_writes = 0;
+  std::uint32_t max_cell_reads = 0;  // linearity: <= 1 for linear programs
+  std::uint64_t nonlinear_cells = 0;
+
+  bool ok() const { return violations.empty(); }
+  bool linear() const { return max_cell_reads <= 1; }
+  std::string to_string() const;
+};
+
+// Verify a recorded trace against the disciplines above.
+Report verify(const cm::Trace& trace, const Options& opts = {});
+
+// Engine-destructor hook (analyze mode): verify with linearity demoted to a
+// statistic (the Section-2 model legitimately allows multi-reads), print the
+// report to stderr if anything is wrong, and abort on hard violations.
+void verify_and_report(const cm::Trace& trace, const char* what);
+
+}  // namespace pwf::analyze

@@ -1,6 +1,17 @@
 #include "costmodel/engine.hpp"
 
+#include "analyze/verifier.hpp"
+
 namespace pwf::cm {
+
+Engine::~Engine() {
+  // Analyze mode: audit the recorded DAG before dropping it. Aborts (with a
+  // printed report) on double writes, determinacy races, dangling reads, or
+  // EREW conflicts; linearity is reported as a statistic.
+  if (trace_ != nullptr && analyze_mode())
+    analyze::verify_and_report(*trace_, "cm::Engine");
+  delete trace_;
+}
 
 void Engine::array_op(std::uint64_t n) {
   // Figure 9 of the paper: a source action fanning out to n unit actions
@@ -22,14 +33,15 @@ void Engine::array_op(std::uint64_t n) {
     ActionId sink = kNoAction;
     std::vector<ActionId> mids;
     mids.reserve(n);
+    // The fan-out actions are logically one short-lived thread each.
     for (std::uint64_t i = 0; i < n; ++i) {
-      const ActionId mid = trace_->new_action();
-      trace_->add_edge(src, mid);
+      const ActionId mid = trace_->new_action(next_thread_++);
+      trace_->add_edge(src, mid, EdgeKind::kFork);
       mids.push_back(mid);
     }
-    sink = trace_->new_action();
+    sink = trace_->new_action(cur_thread_);
     ++work_;  // the sink action
-    for (ActionId mid : mids) trace_->add_edge(mid, sink);
+    for (ActionId mid : mids) trace_->add_edge(mid, sink, EdgeKind::kJoin);
     last_action_ = sink;
   } else {
     ++work_;  // the sink action

@@ -38,6 +38,7 @@
 #include <utility>
 
 #include "costmodel/trace.hpp"
+#include "support/analyze_mode.hpp"
 #include "support/arena.hpp"
 #include "support/check.hpp"
 
@@ -65,12 +66,15 @@ struct Cell {
 
 class Engine {
  public:
+  // In analyze mode (support/analyze_mode.hpp: the PWF_ANALYZE env var or a
+  // binary's --analyze flag) every engine records its DAG and the destructor
+  // runs the pwf-analyze verifier over it.
   explicit Engine(bool trace_enabled = false)
-      : trace_(trace_enabled ? new Trace() : nullptr) {}
+      : trace_(trace_enabled || analyze_mode() ? new Trace() : nullptr) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
-  ~Engine() { delete trace_; }
+  ~Engine();
 
   // ---- actions ------------------------------------------------------------
 
@@ -143,8 +147,14 @@ class Engine {
       waits_.total_wait += w;
       if (w > waits_.max_wait) waits_.max_wait = w;
     }
-    act_with_dep(dep, writer);
-    if (trace_) trace_->record_read(last_action_, cell_id(c));
+    act_with_dep(dep, writer, EdgeKind::kData);
+    if (trace_) {
+      const CellId id = cell_id(c);
+      // A written cell with no writer action is preset input data; note it
+      // so the verifier knows its reads need no ordering write.
+      if (writer == kNoAction) trace_->note_preset(id);
+      trace_->record_read(last_action_, id);
+    }
     return c->value;
   }
 
@@ -167,15 +177,18 @@ class Engine {
     const ActionId fork_act = last_action_;
     const Time parent_clock = clock_;
     const ActionId parent_last = last_action_;
+    const ThreadId parent_thread = cur_thread_;
     // Enter child: its first action hangs off the fork edge.
     clock_ = fork_time;
     last_action_ = kNoAction;
     pending_fork_edge_ = fork_act;
+    cur_thread_ = next_thread_++;
     fn();
     pending_fork_edge_ = kNoAction;
     // Leave child: parent resumes at its own clock.
     clock_ = parent_clock;
     last_action_ = parent_last;
+    cur_thread_ = parent_thread;
   }
 
   // Fork a child computing a single value into a fresh cell.
@@ -205,10 +218,12 @@ class Engine {
     act();  // fork action
     const Time t = clock_;
     const ActionId fork_act = last_action_;
+    const ThreadId parent_thread = cur_thread_;
 
     clock_ = t;
     last_action_ = kNoAction;
     pending_fork_edge_ = fork_act;
+    cur_thread_ = next_thread_++;
     auto r0 = f0();
     const Time t0 = clock_;
     const ActionId l0 = last_action_;
@@ -216,10 +231,12 @@ class Engine {
     clock_ = t;
     last_action_ = kNoAction;
     pending_fork_edge_ = fork_act;
+    cur_thread_ = next_thread_++;
     auto r1 = f1();
     const Time t1 = clock_;
     const ActionId l1 = last_action_;
     pending_fork_edge_ = kNoAction;
+    cur_thread_ = parent_thread;
 
     // Join action: depends on both children's last actions. A child that
     // executed no actions contributes the fork action itself (its end time
@@ -227,7 +244,7 @@ class Engine {
     // the clock accounting.
     clock_ = t0 > t1 ? t0 : t1;
     last_action_ = l0 == kNoAction ? fork_act : l0;
-    act_with_dep(t1, l1 == kNoAction ? fork_act : l1);
+    act_with_dep(t1, l1 == kNoAction ? fork_act : l1, EdgeKind::kJoin);
     return {std::move(r0), std::move(r1)};
   }
 
@@ -262,27 +279,28 @@ class Engine {
   // A unit action whose only dependence is the thread/fork predecessor.
   void act() {
     const Time t = clock_ + 1;
-    finish_action(t, kNoAction);
+    finish_action(t, kNoAction, EdgeKind::kData);
   }
 
   // A unit action with an extra dependence (data edge or join edge).
-  void act_with_dep(Time dep_time, ActionId dep_act) {
+  void act_with_dep(Time dep_time, ActionId dep_act, EdgeKind dep_kind) {
     const Time t = (clock_ > dep_time ? clock_ : dep_time) + 1;
-    finish_action(t, dep_act);
+    finish_action(t, dep_act, dep_kind);
   }
 
-  void finish_action(Time t, ActionId extra_dep) {
+  void finish_action(Time t, ActionId extra_dep, EdgeKind dep_kind) {
     ++work_;
     clock_ = t;
     if (t > max_time_) max_time_ = t;
     if (trace_) {
-      const ActionId id = trace_->new_action();
-      if (last_action_ != kNoAction) trace_->add_edge(last_action_, id);
+      const ActionId id = trace_->new_action(cur_thread_);
+      if (last_action_ != kNoAction)
+        trace_->add_edge(last_action_, id, EdgeKind::kThread);
       if (pending_fork_edge_ != kNoAction) {
-        trace_->add_edge(pending_fork_edge_, id);
+        trace_->add_edge(pending_fork_edge_, id, EdgeKind::kFork);
         pending_fork_edge_ = kNoAction;
       }
-      if (extra_dep != kNoAction) trace_->add_edge(extra_dep, id);
+      if (extra_dep != kNoAction) trace_->add_edge(extra_dep, id, dep_kind);
       last_action_ = id;
     } else {
       // Still consume the fork edge marker so nesting stays balanced.
@@ -307,6 +325,8 @@ class Engine {
   ActionId last_action_ = kNoAction;
   ActionId pending_fork_edge_ = kNoAction;
   CellId next_cell_id_ = 0;
+  ThreadId cur_thread_ = 0;
+  ThreadId next_thread_ = 1;
 
   Trace* trace_ = nullptr;
   Arena cells_{1 << 16};

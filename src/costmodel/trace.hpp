@@ -5,6 +5,11 @@
 // edges (to know what a completed action enables), plus which cell each
 // action reads/writes for the EREW and linearity audits. Actions are numbered
 // in execution (= creation) order, which is a valid topological order.
+//
+// For the pwf-analyze verifier (src/analyze) the trace additionally tags
+// every edge with its kind (thread / fork / data / join), records which
+// thread each action belongs to, and notes cells that were preset as input
+// data (available at time 0, so a read of them needs no ordering write).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@ namespace pwf::cm {
 
 using ActionId = std::uint32_t;
 using CellId = std::uint32_t;
+using ThreadId = std::uint32_t;
 
 inline constexpr ActionId kNoAction = 0xFFFFFFFFu;
 // Placeholder id used when tracing is off (distinguishes "thread has a
@@ -23,36 +29,68 @@ inline constexpr ActionId kNoAction = 0xFFFFFFFFu;
 inline constexpr ActionId kActionUntraced = 0xFFFFFFFEu;
 inline constexpr CellId kNoCell = 0xFFFFFFFFu;
 
+// The paper's three dependence-edge kinds, plus the join edge of the strict
+// fork-join baseline (a control dependence that is neither a thread
+// successor nor a future-cell data edge).
+enum class EdgeKind : std::uint8_t {
+  kThread,  // successive actions of one thread
+  kFork,    // future-creating action -> child's first action
+  kData,    // cell write -> cell touch
+  kJoin,    // child's last action -> fork-join2 join action
+};
+
+inline const char* edge_kind_name(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kThread: return "thread";
+    case EdgeKind::kFork: return "fork";
+    case EdgeKind::kData: return "data";
+    case EdgeKind::kJoin: return "join";
+  }
+  return "?";
+}
+
 class Trace {
  public:
   struct Edge {
     ActionId src;
     ActionId dst;
+    EdgeKind kind;
   };
 
-  ActionId new_action() {
+  ActionId new_action(ThreadId thread = 0) {
+    threads_.push_back(thread);
     return static_cast<ActionId>(num_actions_++);
   }
 
-  void add_edge(ActionId src, ActionId dst) { edges_.push_back({src, dst}); }
+  void add_edge(ActionId src, ActionId dst, EdgeKind kind = EdgeKind::kThread) {
+    edges_.push_back({src, dst, kind});
+  }
 
   void record_read(ActionId a, CellId c) { reads_.push_back({a, c}); }
   void record_write(ActionId a, CellId c) { writes_.push_back({a, c}); }
+  // Marks `c` as preset input data (available at time 0): its reads need no
+  // write action. May be called repeatedly for the same cell.
+  void note_preset(CellId c) { presets_.push_back(c); }
 
   std::uint64_t num_actions() const { return num_actions_; }
   std::span<const Edge> edges() const { return edges_; }
+  // Thread id of each action, indexed by ActionId.
+  std::span<const ThreadId> threads() const { return threads_; }
   std::span<const std::pair<ActionId, CellId>> reads() const {
     return reads_;
   }
   std::span<const std::pair<ActionId, CellId>> writes() const {
     return writes_;
   }
+  std::span<const CellId> presets() const { return presets_; }
 
  private:
   std::uint64_t num_actions_ = 0;
   std::vector<Edge> edges_;
+  std::vector<ThreadId> threads_;
   std::vector<std::pair<ActionId, CellId>> reads_;
   std::vector<std::pair<ActionId, CellId>> writes_;
+  std::vector<CellId> presets_;
 };
 
 }  // namespace pwf::cm

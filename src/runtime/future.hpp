@@ -24,6 +24,17 @@
 #include "runtime/scheduler.hpp"
 #include "support/check.hpp"
 
+// Opt-in runtime checker (-DPWF_ANALYZE=ON): every preset/write/touch/park
+// is logged and audited at Scheduler shutdown (see src/analyze and
+// docs/analysis.md). Compiles to nothing when the option is off.
+#if PWF_ANALYZE
+#include "analyze/rt_recorder.hpp"
+#define PWF_RT_RECORD(kind, cell) \
+  ::pwf::rt::analyze::record(::pwf::rt::analyze::Ev::kind, (cell))
+#else
+#define PWF_RT_RECORD(kind, cell) ((void)0)
+#endif
+
 namespace pwf::rt {
 
 template <typename T>
@@ -40,14 +51,27 @@ class FutCell {
   };
 
  public:
+#if PWF_ANALYZE
+  // Cells are arena/stack allocated, so one address can host several cell
+  // incarnations; the recorder uses creates to keep them apart.
+  FutCell() { PWF_RT_RECORD(kCreate, this); }
+#else
   FutCell() = default;
+#endif
   FutCell(const FutCell&) = delete;
   FutCell& operator=(const FutCell&) = delete;
 
-  // Input data: mark written before any concurrent access.
+  // Input data: mark written before any concurrent access. A cell that is
+  // already written (double preset / preset-after-write) or already has a
+  // parked reader would be silently corrupted, so both abort.
   void preset(T v) {
+    PWF_RT_RECORD(kPreset, this);
     value_ = v;
-    state_.store(kWritten, std::memory_order_release);
+    const std::uintptr_t old =
+        state_.exchange(kWritten, std::memory_order_release);
+    PWF_CHECK_MSG(old == kEmpty,
+                  "preset of a non-empty cell (already written or a reader "
+                  "is already waiting)");
   }
 
   bool written() const {
@@ -56,18 +80,24 @@ class FutCell {
 
   // The write action. Publishes the value, then reactivates all waiters.
   void write(T v) {
+    PWF_RT_RECORD(kWrite, this);
     value_ = v;
     const std::uintptr_t old =
         state_.exchange(kWritten, std::memory_order_acq_rel);
     PWF_CHECK_MSG(old != kWritten, "future cell written twice");
     state_.notify_all();  // external wait_blocking()ers
     Waiter* w = reinterpret_cast<Waiter*>(old);
-    while (w != nullptr) {
-      Waiter* next = w->next;  // w may die the instant its coroutine runs
+    if (w != nullptr) {
+      // Resolve the scheduler once for the whole repost loop — this is the
+      // hot write path, and a long waiter list should not pay one atomic
+      // load of the global per waiter.
       Scheduler* s = Scheduler::current();
       PWF_CHECK(s != nullptr);
-      s->post(w->handle);
-      w = next;
+      do {
+        Waiter* next = w->next;  // w may die the instant its coroutine runs
+        s->post(w->handle);
+        w = next;
+      } while (w != nullptr);
     }
   }
 
@@ -80,17 +110,27 @@ class FutCell {
     }
     bool await_suspend(std::coroutine_handle<> h) {
       node.handle = h;
-      std::uintptr_t s = cell.state_.load(std::memory_order_acquire);
+      // The successful CAS publishes the waiter: from that instant another
+      // worker may resume and destroy this coroutine frame — and the
+      // awaiter (with its `cell` reference) lives in the frame. Anything
+      // needed after publication must be copied out first.
+      FutCell* const c = &cell;
+      std::uintptr_t s = c->state_.load(std::memory_order_acquire);
       for (;;) {
         if (s == kWritten) return false;  // written meanwhile: keep running
         node.next = reinterpret_cast<Waiter*>(s);
-        if (cell.state_.compare_exchange_weak(
+        if (c->state_.compare_exchange_weak(
                 s, reinterpret_cast<std::uintptr_t>(&node),
-                std::memory_order_acq_rel, std::memory_order_acquire))
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          PWF_RT_RECORD(kPark, c);
           return true;  // parked; the writer will repost us
+        }
       }
     }
-    T await_resume() const { return cell.value_; }
+    T await_resume() const {
+      PWF_RT_RECORD(kTouch, &cell);
+      return cell.value_;
+    }
   };
 
   Awaiter operator co_await() { return Awaiter{*this, {}}; }

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <chrono>
 
+#if PWF_ANALYZE
+#include "analyze/rt_recorder.hpp"
+#endif
+
 namespace pwf::rt {
 
 namespace {
@@ -48,6 +52,12 @@ Scheduler::~Scheduler() {
   }
   park_cv_.notify_all();
   for (auto& t : threads_) t.join();
+#if PWF_ANALYZE
+  // All workers have quiesced: any waiter still parked in a cell now sleeps
+  // forever (a touch of a never-written cell). Audit and report before the
+  // scheduler disappears — without this the bug is a silent hang.
+  rt::analyze::audit_at_shutdown();
+#endif
   g_current.store(nullptr, std::memory_order_release);
 }
 
@@ -100,10 +110,19 @@ std::coroutine_handle<> Scheduler::find_work(unsigned index) {
 void Scheduler::worker_loop(unsigned index) {
   t_worker_index = static_cast<int>(index);
   t_worker_scheduler = this;
+#if PWF_ANALYZE
+  rt::analyze::set_worker(static_cast<int>(index));
+#endif
   for (;;) {
     if (std::coroutine_handle<> h = find_work(index)) {
       resumed_.fetch_add(1, std::memory_order_relaxed);
+#if PWF_ANALYZE
+      rt::analyze::set_current_fiber(h.address());
+#endif
       h.resume();
+#if PWF_ANALYZE
+      rt::analyze::set_current_fiber(nullptr);
+#endif
       continue;
     }
     std::unique_lock<std::mutex> lk(park_mutex_);

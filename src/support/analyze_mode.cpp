@@ -1,0 +1,29 @@
+#include "support/analyze_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pwf {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("PWF_ANALYZE");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> f{env_default()};
+  return f;
+}
+
+}  // namespace
+
+bool analyze_mode() { return flag().load(std::memory_order_relaxed); }
+
+void set_analyze_mode(bool on) {
+  flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace pwf

@@ -1,0 +1,21 @@
+// Process-wide switch for the pwf-analyze checkers (src/analyze).
+//
+// When on, every cost-model Engine records its computation DAG and runs the
+// offline verifier (write-once, race-freedom, EREW, linearity stats) over
+// the trace at destruction, aborting with diagnostics on a violation.
+//
+// It is turned on by either
+//   * the PWF_ANALYZE=1 environment variable (covers gtest binaries and
+//     ctest runs without touching each test), or
+//   * the built-in `--analyze` flag that support/cli adds to every bench
+//     and example binary.
+// The flag lives here in pwf_support rather than in pwf_analyze so that
+// cli.cpp can set it without a support -> analyze link cycle.
+#pragma once
+
+namespace pwf {
+
+bool analyze_mode();
+void set_analyze_mode(bool on);
+
+}  // namespace pwf

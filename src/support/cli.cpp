@@ -4,10 +4,13 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "support/analyze_mode.hpp"
+
 namespace pwf {
 
 Cli::Cli(int argc, char** argv, std::map<std::string, std::string> known)
     : values_(std::move(known)) {
+  values_.emplace("analyze", "0");  // built-in, understood by every binary
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -36,6 +39,7 @@ Cli::Cli(int argc, char** argv, std::map<std::string, std::string> known)
     }
     it->second = value;
   }
+  if (get_bool("analyze")) set_analyze_mode(true);
 }
 
 std::int64_t Cli::get_int(const std::string& name) const {

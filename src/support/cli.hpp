@@ -2,6 +2,11 @@
 //
 // Flags look like --name=value or --name value. Unknown flags abort with a
 // usage message so that typos in sweep scripts fail loudly.
+//
+// Every binary additionally understands the built-in `--analyze` flag: it
+// turns on analyze mode (support/analyze_mode.hpp), under which every
+// cost-model Engine records its DAG and runs the pwf-analyze verifier at
+// destruction. The PWF_ANALYZE environment variable has the same effect.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,382 @@
+// Tests for the pwf-analyze offline DAG verifier (src/analyze/verifier.hpp):
+// positive runs over every algorithm in the repo (the traces the paper's
+// bounds assume are well-formed really are), and deliberately ill-formed
+// hand-built traces asserting that each discipline violation is flagged with
+// actionable diagnostics (kind, cell id, action ids, witness path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "algos/mergesort.hpp"
+#include "algos/producer_consumer.hpp"
+#include "algos/quicksort.hpp"
+#include "analyze/verifier.hpp"
+#include "costmodel/engine.hpp"
+#include "support/analyze_mode.hpp"
+#include "support/bigstack.hpp"
+#include "support/random.hpp"
+#include "treap/setops.hpp"
+#include "trees/merge.hpp"
+#include "ttree/insert.hpp"
+
+namespace pwf::analyze {
+namespace {
+
+using cm::ActionId;
+using cm::EdgeKind;
+using cm::Trace;
+
+std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::int64_t> s;
+  while (s.size() < n) s.insert(rng.range(0, 1 << 24));
+  return {s.begin(), s.end()};
+}
+
+bool has_kind(const Report& rep, ViolationKind k) {
+  return std::any_of(rep.violations.begin(), rep.violations.end(),
+                     [&](const Violation& v) { return v.kind == k; });
+}
+
+const Violation& first_of(const Report& rep, ViolationKind k) {
+  for (const auto& v : rep.violations)
+    if (v.kind == k) return v;
+  ADD_FAILURE() << "no violation of kind " << violation_kind_name(k);
+  static Violation none{};
+  return none;
+}
+
+// ---- hand-built ill-formed traces (negative tests) -------------------------
+
+TEST(Verifier, CleanChainIsOk) {
+  Trace t;
+  const ActionId w = t.new_action(0);
+  const ActionId r = t.new_action(0);
+  t.add_edge(w, r, EdgeKind::kData);
+  t.record_write(w, /*cell=*/7);
+  t.record_read(r, 7);
+  const Report rep = verify(t);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_TRUE(rep.linear());
+  EXPECT_EQ(rep.num_cells, 1u);
+}
+
+TEST(Verifier, DoubleWriteFlagged) {
+  Trace t;
+  const ActionId w0 = t.new_action(0);
+  const ActionId w1 = t.new_action(0);
+  t.add_edge(w0, w1, EdgeKind::kThread);
+  t.record_write(w0, 3);
+  t.record_write(w1, 3);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kDoubleWrite);
+  EXPECT_EQ(v.cell, 3u);
+  EXPECT_EQ(v.first, w0);
+  EXPECT_EQ(v.second, w1);
+  EXPECT_NE(v.detail.find("action 0"), std::string::npos);
+  EXPECT_NE(v.detail.find("action 1"), std::string::npos);
+}
+
+TEST(Verifier, ReadRacingWriteFlagged) {
+  // fork: a0 -> a1 (reader child) and a0 -> a2 (writer child). The read is
+  // not ordered after the write by any path — a determinacy race.
+  Trace t;
+  const ActionId fork = t.new_action(0);
+  const ActionId r = t.new_action(1);
+  const ActionId w = t.new_action(2);
+  t.add_edge(fork, r, EdgeKind::kFork);
+  t.add_edge(fork, w, EdgeKind::kFork);
+  t.record_read(r, 5);
+  t.record_write(w, 5);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kReadRacesWrite);
+  EXPECT_EQ(v.cell, 5u);
+  EXPECT_EQ(v.first, w);
+  EXPECT_EQ(v.second, r);
+  // The witness path explains how execution reached the racing read.
+  ASSERT_FALSE(v.path.empty());
+  EXPECT_EQ(v.path.front(), fork);
+  EXPECT_EQ(v.path.back(), r);
+}
+
+TEST(Verifier, OrderedSiblingReadIsNotARace) {
+  // Same shape but with the data edge w -> r present: no race.
+  Trace t;
+  const ActionId fork = t.new_action(0);
+  const ActionId w = t.new_action(1);
+  const ActionId r = t.new_action(2);
+  t.add_edge(fork, w, EdgeKind::kFork);
+  t.add_edge(fork, r, EdgeKind::kFork);
+  t.add_edge(w, r, EdgeKind::kData);
+  t.record_write(w, 5);
+  t.record_read(r, 5);
+  EXPECT_TRUE(verify(t).ok());
+}
+
+TEST(Verifier, IndirectOrderingFoundByReachability) {
+  // The write reaches the read only through an intermediate action (no
+  // direct data edge) — still ordered, found by the bounded BFS.
+  Trace t;
+  const ActionId w = t.new_action(0);
+  const ActionId mid = t.new_action(0);
+  const ActionId r = t.new_action(1);
+  t.add_edge(w, mid, EdgeKind::kThread);
+  t.add_edge(mid, r, EdgeKind::kFork);
+  t.record_write(w, 9);
+  t.record_read(r, 9);
+  EXPECT_TRUE(verify(t).ok());
+}
+
+TEST(Verifier, ReadOfNeverWrittenCellFlagged) {
+  Trace t;
+  const ActionId a0 = t.new_action(0);
+  const ActionId a1 = t.new_action(0);
+  const ActionId r = t.new_action(0);
+  t.add_edge(a0, a1, EdgeKind::kThread);
+  t.add_edge(a1, r, EdgeKind::kThread);
+  t.record_read(r, 11);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kReadNeverWritten);
+  EXPECT_EQ(v.cell, 11u);
+  EXPECT_EQ(v.second, r);
+  // Witness path is the chain that led to the doomed touch.
+  EXPECT_EQ(v.path, (std::vector<ActionId>{a0, a1, r}));
+  EXPECT_NE(v.detail.find("park forever"), std::string::npos);
+}
+
+TEST(Verifier, PresetCellReadsAreNotDangling) {
+  Trace t;
+  const ActionId r = t.new_action(0);
+  t.record_read(r, 11);
+  t.note_preset(11);
+  EXPECT_TRUE(verify(t).ok());
+}
+
+TEST(Verifier, NonLinearReadFlagged) {
+  Trace t;
+  const ActionId w = t.new_action(0);
+  const ActionId r0 = t.new_action(0);
+  const ActionId r1 = t.new_action(0);
+  t.add_edge(w, r0, EdgeKind::kData);
+  t.add_edge(r0, r1, EdgeKind::kThread);
+  t.add_edge(w, r1, EdgeKind::kData);
+  t.record_write(w, 2);
+  t.record_read(r0, 2);
+  t.record_read(r1, 2);
+
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kNonLinearRead);
+  EXPECT_EQ(v.cell, 2u);
+  EXPECT_EQ(v.first, r0);
+  EXPECT_EQ(v.second, r1);
+  EXPECT_EQ(rep.max_cell_reads, 2u);
+  EXPECT_FALSE(rep.linear());
+
+  // With linearity demoted to a statistic (the Section-2 general model) the
+  // same trace is clean but still reports the multi-read.
+  Options opts;
+  opts.check_linearity = false;
+  const Report rep2 = verify(t, opts);
+  EXPECT_TRUE(rep2.ok()) << rep2.to_string();
+  EXPECT_EQ(rep2.max_cell_reads, 2u);
+  EXPECT_EQ(rep2.nonlinear_cells, 1u);
+}
+
+TEST(Verifier, ErewConflictFlagged) {
+  // Two forked children touch the same preset cell on the same timestep
+  // (both at level 2): concurrent reads, not EREW.
+  Trace t;
+  const ActionId fork = t.new_action(0);
+  const ActionId r0 = t.new_action(1);
+  const ActionId r1 = t.new_action(2);
+  t.add_edge(fork, r0, EdgeKind::kFork);
+  t.add_edge(fork, r1, EdgeKind::kFork);
+  t.note_preset(4);
+  t.record_read(r0, 4);
+  t.record_read(r1, 4);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kErewConflict);
+  EXPECT_EQ(v.cell, 4u);
+  EXPECT_EQ(v.first, r0);
+  EXPECT_EQ(v.second, r1);
+  EXPECT_NE(v.detail.find("same timestep"), std::string::npos);
+}
+
+TEST(Verifier, MalformedEdgeFlagged) {
+  Trace t;
+  t.new_action(0);
+  t.new_action(0);
+  t.add_edge(1, 0, EdgeKind::kThread);  // against execution order
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_TRUE(has_kind(rep, ViolationKind::kMalformedEdge));
+}
+
+TEST(Verifier, ViolationListTruncates) {
+  Trace t;
+  const ActionId w = t.new_action(0);
+  t.record_write(w, 0);
+  ActionId prev = w;
+  for (int i = 0; i < 100; ++i) {  // 100 extra writes of the same cell
+    const ActionId a = t.new_action(0);
+    t.add_edge(prev, a, EdgeKind::kThread);
+    t.record_write(a, 0);
+    prev = a;
+  }
+  Options opts;
+  opts.max_violations = 8;
+  const Report rep = verify(t, opts);
+  EXPECT_EQ(rep.violations.size(), 8u);
+  EXPECT_TRUE(rep.truncated);
+}
+
+// Death-test style: the engine-destructor hook aborts with diagnostics.
+TEST(VerifierDeath, VerifyAndReportAbortsOnViolation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Trace t;
+  const ActionId w0 = t.new_action(0);
+  const ActionId w1 = t.new_action(0);
+  t.add_edge(w0, w1, EdgeKind::kThread);
+  t.record_write(w0, 0);
+  t.record_write(w1, 0);
+  EXPECT_DEATH(verify_and_report(t, "test"), "double-write");
+}
+
+// ---- engine-recorded traces ------------------------------------------------
+
+TEST(VerifierEngine, TaggedTraceHasAllEdgeKinds) {
+  cm::Engine eng(/*trace=*/true);
+  auto* c = eng.new_cell<int>();
+  eng.fork([&] {
+    eng.steps(2);
+    eng.write(c, 1);
+  });
+  eng.touch(c);
+  eng.fork_join2([&] { eng.step(); return 0; }, [&] { eng.step(); return 0; });
+
+  const Trace& t = *eng.trace();
+  ASSERT_EQ(t.threads().size(), t.num_actions());
+  std::set<cm::ThreadId> threads(t.threads().begin(), t.threads().end());
+  EXPECT_GE(threads.size(), 3u);  // main + fork child + fork_join2 children
+  std::set<EdgeKind> kinds;
+  for (const auto& e : t.edges()) kinds.insert(e.kind);
+  EXPECT_TRUE(kinds.count(EdgeKind::kThread));
+  EXPECT_TRUE(kinds.count(EdgeKind::kFork));
+  EXPECT_TRUE(kinds.count(EdgeKind::kData));
+  EXPECT_TRUE(kinds.count(EdgeKind::kJoin));
+
+  const Report rep = verify(t);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(VerifierEngine, InputCellsAreNotedAsPresets) {
+  cm::Engine eng(/*trace=*/true);
+  auto* c = eng.input_cell<int>(9);
+  EXPECT_EQ(eng.touch(c), 9);
+  const Report rep = verify(*eng.trace());
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(eng.trace()->presets().size(), 1u);
+}
+
+TEST(VerifierEngine, AnalyzeModeAutoTraces) {
+  set_analyze_mode(true);
+  {
+    cm::Engine eng;  // no explicit trace request
+    ASSERT_NE(eng.trace(), nullptr);
+    auto* c = eng.new_cell<int>();
+    eng.fork([&] { eng.write(c, 1); });
+    eng.touch(c);
+  }  // destructor runs verify_and_report on the clean trace: must not abort
+  set_analyze_mode(false);
+  cm::Engine eng2;
+  EXPECT_EQ(eng2.trace(), nullptr);
+}
+
+// ---- the paper's algorithms are well-formed --------------------------------
+
+struct AlgoCase {
+  const char* name;
+  void (*run)(cm::Engine&, const std::vector<std::int64_t>&,
+              const std::vector<std::int64_t>&);
+};
+
+class VerifierAlgos : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(VerifierAlgos, TraceIsWellFormedAndLinear) {
+  const AlgoCase& algo = GetParam();
+  const auto a = random_keys(1 << 9, 21);
+  const auto b = random_keys(1 << 9, 34);
+  run_big([&] {
+    cm::Engine eng(/*trace=*/true);
+    algo.run(eng, a, b);
+    const Report rep = verify(*eng.trace());
+    EXPECT_TRUE(rep.ok()) << algo.name << ": " << rep.to_string();
+    EXPECT_TRUE(rep.linear()) << algo.name << ": " << rep.to_string();
+    EXPECT_LE(rep.max_cell_reads, 1u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAlgorithms, VerifierAlgos,
+    ::testing::Values(
+        AlgoCase{"trees-merge",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>& b) {
+                   trees::Store st(eng);
+                   trees::merge(st, st.input(st.build_balanced(a)),
+                                st.input(st.build_balanced(b)));
+                 }},
+        AlgoCase{"treap-union",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>& b) {
+                   treap::Store st(eng);
+                   treap::union_treaps(st, st.input(st.build(a)),
+                                       st.input(st.build(b)));
+                 }},
+        AlgoCase{"treap-diff",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>& b) {
+                   treap::Store st(eng);
+                   treap::diff_treaps(st, st.input(st.build(a)),
+                                      st.input(st.build(b)));
+                 }},
+        AlgoCase{"ttree-insert",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>& b) {
+                   ttree::Store st(eng);
+                   ttree::bulk_insert(st, st.input(st.build(a, 3)), b);
+                 }},
+        AlgoCase{"quicksort",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>&) {
+                   algos::ListStore st(eng);
+                   std::vector<algos::Value> v(a.begin(), a.end());
+                   algos::quicksort(st, v);
+                 }},
+        AlgoCase{"mergesort",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>& a,
+                    const std::vector<std::int64_t>&) {
+                   trees::Store st(eng);
+                   algos::mergesort(st, a);
+                 }},
+        AlgoCase{"producer-consumer",
+                 [](cm::Engine& eng, const std::vector<std::int64_t>&,
+                    const std::vector<std::int64_t>&) {
+                   algos::ListStore st(eng);
+                   algos::produce_consume(st, 512);
+                 }}),
+    [](const ::testing::TestParamInfo<AlgoCase>& info) {
+      std::string name = info.param.name;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace pwf::analyze

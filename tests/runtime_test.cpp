@@ -119,6 +119,28 @@ TEST(FutCellDeath, DoubleWriteAborts) {
       "written twice");
 }
 
+TEST(FutCellDeath, PresetAfterWriteAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FutCell<int> c;
+        c.write(1);
+        c.preset(2);
+      },
+      "preset of a non-empty cell");
+}
+
+TEST(FutCellDeath, DoublePresetAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FutCell<int> c;
+        c.preset(1);
+        c.preset(2);
+      },
+      "preset of a non-empty cell");
+}
+
 TEST(SchedulerDeath, TwoLiveSchedulersAbort) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
