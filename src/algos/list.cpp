@@ -3,15 +3,7 @@
 namespace pwf::algos {
 
 std::vector<Value> peek_list(const ListCell* head) {
-  std::vector<Value> out;
-  const ListCell* c = head;
-  for (;;) {
-    PWF_CHECK_MSG(c->written, "peek of unwritten list cell");
-    const LNode* n = c->value;
-    if (n == nullptr) return out;
-    out.push_back(n->value);
-    c = n->next;
-  }
+  return pipelined::list::peek_list<pipelined::CmPolicy>(head);
 }
 
 }  // namespace pwf::algos

@@ -1,64 +1,29 @@
 // Linked lists with future tails — the list type of the paper's Figure 1
-// producer/consumer and Figure 2 quicksort. A cons cell's head is an
-// immediate value; its tail is a read pointer to a future cell, so a list
-// can be consumed while its tail is still being produced.
+// producer/consumer and Figure 2 quicksort.
+//
+// The representation and the algorithm bodies live in
+// src/pipelined/list.hpp (single-source, substrate-templated); this header
+// instantiates them on the cost-model substrate and keeps the original
+// plain-function API.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "costmodel/engine.hpp"
-#include "support/arena.hpp"
-#include "support/check.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/list.hpp"
 
 namespace pwf::algos {
 
-using Value = std::int64_t;
+using Value = pipelined::list::Value;
 
-struct LNode;
+// Cost-model instantiation: cons cells over cm::Cell future tails.
+using LNode = pipelined::list::LNode<pipelined::CmPolicy>;
 using ListCell = cm::Cell<LNode*>;
 
-struct LNode {
-  Value value = 0;
-  ListCell* next = nullptr;
-};
-
-class ListStore {
- public:
-  explicit ListStore(cm::Engine& eng) : eng_(eng) {}
-
-  cm::Engine& engine() { return eng_; }
-
-  ListCell* cell() { return arena_.create<ListCell>(); }
-
-  ListCell* input(LNode* head) {
-    ListCell* c = cell();
-    cm::Engine::preset(*c, head);
-    return c;
-  }
-
-  LNode* cons(Value v, ListCell* next) {
-    LNode* n = arena_.create<LNode>();
-    n->value = v;
-    n->next = next;
-    return n;
-  }
-
-  // Fully materialized input list (available at time 0).
-  ListCell* input_list(const std::vector<Value>& values) {
-    LNode* head = nullptr;
-    ListCell* next = input(nullptr);
-    for (std::size_t i = values.size(); i-- > 0;) {
-      head = cons(values[i], next);
-      next = input(head);
-    }
-    return next;
-  }
-
- private:
-  cm::Engine& eng_;
-  Arena arena_{1 << 16};
-};
+// Construct with the engine: ListStore st(eng).
+using ListStore = pipelined::list::Store<pipelined::CmPolicy>;
 
 // Analysis-only: collect a finished list's values.
 std::vector<Value> peek_list(const ListCell* head);

@@ -1,95 +1,34 @@
 #include "algos/mergesort.hpp"
 
-#include "trees/merge.hpp"
-#include "trees/rebalance.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+#include "pipelined/mergesort.hpp"
 
 namespace pwf::algos {
 
-namespace {
+namespace pl = pipelined;
 
-using trees::Node;
-using trees::Store;
 using trees::TreeCell;
-
-void msort_into(Store& st, std::span<const trees::Key> values,
-                TreeCell* out) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (values.empty()) {
-    eng.write(out, static_cast<Node*>(nullptr));
-    return;
-  }
-  if (values.size() == 1) {
-    trees::publish(eng, out, st.make_ready(values[0], nullptr, nullptr));
-    return;
-  }
-  const std::size_t mid = values.size() / 2;
-  TreeCell* l = st.cell();
-  TreeCell* r = st.cell();
-  eng.fork([&] { msort_into(st, values.subspan(0, mid), l); });
-  eng.fork([&] { msort_into(st, values.subspan(mid), r); });
-  trees::merge_into(st, l, r, out);
-}
-
-Node* msort_strict(Store& st, std::span<const trees::Key> values) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (values.empty()) return nullptr;
-  if (values.size() == 1)
-    return st.make_ready(values[0], nullptr, nullptr);
-  const std::size_t mid = values.size() / 2;
-  auto [l, r] =
-      eng.fork_join2([&] { return msort_strict(st, values.subspan(0, mid)); },
-                     [&] { return msort_strict(st, values.subspan(mid)); });
-  return trees::merge_strict(st, l, r);
-}
-
-void msort_balanced_into(Store& st, std::span<const trees::Key> values,
-                         TreeCell* out) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (values.empty()) {
-    eng.write(out, static_cast<Node*>(nullptr));
-    return;
-  }
-  if (values.size() == 1) {
-    trees::publish(eng, out, st.make_ready(values[0], nullptr, nullptr));
-    return;
-  }
-  const std::size_t mid = values.size() / 2;
-  TreeCell* l = st.cell();
-  TreeCell* r = st.cell();
-  eng.fork([&] { msort_balanced_into(st, values.subspan(0, mid), l); });
-  eng.fork([&] { msort_balanced_into(st, values.subspan(mid), r); });
-  TreeCell* merged = st.cell();
-  eng.fork([&] { trees::merge_into(st, l, r, merged); });
-  // Rebalance phase in its own thread: its measure pass waits (through data
-  // edges) for this level's merge only, so sibling subtrees still overlap;
-  // levels serialize at the rebalance barrier — D(n) = D(n/2) + O(lg n).
-  eng.fork([&] {
-    Node* annotated = trees::measure(st, merged);
-    trees::rebalance_into(st, st.input(annotated), values.size(), out);
-  });
-}
-
-}  // namespace
 
 trees::TreeCell* mergesort(trees::Store& st,
                            const std::vector<trees::Key>& values) {
+  pl::CmExec ex(st.engine());
   TreeCell* out = st.cell();
-  st.engine().fork([&] { msort_into(st, values, out); });
+  ex.fork(pl::trees::msort_into(ex, st, values, out));
   return out;
 }
 
 trees::Node* mergesort_strict(trees::Store& st,
                               const std::vector<trees::Key>& values) {
-  return msort_strict(st, values);
+  return pl::run_inline(
+      pl::trees::msort_strict(pl::CmStrictExec(st.engine()), st, values));
 }
 
 trees::TreeCell* mergesort_balanced(trees::Store& st,
                                     const std::vector<trees::Key>& values) {
+  pl::CmExec ex(st.engine());
   TreeCell* out = st.cell();
-  st.engine().fork([&] { msort_balanced_into(st, values, out); });
+  ex.fork(pl::trees::msort_balanced_into(ex, st, values, out));
   return out;
 }
 

@@ -1,46 +1,20 @@
 #include "algos/producer_consumer.hpp"
 
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+
 namespace pwf::algos {
 
-namespace {
-
-// produce n = n :: ?produce(n-1): each element is created by its own thread
-// (the paper's Figure 1 DAG), so the list head appears in O(1) and each
-// subsequent cell a constant number of time steps later.
-void produce(ListStore& st, std::int64_t n, ListCell* out) {
-  cm::Engine& eng = st.engine();
-  if (n < 0) {
-    eng.write(out, static_cast<LNode*>(nullptr));
-    return;
-  }
-  ListCell* tail = st.cell();
-  eng.fork([&] { produce(st, n - 1, tail); });
-  eng.write(out, st.cons(n, tail));
-}
-
-// consume(h::t) = h + consume(t): one thread chasing the data edges, one
-// action per element (the touch; the addition rides along), matching the
-// 1:1 producer/consumer rate of the paper's Figure 1 DAG.
-Value consume(ListStore& st, ListCell* list) {
-  cm::Engine& eng = st.engine();
-  Value sum = 0;
-  for (;;) {
-    LNode* h = eng.touch(list);
-    if (h == nullptr) return sum;
-    sum += h->value;
-    list = h->next;
-  }
-}
-
-}  // namespace
+namespace pl = pipelined;
 
 PipelineResult produce_consume(ListStore& st, std::int64_t n) {
   cm::Engine& eng = st.engine();
+  pl::CmExec ex(eng);
   ListCell* list = st.cell();
-  eng.fork([&] { produce(st, n, list); });
+  ex.fork(pl::list::produce(ex, st, n, list));
   const cm::Time produce_done = eng.depth();  // eager: producer just finished
   PipelineResult r;
-  r.sum = consume(st, list);
+  r.sum = pl::run_inline(pl::list::consume(ex, list));
   r.produce_done = produce_done;
   r.consume_done = eng.now();
   return r;
@@ -59,7 +33,7 @@ PipelineResult produce_consume_strict(ListStore& st, std::int64_t n) {
   }
   PipelineResult r;
   r.produce_done = eng.now();
-  r.sum = consume(st, list);
+  r.sum = pl::run_inline(pl::list::consume(pl::CmExec(eng), list));
   r.consume_done = eng.now();
   return r;
 }

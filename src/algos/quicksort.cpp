@@ -1,106 +1,30 @@
 #include "algos/quicksort.hpp"
 
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+
 namespace pwf::algos {
 
-namespace {
-
-// part(p, l) = (elements < p, elements >= p), produced front-first through
-// the destination cells so the recursive qs calls can consume the prefixes
-// while the suffix is still being partitioned.
-void part(ListStore& st, Value p, ListCell* list, ListCell* outLes,
-          ListCell* outGrt) {
-  cm::Engine& eng = st.engine();
-  for (;;) {
-    LNode* h = eng.touch(list);
-    if (h == nullptr) {
-      eng.write(outLes, static_cast<LNode*>(nullptr));
-      eng.write(outGrt, static_cast<LNode*>(nullptr));
-      return;
-    }
-    eng.step();  // the comparison
-    if (h->value < p) {
-      ListCell* tail = st.cell();
-      eng.write(outLes, st.cons(h->value, tail));
-      outLes = tail;
-    } else {
-      ListCell* tail = st.cell();
-      eng.write(outGrt, st.cons(h->value, tail));
-      outGrt = tail;
-    }
-    list = h->next;
-  }
-}
-
-}  // namespace
+namespace pl = pipelined;
 
 void quicksort_into(ListStore& st, ListCell* list, ListCell* rest,
                     ListCell* out) {
-  cm::Engine& eng = st.engine();
-  LNode* h = eng.touch(list);
-  if (h == nullptr) {  // qs(nil, rest) = rest
-    eng.write(out, eng.touch(rest));
-    return;
-  }
-  eng.step();
-  ListCell* les = st.cell();
-  ListCell* grt = st.cell();
-  const Value pivot = h->value;
-  eng.fork([&] { part(st, pivot, h->next, les, grt); });
-  // qs(les, h :: ?qs(grt, rest))
-  ListCell* sorted_grt = st.cell();
-  eng.fork([&] { quicksort_into(st, grt, rest, sorted_grt); });
-  ListCell* mid = st.input(st.cons(pivot, sorted_grt));
-  quicksort_into(st, les, mid, out);
+  pl::run_inline(pl::list::quicksort_into(pl::CmExec(st.engine()), st, list,
+                                          rest, out));
 }
 
 ListCell* quicksort(ListStore& st, const std::vector<Value>& values) {
-  cm::Engine& eng = st.engine();
+  pl::CmExec ex(st.engine());
   ListCell* in = st.input_list(values);
   ListCell* nil = st.input(nullptr);
   ListCell* out = st.cell();
-  eng.fork([&] { quicksort_into(st, in, nil, out); });
+  ex.fork(pl::list::quicksort_into(ex, st, in, nil, out));
   return out;
 }
-
-namespace {
-
-// Strict recursion over materialized value sequences: sequential partition,
-// parallel recursive sorts, sequential append — the paper's "two recursive
-// calls to quicksort in parallel after the sequential partition is
-// complete". Expected depth Θ(n), like the pipelined version.
-std::vector<Value> qs_strict_rec(cm::Engine& eng,
-                                 std::vector<Value> values) {
-  eng.step();
-  if (values.size() <= 1) return values;
-  const Value pivot = values.front();
-  std::vector<Value> les, grt;
-  for (std::size_t i = 1; i < values.size(); ++i) {
-    eng.step();  // the comparison (partition is a sequential chain)
-    (values[i] < pivot ? les : grt).push_back(values[i]);
-  }
-  auto [sl, sg] = eng.fork_join2(
-      [&] { return qs_strict_rec(eng, std::move(les)); },
-      [&] { return qs_strict_rec(eng, std::move(grt)); });
-  // Append sl ++ [pivot] ++ sg, paying one action per copied element.
-  std::vector<Value> out;
-  out.reserve(values.size());
-  for (Value v : sl) {
-    eng.step();
-    out.push_back(v);
-  }
-  eng.step();
-  out.push_back(pivot);
-  for (Value v : sg) {
-    eng.step();
-    out.push_back(v);
-  }
-  return out;
-}
-
-}  // namespace
 
 ListCell* quicksort_strict(ListStore& st, const std::vector<Value>& values) {
-  std::vector<Value> sorted = qs_strict_rec(st.engine(), values);
+  std::vector<Value> sorted = pl::run_inline(
+      pl::list::qs_strict_rec(pl::CmStrictExec(st.engine()), values));
   return st.input_list(sorted);
 }
 

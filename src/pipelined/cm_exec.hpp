@@ -1,0 +1,182 @@
+// Cost-model substrates: CmExec (pipelined) and CmStrictExec (fork-join
+// baseline). See docs/substrates.md.
+//
+// Both wrap a cm::Engine. Every awaiter here is either immediately ready or
+// symmetric-transfers into the child frame, so a templated algorithm body
+// runs to completion inside a single resume() with *exactly* the engine
+// action sequence of the plain-call formulation it replaced — the recorded
+// counts test (tests/recorded_counts_test.cpp) seals that equivalence.
+//
+// The two types are distinct only so instantiations are named by discipline
+// (pipelined bodies use touch/fork, strict bodies use peek/fork_join); the
+// engine operations they expose are identical.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "costmodel/engine.hpp"
+#include "pipelined/exec.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace pwf::pipelined {
+
+// Context a cost-model Store needs: which engine stamps its cells.
+struct CmContext {
+  cm::Engine* eng;
+  CmContext(cm::Engine& e) : eng(&e) {}  // NOLINT: implicit by design
+  cm::Engine& engine() const { return *eng; }
+};
+
+struct CmPolicy {
+  template <typename T>
+  using Cell = cm::Cell<T>;
+  using Time = cm::Time;
+  using Context = CmContext;
+  struct Arena : pwf::Arena {
+    Arena() : pwf::Arena(1 << 18) {}
+  };
+  static constexpr bool kHasTimestamps = true;
+
+  template <typename T>
+  static void preset(cm::Cell<T>& c, T v) {
+    cm::Engine::preset(c, std::move(v));
+  }
+  // Reads a finished cell's value without touching (analysis + strict code).
+  template <typename T>
+  static T peek(const cm::Cell<T>* c) {
+    PWF_CHECK_MSG(c->written,
+                  "peek of unwritten cell — computation incomplete");
+    return c->value;
+  }
+};
+
+namespace detail {
+
+// An awaiter that already holds its value: `co_await ex.touch(c)` on the
+// cost model performs the engine touch *at the call site* (before the
+// co_await), preserving the eager evaluation order of a plain call.
+template <typename T>
+struct ReadyValue {
+  T v;
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  T await_resume() { return std::move(v); }
+};
+
+}  // namespace detail
+
+class CmExecBase {
+ public:
+  using Policy = CmPolicy;
+
+  explicit CmExecBase(cm::Engine& eng) : eng_(&eng) {}
+  CmExecBase(CmContext ctx) : eng_(ctx.eng) {}  // NOLINT: implicit by design
+
+  cm::Engine& engine() const { return *eng_; }
+
+  // ---- pipelined operations ------------------------------------------------
+
+  template <typename T>
+  detail::ReadyValue<T> touch(cm::Cell<T>* c) const {
+    return {eng_->touch(c)};
+  }
+
+  template <typename T>
+  void write(cm::Cell<T>* c, T v) const {
+    eng_->write(c, std::move(v));
+  }
+
+  // The future/fork: run the fiber eagerly in a forked thread of the DAG.
+  void fork(Fiber f) const {
+    eng_->fork([h = f.handle] { h.resume(); });
+  }
+
+  // ---- local work ----------------------------------------------------------
+
+  void step() const { eng_->step(); }
+  void steps(std::uint64_t k) const { eng_->steps(k); }
+  void array_op(std::uint64_t n) const { eng_->array_op(n); }
+
+  // Current DAG time, for structures that stamp nodes outside publish()
+  // (2-6 tree node splits). Not an engine action.
+  cm::Time now_stamp() const { return eng_->now(); }
+
+  // ---- fork-join (strict discipline) ---------------------------------------
+
+  template <typename A, typename B>
+  struct Join2 {
+    cm::Engine* eng;
+    Task<A> a;
+    Task<B> b;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    std::pair<A, B> await_resume() {
+      return eng->fork_join2(
+          [this] {
+            a.handle.resume();
+            return std::move(a.handle.promise().value);
+          },
+          [this] {
+            b.handle.resume();
+            return std::move(b.handle.promise().value);
+          });
+    }
+  };
+
+  template <typename A, typename B>
+  Join2<A, B> fork_join2(Task<A> a, Task<B> b) const {
+    return Join2<A, B>{eng_, std::move(a), std::move(b)};
+  }
+
+  struct JoinAll {
+    cm::Engine* eng;
+    std::vector<Task<void>> ts;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() { run_all(*eng, ts); }
+    // Same pairwise halving as cm::fork_join_all, so the DAG shape (and the
+    // recorded counts) match the std::function-based original exactly.
+    static void run_all(cm::Engine& eng, std::span<Task<void>> ts) {
+      if (ts.empty()) return;
+      if (ts.size() == 1) {
+        ts[0].handle.resume();
+        return;
+      }
+      const std::size_t mid = ts.size() / 2;
+      eng.fork_join2(
+          [&] {
+            run_all(eng, ts.subspan(0, mid));
+            return 0;
+          },
+          [&] {
+            run_all(eng, ts.subspan(mid));
+            return 0;
+          });
+    }
+  };
+
+  JoinAll fork_join_all(std::vector<Task<void>> ts) const {
+    return JoinAll{eng_, std::move(ts)};
+  }
+
+ private:
+  cm::Engine* eng_;
+};
+
+// The pipelined cost-model substrate (futures semantics, Section 2).
+struct CmExec : CmExecBase {
+  using CmExecBase::CmExecBase;
+};
+
+// The strict fork-join baseline on the same engine. Bodies written against
+// it only use peek/step/fork_join2/fork_join_all — no data pipelining.
+struct CmStrictExec : CmExecBase {
+  using CmExecBase::CmExecBase;
+};
+
+}  // namespace pwf::pipelined

@@ -1,0 +1,202 @@
+// Coroutine plumbing shared by every substrate (see docs/substrates.md).
+//
+// The single-source algorithm bodies in this directory are C++20 coroutines
+// templated over an executor `Ex`. Whether a body runs eagerly inside the
+// cost model or concurrently on the work-stealing runtime is decided entirely
+// by what `ex.touch(...)` / `ex.fork(...)` / `ex.fork_join2(...)` return:
+//
+//   * on the cost-model substrates every awaiter is immediately ready (or
+//     symmetric-transfers straight into the child frame), so a body runs to
+//     completion inside a single resume() — the coroutine machinery adds no
+//     engine actions and the measured DAG is bit-identical to a plain-call
+//     formulation;
+//   * on the runtime substrate `touch` suspends on an unwritten FutCell and
+//     `fork` posts the child to the scheduler.
+//
+// Two coroutine shapes cover all bodies:
+//
+//   Fiber    — detached unit of work with an optional continuation. `fork`
+//              consumes one; `co_await`ing one chains it inline (symmetric
+//              transfer), which is the substrate-neutral spelling of a plain
+//              recursive call. The frame frees itself at completion.
+//   Task<T>  — lazy value-returning child for fork/join. The parent keeps
+//              ownership; the value lives in the promise until joined.
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+namespace pwf::pipelined {
+
+class Fiber {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> cont;
+
+    Fiber get_return_object() {
+      return Fiber{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Detached: the frame dies here. Grab the continuation first.
+        const std::coroutine_handle<> next = h.promise().cont;
+        h.destroy();
+        return next ? next : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::abort(); }
+  };
+
+  explicit Fiber(std::coroutine_handle<promise_type> h) : handle(h) {}
+  Fiber(Fiber&& o) noexcept : handle(std::exchange(o.handle, {})) {}
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  // No destructor: fibers are always either forked or awaited, after which
+  // the frame owns (and frees) itself.
+
+  struct InlineAwaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle.promise().cont = parent;
+      return handle;  // symmetric transfer: run the child now
+    }
+    void await_resume() const noexcept {}
+  };
+  // `co_await std::move(fiber)` = run inline, resume me when it completes.
+  InlineAwaiter operator co_await() && { return InlineAwaiter{handle}; }
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+template <typename T>
+class Task {
+ public:
+  struct promise_type {
+    T value{};
+    std::coroutine_handle<> cont;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // The Task object still owns the frame (the joined value lives in
+        // the promise), so no destroy here — just resume the joiner.
+        const std::coroutine_handle<> next = h.promise().cont;
+        return next ? next : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::abort(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle(h) {}
+  Task(Task&& o) noexcept : handle(std::exchange(o.handle, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle) handle.destroy();
+  }
+
+  struct ValueAwaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle.promise().cont = parent;
+      return handle;
+    }
+    T await_resume() { return std::move(handle.promise().value); }
+  };
+  // `co_await std::move(task)` = run inline and yield the value.
+  ValueAwaiter operator co_await() && { return ValueAwaiter{handle}; }
+
+  struct DoneAwaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return handle.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle.promise().cont = parent;
+      return handle;
+    }
+    void await_resume() const noexcept {}
+  };
+  // Start/join without consuming the value (runtime join watchers use this;
+  // the parent reads the promise after all children arrive).
+  DoneAwaiter when_done() { return DoneAwaiter{handle}; }
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> cont;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        const std::coroutine_handle<> next = h.promise().cont;
+        return next ? next : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::abort(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle(h) {}
+  Task(Task&& o) noexcept : handle(std::exchange(o.handle, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle) handle.destroy();
+  }
+
+  struct DoneAwaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return handle.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle.promise().cont = parent;
+      return handle;
+    }
+    void await_resume() const noexcept {}
+  };
+  DoneAwaiter operator co_await() && { return DoneAwaiter{handle}; }
+  DoneAwaiter when_done() { return DoneAwaiter{handle}; }
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+// Drive a coroutine to completion on the current thread. Only valid on
+// substrates whose awaiters never actually suspend (the cost models); the
+// shims in src/trees etc. use these to keep their plain-function APIs.
+template <typename T>
+T run_inline(Task<T> t) {
+  t.handle.resume();
+  return std::move(t.handle.promise().value);
+}
+
+inline void run_inline(Task<void> t) { t.handle.resume(); }
+
+inline void run_inline(Fiber f) { f.handle.resume(); }
+
+}  // namespace pwf::pipelined

@@ -1,0 +1,205 @@
+// Single-source lists with future tails (the paper's Figure 1
+// producer/consumer and Figure 2 quicksort), written once against the
+// substrate concept. Instantiated by src/algos (cost model) and
+// src/runtime/rt_algos (coroutine runtime).
+//
+// A cons cell's head is an immediate value; its tail is a read pointer to a
+// future cell, so a list can be consumed while its tail is still being
+// produced.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pipelined/exec.hpp"
+#include "support/check.hpp"
+
+namespace pwf::pipelined::list {
+
+using Value = std::int64_t;
+
+template <typename P>
+struct LNode;
+
+template <typename P>
+using Cell = typename P::template Cell<LNode<P>*>;
+
+template <typename P>
+struct LNode {
+  Value value = 0;
+  Cell<P>* next = nullptr;
+};
+
+template <typename P>
+class Store {
+ public:
+  using Context = typename P::Context;
+
+  explicit Store(Context ctx) : ctx_(std::move(ctx)) {}
+  Store()
+    requires std::default_initializable<Context>
+  = default;
+
+  decltype(auto) engine() { return ctx_.engine(); }
+
+  Cell<P>* cell() { return arena_.template create<Cell<P>>(); }
+
+  Cell<P>* input(LNode<P>* head) {
+    Cell<P>* c = cell();
+    P::preset(*c, head);
+    return c;
+  }
+
+  LNode<P>* cons(Value v, Cell<P>* next) {
+    LNode<P>* n = arena_.template create<LNode<P>>();
+    n->value = v;
+    n->next = next;
+    return n;
+  }
+
+  // Fully materialized input list (available at time 0).
+  Cell<P>* input_list(const std::vector<Value>& values) {
+    LNode<P>* head = nullptr;
+    Cell<P>* next = input(nullptr);
+    for (std::size_t i = values.size(); i-- > 0;) {
+      head = cons(values[i], next);
+      next = input(head);
+    }
+    return next;
+  }
+
+ private:
+  Context ctx_;
+  typename P::Arena arena_;
+};
+
+template <typename P>
+LNode<P>* peek(const Cell<P>* c) {
+  return P::peek(c);
+}
+
+// Analysis-only: collect a finished list's values.
+template <typename P>
+std::vector<Value> peek_list(const Cell<P>* head) {
+  std::vector<Value> out;
+  for (const LNode<P>* n = peek<P>(head); n != nullptr;
+       n = peek<P>(n->next)) {
+    out.push_back(n->value);
+  }
+  return out;
+}
+
+// ---- Figure 1: producer/consumer --------------------------------------------
+
+// produce n = n :: ?produce(n-1): each element is created by its own thread,
+// so the list head appears in O(1) and each subsequent cell a constant
+// number of time steps later.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber produce(Ex ex, Store<P>& st, std::int64_t n, Cell<P>* out) {
+  if (n < 0) {
+    ex.write(out, static_cast<LNode<P>*>(nullptr));
+    co_return;
+  }
+  Cell<P>* tail = st.cell();
+  ex.fork(produce(ex, st, n - 1, tail));
+  ex.write(out, st.cons(n, tail));
+}
+
+// consume(h::t) = h + consume(t): one thread chasing the data edges, one
+// action per element, matching the 1:1 producer/consumer rate of Figure 1.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Value> consume(Ex ex, Cell<P>* lst) {
+  Value sum = 0;
+  for (;;) {
+    LNode<P>* h = co_await ex.touch(lst);
+    if (h == nullptr) co_return sum;
+    sum += h->value;
+    lst = h->next;
+  }
+}
+
+// ---- Figure 2: Halstead's quicksort -----------------------------------------
+
+// part(p, l) = (elements < p, elements >= p), produced front-first through
+// the destination cells so the recursive qs calls can consume the prefixes
+// while the suffix is still being partitioned.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber part(Ex ex, Store<P>& st, Value p, Cell<P>* lst, Cell<P>* outLes,
+           Cell<P>* outGrt) {
+  for (;;) {
+    LNode<P>* h = co_await ex.touch(lst);
+    if (h == nullptr) {
+      ex.write(outLes, static_cast<LNode<P>*>(nullptr));
+      ex.write(outGrt, static_cast<LNode<P>*>(nullptr));
+      co_return;
+    }
+    ex.step();  // the comparison
+    if (h->value < p) {
+      Cell<P>* tail = st.cell();
+      ex.write(outLes, st.cons(h->value, tail));
+      outLes = tail;
+    } else {
+      Cell<P>* tail = st.cell();
+      ex.write(outGrt, st.cons(h->value, tail));
+      outGrt = tail;
+    }
+    lst = h->next;
+  }
+}
+
+// Pipelined quicksort of the list in `lst`, with `rest` appended (the
+// accumulator in qs(les, h :: ?qs(grt, rest))).
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber quicksort_into(Ex ex, Store<P>& st, Cell<P>* lst, Cell<P>* rest,
+                     Cell<P>* out) {
+  LNode<P>* h = co_await ex.touch(lst);
+  if (h == nullptr) {  // qs(nil, rest) = rest
+    ex.write(out, co_await ex.touch(rest));
+    co_return;
+  }
+  ex.step();
+  Cell<P>* les = st.cell();
+  Cell<P>* grt = st.cell();
+  const Value pivot = h->value;
+  ex.fork(part(ex, st, pivot, h->next, les, grt));
+  // qs(les, h :: ?qs(grt, rest))
+  Cell<P>* sorted_grt = st.cell();
+  ex.fork(quicksort_into(ex, st, grt, rest, sorted_grt));
+  Cell<P>* mid = st.input(st.cons(pivot, sorted_grt));
+  co_await quicksort_into(ex, st, les, mid, out);
+}
+
+// Strict recursion over materialized value sequences: sequential partition,
+// parallel recursive sorts, sequential append. Expected depth Θ(n), like the
+// pipelined version — the paper's point about Figure 2.
+template <typename Ex>
+Task<std::vector<Value>> qs_strict_rec(Ex ex, std::vector<Value> values) {
+  ex.step();
+  if (values.size() <= 1) co_return values;
+  const Value pivot = values.front();
+  std::vector<Value> les, grt;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    ex.step();  // the comparison (partition is a sequential chain)
+    (values[i] < pivot ? les : grt).push_back(values[i]);
+  }
+  auto [sl, sg] = co_await ex.fork_join2(qs_strict_rec(ex, std::move(les)),
+                                         qs_strict_rec(ex, std::move(grt)));
+  // Append sl ++ [pivot] ++ sg, paying one action per copied element.
+  std::vector<Value> out;
+  out.reserve(values.size());
+  for (Value v : sl) {
+    ex.step();
+    out.push_back(v);
+  }
+  ex.step();
+  out.push_back(pivot);
+  for (Value v : sg) {
+    ex.step();
+    out.push_back(v);
+  }
+  co_return out;
+}
+
+}  // namespace pwf::pipelined::list

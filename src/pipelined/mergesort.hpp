@@ -1,0 +1,85 @@
+// Single-source mergesort over pipelined tree merges (the paper's Section 5
+// conjecture) plus the strict baseline and the rebalance-every-level
+// ablation. Instantiated by src/algos/mergesort.cpp (cost model) and
+// src/runtime/rt_trees.cpp (coroutine runtime).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pipelined/exec.hpp"
+#include "pipelined/trees.hpp"
+
+namespace pwf::pipelined::trees {
+
+// Sorts `values` (duplicates allowed — they survive as equal adjacent keys)
+// into the BST under *out using pipelined merges. The recursion tree, the
+// merges, and the splits inside the merges give three levels of pipelining.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber msort_into(Ex ex, Store<P>& st, std::span<const Key> values,
+                 Cell<P>* out) {
+  ex.step();
+  if (values.empty()) {
+    ex.write(out, static_cast<Node<P>*>(nullptr));
+    co_return;
+  }
+  if (values.size() == 1) {
+    publish(ex, out, st.make_ready(values[0], nullptr, nullptr));
+    co_return;
+  }
+  const std::size_t mid = values.size() / 2;
+  Cell<P>* l = st.cell();
+  Cell<P>* r = st.cell();
+  ex.fork(msort_into(ex, st, values.subspan(0, mid), l));
+  ex.fork(msort_into(ex, st, values.subspan(mid), r));
+  co_await merge_into(ex, st, l, r, out);
+}
+
+// Non-pipelined baseline: same recursion with strict merges.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> msort_strict(Ex ex, Store<P>& st, std::span<const Key> values) {
+  ex.step();
+  if (values.empty()) co_return nullptr;
+  if (values.size() == 1) co_return st.make_ready(values[0], nullptr, nullptr);
+  const std::size_t mid = values.size() / 2;
+  auto [l, r] =
+      co_await ex.fork_join2(msort_strict(ex, st, values.subspan(0, mid)),
+                             msort_strict(ex, st, values.subspan(mid)));
+  co_return co_await merge_strict(ex, st, l, r);
+}
+
+// Rebalance phase of the balanced variant, in its own thread: its measure
+// pass waits (through data edges) for this level's merge only, so sibling
+// subtrees still overlap; levels serialize at the rebalance barrier.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber measure_rebalance(Ex ex, Store<P>& st, Cell<P>* merged,
+                        std::uint64_t size, Cell<P>* out) {
+  Node<P>* annotated = co_await measure(ex, st, merged);
+  co_await rebalance_into(ex, st, st.input(annotated), size, out);
+}
+
+// Balanced variant (ablation): rebalances after every merge level —
+// D(n) = D(n/2) + O(lg n), and the output is height-optimal.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber msort_balanced_into(Ex ex, Store<P>& st, std::span<const Key> values,
+                          Cell<P>* out) {
+  ex.step();
+  if (values.empty()) {
+    ex.write(out, static_cast<Node<P>*>(nullptr));
+    co_return;
+  }
+  if (values.size() == 1) {
+    publish(ex, out, st.make_ready(values[0], nullptr, nullptr));
+    co_return;
+  }
+  const std::size_t mid = values.size() / 2;
+  Cell<P>* l = st.cell();
+  Cell<P>* r = st.cell();
+  ex.fork(msort_balanced_into(ex, st, values.subspan(0, mid), l));
+  ex.fork(msort_balanced_into(ex, st, values.subspan(mid), r));
+  Cell<P>* merged = st.cell();
+  ex.fork(merge_into(ex, st, l, r, merged));
+  ex.fork(measure_rebalance(ex, st, merged, values.size(), out));
+}
+
+}  // namespace pwf::pipelined::trees

@@ -1,0 +1,177 @@
+// Coroutine-runtime substrate: RtExec executes the same templated algorithm
+// bodies on the work-stealing scheduler (src/runtime). See
+// docs/substrates.md.
+//
+// touch() hands back the FutCell itself — its awaiter parks the coroutine in
+// the cell when the value is not there yet (the paper's constant-time
+// suspend/reactivate). fork() posts a detached fiber; fork_join2/fork_join_all
+// count children in with an atomic join counter. Cost-model bookkeeping
+// (step/array_op/now_stamp) compiles to nothing.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pipelined/exec.hpp"
+#include "runtime/concurrent_arena.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/check.hpp"
+
+namespace pwf::pipelined {
+
+// The runtime needs no per-store context: cells repost waiters through the
+// process-wide Scheduler::current().
+struct RtContext {};
+
+struct RtPolicy {
+  template <typename T>
+  using Cell = rt::FutCell<T>;
+  using Time = std::uint64_t;  // vestigial: the runtime has no DAG clock
+  using Context = RtContext;
+  using Arena = rt::ConcurrentArena;
+  static constexpr bool kHasTimestamps = false;
+
+  template <typename T>
+  static void preset(rt::FutCell<T>& c, T v) {
+    c.preset(std::move(v));
+  }
+  template <typename T>
+  static T peek(const rt::FutCell<T>* c) {
+    return c->peek();
+  }
+};
+
+namespace detail {
+
+// Join counter for fork_join2/fork_join_all: children + the parent each hold
+// one token; whoever releases the last token resumes the parent. The parent
+// holds its own token so the awaiter can't be resumed before await_suspend
+// has finished publishing `parent`.
+struct JoinCounter {
+  std::atomic<int> pending;
+  std::coroutine_handle<> parent;
+
+  explicit JoinCounter(int tokens) : pending(tokens) {}
+
+  // Returns true when this call released the last token (the caller that
+  // sees it on the parent path continues inline; a child posts the parent).
+  bool release() { return pending.fetch_sub(1, std::memory_order_acq_rel) == 1; }
+
+  void arrive() {
+    if (release()) {
+      rt::Scheduler* s = rt::Scheduler::current();
+      PWF_CHECK_MSG(s != nullptr, "fork_join outside a Scheduler's lifetime");
+      s->post(parent);
+    }
+  }
+};
+
+// Watcher fiber: drive one child task to completion, then arrive at the
+// join. The task object lives in the parent's awaiter, which outlives every
+// watcher (the parent resumes only after all arrivals).
+template <typename TaskT>
+Fiber join_watch(TaskT& t, JoinCounter& jc) {
+  co_await t.when_done();
+  jc.arrive();
+}
+
+}  // namespace detail
+
+class RtExec {
+ public:
+  using Policy = RtPolicy;
+
+  RtExec() = default;
+  explicit RtExec(RtContext) {}
+
+  // ---- pipelined operations ------------------------------------------------
+
+  // The cell is its own awaiter: ready if written, parks the frame if not.
+  template <typename T>
+  rt::FutCell<T>& touch(rt::FutCell<T>* c) const {
+    return *c;
+  }
+
+  template <typename T>
+  void write(rt::FutCell<T>* c, T v) const {
+    c->write(std::move(v));
+  }
+
+  void fork(Fiber f) const {
+    rt::Scheduler* s = rt::Scheduler::current();
+    PWF_CHECK_MSG(s != nullptr, "fork outside a Scheduler's lifetime");
+    s->post(f.handle);
+  }
+
+  // ---- local work (cost-model bookkeeping only — free at runtime) ----------
+
+  void step() const {}
+  void steps(std::uint64_t) const {}
+  void array_op(std::uint64_t) const {}
+  std::uint64_t now_stamp() const { return 0; }
+
+  // ---- fork-join -----------------------------------------------------------
+
+  template <typename A, typename B>
+  struct Join2 {
+    Task<A> a;
+    Task<B> b;
+    detail::JoinCounter jc{3};
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> parent) {
+      jc.parent = parent;
+      rt::Scheduler* s = rt::Scheduler::current();
+      PWF_CHECK_MSG(s != nullptr, "fork_join outside a Scheduler's lifetime");
+      s->post(detail::join_watch(a, jc).handle);
+      s->post(detail::join_watch(b, jc).handle);
+      return !jc.release();  // both children already done -> resume inline
+    }
+    std::pair<A, B> await_resume() {
+      return {std::move(a.handle.promise().value),
+              std::move(b.handle.promise().value)};
+    }
+  };
+
+  template <typename A, typename B>
+  Join2<A, B> fork_join2(Task<A> a, Task<B> b) const {
+    return Join2<A, B>{std::move(a), std::move(b)};
+  }
+
+  struct JoinAll {
+    std::vector<Task<void>> ts;
+    detail::JoinCounter jc;
+
+    explicit JoinAll(std::vector<Task<void>> tasks)
+        : ts(std::move(tasks)), jc(static_cast<int>(ts.size()) + 1) {}
+
+    bool await_ready() const noexcept { return ts.empty(); }
+    bool await_suspend(std::coroutine_handle<> parent) {
+      jc.parent = parent;
+      rt::Scheduler* s = rt::Scheduler::current();
+      PWF_CHECK_MSG(s != nullptr, "fork_join outside a Scheduler's lifetime");
+      for (Task<void>& t : ts) s->post(detail::join_watch(t, jc).handle);
+      return !jc.release();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  JoinAll fork_join_all(std::vector<Task<void>> ts) const {
+    return JoinAll{std::move(ts)};
+  }
+};
+
+// Bridge to a blocking caller: runs the task on the scheduler and writes its
+// value into `result` (wait_blocking on the far side). This is how the
+// strict baselines — whose roots are plain values, not cells — are joined
+// from an external thread.
+template <typename T>
+Fiber deliver(Task<T> t, rt::FutCell<T>* result) {
+  result->write(co_await std::move(t));
+}
+
+}  // namespace pwf::pipelined

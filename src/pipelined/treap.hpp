@@ -1,0 +1,453 @@
+// Single-source treaps (the paper's Sections 3.2–3.3) — splitm, union,
+// join, difference, intersection, plus the strict fork-join baselines —
+// written once against the substrate concept (docs/substrates.md) and
+// instantiated by src/treap (cost model) and src/runtime/rt_treap
+// (coroutine runtime).
+//
+// Priorities are derived from keys by hashing (splitmix64 with a store-wide
+// salt), so a key has the same priority in every treap of a store; this
+// preserves the paper's randomness assumption because the hash is a PRF of
+// the key.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pipelined/exec.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace pwf::pipelined::treap {
+
+using Key = std::int64_t;
+using Pri = std::uint64_t;
+
+template <typename P>
+struct Node;
+
+template <typename P>
+using Cell = typename P::template Cell<Node<P>*>;
+
+template <typename P>
+struct Node {
+  Key key = 0;
+  Pri pri = 0;
+  std::int64_t val = 0;  // payload (used by the map operations only)
+  typename P::Time created{};  // t(v) (cost model only)
+  Cell<P>* left = nullptr;
+  Cell<P>* right = nullptr;
+};
+
+inline constexpr std::uint64_t kDefaultSalt = 0x9e3779b97f4a7c15ULL;
+
+template <typename P>
+class Store {
+ public:
+  using Context = typename P::Context;
+
+  explicit Store(Context ctx, std::uint64_t salt = kDefaultSalt)
+      : ctx_(std::move(ctx)), salt_(salt) {}
+  explicit Store(std::uint64_t salt = kDefaultSalt)
+    requires std::default_initializable<Context>
+      : salt_(salt) {}
+
+  decltype(auto) engine() { return ctx_.engine(); }
+
+  Pri priority(Key k) const {
+    std::uint64_t x = static_cast<std::uint64_t>(k) ^ salt_;
+    return splitmix64(x);
+  }
+
+  Cell<P>* cell() { return arena_.template create<Cell<P>>(); }
+
+  Cell<P>* input(Node<P>* root) {
+    Cell<P>* c = cell();
+    P::preset(*c, root);
+    return c;
+  }
+
+  Node<P>* make(Key key, Pri pri, Cell<P>* l, Cell<P>* r) {
+    Node<P>* n = arena_.template create<Node<P>>();
+    n->key = key;
+    n->pri = pri;
+    n->left = l;
+    n->right = r;
+    return n;
+  }
+
+  Node<P>* make(Key key, Pri pri) { return make(key, pri, cell(), cell()); }
+
+  Node<P>* make_ready(Key key, Pri pri, Node<P>* l, Node<P>* r) {
+    return make(key, pri, input(l), input(r));
+  }
+
+  // Builds a treap over the given keys (input data; costs nothing in the
+  // model). Keys are sorted and deduplicated; construction is the O(n)
+  // right-spine (Cartesian tree) method.
+  Node<P>* build(std::span<const Key> keys) {
+    std::vector<Key> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    // Each new (larger) key pops smaller-priority spine nodes and adopts the
+    // popped chain as its left subtree. Adopted links get fresh preset cells
+    // (runtime cells are write-once, so the placeholder can't be rewritten).
+    std::vector<Node<P>*> spine;
+    spine.reserve(64);
+    for (Key k : sorted) {
+      Node<P>* n = make_ready(k, priority(k), nullptr, nullptr);
+      Node<P>* last_popped = nullptr;
+      while (!spine.empty() && spine.back()->pri < n->pri) {
+        last_popped = spine.back();
+        spine.pop_back();
+      }
+      if (last_popped != nullptr) n->left = input(last_popped);
+      if (!spine.empty()) spine.back()->right = input(n);
+      spine.push_back(n);
+    }
+    return spine.empty() ? nullptr : spine.front();
+  }
+
+  std::size_t bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  Context ctx_;
+  std::uint64_t salt_ = kDefaultSalt;
+  typename P::Arena arena_;
+};
+
+// Publishes a node into its destination cell, stamping t(v) where the
+// substrate keeps timestamps.
+template <typename Ex, typename P = typename Ex::Policy>
+void publish(Ex ex, Cell<P>* out, Node<P>* n) {
+  ex.write(out, n);
+  if constexpr (P::kHasTimestamps) {
+    if (n) n->created = out->ts;
+  }
+}
+
+template <typename P>
+Node<P>* peek(const Cell<P>* c) {
+  return P::peek(c);
+}
+
+// ---- pipelined versions (Figures 4 and 7) -----------------------------------
+
+// splitm (Figure 4): splits the available treap rooted at `t` by key `s`.
+// Keys < s are published progressively under *outL, keys > s under *outR; a
+// node with key == s is excluded from both and, when outEq != nullptr,
+// delivered through it (nullptr if s was absent). outEq is written only when
+// the traversal terminates — the "splitm completes as soon as it finds the
+// splitter" behaviour diff depends on.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber splitm_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
+                  Cell<P>* outR, Cell<P>* outEq) {
+  for (;;) {
+    if (t == nullptr) {
+      ex.write(outL, static_cast<Node<P>*>(nullptr));
+      ex.write(outR, static_cast<Node<P>*>(nullptr));
+      if (outEq) ex.write(outEq, static_cast<Node<P>*>(nullptr));
+      co_return;
+    }
+    ex.step();  // key comparison
+    if (s < t->key) {
+      Node<P>* keep = st.make(t->key, t->pri, st.cell(), t->right);
+      keep->val = t->val;
+      publish(ex, outR, keep);
+      outR = keep->left;
+      t = co_await ex.touch(t->left);
+    } else if (s > t->key) {
+      Node<P>* keep = st.make(t->key, t->pri, t->left, st.cell());
+      keep->val = t->val;
+      publish(ex, outL, keep);
+      outL = keep->right;
+      t = co_await ex.touch(t->right);
+    } else {
+      // Splitter found: its subtrees are the two sides; the node itself is
+      // excluded (and reported through outEq for difference).
+      ex.write(outL, co_await ex.touch(t->left));
+      ex.write(outR, co_await ex.touch(t->right));
+      if (outEq) ex.write(outEq, t);
+      co_return;
+    }
+  }
+}
+
+// Pipelined union (Figure 4): keys of both treaps, duplicates removed, heap
+// and BST order restored. Consumes both inputs.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
+  Node<P>* ta = co_await ex.touch(a);
+  Node<P>* tb = co_await ex.touch(b);
+  if (ta == nullptr) {
+    publish(ex, out, tb);
+    co_return;
+  }
+  if (tb == nullptr) {
+    publish(ex, out, ta);
+    co_return;
+  }
+  ex.step();  // priority comparison
+  if (ta->pri < tb->pri) std::swap(ta, tb);  // higher priority becomes root
+  Node<P>* res = st.make(ta->key, ta->pri);
+  res->val = ta->val;
+  Cell<P>* l2 = st.cell();
+  Cell<P>* r2 = st.cell();
+  const Key v = ta->key;
+  ex.fork(splitm_from(ex, st, v, tb, l2, r2, nullptr));
+  ex.fork(union_into(ex, st, ta->left, l2, res->left));
+  ex.fork(union_into(ex, st, ta->right, r2, res->right));
+  publish(ex, out, res);
+}
+
+// join (Figure 7 helper): every key of `t1` less than every key of `t2`;
+// interleaves the right spine of t1 with the left spine of t2 by priority,
+// publishing progressively.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
+  for (;;) {
+    if (t1 == nullptr) {
+      publish(ex, out, t2);
+      co_return;
+    }
+    if (t2 == nullptr) {
+      publish(ex, out, t1);
+      co_return;
+    }
+    ex.step();  // priority comparison
+    if (t1->pri >= t2->pri) {
+      Node<P>* res = st.make(t1->key, t1->pri, t1->left, st.cell());
+      res->val = t1->val;
+      publish(ex, out, res);
+      out = res->right;
+      t1 = co_await ex.touch(t1->right);
+    } else {
+      Node<P>* res = st.make(t2->key, t2->pri, st.cell(), t2->right);
+      res->val = t2->val;
+      publish(ex, out, res);
+      out = res->left;
+      t2 = co_await ex.touch(t2->left);
+    }
+  }
+}
+
+// Forked wrapper: wait for both diff/intersect sides, then join them.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber join_entry(Ex ex, Store<P>& st, Cell<P>* l, Cell<P>* r, Cell<P>* out) {
+  Node<P>* jl = co_await ex.touch(l);
+  Node<P>* jr = co_await ex.touch(r);
+  co_await join_from(ex, st, jl, jr, out);
+}
+
+// Pipelined difference (Figure 7): keys of `a` not present in `b`.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
+  Node<P>* t1 = co_await ex.touch(a);
+  Node<P>* t2 = co_await ex.touch(b);
+  if (t1 == nullptr) {
+    ex.write(out, static_cast<Node<P>*>(nullptr));
+    co_return;
+  }
+  if (t2 == nullptr) {
+    publish(ex, out, t1);
+    co_return;
+  }
+  ex.step();
+  Cell<P>* l2 = st.cell();
+  Cell<P>* r2 = st.cell();
+  Cell<P>* eq = st.cell();
+  const Key v = t1->key;
+  ex.fork(splitm_from(ex, st, v, t2, l2, r2, eq));
+  Cell<P>* dl = st.cell();
+  Cell<P>* dr = st.cell();
+  ex.fork(diff_into(ex, st, t1->left, l2, dl));
+  ex.fork(diff_into(ex, st, t1->right, r2, dr));
+  // Whether the root survives depends on whether splitm found it in b — the
+  // "work after the recursive calls" that makes diff's pipeline notable.
+  Node<P>* found = co_await ex.touch(eq);
+  if (found != nullptr) {
+    ex.fork(join_entry(ex, st, dl, dr, out));
+  } else {
+    Node<P>* res = st.make(t1->key, t1->pri, dl, dr);
+    res->val = t1->val;
+    publish(ex, out, res);
+  }
+}
+
+// Pipelined intersection (the third set operation from the authors'
+// companion paper "Fast set operations using treaps"): keys present in both
+// treaps. Structurally the dual of difference — the root survives exactly
+// when splitm *finds* it.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
+                     Cell<P>* out) {
+  Node<P>* ta = co_await ex.touch(a);
+  Node<P>* tb = co_await ex.touch(b);
+  if (ta == nullptr || tb == nullptr) {
+    ex.write(out, static_cast<Node<P>*>(nullptr));
+    co_return;
+  }
+  ex.step();  // priority comparison
+  if (ta->pri < tb->pri) std::swap(ta, tb);  // recurse on the higher root
+  Cell<P>* l2 = st.cell();
+  Cell<P>* r2 = st.cell();
+  Cell<P>* eq = st.cell();
+  const Key v = ta->key;
+  ex.fork(splitm_from(ex, st, v, tb, l2, r2, eq));
+  Cell<P>* il = st.cell();
+  Cell<P>* ir = st.cell();
+  ex.fork(intersect_into(ex, st, ta->left, l2, il));
+  ex.fork(intersect_into(ex, st, ta->right, r2, ir));
+  // Dual of diff: the root survives exactly when splitm found it in b.
+  Node<P>* found = co_await ex.touch(eq);
+  if (found != nullptr) {
+    Node<P>* res = st.make(ta->key, ta->pri, il, ir);
+    res->val = ta->val;
+    publish(ex, out, res);
+  } else {
+    ex.fork(join_entry(ex, st, il, ir, out));
+  }
+}
+
+// ---- strict (non-pipelined) baselines ---------------------------------------
+
+// Sequential splitm returning complete trees (+ the equal node if present).
+template <typename P>
+struct StrictSplit {
+  Node<P>* less = nullptr;
+  Node<P>* greater = nullptr;
+  Node<P>* equal = nullptr;
+};
+
+template <typename Ex, typename P = typename Ex::Policy>
+Task<StrictSplit<P>> splitm_strict(Ex ex, Store<P>& st, Key s, Node<P>* t) {
+  ex.step();
+  if (t == nullptr) co_return {};
+  if (s < t->key) {
+    StrictSplit<P> sub = co_await splitm_strict(ex, st, s, peek<P>(t->left));
+    sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
+    sub.greater->val = t->val;
+    co_return sub;
+  }
+  if (s > t->key) {
+    StrictSplit<P> sub = co_await splitm_strict(ex, st, s, peek<P>(t->right));
+    sub.less = st.make(t->key, t->pri, t->left, st.input(sub.less));
+    sub.less->val = t->val;
+    co_return sub;
+  }
+  co_return {peek<P>(t->left), peek<P>(t->right), t};
+}
+
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> join_strict(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2) {
+  ex.step();
+  if (t1 == nullptr) co_return t2;
+  if (t2 == nullptr) co_return t1;
+  if (t1->pri >= t2->pri) {
+    Node<P>* j = co_await join_strict(ex, st, peek<P>(t1->right), t2);
+    co_return st.make(t1->key, t1->pri, t1->left, st.input(j));
+  }
+  Node<P>* j = co_await join_strict(ex, st, t1, peek<P>(t2->left));
+  co_return st.make(t2->key, t2->pri, st.input(j), t2->right);
+}
+
+// Fork-join union/difference/intersection: splitm runs to completion, then
+// the two recursive calls run in parallel.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> union_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+  ex.step();
+  if (a == nullptr) co_return b;
+  if (b == nullptr) co_return a;
+  if (a->pri < b->pri) std::swap(a, b);
+  StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
+  auto [l, r] =
+      co_await ex.fork_join2(union_strict(ex, st, peek<P>(a->left), s.less),
+                             union_strict(ex, st, peek<P>(a->right), s.greater));
+  co_return st.make_ready(a->key, a->pri, l, r);
+}
+
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> intersect_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+  ex.step();
+  if (a == nullptr || b == nullptr) co_return nullptr;
+  if (a->pri < b->pri) std::swap(a, b);
+  StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
+  auto [l, r] = co_await ex.fork_join2(
+      intersect_strict(ex, st, peek<P>(a->left), s.less),
+      intersect_strict(ex, st, peek<P>(a->right), s.greater));
+  if (s.equal != nullptr) co_return st.make_ready(a->key, a->pri, l, r);
+  co_return co_await join_strict(ex, st, l, r);
+}
+
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> diff_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+  ex.step();
+  if (a == nullptr) co_return nullptr;
+  if (b == nullptr) co_return a;
+  StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
+  auto [l, r] =
+      co_await ex.fork_join2(diff_strict(ex, st, peek<P>(a->left), s.less),
+                             diff_strict(ex, st, peek<P>(a->right), s.greater));
+  if (s.equal != nullptr) co_return co_await join_strict(ex, st, l, r);
+  co_return st.make_ready(a->key, a->pri, l, r);
+}
+
+// ---- analysis helpers (no substrate actions) --------------------------------
+
+template <typename P>
+void collect_inorder(const Node<P>* root, std::vector<Key>& out) {
+  if (root == nullptr) return;
+  collect_inorder(peek<P>(root->left), out);
+  out.push_back(root->key);
+  collect_inorder(peek<P>(root->right), out);
+}
+
+template <typename P>
+int height(const Node<P>* root) {
+  if (root == nullptr) return 0;
+  return 1 +
+         std::max(height(peek<P>(root->left)), height(peek<P>(root->right)));
+}
+
+template <typename P>
+std::uint64_t count_nodes(const Node<P>* root) {
+  if (root == nullptr) return 0;
+  return 1 + count_nodes(peek<P>(root->left)) +
+         count_nodes(peek<P>(root->right));
+}
+
+template <typename P>
+typename P::Time max_created(const Node<P>* root) {
+  if (root == nullptr) return 0;
+  return std::max({root->created, max_created(peek<P>(root->left)),
+                   max_created(peek<P>(root->right))});
+}
+
+namespace detail {
+template <typename P>
+bool valid_in_range(const Store<P>& st, const Node<P>* n, const Key* lo,
+                    const Key* hi, Pri max_pri) {
+  if (n == nullptr) return true;
+  if (lo && n->key <= *lo) return false;
+  if (hi && n->key >= *hi) return false;
+  if (n->pri > max_pri) return false;
+  if (n->pri != st.priority(n->key)) return false;
+  return valid_in_range(st, peek<P>(n->left), lo, &n->key, n->pri) &&
+         valid_in_range(st, peek<P>(n->right), &n->key, hi, n->pri);
+}
+}  // namespace detail
+
+// Full treap invariant: BST order on keys, heap order on priorities, and
+// priorities consistent with the store's hash.
+template <typename P>
+bool validate(const Store<P>& st, const Node<P>* root) {
+  return detail::valid_in_range(st, root, nullptr, nullptr,
+                                std::numeric_limits<Pri>::max());
+}
+
+}  // namespace pwf::pipelined::treap

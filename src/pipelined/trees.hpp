@@ -1,0 +1,363 @@
+// Single-source binary search trees (the paper's Section 3.1) — merge,
+// split, measure and rank-rebalance written once against the substrate
+// concept (docs/substrates.md) and instantiated by src/trees (cost model)
+// and src/runtime/rt_trees (coroutine runtime).
+//
+// Pipelining lives *inside the data*: a node's child links are read pointers
+// to write-once future cells, so a node can be published while its subtrees
+// are still being computed. Output cells are threaded down the recursion as
+// write pointers, exactly the mechanism of the paper's Section 2.
+//
+// Bodies are C++20 coroutines over an executor Ex. On the cost-model
+// substrates every co_await is immediately ready (or transfers straight into
+// the child), so the engine sees the plain-call action sequence; on the
+// runtime substrate co_await ex.touch(...) parks the fiber in the cell.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pipelined/exec.hpp"
+#include "support/check.hpp"
+
+namespace pwf::pipelined::trees {
+
+using Key = std::int64_t;
+
+template <typename P>
+struct Node;
+
+// A tree argument/result is a read pointer to a future cell holding the root
+// (nullptr = empty tree).
+template <typename P>
+using Cell = typename P::template Cell<Node<P>*>;
+
+template <typename P>
+struct Node {
+  Key key = 0;
+  std::uint64_t size = 0;   // subtree size   (rebalance pre-pass only)
+  std::uint64_t lsize = 0;  // left-subtree size (rank navigation)
+  typename P::Time created{};  // t(v): DAG time published (cost model only)
+  Cell<P>* left = nullptr;
+  Cell<P>* right = nullptr;
+};
+
+// Owns the nodes and cells of one or more trees. Trees freely share
+// subtrees; the whole store is released at once.
+template <typename P>
+class Store {
+ public:
+  using Context = typename P::Context;
+
+  explicit Store(Context ctx) : ctx_(std::move(ctx)) {}
+  Store()
+    requires std::default_initializable<Context>
+  = default;
+
+  // Cost-model substrates only (lazily instantiated).
+  decltype(auto) engine() { return ctx_.engine(); }
+
+  // Fresh unwritten future cell for a tree.
+  Cell<P>* cell() { return arena_.template create<Cell<P>>(); }
+
+  // Cell pre-written with `root`, available at time 0 (input data).
+  Cell<P>* input(Node<P>* root) {
+    Cell<P>* c = cell();
+    P::preset(*c, root);
+    return c;
+  }
+
+  // A node whose children are the given cells (either kept subtrees of an
+  // input, or fresh futures a forked thread will fill in).
+  Node<P>* make(Key key, Cell<P>* l, Cell<P>* r) {
+    Node<P>* n = arena_.template create<Node<P>>();
+    n->key = key;
+    n->left = l;
+    n->right = r;
+    return n;
+  }
+
+  // A node with both children being fresh future cells.
+  Node<P>* make(Key key) { return make(key, cell(), cell()); }
+
+  // A node with both children immediately available (inputs and the strict
+  // baselines).
+  Node<P>* make_ready(Key key, Node<P>* l, Node<P>* r) {
+    return make(key, input(l), input(r));
+  }
+
+  // Perfectly balanced BST over sorted, duplicate-free keys (input data;
+  // costs nothing in the model).
+  Node<P>* build_balanced(std::span<const Key> sorted) {
+    if (sorted.empty()) return nullptr;
+    const std::size_t mid = sorted.size() / 2;
+    Node<P>* l = build_balanced(sorted.subspan(0, mid));
+    Node<P>* r = build_balanced(sorted.subspan(mid + 1));
+    return make_ready(sorted[mid], l, r);
+  }
+
+  std::size_t bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  Context ctx_;
+  typename P::Arena arena_;
+};
+
+// Publishes a node into its destination cell, stamping t(v) where the
+// substrate keeps timestamps.
+template <typename Ex, typename P = typename Ex::Policy>
+void publish(Ex ex, Cell<P>* out, Node<P>* n) {
+  ex.write(out, n);
+  if constexpr (P::kHasTimestamps) {
+    if (n) n->created = out->ts;
+  }
+}
+
+// Reads a finished cell's value without touching (analysis only; P is not
+// deducible through the Cell alias, so spell it: peek<MyPolicy>(c)).
+template <typename P>
+Node<P>* peek(const Cell<P>* c) {
+  return P::peek(c);
+}
+
+// ---- pipelined merge (Figure 3) ---------------------------------------------
+
+// Splits the available tree rooted at `t` by key `s` into keys < s (written
+// progressively under *outL) and keys >= s (under *outR). Iterative
+// destination-passing: each level publishes one node into whichever side
+// keeps the root, then descends into the other side.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber split_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
+                 Cell<P>* outR) {
+  for (;;) {
+    if (t == nullptr) {
+      ex.write(outL, static_cast<Node<P>*>(nullptr));
+      ex.write(outR, static_cast<Node<P>*>(nullptr));
+      co_return;
+    }
+    ex.step();  // the key comparison
+    if (s <= t->key) {  // keys >= s (including s itself) go to the right side
+      Node<P>* keep = st.make(t->key, st.cell(), t->right);
+      publish(ex, outR, keep);
+      outR = keep->left;
+      t = co_await ex.touch(t->left);
+    } else {
+      Node<P>* keep = st.make(t->key, t->left, st.cell());
+      publish(ex, outL, keep);
+      outL = keep->right;
+      t = co_await ex.touch(t->right);
+    }
+  }
+}
+
+// Pipelined merge of the trees in cells `a` and `b` into `out`:
+//   Node(v, ?merge(L1, L2), ?merge(R1, R2))  with  (L2, R2) = ?split(v, B).
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber merge_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
+  Node<P>* ta = co_await ex.touch(a);
+  Node<P>* tb = co_await ex.touch(b);
+  if (ta == nullptr) {  // merge(Leaf, B) = B
+    publish(ex, out, tb);
+    co_return;
+  }
+  if (tb == nullptr) {  // merge(A, Leaf) = A
+    publish(ex, out, ta);
+    co_return;
+  }
+  Node<P>* res = st.make(ta->key);
+  Cell<P>* l2 = st.cell();
+  Cell<P>* r2 = st.cell();
+  const Key v = ta->key;  // linear code copies the splitter (Figure 12)
+  ex.fork(split_from(ex, st, v, tb, l2, r2));
+  ex.fork(merge_into(ex, st, ta->left, l2, res->left));
+  ex.fork(merge_into(ex, st, ta->right, r2, res->right));
+  publish(ex, out, res);
+}
+
+// ---- strict (non-pipelined) baseline ----------------------------------------
+
+// Sequential split: the whole result is available when it returns.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<std::pair<Node<P>*, Node<P>*>> split_strict(Ex ex, Store<P>& st, Key s,
+                                                 Node<P>* t) {
+  ex.step();
+  if (t == nullptr) co_return {nullptr, nullptr};
+  if (s <= t->key) {
+    auto [l1, r1] = co_await split_strict(ex, st, s, peek<P>(t->left));
+    co_return {l1, st.make(t->key, st.input(r1), t->right)};
+  }
+  auto [l1, r1] = co_await split_strict(ex, st, s, peek<P>(t->right));
+  co_return {st.make(t->key, t->left, st.input(l1)), r1};
+}
+
+// Fork-join merge: split runs to completion, then the two submerges run in
+// parallel (the paper's "natural implementation ... O(lg^2 n) time").
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> merge_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+  ex.step();
+  if (a == nullptr) co_return b;
+  if (b == nullptr) co_return a;
+  auto [l2, r2] = co_await split_strict(ex, st, a->key, b);
+  auto [l, r] =
+      co_await ex.fork_join2(merge_strict(ex, st, peek<P>(a->left), l2),
+                             merge_strict(ex, st, peek<P>(a->right), r2));
+  co_return st.make_ready(a->key, l, r);
+}
+
+// ---- measure + rank-rebalance (Section 3.1 extension) -----------------------
+
+template <typename P>
+std::uint64_t size_of(const Node<P>* n) {
+  return n ? n->size : 0;
+}
+
+// Phase 1+2: size-annotated copy of the tree in `t` (consumes its cells).
+// Fork-join: O(n) work, O(h) depth; the copy also keeps the computation
+// linear (the merge output cells are read exactly once, here).
+template <typename Ex, typename P = typename Ex::Policy>
+Task<Node<P>*> measure(Ex ex, Store<P>& st, Cell<P>* t) {
+  Node<P>* n = co_await ex.touch(t);
+  if (n == nullptr) co_return nullptr;
+  auto [l, r] = co_await ex.fork_join2(measure(ex, st, n->left),
+                                       measure(ex, st, n->right));
+  Node<P>* copy = st.make_ready(n->key, l, r);
+  copy->lsize = size_of(l);
+  copy->size = 1 + size_of(l) + size_of(r);
+  co_return copy;
+}
+
+// Rank split of the available size-annotated tree rooted at `t`: nodes of
+// rank < r under *outL, the node of rank r into *outMid, ranks > r under
+// *outR. Published progressively (write-pointer style), like split_from.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber splitr_from(Ex ex, Store<P>& st, std::uint64_t r, Node<P>* t,
+                  Cell<P>* outL, Cell<P>* outMid, Cell<P>* outR) {
+  for (;;) {
+    PWF_CHECK_MSG(t != nullptr, "rank out of range in splitr");
+    ex.step();  // rank comparison
+    if (r < t->lsize) {
+      // Median is in the left subtree: the root and everything right of it
+      // belong to the > side.
+      Node<P>* keep = st.make(t->key, st.cell(), t->right);
+      keep->lsize = t->lsize - r - 1;
+      keep->size = t->size - r - 1;
+      publish(ex, outR, keep);
+      outR = keep->left;
+      t = co_await ex.touch(t->left);
+    } else if (r == t->lsize) {
+      // t itself is the node of rank r; its subtrees are the two sides.
+      ex.write(outMid, t);
+      ex.write(outL, co_await ex.touch(t->left));
+      ex.write(outR, co_await ex.touch(t->right));
+      co_return;
+    } else {
+      Node<P>* keep = st.make(t->key, t->left, st.cell());
+      keep->lsize = t->lsize;
+      keep->size = t->lsize + 1 + (r - t->lsize - 1);
+      publish(ex, outL, keep);
+      outL = keep->right;
+      r -= t->lsize + 1;
+      t = co_await ex.touch(t->right);
+    }
+  }
+}
+
+// Forked wrapper: wait for the annotated tree, then rank-split it.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber splitr_entry(Ex ex, Store<P>& st, std::uint64_t r, Cell<P>* tree,
+                   Cell<P>* outL, Cell<P>* outMid, Cell<P>* outR) {
+  Node<P>* t = co_await ex.touch(tree);
+  co_await splitr_from(ex, st, r, t, outL, outMid, outR);
+}
+
+// Pipelined rebalance of the size-annotated tree in `tree` (with `size`
+// nodes) into `out`.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber rebalance_into(Ex ex, Store<P>& st, Cell<P>* tree, std::uint64_t size,
+                     Cell<P>* out) {
+  if (size == 0) {
+    Node<P>* t = co_await ex.touch(tree);  // consume the (empty) side
+    PWF_CHECK(t == nullptr);
+    ex.write(out, static_cast<Node<P>*>(nullptr));
+    co_return;
+  }
+  const std::uint64_t lcount = size / 2;  // median rank
+  Cell<P>* lpart = st.cell();
+  Cell<P>* rpart = st.cell();
+  Cell<P>* midc = st.cell();
+  ex.fork(splitr_entry(ex, st, lcount, tree, lpart, midc, rpart));
+  Node<P>* mid = co_await ex.touch(midc);
+  Node<P>* res = st.make(mid->key);
+  ex.fork(rebalance_into(ex, st, lpart, lcount, res->left));
+  ex.fork(rebalance_into(ex, st, rpart, size - 1 - lcount, res->right));
+  publish(ex, out, res);
+}
+
+// Forked driver for substrates without an eager inline measure (the
+// runtime): measure, then rebalance the annotated copy. The cost-model shim
+// keeps its own driver (measure runs inline there, which the recorded DAG
+// depends on).
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber rebalance_entry(Ex ex, Store<P>& st, Cell<P>* tree, Cell<P>* out) {
+  Node<P>* annotated = co_await measure(ex, st, tree);
+  co_await rebalance_into(ex, st, st.input(annotated), size_of(annotated),
+                          out);
+}
+
+// ---- analysis helpers (meta-level: walk the finished structure directly,
+// ---- no substrate actions, no linearity impact) -----------------------------
+
+// In-order keys.
+template <typename P>
+void collect_inorder(const Node<P>* root, std::vector<Key>& out) {
+  if (root == nullptr) return;
+  collect_inorder(peek<P>(root->left), out);
+  out.push_back(root->key);
+  collect_inorder(peek<P>(root->right), out);
+}
+
+// Height: empty tree = 0, single node = 1.
+template <typename P>
+int height(const Node<P>* root) {
+  if (root == nullptr) return 0;
+  return 1 +
+         std::max(height(peek<P>(root->left)), height(peek<P>(root->right)));
+}
+
+template <typename P>
+std::uint64_t count_nodes(const Node<P>* root) {
+  if (root == nullptr) return 0;
+  return 1 + count_nodes(peek<P>(root->left)) +
+         count_nodes(peek<P>(root->right));
+}
+
+// Latest publication timestamp of any node in the tree.
+template <typename P>
+typename P::Time max_created(const Node<P>* root) {
+  if (root == nullptr) return 0;
+  return std::max({root->created, max_created(peek<P>(root->left)),
+                   max_created(peek<P>(root->right))});
+}
+
+namespace detail {
+template <typename P>
+bool bst_in_range(const Node<P>* n, const Key* lo, const Key* hi) {
+  if (n == nullptr) return true;
+  if (lo && n->key <= *lo) return false;
+  if (hi && n->key >= *hi) return false;
+  return bst_in_range(peek<P>(n->left), lo, &n->key) &&
+         bst_in_range(peek<P>(n->right), &n->key, hi);
+}
+}  // namespace detail
+
+// BST order check over the whole tree.
+template <typename P>
+bool is_sorted_bst(const Node<P>* root) {
+  return detail::bst_in_range(root, nullptr, nullptr);
+}
+
+}  // namespace pwf::pipelined::trees

@@ -1,0 +1,599 @@
+// Single-source 2-6 trees (the paper's Section 3.4 top-down variant of PVW
+// 2-3 trees) — pipelined bulk insert and the strict wave-by-wave baseline —
+// written once against the substrate concept (docs/substrates.md) and
+// instantiated by src/ttree (cost model) and src/runtime/rt_ttree
+// (coroutine runtime).
+//
+// Every node holds 1–5 keys in increasing order; an internal node has one
+// child per range (2–6 children); all leaves are at the same level. The
+// bulk-insert maintains the invariant that any node it recurses into is a
+// *2-3 node* (<= 2 keys) by pre-emptively splitting children, so pulled-up
+// splitters never overflow the 1–5 key bound.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <iterator>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pipelined/exec.hpp"
+#include "support/check.hpp"
+
+namespace pwf::pipelined::ttree {
+
+using Key = std::int64_t;
+
+inline constexpr int kMaxKeys = 5;
+inline constexpr int kMaxChildren = 6;
+
+template <typename P>
+struct TNode;
+
+template <typename P>
+using Cell = typename P::template Cell<TNode<P>*>;
+
+template <typename P>
+struct TNode {
+  std::uint8_t nkeys = 0;
+  bool leaf = true;
+  typename P::Time created{};  // t(v) (cost model only)
+  Key keys[kMaxKeys] = {};
+  Cell<P>* child[kMaxChildren] = {};  // child[0..nkeys] valid when internal
+
+  int nchildren() const { return leaf ? 0 : nkeys + 1; }
+};
+
+template <typename P>
+class Store {
+ public:
+  using Context = typename P::Context;
+
+  explicit Store(Context ctx) : ctx_(std::move(ctx)) {}
+  Store()
+    requires std::default_initializable<Context>
+  = default;
+
+  decltype(auto) engine() { return ctx_.engine(); }
+
+  Cell<P>* cell() { return arena_.template create<Cell<P>>(); }
+
+  Cell<P>* input(TNode<P>* n) {
+    Cell<P>* c = cell();
+    P::preset(*c, n);
+    return c;
+  }
+
+  TNode<P>* make_leaf(std::span<const Key> keys) {
+    PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
+    TNode<P>* n = arena_.template create<TNode<P>>();
+    n->leaf = true;
+    n->nkeys = static_cast<std::uint8_t>(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
+    return n;
+  }
+
+  // Internal node; children cells supplied by the caller (kept subtrees,
+  // fresh futures, or preset inputs).
+  TNode<P>* make_internal(std::span<const Key> keys,
+                          std::span<Cell<P>* const> children) {
+    PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
+    PWF_CHECK(children.size() == keys.size() + 1);
+    TNode<P>* n = arena_.template create<TNode<P>>();
+    n->leaf = false;
+    n->nkeys = static_cast<std::uint8_t>(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
+    for (std::size_t i = 0; i < children.size(); ++i) n->child[i] = children[i];
+    return n;
+  }
+
+  // Builds a valid 2-6 tree over sorted, duplicate-free keys (input data;
+  // costs nothing in the model). `fanout` chooses how full the internal
+  // nodes are: 3 gives an all-2-3 tree, 6 a maximally packed tree.
+  TNode<P>* build(std::span<const Key> sorted, int fanout = 3) {
+    PWF_CHECK(fanout >= 3 && fanout <= kMaxChildren);
+    if (sorted.empty()) return nullptr;
+    int h = 1;
+    while (capacity(h, fanout) < sorted.size()) ++h;
+    return build_rec(sorted, h, fanout);
+  }
+
+  // Stable storage for key arrays whose subspans flow through the insertion
+  // pipeline. Locked: on the runtime, waves still reading held spans run
+  // concurrently with the driver holding the next level.
+  std::span<const Key> hold(std::vector<Key> keys) {
+    std::lock_guard<std::mutex> lock(held_mutex_);
+    held_.push_back(std::move(keys));
+    return held_.back();
+  }
+
+  std::size_t bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  // Max keys held by a tree of height h with internal fan-out at most f
+  // (every node holding f-1 keys): X(h) = f^h - 1.
+  static std::uint64_t capacity(int h, int fanout) {
+    std::uint64_t x = 1;
+    for (int i = 0; i < h; ++i) x *= fanout;
+    return x - 1;
+  }
+
+  TNode<P>* build_rec(std::span<const Key> keys, int h, int fanout) {
+    if (h == 1) return make_leaf(keys);
+    const std::uint64_t n = keys.size();
+    const std::uint64_t child_cap = capacity(h - 1, fanout);
+    // Smallest feasible fan-out f in [2, fanout] with f-1 + f*child_cap >= n.
+    int f = 2;
+    while (f < fanout && static_cast<std::uint64_t>(f) - 1 +
+                                 static_cast<std::uint64_t>(f) * child_cap <
+                             n)
+      ++f;
+    PWF_CHECK(static_cast<std::uint64_t>(f) - 1 +
+                  static_cast<std::uint64_t>(f) * child_cap >=
+              n);
+    // Distribute the n - (f-1) child keys as evenly as possible.
+    const std::uint64_t child_total = n - (static_cast<std::uint64_t>(f) - 1);
+    std::vector<Key> seps;
+    std::vector<Cell<P>*> children;
+    std::size_t pos = 0;
+    for (int i = 0; i < f; ++i) {
+      std::uint64_t take =
+          child_total / f +
+          (static_cast<std::uint64_t>(i) < child_total % f ? 1 : 0);
+      children.push_back(input(build_rec(keys.subspan(pos, take), h - 1,
+                                         fanout)));
+      pos += take;
+      if (i + 1 < f) seps.push_back(keys[pos++]);
+    }
+    return make_internal(seps, children);
+  }
+
+  Context ctx_;
+  typename P::Arena arena_;
+  std::mutex held_mutex_;
+  std::vector<std::vector<Key>> held_;
+};
+
+// Publishes a node into its destination cell, stamping t(v) where the
+// substrate keeps timestamps (ttree nodes are never null).
+template <typename Ex, typename P = typename Ex::Policy>
+void publish(Ex ex, Cell<P>* out, TNode<P>* n) {
+  ex.write(out, n);
+  if constexpr (P::kHasTimestamps) n->created = out->ts;
+}
+
+template <typename P>
+TNode<P>* peek(const Cell<P>* c) {
+  return P::peek(c);
+}
+
+// ---- insertion building blocks ----------------------------------------------
+
+// A node must be split before the recursion enters it if it is not a 2-3
+// node: internal with more than 3 children, or leaf with more than 2 keys.
+template <typename P>
+bool needs_split(const TNode<P>* n) {
+  return n->leaf ? n->nkeys > 2 : n->nchildren() > 3;
+}
+
+template <typename P>
+struct NodeSplit {
+  TNode<P>* left;
+  Key sep;
+  TNode<P>* right;
+};
+
+// Splits a 4-6-child internal node (or 3-5-key leaf) around its middle
+// splitter. Only the node's own keys and child-cell pointers are needed —
+// grandchildren may still be unwritten futures, so a wave can split a child
+// the previous wave published moments ago.
+template <typename Ex, typename P = typename Ex::Policy>
+NodeSplit<P> split_node(Ex ex, Store<P>& st, const TNode<P>* n) {
+  NodeSplit<P> sp;
+  if (n->leaf) {
+    const int lk = n->nkeys / 2;
+    sp = {st.make_leaf({n->keys, static_cast<std::size_t>(lk)}),
+          n->keys[lk],
+          st.make_leaf({n->keys + lk + 1,
+                        static_cast<std::size_t>(n->nkeys - lk - 1)})};
+  } else {
+    const int nc = n->nchildren();
+    const int lc = nc / 2;  // left child count
+    TNode<P>* l =
+        st.make_internal({n->keys, static_cast<std::size_t>(lc - 1)},
+                         {n->child, static_cast<std::size_t>(lc)});
+    TNode<P>* r = st.make_internal(
+        {n->keys + lc, static_cast<std::size_t>(n->nkeys - lc)},
+        {n->child + lc, static_cast<std::size_t>(nc - lc)});
+    sp = {l, n->keys[lc - 1], r};
+  }
+  if constexpr (P::kHasTimestamps) {
+    sp.left->created = ex.now_stamp();
+    sp.right->created = sp.left->created;
+  }
+  return sp;
+}
+
+// array_split: partitions the sorted `keys` around splitter `s` into (<s)
+// and (>s); a key equal to s is dropped (already a member). The substrate is
+// charged the paper's O(1)-depth, O(|keys|)-work cost by the caller.
+inline std::pair<std::span<const Key>, std::span<const Key>> array_split(
+    std::span<const Key> keys, Key s) {
+  const auto lo = std::lower_bound(keys.begin(), keys.end(), s);
+  const std::size_t i = static_cast<std::size_t>(lo - keys.begin());
+  std::size_t j = i;
+  if (j < keys.size() && keys[j] == s) ++j;  // drop the duplicate
+  return {keys.subspan(0, i), keys.subspan(j)};
+}
+
+// Output assembly buffer for one rebuilt node (at most 5 keys, 6 children).
+template <typename P>
+struct Assembly {
+  Key keys[kMaxKeys];
+  Cell<P>* child[kMaxChildren];
+  int nk = 0;
+  int nc = 0;
+
+  void add_child(Cell<P>* c) {
+    PWF_CHECK(nc < kMaxChildren);
+    child[nc++] = c;
+  }
+  void add_key(Key k) {
+    PWF_CHECK(nk < kMaxKeys);
+    keys[nk++] = k;
+  }
+};
+
+// ---- pipelined bulk insert ---------------------------------------------------
+
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber insert_rec(Ex ex, Store<P>& st, TNode<P>* t, std::span<const Key> keys,
+                 Cell<P>* out);
+
+// Handles one child slot that received a nonempty key range: touch the
+// child, pre-emptively split it if it is not a 2-3 node (pulling the middle
+// splitter up into `as`), and fork the recursive insertions. Awaited inline
+// by insert_rec, so the reference to the parent's Assembly stays valid.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber descend_child(Ex ex, Store<P>& st, Cell<P>* child_cell,
+                    std::span<const Key> keys, Assembly<P>& as) {
+  TNode<P>* c = co_await ex.touch(child_cell);
+  ex.step();  // the needs-split check
+  if (!needs_split(c)) {
+    Cell<P>* nc = st.cell();
+    ex.fork(insert_rec(ex, st, c, keys, nc));
+    as.add_child(nc);
+    co_return;
+  }
+  NodeSplit<P> sp = split_node(ex, st, c);
+  ex.array_op(keys.size());
+  auto [a1, a2] = array_split(keys, sp.sep);
+  if (a1.empty()) {
+    as.add_child(st.input(sp.left));
+  } else {
+    Cell<P>* ncell = st.cell();
+    ex.fork(insert_rec(ex, st, sp.left, a1, ncell));
+    as.add_child(ncell);
+  }
+  as.add_key(sp.sep);
+  if (a2.empty()) {
+    as.add_child(st.input(sp.right));
+  } else {
+    Cell<P>* ncell = st.cell();
+    ex.fork(insert_rec(ex, st, sp.right, a2, ncell));
+    as.add_child(ncell);
+  }
+}
+
+template <typename Ex, typename P>
+Fiber insert_rec(Ex ex, Store<P>& st, TNode<P>* t, std::span<const Key> keys,
+                 Cell<P>* out) {
+  PWF_CHECK(!keys.empty());
+  if (t->leaf) {
+    // Merge into the leaf; well-separation guarantees the result fits.
+    ex.array_op(keys.size() + t->nkeys);
+    Key merged[kMaxKeys];
+    std::span<const Key> old{t->keys, static_cast<std::size_t>(t->nkeys)};
+    std::size_t n = 0, i = 0, j = 0;
+    while (i < old.size() || j < keys.size()) {
+      Key k;
+      if (j == keys.size() || (i < old.size() && old[i] <= keys[j])) {
+        k = old[i++];
+        if (j < keys.size() && k == keys[j]) ++j;  // drop the duplicate
+      } else {
+        k = keys[j++];
+      }
+      PWF_CHECK_MSG(n < kMaxKeys,
+                    "leaf overflow: key array was not well separated");
+      merged[n++] = k;
+    }
+    publish(ex, out, st.make_leaf({merged, n}));
+    co_return;
+  }
+
+  // Partition the keys by this node's splitters (the paper's array_split
+  // applied once per splitter), then rebuild the node around the descents.
+  Assembly<P> as;
+  std::span<const Key> rest = keys;
+  for (int i = 0; i <= t->nkeys; ++i) {
+    std::span<const Key> part;
+    if (i < t->nkeys) {
+      ex.array_op(rest.size());
+      auto [lo, hi] = array_split(rest, t->keys[i]);
+      part = lo;
+      rest = hi;
+    } else {
+      part = rest;
+    }
+    if (part.empty())
+      as.add_child(t->child[i]);  // untouched subtree, cell reused
+    else
+      co_await descend_child(ex, st, t->child[i], part, as);
+    if (i < t->nkeys) as.add_key(t->keys[i]);
+  }
+  publish(ex, out,
+          st.make_internal({as.keys, static_cast<std::size_t>(as.nk)},
+                           {as.child, static_cast<std::size_t>(as.nc)}));
+}
+
+// Level decomposition of a sorted, duplicate-free key array: level 0 = the
+// median, level 1 = first and third quartiles, etc. Each level, given that
+// all previous levels were inserted, is well separated.
+inline std::vector<std::vector<Key>> level_arrays(std::span<const Key> sorted) {
+  std::vector<std::vector<Key>> levels;
+  // Pre-order recursion keeps each level's keys in sorted order.
+  struct Fill {
+    std::vector<std::vector<Key>>& levels;
+    void operator()(std::span<const Key> keys, std::size_t depth) {
+      if (keys.empty()) return;
+      if (levels.size() <= depth) levels.resize(depth + 1);
+      const std::size_t mid = keys.size() / 2;
+      levels[depth].push_back(keys[mid]);
+      (*this)(keys.subspan(0, mid), depth + 1);
+      (*this)(keys.subspan(mid + 1), depth + 1);
+    }
+  };
+  Fill{levels}(sorted, 0);
+  return levels;
+}
+
+// One pipelined wave: inserts the well-separated sorted `keys` into the tree
+// in `root`, publishing the new tree under *out. Fork it.
+template <typename Ex, typename P = typename Ex::Policy>
+Fiber insert_wave(Ex ex, Store<P>& st, Cell<P>* root,
+                  std::span<const Key> keys, Cell<P>* out) {
+  TNode<P>* t = co_await ex.touch(root);
+  PWF_CHECK_MSG(t != nullptr, "bulk insert requires a nonempty tree");
+  ex.step();
+  if (needs_split(t)) {
+    // Split the root and grow the tree by one level; the new root is a
+    // 2-node, restoring the invariant.
+    NodeSplit<P> sp = split_node(ex, st, t);
+    Key sep[1] = {sp.sep};
+    Cell<P>* ch[2] = {st.input(sp.left), st.input(sp.right)};
+    t = st.make_internal(sep, ch);
+  }
+  co_await insert_rec(ex, st, t, keys, out);
+}
+
+// Full pipelined bulk insert into a nonempty tree. Returns the final root
+// cell (each wave's result cell feeds the next wave).
+template <typename Ex, typename P = typename Ex::Policy>
+Cell<P>* bulk_insert(Ex ex, Store<P>& st, Cell<P>* root,
+                     std::span<const Key> sorted) {
+  if (sorted.empty()) return root;
+  std::vector<std::vector<Key>> levels = level_arrays(sorted);
+  for (auto& level : levels) {
+    const std::span<const Key> keys = st.hold(std::move(level));
+    Cell<P>* out = st.cell();
+    ex.fork(insert_wave(ex, st, root, keys, out));
+    root = out;
+  }
+  return root;
+}
+
+// ---- strict baseline ---------------------------------------------------------
+
+template <typename Ex, typename P = typename Ex::Policy>
+Task<TNode<P>*> insert_rec_strict(Ex ex, Store<P>& st, TNode<P>* t,
+                                  std::span<const Key> keys);
+
+// Fills one assembly slot with the result of a strict child insertion; the
+// jobs run under fork_join_all, each writing a distinct slot.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<void> fill_slot(Ex ex, Store<P>& st, Assembly<P>& as, TNode<P>* node,
+                     std::span<const Key> keys, int slot) {
+  as.child[slot] = st.input(co_await insert_rec_strict(ex, st, node, keys));
+}
+
+template <typename Ex, typename P>
+Task<TNode<P>*> insert_rec_strict(Ex ex, Store<P>& st, TNode<P>* t,
+                                  std::span<const Key> keys) {
+  PWF_CHECK(!keys.empty());
+  if (t->leaf) {
+    ex.array_op(keys.size() + t->nkeys);
+    std::vector<Key> merged;
+    std::span<const Key> old{t->keys, static_cast<std::size_t>(t->nkeys)};
+    std::merge(old.begin(), old.end(), keys.begin(), keys.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    PWF_CHECK_MSG(merged.size() <= kMaxKeys,
+                  "leaf overflow: key array was not well separated");
+    co_return st.make_leaf(merged);
+  }
+
+  Assembly<P> as;
+  std::vector<Task<void>> jobs;  // parallel slot fills (fork-join below)
+  std::span<const Key> rest = keys;
+  for (int i = 0; i <= t->nkeys; ++i) {
+    std::span<const Key> part;
+    if (i < t->nkeys) {
+      ex.array_op(rest.size());
+      auto [lo, hi] = array_split(rest, t->keys[i]);
+      part = lo;
+      rest = hi;
+    } else {
+      part = rest;
+    }
+    if (part.empty()) {
+      as.add_child(t->child[i]);
+    } else {
+      TNode<P>* c = peek<P>(t->child[i]);
+      ex.step();
+      if (!needs_split(c)) {
+        jobs.push_back(fill_slot(ex, st, as, c, part, as.nc));
+        as.add_child(nullptr);  // placeholder
+      } else {
+        NodeSplit<P> sp = split_node(ex, st, c);
+        ex.array_op(part.size());
+        auto [a1, a2] = array_split(part, sp.sep);
+        if (a1.empty()) {
+          as.add_child(st.input(sp.left));
+        } else {
+          jobs.push_back(fill_slot(ex, st, as, sp.left, a1, as.nc));
+          as.add_child(nullptr);
+        }
+        as.add_key(sp.sep);
+        if (a2.empty()) {
+          as.add_child(st.input(sp.right));
+        } else {
+          jobs.push_back(fill_slot(ex, st, as, sp.right, a2, as.nc));
+          as.add_child(nullptr);
+        }
+      }
+    }
+    if (i < t->nkeys) as.add_key(t->keys[i]);
+  }
+
+  // Run the child insertions in parallel (fork-join), then assemble.
+  co_await ex.fork_join_all(std::move(jobs));
+
+  co_return st.make_internal({as.keys, static_cast<std::size_t>(as.nk)},
+                             {as.child, static_cast<std::size_t>(as.nc)});
+}
+
+// Strict wave: fork-join computation returning a complete tree.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<TNode<P>*> insert_wave_strict(Ex ex, Store<P>& st, TNode<P>* root,
+                                   std::span<const Key> keys) {
+  PWF_CHECK_MSG(root != nullptr, "bulk insert requires a nonempty tree");
+  ex.step();
+  TNode<P>* t = root;
+  if (needs_split(t)) {
+    NodeSplit<P> sp = split_node(ex, st, t);
+    Key sep[1] = {sp.sep};
+    Cell<P>* ch[2] = {st.input(sp.left), st.input(sp.right)};
+    t = st.make_internal(sep, ch);
+  }
+  co_return co_await insert_rec_strict(ex, st, t, keys);
+}
+
+// Strict bulk insert: waves run back-to-back with no overlap.
+template <typename Ex, typename P = typename Ex::Policy>
+Task<TNode<P>*> bulk_insert_strict(Ex ex, Store<P>& st, TNode<P>* root,
+                                   std::span<const Key> sorted) {
+  if (sorted.empty()) co_return root;
+  for (auto& level : level_arrays(sorted)) {
+    const std::span<const Key> keys = st.hold(std::move(level));
+    root = co_await insert_wave_strict(ex, st, root, keys);
+  }
+  co_return root;
+}
+
+// ---- analysis helpers (no substrate actions) --------------------------------
+
+template <typename P>
+void collect_keys(const TNode<P>* root, std::vector<Key>& out) {
+  if (root == nullptr) return;
+  if (root->leaf) {
+    for (int i = 0; i < root->nkeys; ++i) out.push_back(root->keys[i]);
+    return;
+  }
+  for (int i = 0; i < root->nkeys; ++i) {
+    collect_keys(peek<P>(root->child[i]), out);
+    out.push_back(root->keys[i]);
+  }
+  collect_keys(peek<P>(root->child[root->nkeys]), out);
+}
+
+template <typename P>
+int height(const TNode<P>* root) {
+  if (root == nullptr) return 0;
+  if (root->leaf) return 1;
+  return 1 + height(peek<P>(root->child[0]));
+}
+
+template <typename P>
+std::uint64_t count_keys(const TNode<P>* root) {
+  if (root == nullptr) return 0;
+  std::uint64_t n = root->nkeys;
+  if (!root->leaf)
+    for (int i = 0; i <= root->nkeys; ++i)
+      n += count_keys(peek<P>(root->child[i]));
+  return n;
+}
+
+template <typename P>
+typename P::Time max_created(const TNode<P>* root) {
+  if (root == nullptr) return 0;
+  typename P::Time t = root->created;
+  if (!root->leaf)
+    for (int i = 0; i <= root->nkeys; ++i)
+      t = std::max(t, max_created(peek<P>(root->child[i])));
+  return t;
+}
+
+namespace detail {
+// Returns the leaf depth, or -1 on violation. lo/hi bound the subtree keys
+// strictly (nullptr = unbounded).
+template <typename P>
+int validate_rec(const TNode<P>* n, const Key* lo, const Key* hi) {
+  if (n == nullptr) return -1;  // null child of an internal node: invalid
+  if (n->nkeys < 1 || n->nkeys > kMaxKeys) return -1;
+  for (int i = 0; i < n->nkeys; ++i) {
+    if (lo && n->keys[i] <= *lo) return -1;
+    if (hi && n->keys[i] >= *hi) return -1;
+    if (i > 0 && n->keys[i] <= n->keys[i - 1]) return -1;
+  }
+  if (n->leaf) return 1;
+  int depth = -2;
+  for (int i = 0; i <= n->nkeys; ++i) {
+    const Key* clo = i == 0 ? lo : &n->keys[i - 1];
+    const Key* chi = i == n->nkeys ? hi : &n->keys[i];
+    const int d = validate_rec(peek<P>(n->child[i]), clo, chi);
+    if (d < 0) return -1;
+    if (depth == -2)
+      depth = d;
+    else if (d != depth)
+      return -1;  // leaves not all at the same level
+  }
+  return depth + 1;
+}
+}  // namespace detail
+
+// Structural invariant: key counts in range, per-node key order, children
+// count, all leaves at the same depth, global key order, no duplicates.
+template <typename P>
+bool validate(const TNode<P>* root) {
+  if (root == nullptr) return true;
+  return detail::validate_rec(root, nullptr, nullptr) > 0;
+}
+
+// Membership test (splitters are members).
+template <typename P>
+bool contains(const TNode<P>* root, Key k) {
+  const TNode<P>* n = root;
+  while (n != nullptr) {
+    int i = 0;
+    while (i < n->nkeys && k > n->keys[i]) ++i;
+    if (i < n->nkeys && k == n->keys[i]) return true;
+    if (n->leaf) return false;
+    n = peek<P>(n->child[i]);
+  }
+  return false;
+}
+
+}  // namespace pwf::pipelined::ttree

@@ -44,6 +44,12 @@ class FutCell {
 
   static constexpr std::uintptr_t kEmpty = 0;
   static constexpr std::uintptr_t kWritten = 1;
+  // Set by wait_blocking() to announce a blocked external thread; travels in
+  // the same atomic word as the waiter-list pointer (frames are ≥8-aligned,
+  // so the low bits of a Waiter* are free). The writer learns about blocked
+  // threads from the value its publishing exchange returns — no separate
+  // flag read after publication, when the joined cell may already be freed.
+  static constexpr std::uintptr_t kBlocked = 2;
 
   struct Waiter {
     std::coroutine_handle<> handle;
@@ -85,8 +91,13 @@ class FutCell {
     const std::uintptr_t old =
         state_.exchange(kWritten, std::memory_order_acq_rel);
     PWF_CHECK_MSG(old != kWritten, "future cell written twice");
-    state_.notify_all();  // external wait_blocking()ers
-    Waiter* w = reinterpret_cast<Waiter*>(old);
+    // The exchange that published the value also collected the kBlocked
+    // announcement, so the futex wake is issued only when some thread is
+    // (or was) inside wait_blocking(). Almost every cell is consumed by
+    // parked fibers, not blocked threads — skipping the syscall on those
+    // keeps the hot write path cheap.
+    if (old & kBlocked) state_.notify_all();
+    Waiter* w = reinterpret_cast<Waiter*>(old & ~kBlocked);
     if (w != nullptr) {
       // Resolve the scheduler once for the whole repost loop — this is the
       // hot write path, and a long waiter list should not pay one atomic
@@ -118,9 +129,9 @@ class FutCell {
       std::uintptr_t s = c->state_.load(std::memory_order_acquire);
       for (;;) {
         if (s == kWritten) return false;  // written meanwhile: keep running
-        node.next = reinterpret_cast<Waiter*>(s);
+        node.next = reinterpret_cast<Waiter*>(s & ~kBlocked);
         if (c->state_.compare_exchange_weak(
-                s, reinterpret_cast<std::uintptr_t>(&node),
+                s, reinterpret_cast<std::uintptr_t>(&node) | (s & kBlocked),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           PWF_RT_RECORD(kPark, c);
           return true;  // parked; the writer will repost us
@@ -137,10 +148,23 @@ class FutCell {
 
   // Blocking read for external threads (joins a computation from main).
   T wait_blocking() const {
+    // Announce the blocked thread by folding kBlocked into the state word
+    // (kept across waiter-list pushes by await_suspend). The CAS and the
+    // writer's exchange hit the same word, so either the writer's exchange
+    // returns the bit and it notifies, or our CAS fails against kWritten and
+    // we never sleep — no separate flag, no fences.
+    std::uintptr_t s = state_.load(std::memory_order_acquire);
+    while (s != kWritten && !(s & kBlocked)) {
+      if (state_.compare_exchange_weak(s, s | kBlocked,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        s |= kBlocked;
+      }
+    }
     for (;;) {
-      const std::uintptr_t s = state_.load(std::memory_order_acquire);
       if (s == kWritten) return value_;
       state_.wait(s, std::memory_order_acquire);
+      s = state_.load(std::memory_order_acquire);
     }
   }
 
@@ -151,7 +175,9 @@ class FutCell {
   }
 
  private:
-  std::atomic<std::uintptr_t> state_{kEmpty};
+  // mutable: wait_blocking() is a const read, but announces itself by
+  // setting kBlocked in the word.
+  mutable std::atomic<std::uintptr_t> state_{kEmpty};
   T value_{};
 };
 

@@ -1,0 +1,35 @@
+#include "runtime/rt_algos.hpp"
+
+namespace pwf::rt::list {
+
+namespace pl = pipelined;
+
+Cell* quicksort(Store& st, const std::vector<Value>& values) {
+  pl::RtExec ex;
+  Cell* in = st.input_list(values);
+  Cell* nil = st.input(nullptr);
+  Cell* out = st.cell();
+  ex.fork(pl::list::quicksort_into(ex, st, in, nil, out));
+  return out;
+}
+
+Value produce_consume_sum(Store& st, std::int64_t n) {
+  pl::RtExec ex;
+  Cell* list = st.cell();
+  ex.fork(pl::list::produce(ex, st, n, list));
+  FutCell<Value> result;
+  ex.fork(pl::deliver(pl::list::consume(ex, list), &result));
+  return result.wait_blocking();
+}
+
+std::vector<Value> wait_list(Cell* head) {
+  std::vector<Value> out;
+  for (Cell* c = head;;) {
+    LNode* n = c->wait_blocking();
+    if (n == nullptr) return out;
+    out.push_back(n->value);
+    c = n->next;
+  }
+}
+
+}  // namespace pwf::rt::list

@@ -1,0 +1,35 @@
+// Parallel (real-execution) list algorithms — the Section 4 producer/consumer
+// pipeline and Section 5 quicksort — on the coroutine futures runtime. The
+// bodies are the templated coroutines in src/pipelined/list.hpp, instantiated
+// on the RtExec substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pipelined/list.hpp"
+#include "pipelined/rt_exec.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace pwf::rt::list {
+
+using Value = pipelined::list::Value;
+
+using LNode = pipelined::list::LNode<pipelined::RtPolicy>;
+using Cell = FutCell<LNode*>;
+using Store = pipelined::list::Store<pipelined::RtPolicy>;
+
+// Pipelined list quicksort: spawns the root fiber, returns the head cell of
+// the sorted list. Join with wait_list.
+Cell* quicksort(Store& st, const std::vector<Value>& values);
+
+// Producer/consumer pipeline: the producer fiber streams 0..n through future
+// cells while the consumer folds the running sum. Blocks until the sum is
+// delivered.
+Value produce_consume_sum(Store& st, std::int64_t n);
+
+// Waits for every cell in the list chain; returns the values in order.
+std::vector<Value> wait_list(Cell* head);
+
+}  // namespace pwf::rt::list

@@ -1,180 +1,35 @@
 #include "runtime/rt_treap.hpp"
 
-#include <algorithm>
-#include <limits>
-
 namespace pwf::rt::treap {
 
-Node* Store::build(std::span<const Key> keys) {
-  std::vector<Node*> spine;
-  for (Key k : keys) {
-    Node* n = make(k, priority(k), input(nullptr), input(nullptr));
-    Node* last_popped = nullptr;
-    while (!spine.empty() && spine.back()->pri < n->pri) {
-      last_popped = spine.back();
-      spine.pop_back();
-    }
-    if (last_popped != nullptr) n->left = input(last_popped);
-    if (!spine.empty()) spine.back()->right = input(n);
-    spine.push_back(n);
-  }
-  return spine.empty() ? nullptr : spine.front();
-}
-
-Fiber splitm_fiber(Store& st, Key s, Node* t, Cell* outL, Cell* outR,
-                   Cell* outEq) {
-  for (;;) {
-    if (t == nullptr) {
-      outL->write(nullptr);
-      outR->write(nullptr);
-      if (outEq) outEq->write(nullptr);
-      co_return;
-    }
-    if (s < t->key) {
-      Node* keep = st.make(t->key, t->pri, st.cell(), t->right);
-      outR->write(keep);
-      outR = keep->left;
-      t = co_await *t->left;
-    } else if (s > t->key) {
-      Node* keep = st.make(t->key, t->pri, t->left, st.cell());
-      outL->write(keep);
-      outL = keep->right;
-      t = co_await *t->right;
-    } else {
-      outL->write(co_await *t->left);
-      outR->write(co_await *t->right);
-      if (outEq) outEq->write(t);
-      co_return;
-    }
-  }
-}
-
-Fiber union_fiber(Store& st, Cell* a, Cell* b, Cell* out) {
-  Node* ta = co_await *a;
-  Node* tb = co_await *b;
-  if (ta == nullptr) {
-    out->write(tb);
-    co_return;
-  }
-  if (tb == nullptr) {
-    out->write(ta);
-    co_return;
-  }
-  if (ta->pri < tb->pri) std::swap(ta, tb);
-  Node* res = st.make(ta->key, ta->pri);
-  Cell* l2 = st.cell();
-  Cell* r2 = st.cell();
-  spawn(splitm_fiber(st, ta->key, tb, l2, r2, nullptr));
-  spawn(union_fiber(st, ta->left, l2, res->left));
-  spawn(union_fiber(st, ta->right, r2, res->right));
-  out->write(res);
-}
-
-Fiber join_fiber(Store& st, Node* t1, Node* t2, Cell* out) {
-  for (;;) {
-    if (t1 == nullptr) {
-      out->write(t2);
-      co_return;
-    }
-    if (t2 == nullptr) {
-      out->write(t1);
-      co_return;
-    }
-    if (t1->pri >= t2->pri) {
-      Node* res = st.make(t1->key, t1->pri, t1->left, st.cell());
-      out->write(res);
-      out = res->right;
-      t1 = co_await *t1->right;
-    } else {
-      Node* res = st.make(t2->key, t2->pri, st.cell(), t2->right);
-      out->write(res);
-      out = res->left;
-      t2 = co_await *t2->left;
-    }
-  }
-}
-
-namespace {
-
-// The join arm of diff needs both recursive results before it can start.
-Fiber join_after(Store& st, Cell* dl, Cell* dr, Cell* out) {
-  Node* jl = co_await *dl;
-  Node* jr = co_await *dr;
-  spawn(join_fiber(st, jl, jr, out));
-  co_return;
-}
-
-}  // namespace
-
-Fiber diff_fiber(Store& st, Cell* a, Cell* b, Cell* out) {
-  Node* t1 = co_await *a;
-  Node* t2 = co_await *b;
-  if (t1 == nullptr) {
-    out->write(nullptr);
-    co_return;
-  }
-  if (t2 == nullptr) {
-    out->write(t1);
-    co_return;
-  }
-  Cell* l2 = st.cell();
-  Cell* r2 = st.cell();
-  Cell* eq = st.cell();
-  spawn(splitm_fiber(st, t1->key, t2, l2, r2, eq));
-  Cell* dl = st.cell();
-  Cell* dr = st.cell();
-  spawn(diff_fiber(st, t1->left, l2, dl));
-  spawn(diff_fiber(st, t1->right, r2, dr));
-  Node* found = co_await *eq;
-  if (found != nullptr) {
-    spawn(join_after(st, dl, dr, out));
-  } else {
-    Node* res = st.make(t1->key, t1->pri, dl, dr);
-    out->write(res);
-  }
-}
-
-Fiber intersect_fiber(Store& st, Cell* a, Cell* b, Cell* out) {
-  Node* ta = co_await *a;
-  Node* tb = co_await *b;
-  if (ta == nullptr || tb == nullptr) {
-    out->write(nullptr);
-    co_return;
-  }
-  if (ta->pri < tb->pri) std::swap(ta, tb);
-  Cell* l2 = st.cell();
-  Cell* r2 = st.cell();
-  Cell* eq = st.cell();
-  spawn(splitm_fiber(st, ta->key, tb, l2, r2, eq));
-  Cell* il = st.cell();
-  Cell* ir = st.cell();
-  spawn(intersect_fiber(st, ta->left, l2, il));
-  spawn(intersect_fiber(st, ta->right, r2, ir));
-  Node* found = co_await *eq;
-  if (found != nullptr) {
-    Node* res = st.make(ta->key, ta->pri, il, ir);
-    out->write(res);
-  } else {
-    spawn(join_after(st, il, ir, out));
-  }
-}
+namespace pl = pipelined;
 
 Cell* union_treaps(Store& st, Cell* a, Cell* b) {
+  pl::RtExec ex;
   Cell* out = st.cell();
-  spawn(union_fiber(st, a, b, out));
+  ex.fork(pl::treap::union_into(ex, st, a, b, out));
   return out;
 }
 
 Cell* diff_treaps(Store& st, Cell* a, Cell* b) {
+  pl::RtExec ex;
   Cell* out = st.cell();
-  spawn(diff_fiber(st, a, b, out));
+  ex.fork(pl::treap::diff_into(ex, st, a, b, out));
   return out;
 }
 
 Cell* intersect_treaps(Store& st, Cell* a, Cell* b) {
+  pl::RtExec ex;
   Cell* out = st.cell();
-  spawn(intersect_fiber(st, a, b, out));
+  ex.fork(pl::treap::intersect_into(ex, st, a, b, out));
   return out;
+}
+
+Node* union_strict_blocking(Store& st, Node* a, Node* b) {
+  pl::RtExec ex;
+  Cell* result = st.cell();
+  ex.fork(pl::deliver(pl::treap::union_strict(ex, st, a, b), result));
+  return result->wait_blocking();
 }
 
 namespace {
@@ -185,16 +40,6 @@ void wait_collect(Cell* c, std::vector<Key>& out) {
   out.push_back(n->key);
   wait_collect(n->right, out);
 }
-
-bool valid_rec(const Store& st, Node* n, const Key* lo, const Key* hi,
-               Pri max_pri) {
-  if (n == nullptr) return true;
-  if (lo && n->key <= *lo) return false;
-  if (hi && n->key >= *hi) return false;
-  if (n->pri > max_pri || n->pri != st.priority(n->key)) return false;
-  return valid_rec(st, n->left->wait_blocking(), lo, &n->key, n->pri) &&
-         valid_rec(st, n->right->wait_blocking(), &n->key, hi, n->pri);
-}
 }  // namespace
 
 std::vector<Key> wait_inorder(Cell* root_cell) {
@@ -204,8 +49,11 @@ std::vector<Key> wait_inorder(Cell* root_cell) {
 }
 
 bool validate(const Store& st, Cell* root_cell) {
-  return valid_rec(st, root_cell->wait_blocking(), nullptr, nullptr,
-                   std::numeric_limits<Pri>::max());
+  // Force completion of every reachable cell, then run the shared peek-based
+  // validator (peek asserts written(), which holds after the wait walk).
+  std::vector<Key> keys;
+  wait_collect(root_cell, keys);
+  return pl::treap::validate(st, root_cell->wait_blocking());
 }
 
 }  // namespace pwf::rt::treap

@@ -1,82 +1,41 @@
 // Parallel (real-execution) treap union and difference — Sections 3.2–3.3
-// on the coroutine futures runtime. Mirrors src/treap/setops.* with
-// co_await/spawn in place of touch/fork.
+// on the coroutine futures runtime. The algorithm bodies are the templated
+// coroutines in src/pipelined/treap.hpp, instantiated on the RtExec
+// substrate; this file only provides the runtime drivers and blocking joins.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "runtime/concurrent_arena.hpp"
+#include "pipelined/rt_exec.hpp"
+#include "pipelined/treap.hpp"
 #include "runtime/future.hpp"
 #include "runtime/scheduler.hpp"
-#include "support/random.hpp"
 
 namespace pwf::rt::treap {
 
-using Key = std::int64_t;
-using Pri = std::uint64_t;
+using Key = pipelined::treap::Key;
+using Pri = pipelined::treap::Pri;
 
-struct Node;
+using Node = pipelined::treap::Node<pipelined::RtPolicy>;
 using Cell = FutCell<Node*>;
-
-struct Node {
-  Key key = 0;
-  Pri pri = 0;
-  Cell* left = nullptr;
-  Cell* right = nullptr;
-};
-
-class Store {
- public:
-  explicit Store(std::uint64_t salt = 0x9e3779b97f4a7c15ULL) : salt_(salt) {}
-
-  Pri priority(Key k) const {
-    std::uint64_t x = static_cast<std::uint64_t>(k) ^ salt_;
-    return splitmix64(x);
-  }
-
-  Cell* cell() { return arena_.create<Cell>(); }
-  Cell* input(Node* root) {
-    Cell* c = cell();
-    c->preset(root);
-    return c;
-  }
-
-  Node* make(Key key, Pri pri, Cell* l, Cell* r) {
-    Node* n = arena_.create<Node>();
-    n->key = key;
-    n->pri = pri;
-    n->left = l;
-    n->right = r;
-    return n;
-  }
-  Node* make(Key key, Pri pri) { return make(key, pri, cell(), cell()); }
-
-  // O(n) construction over sorted deduplicated keys (input data).
-  Node* build(std::span<const Key> keys);
-
- private:
-  std::uint64_t salt_;
-  ConcurrentArena arena_;
-};
-
-Fiber splitm_fiber(Store& st, Key s, Node* t, Cell* outL, Cell* outR,
-                   Cell* outEq);
-Fiber union_fiber(Store& st, Cell* a, Cell* b, Cell* out);
-Fiber join_fiber(Store& st, Node* t1, Node* t2, Cell* out);
-Fiber diff_fiber(Store& st, Cell* a, Cell* b, Cell* out);
-Fiber intersect_fiber(Store& st, Cell* a, Cell* b, Cell* out);
+using Store = pipelined::treap::Store<pipelined::RtPolicy>;
 
 Cell* union_treaps(Store& st, Cell* a, Cell* b);
 Cell* diff_treaps(Store& st, Cell* a, Cell* b);
 Cell* intersect_treaps(Store& st, Cell* a, Cell* b);
 
+// Strict fork-join union baseline on the runtime (same body as the cost
+// model's union_strict). Blocks the calling thread until the result treap is
+// complete.
+Node* union_strict_blocking(Store& st, Node* a, Node* b);
+
 // Joins the computation: waits for every reachable cell, returns in-order
 // keys.
 std::vector<Key> wait_inorder(Cell* root_cell);
 
-// Post-completion validation (BST + heap order).
+// Post-completion validation (BST + heap order + deterministic priorities).
 bool validate(const Store& st, Cell* root_cell);
 
 }  // namespace pwf::rt::treap

@@ -1,242 +1,67 @@
 #include "runtime/rt_trees.hpp"
 
-#include <algorithm>
+#include "pipelined/mergesort.hpp"
 
 namespace pwf::rt::trees {
 
-Node* Store::build_balanced(std::span<const Key> sorted) {
-  if (sorted.empty()) return nullptr;
-  const std::size_t mid = sorted.size() / 2;
-  Node* l = build_balanced(sorted.subspan(0, mid));
-  Node* r = build_balanced(sorted.subspan(mid + 1));
-  return make_ready(sorted[mid], l, r);
-}
-
-Fiber split_fiber(Store& st, Key s, Node* t, Cell* outL, Cell* outR) {
-  for (;;) {
-    if (t == nullptr) {
-      outL->write(nullptr);
-      outR->write(nullptr);
-      co_return;
-    }
-    if (s <= t->key) {  // keys >= s (including s itself) go to the right side
-      Node* keep = st.make(t->key, st.cell(), t->right);
-      outR->write(keep);
-      outR = keep->left;
-      t = co_await *t->left;
-    } else {
-      Node* keep = st.make(t->key, t->left, st.cell());
-      outL->write(keep);
-      outL = keep->right;
-      t = co_await *t->right;
-    }
-  }
-}
-
-Fiber merge_fiber(Store& st, Cell* a, Cell* b, Cell* out) {
-  Node* ta = co_await *a;
-  Node* tb = co_await *b;
-  if (ta == nullptr) {
-    out->write(tb);
-    co_return;
-  }
-  if (tb == nullptr) {
-    out->write(ta);
-    co_return;
-  }
-  Node* res = st.make(ta->key);
-  Cell* l2 = st.cell();
-  Cell* r2 = st.cell();
-  spawn(split_fiber(st, ta->key, tb, l2, r2));
-  spawn(merge_fiber(st, ta->left, l2, res->left));
-  spawn(merge_fiber(st, ta->right, r2, res->right));
-  out->write(res);
-}
+namespace pl = pipelined;
 
 Cell* merge(Store& st, Cell* a, Cell* b) {
+  pl::RtExec ex;
   Cell* out = st.cell();
-  spawn(merge_fiber(st, a, b, out));
+  ex.fork(pl::trees::merge_into(ex, st, a, b, out));
   return out;
-}
-
-Fiber msort_fiber(Store& st, std::span<const Key> values, Cell* out) {
-  if (values.empty()) {
-    out->write(nullptr);
-    co_return;
-  }
-  if (values.size() == 1) {
-    out->write(st.make_ready(values[0], nullptr, nullptr));
-    co_return;
-  }
-  const std::size_t mid = values.size() / 2;
-  Cell* l = st.cell();
-  Cell* r = st.cell();
-  spawn(msort_fiber(st, values.subspan(0, mid), l));
-  spawn(msort_fiber(st, values.subspan(mid), r));
-  spawn(merge_fiber(st, l, r, out));
 }
 
 Cell* mergesort(Store& st, std::span<const Key> values) {
+  pl::RtExec ex;
   Cell* out = st.cell();
-  spawn(msort_fiber(st, values, out));
+  ex.fork(pl::trees::msort_into(ex, st, values, out));
   return out;
-}
-
-namespace {
-std::uint64_t size_of(const Node* n) { return n ? n->size : 0; }
-}  // namespace
-
-Fiber measure_fiber(Store& st, Cell* t, Cell* out) {
-  Node* n = co_await *t;
-  if (n == nullptr) {
-    out->write(nullptr);
-    co_return;
-  }
-  Cell* lc = st.cell();
-  Cell* rc = st.cell();
-  spawn(measure_fiber(st, n->left, lc));
-  spawn(measure_fiber(st, n->right, rc));
-  Node* l = co_await *lc;
-  Node* r = co_await *rc;
-  Node* copy = st.make_ready(n->key, l, r);
-  copy->lsize = size_of(l);
-  copy->size = 1 + size_of(l) + size_of(r);
-  out->write(copy);
-}
-
-Fiber splitr_fiber(Store& st, std::uint64_t r, Node* t, Cell* outL,
-                   Cell* outMid, Cell* outR) {
-  for (;;) {
-    PWF_CHECK_MSG(t != nullptr, "rank out of range in splitr");
-    if (r < t->lsize) {
-      Node* keep = st.make(t->key, st.cell(), t->right);
-      keep->lsize = t->lsize - r - 1;
-      keep->size = t->size - r - 1;
-      outR->write(keep);
-      outR = keep->left;
-      t = co_await *t->left;
-    } else if (r == t->lsize) {
-      outMid->write(t);
-      outL->write(co_await *t->left);
-      outR->write(co_await *t->right);
-      co_return;
-    } else {
-      Node* keep = st.make(t->key, t->left, st.cell());
-      keep->lsize = t->lsize;
-      keep->size = t->lsize + 1 + (r - t->lsize - 1);
-      outL->write(keep);
-      outL = keep->right;
-      r -= t->lsize + 1;
-      t = co_await *t->right;
-    }
-  }
-}
-
-namespace {
-Fiber splitr_entry(Store& st, std::uint64_t r, Cell* tree, Cell* outL,
-                   Cell* outMid, Cell* outR) {
-  Node* t = co_await *tree;
-  spawn(splitr_fiber(st, r, t, outL, outMid, outR));
-}
-}  // namespace
-
-Fiber rebalance_fiber(Store& st, Cell* tree, std::uint64_t size, Cell* out) {
-  if (size == 0) {
-    Node* t = co_await *tree;  // consume the (empty) side
-    PWF_CHECK(t == nullptr);
-    out->write(nullptr);
-    co_return;
-  }
-  const std::uint64_t lcount = size / 2;  // median rank
-  Cell* lpart = st.cell();
-  Cell* rpart = st.cell();
-  Cell* midc = st.cell();
-  spawn(splitr_entry(st, lcount, tree, lpart, midc, rpart));
-  Node* mid = co_await *midc;
-  Node* res = st.make(mid->key);
-  spawn(rebalance_fiber(st, lpart, lcount, res->left));
-  spawn(rebalance_fiber(st, rpart, size - 1 - lcount, res->right));
-  out->write(res);
 }
 
 Cell* rebalance(Store& st, Cell* tree) {
-  Cell* annotated = st.cell();
-  spawn(measure_fiber(st, tree, annotated));
-  // The measure pass delivers the root (with its total size) first; chain a
-  // small fiber that reads it and launches the pipelined rebalance.
+  pl::RtExec ex;
   Cell* out = st.cell();
-  struct Chain {
-    static Fiber go(Store& store, Cell* ann, Cell* result) {
-      Node* root = co_await *ann;
-      if (root == nullptr) {
-        result->write(nullptr);
-        co_return;
-      }
-      spawn(rebalance_fiber(store, store.input(root), root->size, result));
-    }
-  };
-  spawn(Chain::go(st, annotated, out));
+  ex.fork(pl::trees::rebalance_entry(ex, st, tree, out));
   return out;
-}
-
-Fiber msort_balanced_fiber(Store& st, std::span<const Key> values,
-                           Cell* out) {
-  if (values.empty()) {
-    out->write(nullptr);
-    co_return;
-  }
-  if (values.size() == 1) {
-    out->write(st.make_ready(values[0], nullptr, nullptr));
-    co_return;
-  }
-  const std::size_t mid = values.size() / 2;
-  Cell* l = st.cell();
-  Cell* r = st.cell();
-  spawn(msort_balanced_fiber(st, values.subspan(0, mid), l));
-  spawn(msort_balanced_fiber(st, values.subspan(mid), r));
-  Cell* merged = st.cell();
-  spawn(merge_fiber(st, l, r, merged));
-  // Measure + rank-rebalance this level (size is known statically: merges
-  // keep duplicates).
-  Cell* annotated = st.cell();
-  spawn(measure_fiber(st, merged, annotated));
-  Node* root = co_await *annotated;
-  spawn(rebalance_fiber(st, st.input(root), values.size(), out));
 }
 
 Cell* mergesort_balanced(Store& st, std::span<const Key> values) {
+  pl::RtExec ex;
   Cell* out = st.cell();
-  spawn(msort_balanced_fiber(st, values, out));
+  ex.fork(pl::trees::msort_balanced_into(ex, st, values, out));
   return out;
 }
 
-Node* peek(const Cell* c) { return c->peek(); }
+Node* merge_strict_blocking(Store& st, Node* a, Node* b) {
+  pl::RtExec ex;
+  Cell* result = st.cell();
+  ex.fork(pl::deliver(pl::trees::merge_strict(ex, st, a, b), result));
+  return result->wait_blocking();
+}
+
+Node* peek(const Cell* c) { return pl::trees::peek<pl::RtPolicy>(c); }
 
 void collect_inorder(const Node* root, std::vector<Key>& out) {
-  if (root == nullptr) return;
-  collect_inorder(peek(root->left), out);
-  out.push_back(root->key);
-  collect_inorder(peek(root->right), out);
+  pl::trees::collect_inorder(root, out);
 }
 
-int height(const Node* root) {
-  if (root == nullptr) return 0;
-  return 1 + std::max(height(peek(root->left)), height(peek(root->right)));
-}
+int height(const Node* root) { return pl::trees::height(root); }
 
 namespace {
-void wait_collect(Cell* c, std::vector<Key>& out) {
+void wait_walk(Cell* c, std::vector<Key>& out) {
   Node* n = c->wait_blocking();
   if (n == nullptr) return;
-  wait_collect(n->left, out);
+  wait_walk(n->left, out);
   out.push_back(n->key);
-  wait_collect(n->right, out);
+  wait_walk(n->right, out);
 }
 }  // namespace
 
 std::vector<Key> wait_inorder(Cell* root_cell) {
   std::vector<Key> out;
-  wait_collect(root_cell, out);
+  wait_walk(root_cell, out);
   return out;
 }
 

@@ -1,88 +1,50 @@
 // Parallel (real-execution) versions of the Section 3.1 algorithms on the
-// coroutine futures runtime. The code mirrors the cost-model versions in
-// src/trees almost line for line — `co_await cell` where they call
-// eng.touch, `spawn(...)` where they call eng.fork — which is itself a
-// demonstration of the paper's thesis: the pipelined code *is* the obvious
-// sequential code plus future annotations.
+// coroutine futures runtime. The algorithm bodies are the *same templated
+// coroutines* the cost model measures (src/pipelined/trees.hpp,
+// src/pipelined/mergesort.hpp), instantiated here on the RtExec substrate —
+// `co_await ex.touch(...)` parks the fiber in the cell, `ex.fork(...)` posts
+// to the work-stealing scheduler. See docs/substrates.md.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "runtime/concurrent_arena.hpp"
+#include "pipelined/rt_exec.hpp"
+#include "pipelined/trees.hpp"
 #include "runtime/future.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace pwf::rt::trees {
 
-using Key = std::int64_t;
+using Key = pipelined::trees::Key;
 
-struct Node;
+// Runtime instantiation: nodes over FutCell futures (no timestamps).
+using Node = pipelined::trees::Node<pipelined::RtPolicy>;
 using Cell = FutCell<Node*>;
-
-struct Node {
-  Key key = 0;
-  std::uint64_t size = 0;   // subtree size   (rebalance pre-pass only)
-  std::uint64_t lsize = 0;  // left-subtree size (rank navigation)
-  Cell* left = nullptr;
-  Cell* right = nullptr;
-};
-
-class Store {
- public:
-  Cell* cell() { return arena_.create<Cell>(); }
-
-  Cell* input(Node* root) {
-    Cell* c = cell();
-    c->preset(root);
-    return c;
-  }
-
-  Node* make(Key key, Cell* l, Cell* r) {
-    Node* n = arena_.create<Node>();
-    n->key = key;
-    n->left = l;
-    n->right = r;
-    return n;
-  }
-  Node* make(Key key) { return make(key, cell(), cell()); }
-  Node* make_ready(Key key, Node* l, Node* r) {
-    return make(key, input(l), input(r));
-  }
-
-  Node* build_balanced(std::span<const Key> sorted);
-
- private:
-  ConcurrentArena arena_;
-};
+using Store = pipelined::trees::Store<pipelined::RtPolicy>;
 
 // Pipelined split/merge (Figure 3). merge() spawns the root fiber and
 // returns the result cell; join the computation by wait_blocking() on it —
 // the result tree is fully written once every cell reachable from it is
 // (verified by peek-based walks, which assert written()).
-Fiber split_fiber(Store& st, Key s, Node* t, Cell* outL, Cell* outR);
-Fiber merge_fiber(Store& st, Cell* a, Cell* b, Cell* out);
 Cell* merge(Store& st, Cell* a, Cell* b);
 
 // Pipelined mergesort over the tree merge (Section 5).
-Fiber msort_fiber(Store& st, std::span<const Key> values, Cell* out);
 Cell* mergesort(Store& st, std::span<const Key> values);
 
-// Pipelined rebalance (the Section 3.1 extension, mirroring
-// src/trees/rebalance.*): size-annotating measure pass, then rank-split
-// recursion. rebalance() chains them and returns the balanced tree's cell.
-Fiber measure_fiber(Store& st, Cell* t, Cell* out);
-Fiber splitr_fiber(Store& st, std::uint64_t r, Node* t, Cell* outL,
-                   Cell* outMid, Cell* outR);
-Fiber rebalance_fiber(Store& st, Cell* tree, std::uint64_t size, Cell* out);
+// Pipelined rebalance (the Section 3.1 extension): size-annotating measure
+// pass, then rank-split recursion, chained in one spawned fiber.
 Cell* rebalance(Store& st, Cell* tree);
 
 // Balanced mergesort: rebalances after every merge level (guaranteed
 // Θ(lg² n) critical path, height-optimal output; cf. algos mergesort_balanced).
-Fiber msort_balanced_fiber(Store& st, std::span<const Key> values,
-                           Cell* out);
 Cell* mergesort_balanced(Store& st, std::span<const Key> values);
+
+// Strict fork-join merge baseline on the runtime (the same body as the cost
+// model's merge_strict, on RtExec). Blocks the calling thread until the
+// result tree is complete.
+Node* merge_strict_blocking(Store& st, Node* a, Node* b);
 
 // ---- validation helpers (post-completion) -----------------------------------
 

@@ -1,217 +1,11 @@
 #include "runtime/rt_ttree.hpp"
 
-#include <algorithm>
-
-#include "ttree/insert.hpp"  // level_arrays (shared driver decomposition)
-
 namespace pwf::rt::ttree {
 
-TNode* Store::make_leaf(std::span<const Key> keys) {
-  PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
-  TNode* n = arena_.create<TNode>();
-  n->leaf = true;
-  n->nkeys = static_cast<std::uint8_t>(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
-  return n;
-}
-
-TNode* Store::make_internal(std::span<const Key> keys,
-                            std::span<Cell* const> children) {
-  PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
-  PWF_CHECK(children.size() == keys.size() + 1);
-  TNode* n = arena_.create<TNode>();
-  n->leaf = false;
-  n->nkeys = static_cast<std::uint8_t>(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
-  for (std::size_t i = 0; i < children.size(); ++i) n->child[i] = children[i];
-  return n;
-}
-
-namespace {
-
-std::uint64_t capacity(int h, int fanout) {
-  std::uint64_t x = 1;
-  for (int i = 0; i < h; ++i) x *= fanout;
-  return x - 1;
-}
-
-TNode* build_rec(Store& st, std::span<const Key> keys, int h, int fanout) {
-  if (h == 1) return st.make_leaf(keys);
-  const std::uint64_t n = keys.size();
-  const std::uint64_t child_cap = capacity(h - 1, fanout);
-  int f = 2;
-  while (f < fanout && static_cast<std::uint64_t>(f) - 1 +
-                               static_cast<std::uint64_t>(f) * child_cap <
-                           n)
-    ++f;
-  const std::uint64_t child_total = n - (static_cast<std::uint64_t>(f) - 1);
-  std::vector<Key> seps;
-  std::vector<Cell*> children;
-  std::size_t pos = 0;
-  for (int i = 0; i < f; ++i) {
-    const std::uint64_t take =
-        child_total / f +
-        (static_cast<std::uint64_t>(i) < child_total % f ? 1 : 0);
-    children.push_back(
-        st.input(build_rec(st, keys.subspan(pos, take), h - 1, fanout)));
-    pos += take;
-    if (i + 1 < f) seps.push_back(keys[pos++]);
-  }
-  return st.make_internal(seps, children);
-}
-
-bool needs_split(const TNode* n) {
-  return n->leaf ? n->nkeys > 2 : n->nchildren() > 3;
-}
-
-struct NodeSplit {
-  TNode* left;
-  Key sep;
-  TNode* right;
-};
-
-NodeSplit split_node(Store& st, const TNode* n) {
-  if (n->leaf) {
-    const int lk = n->nkeys / 2;
-    return {st.make_leaf({n->keys, static_cast<std::size_t>(lk)}),
-            n->keys[lk],
-            st.make_leaf({n->keys + lk + 1,
-                          static_cast<std::size_t>(n->nkeys - lk - 1)})};
-  }
-  const int nc = n->nchildren();
-  const int lc = nc / 2;
-  TNode* l = st.make_internal({n->keys, static_cast<std::size_t>(lc - 1)},
-                              {n->child, static_cast<std::size_t>(lc)});
-  TNode* r = st.make_internal(
-      {n->keys + lc, static_cast<std::size_t>(n->nkeys - lc)},
-      {n->child + lc, static_cast<std::size_t>(nc - lc)});
-  return {l, n->keys[lc - 1], r};
-}
-
-std::pair<std::span<const Key>, std::span<const Key>> array_split(
-    std::span<const Key> keys, Key s) {
-  const auto lo = std::lower_bound(keys.begin(), keys.end(), s);
-  const std::size_t i = static_cast<std::size_t>(lo - keys.begin());
-  std::size_t j = i;
-  if (j < keys.size() && keys[j] == s) ++j;
-  return {keys.subspan(0, i), keys.subspan(j)};
-}
-
-struct Assembly {
-  Key keys[kMaxKeys];
-  Cell* child[kMaxChildren];
-  int nk = 0;
-  int nc = 0;
-  void add_child(Cell* c) {
-    PWF_CHECK(nc < kMaxChildren);
-    child[nc++] = c;
-  }
-  void add_key(Key k) {
-    PWF_CHECK(nk < kMaxKeys);
-    keys[nk++] = k;
-  }
-};
-
-Fiber insert_fiber(Store& st, TNode* t, std::span<const Key> keys,
-                   Cell* out) {
-  PWF_CHECK(!keys.empty());
-  if (t->leaf) {
-    Key merged[kMaxKeys];
-    std::span<const Key> old{t->keys, static_cast<std::size_t>(t->nkeys)};
-    std::size_t n = 0, i = 0, j = 0;
-    while (i < old.size() || j < keys.size()) {
-      Key k;
-      if (j == keys.size() || (i < old.size() && old[i] <= keys[j])) {
-        k = old[i++];
-        if (j < keys.size() && k == keys[j]) ++j;
-      } else {
-        k = keys[j++];
-      }
-      PWF_CHECK_MSG(n < kMaxKeys,
-                    "leaf overflow: key array was not well separated");
-      merged[n++] = k;
-    }
-    out->write(st.make_leaf({merged, n}));
-    co_return;
-  }
-
-  Assembly as;
-  std::span<const Key> rest = keys;
-  for (int i = 0; i <= t->nkeys; ++i) {
-    std::span<const Key> part;
-    if (i < t->nkeys) {
-      auto [lo, hi] = array_split(rest, t->keys[i]);
-      part = lo;
-      rest = hi;
-    } else {
-      part = rest;
-    }
-    if (part.empty()) {
-      as.add_child(t->child[i]);
-    } else {
-      TNode* c = co_await *t->child[i];
-      if (!needs_split(c)) {
-        Cell* ncell = st.cell();
-        spawn(insert_fiber(st, c, part, ncell));
-        as.add_child(ncell);
-      } else {
-        NodeSplit sp = split_node(st, c);
-        auto [a1, a2] = array_split(part, sp.sep);
-        if (a1.empty()) {
-          as.add_child(st.input(sp.left));
-        } else {
-          Cell* ncell = st.cell();
-          spawn(insert_fiber(st, sp.left, a1, ncell));
-          as.add_child(ncell);
-        }
-        as.add_key(sp.sep);
-        if (a2.empty()) {
-          as.add_child(st.input(sp.right));
-        } else {
-          Cell* ncell = st.cell();
-          spawn(insert_fiber(st, sp.right, a2, ncell));
-          as.add_child(ncell);
-        }
-      }
-    }
-    if (i < t->nkeys) as.add_key(t->keys[i]);
-  }
-  out->write(st.make_internal({as.keys, static_cast<std::size_t>(as.nk)},
-                              {as.child, static_cast<std::size_t>(as.nc)}));
-}
-
-}  // namespace
-
-TNode* Store::build(std::span<const Key> sorted, int fanout) {
-  PWF_CHECK(fanout >= 3 && fanout <= kMaxChildren);
-  if (sorted.empty()) return nullptr;
-  int h = 1;
-  while (capacity(h, fanout) < sorted.size()) ++h;
-  return build_rec(*this, sorted, h, fanout);
-}
-
-Fiber wave_fiber(Store& st, Cell* root, std::span<const Key> keys,
-                 Cell* out) {
-  TNode* t = co_await *root;
-  PWF_CHECK_MSG(t != nullptr, "bulk insert requires a nonempty tree");
-  if (needs_split(t)) {
-    NodeSplit sp = split_node(st, t);
-    Key sep[1] = {sp.sep};
-    Cell* ch[2] = {st.input(sp.left), st.input(sp.right)};
-    t = st.make_internal(sep, ch);
-  }
-  spawn(insert_fiber(st, t, keys, out));
-}
+namespace pl = pipelined;
 
 Cell* bulk_insert(Store& st, Cell* root, std::span<const Key> sorted) {
-  if (sorted.empty()) return root;
-  for (auto& level : pwf::ttree::level_arrays(sorted)) {
-    const std::span<const Key> keys = st.hold(std::move(level));
-    Cell* out = st.cell();
-    spawn(wave_fiber(st, root, keys, out));
-    root = out;
-  }
-  return root;
+  return pl::ttree::bulk_insert(pl::RtExec{}, st, root, sorted);
 }
 
 namespace {
@@ -230,29 +24,6 @@ void wait_collect(Cell* c, std::vector<Key>& out) {
   wait_collect(n->child[n->nkeys], out);
 }
 
-int validate_rec(TNode* n, const Key* lo, const Key* hi) {
-  if (n == nullptr) return -1;
-  if (n->nkeys < 1 || n->nkeys > kMaxKeys) return -1;
-  for (int i = 0; i < n->nkeys; ++i) {
-    if (lo && n->keys[i] <= *lo) return -1;
-    if (hi && n->keys[i] >= *hi) return -1;
-    if (i > 0 && n->keys[i] <= n->keys[i - 1]) return -1;
-  }
-  if (n->leaf) return 1;
-  int depth = -2;
-  for (int i = 0; i <= n->nkeys; ++i) {
-    const Key* clo = i == 0 ? lo : &n->keys[i - 1];
-    const Key* chi = i == n->nkeys ? hi : &n->keys[i];
-    const int d = validate_rec(n->child[i]->wait_blocking(), clo, chi);
-    if (d < 0) return -1;
-    if (depth == -2)
-      depth = d;
-    else if (d != depth)
-      return -1;
-  }
-  return depth + 1;
-}
-
 }  // namespace
 
 std::vector<Key> wait_keys(Cell* root_cell) {
@@ -266,7 +37,11 @@ std::vector<Key> wait_keys(Cell* root_cell) {
 bool validate(Cell* root_cell) {
   TNode* n = root_cell->wait_blocking();
   if (n == nullptr) return true;
-  return validate_rec(n, nullptr, nullptr) > 0;
+  // Force completion of the whole tree, then run the shared peek-based
+  // validator.
+  std::vector<Key> keys;
+  wait_collect(root_cell, keys);
+  return pl::ttree::validate(n);
 }
 
 }  // namespace pwf::rt::ttree

@@ -1,74 +1,34 @@
 // Parallel (real-execution) 2-6 tree bulk insertion — Section 3.4 on the
-// coroutine futures runtime. Mirrors src/ttree/insert.* with co_await/spawn
-// in place of touch/fork; the level-array driver is shared with the
-// cost-model implementation.
+// coroutine futures runtime. The wave coroutine and the level-array driver
+// are the shared templates in src/pipelined/ttree.hpp, instantiated on the
+// RtExec substrate; this file adds the blocking joins.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "runtime/concurrent_arena.hpp"
+#include "pipelined/rt_exec.hpp"
+#include "pipelined/ttree.hpp"
 #include "runtime/future.hpp"
 #include "runtime/scheduler.hpp"
-#include "support/check.hpp"
 
 namespace pwf::rt::ttree {
 
-using Key = std::int64_t;
+using Key = pipelined::ttree::Key;
 
-inline constexpr int kMaxKeys = 5;
-inline constexpr int kMaxChildren = 6;
+inline constexpr int kMaxKeys = pipelined::ttree::kMaxKeys;
+inline constexpr int kMaxChildren = pipelined::ttree::kMaxChildren;
 
-struct TNode;
+using TNode = pipelined::ttree::TNode<pipelined::RtPolicy>;
 using Cell = FutCell<TNode*>;
-
-struct TNode {
-  std::uint8_t nkeys = 0;
-  bool leaf = true;
-  Key keys[kMaxKeys] = {};
-  Cell* child[kMaxChildren] = {};
-
-  int nchildren() const { return leaf ? 0 : nkeys + 1; }
-};
-
-class Store {
- public:
-  Cell* cell() { return arena_.create<Cell>(); }
-  Cell* input(TNode* n) {
-    Cell* c = cell();
-    c->preset(n);
-    return c;
-  }
-
-  TNode* make_leaf(std::span<const Key> keys);
-  TNode* make_internal(std::span<const Key> keys,
-                       std::span<Cell* const> children);
-
-  // Valid 2-6 tree over sorted deduplicated keys (input data).
-  TNode* build(std::span<const Key> sorted, int fanout = 3);
-
-  std::span<const Key> hold(std::vector<Key> keys) {
-    std::lock_guard<std::mutex> lk(held_mutex_);
-    held_.push_back(std::move(keys));
-    return held_.back();
-  }
-
- private:
-  ConcurrentArena arena_;
-  std::mutex held_mutex_;
-  std::vector<std::vector<Key>> held_;
-};
-
-// One pipelined wave of a well-separated sorted key array.
-Fiber wave_fiber(Store& st, Cell* root, std::span<const Key> keys,
-                 Cell* out);
+using Store = pipelined::ttree::Store<pipelined::RtPolicy>;
 
 // Full pipelined bulk insert (level-array waves chained through cells).
 // Returns the final root cell.
 Cell* bulk_insert(Store& st, Cell* root, std::span<const Key> sorted);
 
-// ---- joins / validation -------------------------------------------------------
+// ---- joins / validation -----------------------------------------------------
 
 // Waits for every reachable cell; returns all keys in order.
 std::vector<Key> wait_keys(Cell* root_cell);

@@ -1,64 +1,26 @@
 #include "treap/setops.hpp"
 
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+
 namespace pwf::treap {
+
+namespace pl = pipelined;
+
+// The bodies live in src/pipelined/treap.hpp; on the cost-model substrate
+// run_inline drives each coroutine to completion synchronously with the
+// exact engine-action sequence of the old plain-function code (sealed by
+// tests/recorded_counts_test.cpp).
 
 void splitm_from(Store& st, Key s, Node* t, TreapCell* outL, TreapCell* outR,
                  cm::Cell<Node*>* outEq) {
-  cm::Engine& eng = st.engine();
-  for (;;) {
-    if (t == nullptr) {
-      eng.write(outL, static_cast<Node*>(nullptr));
-      eng.write(outR, static_cast<Node*>(nullptr));
-      if (outEq) eng.write(outEq, static_cast<Node*>(nullptr));
-      return;
-    }
-    eng.step();  // key comparison
-    if (s < t->key) {
-      Node* keep = st.make(t->key, t->pri, st.cell(), t->right);
-      keep->val = t->val;
-      publish(eng, outR, keep);
-      outR = keep->left;
-      t = eng.touch(t->left);
-    } else if (s > t->key) {
-      Node* keep = st.make(t->key, t->pri, t->left, st.cell());
-      keep->val = t->val;
-      publish(eng, outL, keep);
-      outL = keep->right;
-      t = eng.touch(t->right);
-    } else {
-      // Splitter found: its subtrees are the two sides; the node itself is
-      // excluded (and reported through outEq for difference).
-      eng.write(outL, eng.touch(t->left));
-      eng.write(outR, eng.touch(t->right));
-      if (outEq) eng.write(outEq, t);
-      return;
-    }
-  }
+  pl::run_inline(pl::treap::splitm_from(pl::CmExec(st.engine()), st, s, t,
+                                        outL, outR, outEq));
 }
 
 void union_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out) {
-  cm::Engine& eng = st.engine();
-  Node* ta = eng.touch(a);
-  Node* tb = eng.touch(b);
-  if (ta == nullptr) {
-    publish(eng, out, tb);
-    return;
-  }
-  if (tb == nullptr) {
-    publish(eng, out, ta);
-    return;
-  }
-  eng.step();  // priority comparison
-  if (ta->pri < tb->pri) std::swap(ta, tb);  // higher priority becomes root
-  Node* res = st.make(ta->key, ta->pri);
-  res->val = ta->val;
-  TreapCell* l2 = st.cell();
-  TreapCell* r2 = st.cell();
-  const Key v = ta->key;
-  eng.fork([&] { splitm_from(st, v, tb, l2, r2, nullptr); });
-  eng.fork([&] { union_into(st, ta->left, l2, res->left); });
-  eng.fork([&] { union_into(st, ta->right, r2, res->right); });
-  publish(eng, out, res);
+  pl::run_inline(
+      pl::treap::union_into(pl::CmExec(st.engine()), st, a, b, out));
 }
 
 TreapCell* union_treaps(Store& st, TreapCell* a, TreapCell* b) {
@@ -68,69 +30,12 @@ TreapCell* union_treaps(Store& st, TreapCell* a, TreapCell* b) {
 }
 
 void join_from(Store& st, Node* t1, Node* t2, TreapCell* out) {
-  cm::Engine& eng = st.engine();
-  for (;;) {
-    if (t1 == nullptr) {
-      publish(eng, out, t2);
-      return;
-    }
-    if (t2 == nullptr) {
-      publish(eng, out, t1);
-      return;
-    }
-    eng.step();  // priority comparison
-    if (t1->pri >= t2->pri) {
-      Node* res = st.make(t1->key, t1->pri, t1->left, st.cell());
-      res->val = t1->val;
-      publish(eng, out, res);
-      out = res->right;
-      t1 = eng.touch(t1->right);
-    } else {
-      Node* res = st.make(t2->key, t2->pri, st.cell(), t2->right);
-      res->val = t2->val;
-      publish(eng, out, res);
-      out = res->left;
-      t2 = eng.touch(t2->left);
-    }
-  }
+  pl::run_inline(
+      pl::treap::join_from(pl::CmExec(st.engine()), st, t1, t2, out));
 }
 
 void diff_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out) {
-  cm::Engine& eng = st.engine();
-  Node* t1 = eng.touch(a);
-  Node* t2 = eng.touch(b);
-  if (t1 == nullptr) {
-    eng.write(out, static_cast<Node*>(nullptr));
-    return;
-  }
-  if (t2 == nullptr) {
-    publish(eng, out, t1);
-    return;
-  }
-  eng.step();
-  TreapCell* l2 = st.cell();
-  TreapCell* r2 = st.cell();
-  auto* eq = eng.new_cell<Node*>();
-  const Key v = t1->key;
-  eng.fork([&] { splitm_from(st, v, t2, l2, r2, eq); });
-  TreapCell* dl = st.cell();
-  TreapCell* dr = st.cell();
-  eng.fork([&] { diff_into(st, t1->left, l2, dl); });
-  eng.fork([&] { diff_into(st, t1->right, r2, dr); });
-  // Whether the root survives depends on whether splitm found it in b — the
-  // "work after the recursive calls" that makes diff's pipeline notable.
-  Node* found = eng.touch(eq);
-  if (found != nullptr) {
-    eng.fork([&] {
-      Node* jl = eng.touch(dl);
-      Node* jr = eng.touch(dr);
-      join_from(st, jl, jr, out);
-    });
-  } else {
-    Node* res = st.make(t1->key, t1->pri, dl, dr);
-    res->val = t1->val;
-    publish(eng, out, res);
-  }
+  pl::run_inline(pl::treap::diff_into(pl::CmExec(st.engine()), st, a, b, out));
 }
 
 TreapCell* diff_treaps(Store& st, TreapCell* a, TreapCell* b) {
@@ -140,37 +45,8 @@ TreapCell* diff_treaps(Store& st, TreapCell* a, TreapCell* b) {
 }
 
 void intersect_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out) {
-  cm::Engine& eng = st.engine();
-  Node* ta = eng.touch(a);
-  Node* tb = eng.touch(b);
-  if (ta == nullptr || tb == nullptr) {
-    eng.write(out, static_cast<Node*>(nullptr));
-    return;
-  }
-  eng.step();  // priority comparison
-  if (ta->pri < tb->pri) std::swap(ta, tb);  // recurse on the higher root
-  TreapCell* l2 = st.cell();
-  TreapCell* r2 = st.cell();
-  auto* eq = eng.new_cell<Node*>();
-  const Key v = ta->key;
-  eng.fork([&] { splitm_from(st, v, tb, l2, r2, eq); });
-  TreapCell* il = st.cell();
-  TreapCell* ir = st.cell();
-  eng.fork([&] { intersect_into(st, ta->left, l2, il); });
-  eng.fork([&] { intersect_into(st, ta->right, r2, ir); });
-  // Dual of diff: the root survives exactly when splitm found it in b.
-  Node* found = eng.touch(eq);
-  if (found != nullptr) {
-    Node* res = st.make(ta->key, ta->pri, il, ir);
-    res->val = ta->val;
-    publish(eng, out, res);
-  } else {
-    eng.fork([&] {
-      Node* jl = eng.touch(il);
-      Node* jr = eng.touch(ir);
-      join_from(st, jl, jr, out);
-    });
-  }
+  pl::run_inline(
+      pl::treap::intersect_into(pl::CmExec(st.engine()), st, a, b, out));
 }
 
 TreapCell* intersect_treaps(Store& st, TreapCell* a, TreapCell* b) {
@@ -182,75 +58,29 @@ TreapCell* intersect_treaps(Store& st, TreapCell* a, TreapCell* b) {
 // ---- strict baselines --------------------------------------------------------
 
 StrictSplit splitm_strict(Store& st, Key s, Node* t) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (t == nullptr) return {};
-  if (s < t->key) {
-    StrictSplit sub = splitm_strict(st, s, peek(t->left));
-    sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
-    sub.greater->val = t->val;
-    return sub;
-  }
-  if (s > t->key) {
-    StrictSplit sub = splitm_strict(st, s, peek(t->right));
-    sub.less = st.make(t->key, t->pri, t->left, st.input(sub.less));
-    sub.less->val = t->val;
-    return sub;
-  }
-  return {peek(t->left), peek(t->right), t};
+  auto s2 = pl::run_inline(
+      pl::treap::splitm_strict(pl::CmStrictExec(st.engine()), st, s, t));
+  return {s2.less, s2.greater, s2.equal};
 }
 
 Node* join_strict(Store& st, Node* t1, Node* t2) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (t1 == nullptr) return t2;
-  if (t2 == nullptr) return t1;
-  if (t1->pri >= t2->pri)
-    return st.make(t1->key, t1->pri, t1->left,
-                   st.input(join_strict(st, peek(t1->right), t2)));
-  return st.make(t2->key, t2->pri,
-                 st.input(join_strict(st, t1, peek(t2->left))), t2->right);
+  return pl::run_inline(
+      pl::treap::join_strict(pl::CmStrictExec(st.engine()), st, t1, t2));
 }
 
 Node* union_strict(Store& st, Node* a, Node* b) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (a == nullptr) return b;
-  if (b == nullptr) return a;
-  if (a->pri < b->pri) std::swap(a, b);
-  StrictSplit s = splitm_strict(st, a->key, b);
-  auto [l, r] = eng.fork_join2(
-      [&, ls = s.less] { return union_strict(st, peek(a->left), ls); },
-      [&, rs = s.greater] { return union_strict(st, peek(a->right), rs); });
-  return st.make_ready(a->key, a->pri, l, r);
+  return pl::run_inline(
+      pl::treap::union_strict(pl::CmStrictExec(st.engine()), st, a, b));
 }
 
 Node* intersect_strict(Store& st, Node* a, Node* b) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (a == nullptr || b == nullptr) return nullptr;
-  if (a->pri < b->pri) std::swap(a, b);
-  StrictSplit s = splitm_strict(st, a->key, b);
-  auto [l, r] = eng.fork_join2(
-      [&, ls = s.less] { return intersect_strict(st, peek(a->left), ls); },
-      [&, rs = s.greater] {
-        return intersect_strict(st, peek(a->right), rs);
-      });
-  if (s.equal != nullptr) return st.make_ready(a->key, a->pri, l, r);
-  return join_strict(st, l, r);
+  return pl::run_inline(
+      pl::treap::intersect_strict(pl::CmStrictExec(st.engine()), st, a, b));
 }
 
 Node* diff_strict(Store& st, Node* a, Node* b) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (a == nullptr) return nullptr;
-  if (b == nullptr) return a;
-  StrictSplit s = splitm_strict(st, a->key, b);
-  auto [l, r] = eng.fork_join2(
-      [&, ls = s.less] { return diff_strict(st, peek(a->left), ls); },
-      [&, rs = s.greater] { return diff_strict(st, peek(a->right), rs); });
-  if (s.equal != nullptr) return join_strict(st, l, r);
-  return st.make_ready(a->key, a->pri, l, r);
+  return pl::run_inline(
+      pl::treap::diff_strict(pl::CmStrictExec(st.engine()), st, a, b));
 }
 
 TreapCell* insert_keys(Store& st, TreapCell* t, std::span<const Key> keys) {

@@ -1,73 +1,21 @@
 #include "treap/treap.hpp"
 
-#include <algorithm>
-#include <limits>
-
 namespace pwf::treap {
 
-Node* Store::build(std::span<const Key> keys) {
-  std::vector<Key> sorted(keys.begin(), keys.end());
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-
-  // Right-spine construction: maintain the spine of the treap built so far;
-  // each new (larger) key pops smaller-priority spine nodes and adopts the
-  // popped chain as its left subtree. O(n) after sorting.
-  std::vector<Node*> spine;
-  spine.reserve(64);
-  for (Key k : sorted) {
-    Node* n = make_ready(k, priority(k), nullptr, nullptr);
-    Node* last_popped = nullptr;
-    while (!spine.empty() && spine.back()->pri < n->pri) {
-      last_popped = spine.back();
-      spine.pop_back();
-    }
-    if (last_popped != nullptr) cm::Engine::preset(*n->left, last_popped);
-    if (!spine.empty()) cm::Engine::preset(*spine.back()->right, n);
-    spine.push_back(n);
-  }
-  return spine.empty() ? nullptr : spine.front();
-}
+namespace pt = pipelined::treap;
 
 void collect_inorder(const Node* root, std::vector<Key>& out) {
-  if (root == nullptr) return;
-  collect_inorder(peek(root->left), out);
-  out.push_back(root->key);
-  collect_inorder(peek(root->right), out);
+  pt::collect_inorder(root, out);
 }
 
-int height(const Node* root) {
-  if (root == nullptr) return 0;
-  return 1 + std::max(height(peek(root->left)), height(peek(root->right)));
-}
+int height(const Node* root) { return pt::height(root); }
 
-std::uint64_t count_nodes(const Node* root) {
-  if (root == nullptr) return 0;
-  return 1 + count_nodes(peek(root->left)) + count_nodes(peek(root->right));
-}
+std::uint64_t count_nodes(const Node* root) { return pt::count_nodes(root); }
 
-cm::Time max_created(const Node* root) {
-  if (root == nullptr) return 0;
-  return std::max({root->created, max_created(peek(root->left)),
-                   max_created(peek(root->right))});
-}
-
-namespace {
-bool valid_in_range(const Store& st, const Node* n, const Key* lo,
-                    const Key* hi, Pri max_pri) {
-  if (n == nullptr) return true;
-  if (lo && n->key <= *lo) return false;
-  if (hi && n->key >= *hi) return false;
-  if (n->pri > max_pri) return false;
-  if (n->pri != st.priority(n->key)) return false;
-  return valid_in_range(st, peek(n->left), lo, &n->key, n->pri) &&
-         valid_in_range(st, peek(n->right), &n->key, hi, n->pri);
-}
-}  // namespace
+cm::Time max_created(const Node* root) { return pt::max_created(root); }
 
 bool validate(const Store& st, const Node* root) {
-  return valid_in_range(st, root, nullptr, nullptr,
-                        std::numeric_limits<Pri>::max());
+  return pt::validate(st, root);
 }
 
 }  // namespace pwf::treap

@@ -1,101 +1,41 @@
 // Treaps (randomized balanced search trees, Seidel & Aragon) with future-cell
 // children — the data structure of the paper's Sections 3.2 and 3.3.
 //
-// Priorities are derived from keys by hashing (splitmix64 with a store-wide
-// salt), so a key has the same priority in every treap of a store; this is
-// the standard trick that makes union/difference of treaps sharing keys
-// well-defined, and it preserves the paper's randomness assumption because
-// the hash is a PRF of the key.
-//
-// Like trees::Node, child links are read pointers to write-once cells and
-// results are produced through write pointers threaded down the recursion.
+// The representation and the algorithm bodies live in
+// src/pipelined/treap.hpp (single-source, substrate-templated); this header
+// instantiates them on the cost-model substrate and keeps the original
+// plain-function API.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "costmodel/engine.hpp"
-#include "support/arena.hpp"
-#include "support/check.hpp"
-#include "support/random.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/treap.hpp"
 
 namespace pwf::treap {
 
-using Key = std::int64_t;
-using Pri = std::uint64_t;
+using Key = pipelined::treap::Key;
+using Pri = pipelined::treap::Pri;
 
-struct Node;
+// Cost-model instantiation: timestamped nodes over cm::Cell futures.
+using Node = pipelined::treap::Node<pipelined::CmPolicy>;
 using TreapCell = cm::Cell<Node*>;
 
-struct Node {
-  Key key = 0;
-  Pri pri = 0;
-  std::int64_t val = 0;  // payload (used by the map operations only)
-  cm::Time created = 0;  // t(v)
-  TreapCell* left = nullptr;
-  TreapCell* right = nullptr;
-};
-
-class Store {
- public:
-  explicit Store(cm::Engine& eng, std::uint64_t salt = 0x9e3779b97f4a7c15ULL)
-      : eng_(eng), salt_(salt) {}
-
-  cm::Engine& engine() { return eng_; }
-
-  Pri priority(Key k) const {
-    std::uint64_t x = static_cast<std::uint64_t>(k) ^ salt_;
-    return splitmix64(x);
-  }
-
-  TreapCell* cell() { return arena_.create<TreapCell>(); }
-
-  TreapCell* input(Node* root) {
-    TreapCell* c = cell();
-    cm::Engine::preset(*c, root);
-    return c;
-  }
-
-  Node* make(Key key, Pri pri, TreapCell* l, TreapCell* r) {
-    Node* n = arena_.create<Node>();
-    n->key = key;
-    n->pri = pri;
-    n->left = l;
-    n->right = r;
-    return n;
-  }
-
-  Node* make(Key key, Pri pri) { return make(key, pri, cell(), cell()); }
-
-  Node* make_ready(Key key, Pri pri, Node* l, Node* r) {
-    return make(key, pri, input(l), input(r));
-  }
-
-  // Builds a treap over the given keys (input data; costs nothing in the
-  // model). Keys are sorted and deduplicated; construction is the O(n)
-  // right-spine (Cartesian tree) method.
-  Node* build(std::span<const Key> keys);
-
-  std::size_t bytes_used() const { return arena_.bytes_used(); }
-
- private:
-  cm::Engine& eng_;
-  std::uint64_t salt_;
-  Arena arena_{1 << 18};
-};
+// Construct with the engine and an optional priority-hash salt:
+// Store st(eng) or Store st(eng, salt).
+using Store = pipelined::treap::Store<pipelined::CmPolicy>;
 
 // Publishes a node into its destination cell, stamping t(v).
 inline void publish(cm::Engine& eng, TreapCell* out, Node* n) {
-  eng.write(out, n);
-  if (n) n->created = out->ts;
+  pipelined::treap::publish(pipelined::CmExec(eng), out, n);
 }
 
 // ---- analysis helpers (no engine actions) ----------------------------------
 
 inline Node* peek(const TreapCell* c) {
-  PWF_CHECK_MSG(c->written, "peek of unwritten cell — computation incomplete");
-  return c->value;
+  return pipelined::treap::peek<pipelined::CmPolicy>(c);
 }
 
 void collect_inorder(const Node* root, std::vector<Key>& out);

@@ -1,59 +1,28 @@
 #include "trees/merge.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
 
 namespace pwf::trees {
 
+namespace pl = pipelined;
+
+// The bodies live in src/pipelined/trees.hpp; on the cost-model substrate
+// every awaiter is immediately ready, so run_inline drives each coroutine to
+// completion synchronously with the exact engine-action sequence of the old
+// plain-function code (sealed by tests/recorded_counts_test.cpp).
+
 void split_from(Store& st, Key s, Node* t, TreeCell* outL, TreeCell* outR) {
-  cm::Engine& eng = st.engine();
-  // Iterative destination-passing: each level publishes one node into
-  // whichever side keeps the root, then descends into the other side. The
-  // side roots therefore appear at a data-dependent delay — the dynamic
-  // pipeline of the paper.
-  for (;;) {
-    if (t == nullptr) {
-      eng.write(outL, static_cast<Node*>(nullptr));
-      eng.write(outR, static_cast<Node*>(nullptr));
-      return;
-    }
-    eng.step();  // the key comparison
-    if (s <= t->key) {  // keys >= s (including s itself) go to the right side
-      // Root and its right subtree belong to the >= side; keep descending
-      // into the left subtree for the < side.
-      Node* keep = st.make(t->key, st.cell(), t->right);
-      publish(eng, outR, keep);
-      outR = keep->left;
-      t = eng.touch(t->left);
-    } else {
-      Node* keep = st.make(t->key, t->left, st.cell());
-      publish(eng, outL, keep);
-      outL = keep->right;
-      t = eng.touch(t->right);
-    }
-  }
+  pl::run_inline(
+      pl::trees::split_from(pl::CmExec(st.engine()), st, s, t, outL, outR));
 }
 
 void merge_into(Store& st, TreeCell* a, TreeCell* b, TreeCell* out) {
-  cm::Engine& eng = st.engine();
-  Node* ta = eng.touch(a);
-  Node* tb = eng.touch(b);
-  if (ta == nullptr) {  // merge(Leaf, B) = B
-    publish(eng, out, tb);
-    return;
-  }
-  if (tb == nullptr) {  // merge(A, Leaf) = A
-    publish(eng, out, ta);
-    return;
-  }
-  // Node(v, ?merge(L1, L2), ?merge(R1, R2)) with (L2, R2) = ?split(v, B).
-  Node* res = st.make(ta->key);
-  TreeCell* l2 = st.cell();
-  TreeCell* r2 = st.cell();
-  const Key v = ta->key;  // linear code copies the splitter (Figure 12)
-  eng.fork([&] { split_from(st, v, tb, l2, r2); });
-  eng.fork([&] { merge_into(st, ta->left, l2, res->left); });
-  eng.fork([&] { merge_into(st, ta->right, r2, res->right); });
-  publish(eng, out, res);
+  pl::run_inline(
+      pl::trees::merge_into(pl::CmExec(st.engine()), st, a, b, out));
 }
 
 TreeCell* merge(Store& st, TreeCell* a, TreeCell* b) {
@@ -63,29 +32,13 @@ TreeCell* merge(Store& st, TreeCell* a, TreeCell* b) {
 }
 
 std::pair<Node*, Node*> split_strict(Store& st, Key s, Node* t) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (t == nullptr) return {nullptr, nullptr};
-  if (s <= t->key) {
-    auto [l1, r1] = split_strict(st, s, peek(t->left));
-    return {l1, st.make(t->key, st.input(r1), t->right)};
-  }
-  auto [l1, r1] = split_strict(st, s, peek(t->right));
-  return {st.make(t->key, t->left, st.input(l1)), r1};
+  return pl::run_inline(
+      pl::trees::split_strict(pl::CmStrictExec(st.engine()), st, s, t));
 }
 
 Node* merge_strict(Store& st, Node* a, Node* b) {
-  cm::Engine& eng = st.engine();
-  eng.step();
-  if (a == nullptr) return b;
-  if (b == nullptr) return a;
-  // The whole split completes before either recursive merge starts; the two
-  // merges then run in parallel (fork-join).
-  auto [l2, r2] = split_strict(st, a->key, b);
-  auto [l, r] = eng.fork_join2(
-      [&, l2 = l2] { return merge_strict(st, peek(a->left), l2); },
-      [&, r2 = r2] { return merge_strict(st, peek(a->right), r2); });
-  return st.make_ready(a->key, l, r);
+  return pl::run_inline(
+      pl::trees::merge_strict(pl::CmStrictExec(st.engine()), st, a, b));
 }
 
 std::vector<Key> merge_reference(const std::vector<Key>& a,

@@ -1,87 +1,36 @@
 #include "trees/rebalance.hpp"
 
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+
 namespace pwf::trees {
 
-namespace {
-std::uint64_t size_of(const Node* n) { return n ? n->size : 0; }
-}  // namespace
+namespace pl = pipelined;
 
 Node* measure(Store& st, TreeCell* t) {
-  cm::Engine& eng = st.engine();
-  Node* n = eng.touch(t);
-  if (n == nullptr) return nullptr;
-  auto [l, r] = eng.fork_join2([&] { return measure(st, n->left); },
-                               [&] { return measure(st, n->right); });
-  Node* copy = st.make_ready(n->key, l, r);
-  copy->lsize = size_of(l);
-  copy->size = 1 + size_of(l) + size_of(r);
-  return copy;
+  return pl::run_inline(pl::trees::measure(pl::CmExec(st.engine()), st, t));
 }
 
 void splitr_from(Store& st, std::uint64_t r, Node* t, TreeCell* outL,
                  cm::Cell<Node*>* outMid, TreeCell* outR) {
-  cm::Engine& eng = st.engine();
-  for (;;) {
-    PWF_CHECK_MSG(t != nullptr, "rank out of range in splitr");
-    eng.step();  // rank comparison
-    if (r < t->lsize) {
-      // Median is in the left subtree: the root and everything right of it
-      // belong to the > side.
-      Node* keep = st.make(t->key, st.cell(), t->right);
-      keep->lsize = t->lsize - r - 1;
-      keep->size = t->size - r - 1;
-      publish(eng, outR, keep);
-      outR = keep->left;
-      t = eng.touch(t->left);
-    } else if (r == t->lsize) {
-      // t itself is the node of rank r; its subtrees are the two sides.
-      eng.write(outMid, t);
-      eng.write(outL, eng.touch(t->left));
-      eng.write(outR, eng.touch(t->right));
-      return;
-    } else {
-      Node* keep = st.make(t->key, t->left, st.cell());
-      keep->lsize = t->lsize;
-      keep->size = t->lsize + 1 + (r - t->lsize - 1);
-      publish(eng, outL, keep);
-      outL = keep->right;
-      r -= t->lsize + 1;
-      t = eng.touch(t->right);
-    }
-  }
+  pl::run_inline(pl::trees::splitr_from(pl::CmExec(st.engine()), st, r, t,
+                                        outL, outMid, outR));
 }
 
 void rebalance_into(Store& st, TreeCell* tree, std::uint64_t size,
                     TreeCell* out) {
-  cm::Engine& eng = st.engine();
-  if (size == 0) {
-    Node* t = eng.touch(tree);  // consume the (empty) side
-    PWF_CHECK(t == nullptr);
-    eng.write(out, static_cast<Node*>(nullptr));
-    return;
-  }
-  const std::uint64_t lcount = size / 2;  // median rank
-  TreeCell* lpart = st.cell();
-  TreeCell* rpart = st.cell();
-  auto* midc = eng.new_cell<Node*>();
-  eng.fork([&] {
-    Node* t = eng.touch(tree);
-    splitr_from(st, lcount, t, lpart, midc, rpart);
-  });
-  Node* mid = eng.touch(midc);
-  Node* res = st.make(mid->key);
-  eng.fork([&] { rebalance_into(st, lpart, lcount, res->left); });
-  eng.fork([&] { rebalance_into(st, rpart, size - 1 - lcount, res->right); });
-  publish(eng, out, res);
+  pl::run_inline(
+      pl::trees::rebalance_into(pl::CmExec(st.engine()), st, tree, size, out));
 }
 
 TreeCell* rebalance(Store& st, TreeCell* tree) {
-  cm::Engine& eng = st.engine();
+  // measure runs inline in the calling thread (the recorded DAG depends on
+  // it); only the rebalance recursion is forked.
   Node* annotated = measure(st, tree);
   TreeCell* acell = st.input(annotated);
   TreeCell* out = st.cell();
-  const std::uint64_t n = size_of(annotated);
-  eng.fork([&] { rebalance_into(st, acell, n, out); });
+  const std::uint64_t n = pl::trees::size_of(annotated);
+  st.engine().fork([&] { rebalance_into(st, acell, n, out); });
   return out;
 }
 

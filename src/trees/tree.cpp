@@ -2,49 +2,18 @@
 
 namespace pwf::trees {
 
-Node* Store::build_balanced(std::span<const Key> sorted) {
-  if (sorted.empty()) return nullptr;
-  const std::size_t mid = sorted.size() / 2;
-  Node* l = build_balanced(sorted.subspan(0, mid));
-  Node* r = build_balanced(sorted.subspan(mid + 1));
-  return make_ready(sorted[mid], l, r);
-}
+namespace pt = pipelined::trees;
 
 void collect_inorder(const Node* root, std::vector<Key>& out) {
-  if (root == nullptr) return;
-  collect_inorder(peek(root->left), out);
-  out.push_back(root->key);
-  collect_inorder(peek(root->right), out);
+  pt::collect_inorder(root, out);
 }
 
-int height(const Node* root) {
-  if (root == nullptr) return 0;
-  return 1 + std::max(height(peek(root->left)), height(peek(root->right)));
-}
+int height(const Node* root) { return pt::height(root); }
 
-std::uint64_t count_nodes(const Node* root) {
-  if (root == nullptr) return 0;
-  return 1 + count_nodes(peek(root->left)) + count_nodes(peek(root->right));
-}
+std::uint64_t count_nodes(const Node* root) { return pt::count_nodes(root); }
 
-cm::Time max_created(const Node* root) {
-  if (root == nullptr) return 0;
-  return std::max({root->created, max_created(peek(root->left)),
-                   max_created(peek(root->right))});
-}
+cm::Time max_created(const Node* root) { return pt::max_created(root); }
 
-namespace {
-bool bst_in_range(const Node* n, const Key* lo, const Key* hi) {
-  if (n == nullptr) return true;
-  if (lo && n->key <= *lo) return false;
-  if (hi && n->key >= *hi) return false;
-  return bst_in_range(peek(n->left), lo, &n->key) &&
-         bst_in_range(peek(n->right), &n->key, hi);
-}
-}  // namespace
-
-bool is_sorted_bst(const Node* root) {
-  return bst_in_range(root, nullptr, nullptr);
-}
+bool is_sorted_bst(const Node* root) { return pt::is_sorted_bst(root); }
 
 }  // namespace pwf::trees

@@ -1,100 +1,38 @@
 // Binary search trees with future-cell children — the data structure of the
 // paper's Section 3.1 merge.
 //
-// Pipelining lives *inside the data*: a node's child links are read pointers
-// to write-once future cells, so a node can be published while its subtrees
-// are still being computed, and building a node around an unfinished subtree
-// stores the pointer without waiting (the paper's nonstrict data
-// construction). Output cells are threaded down the recursion as write
-// pointers — exactly the mechanism of the paper's Section 2 ("the thread t2
-// is passed write pointers to each future cell").
-//
-// Input trees are built with all cells pre-written at time 0; algorithm
-// output trees get their cells written as the computation unfolds, and each
-// node records the DAG timestamp at which it was published (t(v) in the
-// paper's analyses).
+// The representation and the algorithm bodies live in src/pipelined/trees.hpp
+// (single-source, substrate-templated); this header instantiates them on the
+// cost-model substrate and keeps the original plain-function API that the
+// tests, benches and docs are written against.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "costmodel/engine.hpp"
-#include "support/arena.hpp"
-#include "support/check.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/trees.hpp"
 
 namespace pwf::trees {
 
-using Key = std::int64_t;
+using Key = pipelined::trees::Key;
 
-struct Node;
+// Cost-model instantiation: timestamped nodes over cm::Cell futures.
+using Node = pipelined::trees::Node<pipelined::CmPolicy>;
 
 // A tree argument/result is a read pointer to a future cell holding the root
 // (nullptr = empty tree).
 using TreeCell = cm::Cell<Node*>;
 
-struct Node {
-  Key key = 0;
-  std::uint64_t size = 0;   // subtree size   (rebalance pre-pass only)
-  std::uint64_t lsize = 0;  // left-subtree size (rank navigation)
-  cm::Time created = 0;     // t(v): DAG time this node was published
-  TreeCell* left = nullptr;
-  TreeCell* right = nullptr;
-};
-
-// Owns the nodes and cells of one or more trees. Trees freely share
-// subtrees; the whole store is released at once (see support/arena.hpp).
-class Store {
- public:
-  explicit Store(cm::Engine& eng) : eng_(eng) {}
-
-  cm::Engine& engine() { return eng_; }
-
-  // Fresh unwritten future cell for a tree.
-  TreeCell* cell() { return arena_.create<TreeCell>(); }
-
-  // Cell pre-written with `root`, available at time 0 (input data).
-  TreeCell* input(Node* root) {
-    TreeCell* c = cell();
-    cm::Engine::preset(*c, root);
-    return c;
-  }
-
-  // A node whose children are the given cells (either kept subtrees of an
-  // input, or fresh futures a forked thread will fill in).
-  Node* make(Key key, TreeCell* l, TreeCell* r) {
-    Node* n = arena_.create<Node>();
-    n->key = key;
-    n->left = l;
-    n->right = r;
-    return n;
-  }
-
-  // A node with both children being fresh future cells.
-  Node* make(Key key) { return make(key, cell(), cell()); }
-
-  // A node with both children immediately available (inputs and the strict
-  // baselines).
-  Node* make_ready(Key key, Node* l, Node* r) {
-    return make(key, input(l), input(r));
-  }
-
-  // Perfectly balanced BST over sorted, duplicate-free keys (input data;
-  // costs nothing in the model).
-  Node* build_balanced(std::span<const Key> sorted);
-
-  std::size_t bytes_used() const { return arena_.bytes_used(); }
-
- private:
-  cm::Engine& eng_;
-  Arena arena_{1 << 18};
-};
+// Owns the nodes and cells of one or more trees; construct with the engine
+// (Store st(eng)). Trees freely share subtrees; the whole store is released
+// at once.
+using Store = pipelined::trees::Store<pipelined::CmPolicy>;
 
 // Publishes a node into its destination cell, stamping t(v).
 inline void publish(cm::Engine& eng, TreeCell* out, Node* n) {
-  eng.write(out, n);
-  if (n) n->created = out->ts;
+  pipelined::trees::publish(pipelined::CmExec(eng), out, n);
 }
 
 // ---- analysis helpers (meta-level: walk the finished structure directly,
@@ -102,8 +40,7 @@ inline void publish(cm::Engine& eng, TreeCell* out, Node* n) {
 
 // Reads a finished cell's value without touching (analysis only).
 inline Node* peek(const TreeCell* c) {
-  PWF_CHECK_MSG(c->written, "peek of unwritten cell — computation incomplete");
-  return c->value;
+  return pipelined::trees::peek<pipelined::CmPolicy>(c);
 }
 
 // In-order keys.

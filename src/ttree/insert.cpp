@@ -1,334 +1,40 @@
 #include "ttree/insert.hpp"
 
-#include <algorithm>
-#include <functional>
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
 
 namespace pwf::ttree {
 
-namespace {
+namespace pl = pipelined;
 
-// Publishes a node into its destination cell, stamping t(v).
-void publish(cm::Engine& eng, TCell* out, TNode* n) {
-  eng.write(out, n);
-  n->created = out->ts;
-}
-
-// A node must be split before the recursion enters it if it is not a 2-3
-// node: internal with more than 3 children, or leaf with more than 2 keys.
-bool needs_split(const TNode* n) {
-  return n->leaf ? n->nkeys > 2 : n->nchildren() > 3;
-}
-
-struct NodeSplit {
-  TNode* left;
-  Key sep;
-  TNode* right;
-};
-
-// Splits a 4-6-child internal node (or 3-5-key leaf) around its middle
-// splitter. Only the node's own keys and child-cell pointers are needed —
-// grandchildren may still be unwritten futures, so a wave can split a child
-// the previous wave published moments ago.
-NodeSplit split_node(Store& st, const TNode* n) {
-  NodeSplit sp;
-  if (n->leaf) {
-    const int lk = n->nkeys / 2;
-    sp = {st.make_leaf({n->keys, static_cast<std::size_t>(lk)}),
-          n->keys[lk],
-          st.make_leaf({n->keys + lk + 1,
-                        static_cast<std::size_t>(n->nkeys - lk - 1)})};
-  } else {
-    const int nc = n->nchildren();
-    const int lc = nc / 2;  // left child count
-    TNode* l = st.make_internal({n->keys, static_cast<std::size_t>(lc - 1)},
-                                {n->child, static_cast<std::size_t>(lc)});
-    TNode* r = st.make_internal(
-        {n->keys + lc, static_cast<std::size_t>(n->nkeys - lc)},
-        {n->child + lc, static_cast<std::size_t>(nc - lc)});
-    sp = {l, n->keys[lc - 1], r};
-  }
-  sp.left->created = st.engine().now();
-  sp.right->created = sp.left->created;
-  return sp;
-}
-
-// array_split: partitions the sorted `keys` around splitter `s` into (<s)
-// and (>s); a key equal to s is dropped (already a member). The engine is
-// charged the paper's O(1)-depth, O(|keys|)-work cost by the caller.
-std::pair<std::span<const Key>, std::span<const Key>> array_split(
-    std::span<const Key> keys, Key s) {
-  const auto lo = std::lower_bound(keys.begin(), keys.end(), s);
-  const std::size_t i = static_cast<std::size_t>(lo - keys.begin());
-  std::size_t j = i;
-  if (j < keys.size() && keys[j] == s) ++j;  // drop the duplicate
-  return {keys.subspan(0, i), keys.subspan(j)};
-}
-
-// Output assembly buffer for one rebuilt node (at most 5 keys, 6 children).
-struct Assembly {
-  Key keys[kMaxKeys];
-  TCell* child[kMaxChildren];
-  int nk = 0;
-  int nc = 0;
-
-  void add_child(TCell* c) {
-    PWF_CHECK(nc < kMaxChildren);
-    child[nc++] = c;
-  }
-  void add_key(Key k) {
-    PWF_CHECK(nk < kMaxKeys);
-    keys[nk++] = k;
-  }
-};
-
-void insert_rec(Store& st, TNode* t, std::span<const Key> keys, TCell* out);
-
-// Handles one child slot that received a nonempty key range: touch the
-// child, pre-emptively split it if it is not a 2-3 node (pulling the middle
-// splitter up into `as`), and fork the recursive insertions.
-void descend_child(Store& st, TCell* child_cell, std::span<const Key> keys,
-                   Assembly& as) {
-  cm::Engine& eng = st.engine();
-  TNode* c = eng.touch(child_cell);
-  eng.step();  // the needs-split check
-  if (!needs_split(c)) {
-    TCell* nc = st.cell();
-    eng.fork([&] { insert_rec(st, c, keys, nc); });
-    as.add_child(nc);
-    return;
-  }
-  NodeSplit sp = split_node(st, c);
-  eng.array_op(keys.size());
-  auto [a1, a2] = array_split(keys, sp.sep);
-  if (a1.empty()) {
-    as.add_child(st.input(sp.left));
-  } else {
-    TCell* ncell = st.cell();
-    eng.fork([&] { insert_rec(st, sp.left, a1, ncell); });
-    as.add_child(ncell);
-  }
-  as.add_key(sp.sep);
-  if (a2.empty()) {
-    as.add_child(st.input(sp.right));
-  } else {
-    TCell* ncell = st.cell();
-    eng.fork([&] { insert_rec(st, sp.right, a2, ncell); });
-    as.add_child(ncell);
-  }
-}
-
-void insert_rec(Store& st, TNode* t, std::span<const Key> keys, TCell* out) {
-  cm::Engine& eng = st.engine();
-  PWF_CHECK(!keys.empty());
-  if (t->leaf) {
-    // Merge into the leaf; well-separation guarantees the result fits.
-    eng.array_op(keys.size() + t->nkeys);
-    Key merged[kMaxKeys];
-    std::span<const Key> old{t->keys, static_cast<std::size_t>(t->nkeys)};
-    std::size_t n = 0, i = 0, j = 0;
-    while (i < old.size() || j < keys.size()) {
-      Key k;
-      if (j == keys.size() || (i < old.size() && old[i] <= keys[j])) {
-        k = old[i++];
-        if (i - 1 < old.size() && j < keys.size() && k == keys[j]) ++j;
-      } else {
-        k = keys[j++];
-      }
-      PWF_CHECK_MSG(n < kMaxKeys,
-                    "leaf overflow: key array was not well separated");
-      merged[n++] = k;
-    }
-    publish(eng, out, st.make_leaf({merged, n}));
-    return;
-  }
-
-  // Partition the keys by this node's splitters (the paper's array_split
-  // applied once per splitter), then rebuild the node around the descents.
-  Assembly as;
-  std::span<const Key> rest = keys;
-  for (int i = 0; i <= t->nkeys; ++i) {
-    std::span<const Key> part;
-    if (i < t->nkeys) {
-      eng.array_op(rest.size());
-      auto [lo, hi] = array_split(rest, t->keys[i]);
-      part = lo;
-      rest = hi;
-    } else {
-      part = rest;
-    }
-    if (part.empty())
-      as.add_child(t->child[i]);  // untouched subtree, cell reused
-    else
-      descend_child(st, t->child[i], part, as);
-    if (i < t->nkeys) as.add_key(t->keys[i]);
-  }
-  publish(eng, out,
-          st.make_internal({as.keys, static_cast<std::size_t>(as.nk)},
-                           {as.child, static_cast<std::size_t>(as.nc)}));
-}
-
-}  // namespace
+// The bodies live in src/pipelined/ttree.hpp; on the cost-model substrate
+// run_inline drives each coroutine to completion synchronously with the
+// exact engine-action sequence of the old plain-function code (sealed by
+// tests/recorded_counts_test.cpp).
 
 std::vector<std::vector<Key>> level_arrays(std::span<const Key> sorted) {
-  std::vector<std::vector<Key>> levels;
-  // Pre-order recursion keeps each level's keys in sorted order.
-  struct Fill {
-    std::vector<std::vector<Key>>& levels;
-    void operator()(std::span<const Key> keys, std::size_t depth) {
-      if (keys.empty()) return;
-      if (levels.size() <= depth) levels.resize(depth + 1);
-      const std::size_t mid = keys.size() / 2;
-      levels[depth].push_back(keys[mid]);
-      (*this)(keys.subspan(0, mid), depth + 1);
-      (*this)(keys.subspan(mid + 1), depth + 1);
-    }
-  };
-  Fill{levels}(sorted, 0);
-  return levels;
+  return pl::ttree::level_arrays(sorted);
 }
 
 void insert_wave(Store& st, TCell* root, std::span<const Key> keys,
                  TCell* out) {
-  cm::Engine& eng = st.engine();
-  TNode* t = eng.touch(root);
-  PWF_CHECK_MSG(t != nullptr, "bulk insert requires a nonempty tree");
-  eng.step();
-  if (needs_split(t)) {
-    // Split the root and grow the tree by one level; the new root is a
-    // 2-node, restoring the invariant.
-    NodeSplit sp = split_node(st, t);
-    Key sep[1] = {sp.sep};
-    TCell* ch[2] = {st.input(sp.left), st.input(sp.right)};
-    t = st.make_internal(sep, ch);
-  }
-  insert_rec(st, t, keys, out);
+  pl::run_inline(
+      pl::ttree::insert_wave(pl::CmExec(st.engine()), st, root, keys, out));
 }
 
 TCell* bulk_insert(Store& st, TCell* root, std::span<const Key> sorted) {
-  cm::Engine& eng = st.engine();
-  if (sorted.empty()) return root;
-  std::vector<std::vector<Key>> levels = level_arrays(sorted);
-  for (auto& level : levels) {
-    const std::span<const Key> keys = st.hold(std::move(level));
-    TCell* out = st.cell();
-    eng.fork([&] { insert_wave(st, root, keys, out); });
-    root = out;
-  }
-  return root;
+  return pl::ttree::bulk_insert(pl::CmExec(st.engine()), st, root, sorted);
 }
 
-// ---- strict baseline ---------------------------------------------------------
-
-namespace {
-
-TNode* insert_rec_strict(Store& st, TNode* t, std::span<const Key> keys);
-
-TNode* descend_strict(Store& st, TNode* c, std::span<const Key> keys) {
-  return insert_rec_strict(st, c, keys);
-}
-
-TNode* insert_rec_strict(Store& st, TNode* t, std::span<const Key> keys) {
-  cm::Engine& eng = st.engine();
-  PWF_CHECK(!keys.empty());
-  if (t->leaf) {
-    eng.array_op(keys.size() + t->nkeys);
-    std::vector<Key> merged;
-    std::span<const Key> old{t->keys, static_cast<std::size_t>(t->nkeys)};
-    std::merge(old.begin(), old.end(), keys.begin(), keys.end(),
-               std::back_inserter(merged));
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    PWF_CHECK_MSG(merged.size() <= kMaxKeys,
-                  "leaf overflow: key array was not well separated");
-    return st.make_leaf(merged);
-  }
-
-  Assembly as;
-  // Slots to fill in parallel: (child node, keys, output index in Assembly).
-  struct Job {
-    TNode* node;
-    std::span<const Key> keys;
-    int slot;
-  };
-  std::vector<Job> jobs;
-  std::span<const Key> rest = keys;
-  for (int i = 0; i <= t->nkeys; ++i) {
-    std::span<const Key> part;
-    if (i < t->nkeys) {
-      eng.array_op(rest.size());
-      auto [lo, hi] = array_split(rest, t->keys[i]);
-      part = lo;
-      rest = hi;
-    } else {
-      part = rest;
-    }
-    if (part.empty()) {
-      as.add_child(t->child[i]);
-    } else {
-      TNode* c = peek(t->child[i]);
-      eng.step();
-      if (!needs_split(c)) {
-        jobs.push_back({c, part, as.nc});
-        as.add_child(nullptr);  // placeholder
-      } else {
-        NodeSplit sp = split_node(st, c);
-        eng.array_op(part.size());
-        auto [a1, a2] = array_split(part, sp.sep);
-        if (a1.empty()) {
-          as.add_child(st.input(sp.left));
-        } else {
-          jobs.push_back({sp.left, a1, as.nc});
-          as.add_child(nullptr);
-        }
-        as.add_key(sp.sep);
-        if (a2.empty()) {
-          as.add_child(st.input(sp.right));
-        } else {
-          jobs.push_back({sp.right, a2, as.nc});
-          as.add_child(nullptr);
-        }
-      }
-    }
-    if (i < t->nkeys) as.add_key(t->keys[i]);
-  }
-
-  // Run the child insertions in parallel (fork-join), then assemble.
-  std::vector<std::function<void()>> thunks;
-  thunks.reserve(jobs.size());
-  for (Job& job : jobs)
-    thunks.push_back([&st, &as, job] {
-      as.child[job.slot] = st.input(descend_strict(st, job.node, job.keys));
-    });
-  fork_join_all(eng, std::span<std::function<void()>>(thunks));
-
-  return st.make_internal({as.keys, static_cast<std::size_t>(as.nk)},
-                          {as.child, static_cast<std::size_t>(as.nc)});
-}
-
-}  // namespace
-
-TNode* insert_wave_strict(Store& st, TNode* root,
-                          std::span<const Key> keys) {
-  cm::Engine& eng = st.engine();
-  PWF_CHECK_MSG(root != nullptr, "bulk insert requires a nonempty tree");
-  eng.step();
-  TNode* t = root;
-  if (needs_split(t)) {
-    NodeSplit sp = split_node(st, t);
-    Key sep[1] = {sp.sep};
-    TCell* ch[2] = {st.input(sp.left), st.input(sp.right)};
-    t = st.make_internal(sep, ch);
-  }
-  return insert_rec_strict(st, t, keys);
+TNode* insert_wave_strict(Store& st, TNode* root, std::span<const Key> keys) {
+  return pl::run_inline(pl::ttree::insert_wave_strict(
+      pl::CmStrictExec(st.engine()), st, root, keys));
 }
 
 TNode* bulk_insert_strict(Store& st, TNode* root,
                           std::span<const Key> sorted) {
-  if (sorted.empty()) return root;
-  for (auto& level : level_arrays(sorted)) {
-    const std::span<const Key> keys = st.hold(std::move(level));
-    root = insert_wave_strict(st, root, keys);
-  }
-  return root;
+  return pl::run_inline(pl::ttree::bulk_insert_strict(
+      pl::CmStrictExec(st.engine()), st, root, sorted));
 }
 
 }  // namespace pwf::ttree

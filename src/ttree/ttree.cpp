@@ -1,138 +1,21 @@
 #include "ttree/ttree.hpp"
 
-#include <algorithm>
-
 namespace pwf::ttree {
 
-namespace {
-
-// Max keys held by a tree of height h with internal fan-out at most f
-// (every node holding f-1 keys): X(h) = f^h - 1.
-std::uint64_t capacity(int h, int fanout) {
-  std::uint64_t x = 1;
-  for (int i = 0; i < h; ++i) x *= fanout;
-  return x - 1;
-}
-
-TNode* build_rec(Store& st, std::span<const Key> keys, int h, int fanout) {
-  if (h == 1) return st.make_leaf(keys);
-  const std::uint64_t n = keys.size();
-  const std::uint64_t child_cap = capacity(h - 1, fanout);
-  // Smallest feasible fan-out f in [2, fanout] with f-1 + f*child_cap >= n.
-  int f = 2;
-  while (f < fanout &&
-         static_cast<std::uint64_t>(f) - 1 + static_cast<std::uint64_t>(f) * child_cap < n)
-    ++f;
-  PWF_CHECK(static_cast<std::uint64_t>(f) - 1 +
-                static_cast<std::uint64_t>(f) * child_cap >= n);
-  // Distribute the n - (f-1) child keys as evenly as possible.
-  const std::uint64_t child_total = n - (static_cast<std::uint64_t>(f) - 1);
-  std::vector<Key> seps;
-  std::vector<TCell*> children;
-  std::size_t pos = 0;
-  for (int i = 0; i < f; ++i) {
-    std::uint64_t take = child_total / f + (static_cast<std::uint64_t>(i) <
-                                                    child_total % f
-                                                ? 1
-                                                : 0);
-    children.push_back(
-        st.input(build_rec(st, keys.subspan(pos, take), h - 1, fanout)));
-    pos += take;
-    if (i + 1 < f) seps.push_back(keys[pos++]);
-  }
-  return st.make_internal(seps, children);
-}
-
-}  // namespace
-
-TNode* Store::build(std::span<const Key> sorted, int fanout) {
-  PWF_CHECK(fanout >= 3 && fanout <= kMaxChildren);
-  if (sorted.empty()) return nullptr;
-  int h = 1;
-  while (capacity(h, fanout) < sorted.size()) ++h;
-  return build_rec(*this, sorted, h, fanout);
-}
+namespace pt = pipelined::ttree;
 
 void collect_keys(const TNode* root, std::vector<Key>& out) {
-  if (root == nullptr) return;
-  if (root->leaf) {
-    for (int i = 0; i < root->nkeys; ++i) out.push_back(root->keys[i]);
-    return;
-  }
-  for (int i = 0; i < root->nkeys; ++i) {
-    collect_keys(peek(root->child[i]), out);
-    out.push_back(root->keys[i]);
-  }
-  collect_keys(peek(root->child[root->nkeys]), out);
+  pt::collect_keys(root, out);
 }
 
-int height(const TNode* root) {
-  if (root == nullptr) return 0;
-  if (root->leaf) return 1;
-  return 1 + height(peek(root->child[0]));
-}
+int height(const TNode* root) { return pt::height(root); }
 
-std::uint64_t count_keys(const TNode* root) {
-  if (root == nullptr) return 0;
-  std::uint64_t n = root->nkeys;
-  if (!root->leaf)
-    for (int i = 0; i <= root->nkeys; ++i) n += count_keys(peek(root->child[i]));
-  return n;
-}
+std::uint64_t count_keys(const TNode* root) { return pt::count_keys(root); }
 
-cm::Time max_created(const TNode* root) {
-  if (root == nullptr) return 0;
-  cm::Time t = root->created;
-  if (!root->leaf)
-    for (int i = 0; i <= root->nkeys; ++i)
-      t = std::max(t, max_created(peek(root->child[i])));
-  return t;
-}
+cm::Time max_created(const TNode* root) { return pt::max_created(root); }
 
-namespace {
+bool validate(const TNode* root) { return pt::validate(root); }
 
-// Returns the leaf depth, or -1 on violation. lo/hi bound the subtree keys
-// strictly (nullptr = unbounded).
-int validate_rec(const TNode* n, const Key* lo, const Key* hi) {
-  if (n == nullptr) return -1;  // null child of an internal node: invalid
-  if (n->nkeys < 1 || n->nkeys > kMaxKeys) return -1;
-  for (int i = 0; i < n->nkeys; ++i) {
-    if (lo && n->keys[i] <= *lo) return -1;
-    if (hi && n->keys[i] >= *hi) return -1;
-    if (i > 0 && n->keys[i] <= n->keys[i - 1]) return -1;
-  }
-  if (n->leaf) return 1;
-  int depth = -2;
-  for (int i = 0; i <= n->nkeys; ++i) {
-    const Key* clo = i == 0 ? lo : &n->keys[i - 1];
-    const Key* chi = i == n->nkeys ? hi : &n->keys[i];
-    const int d = validate_rec(peek(n->child[i]), clo, chi);
-    if (d < 0) return -1;
-    if (depth == -2)
-      depth = d;
-    else if (d != depth)
-      return -1;  // leaves not all at the same level
-  }
-  return depth + 1;
-}
-
-}  // namespace
-
-bool validate(const TNode* root) {
-  if (root == nullptr) return true;
-  return validate_rec(root, nullptr, nullptr) > 0;
-}
-
-bool contains(const TNode* root, Key k) {
-  const TNode* n = root;
-  while (n != nullptr) {
-    int i = 0;
-    while (i < n->nkeys && k > n->keys[i]) ++i;
-    if (i < n->nkeys && k == n->keys[i]) return true;
-    if (n->leaf) return false;
-    n = peek(n->child[i]);
-  }
-  return false;
-}
+bool contains(const TNode* root, Key k) { return pt::contains(root, k); }
 
 }  // namespace pwf::ttree

@@ -1,16 +1,9 @@
 // 2-6 trees — the paper's Section 3.4 top-down variant of PVW 2-3 trees.
 //
-// Every node holds 1–5 keys in increasing order; an internal node has one
-// child per range (2–6 children); all leaves are at the same level; every
-// key of the set appears exactly once, either as an internal splitter or in
-// a leaf. The bulk-insert algorithm maintains the invariant that any node it
-// recurses into is a *2-3 node* (<= 2 keys) by pre-emptively splitting
-// children, so pulled-up splitters never overflow the 1–5 key bound.
-//
-// Child links are read pointers to write-once cells, like the other tree
-// libraries: a wave of insertion publishes each level's node in O(1) after
-// the level above, leaving the children as futures — which is exactly what
-// lets the next wave follow one or two levels behind (the paper's Figure 11).
+// The representation and the algorithm bodies live in
+// src/pipelined/ttree.hpp (single-source, substrate-templated); this header
+// instantiates them on the cost-model substrate and keeps the original
+// plain-function API.
 #pragma once
 
 #include <cstdint>
@@ -18,92 +11,27 @@
 #include <vector>
 
 #include "costmodel/engine.hpp"
-#include "support/arena.hpp"
-#include "support/check.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/ttree.hpp"
 
 namespace pwf::ttree {
 
-using Key = std::int64_t;
+using Key = pipelined::ttree::Key;
 
-inline constexpr int kMaxKeys = 5;
-inline constexpr int kMaxChildren = 6;
+inline constexpr int kMaxKeys = pipelined::ttree::kMaxKeys;
+inline constexpr int kMaxChildren = pipelined::ttree::kMaxChildren;
 
-struct TNode;
+// Cost-model instantiation: timestamped nodes over cm::Cell futures.
+using TNode = pipelined::ttree::TNode<pipelined::CmPolicy>;
 using TCell = cm::Cell<TNode*>;
 
-struct TNode {
-  std::uint8_t nkeys = 0;
-  bool leaf = true;
-  cm::Time created = 0;  // t(v)
-  Key keys[kMaxKeys] = {};
-  TCell* child[kMaxChildren] = {};  // child[0..nkeys] valid when internal
-
-  int nchildren() const { return leaf ? 0 : nkeys + 1; }
-};
-
-class Store {
- public:
-  explicit Store(cm::Engine& eng) : eng_(eng) {}
-
-  cm::Engine& engine() { return eng_; }
-
-  TCell* cell() { return arena_.create<TCell>(); }
-
-  TCell* input(TNode* n) {
-    TCell* c = cell();
-    cm::Engine::preset(*c, n);
-    return c;
-  }
-
-  TNode* make_leaf(std::span<const Key> keys) {
-    PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
-    TNode* n = arena_.create<TNode>();
-    n->leaf = true;
-    n->nkeys = static_cast<std::uint8_t>(keys.size());
-    for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
-    return n;
-  }
-
-  // Internal node; children cells supplied by the caller (kept subtrees,
-  // fresh futures, or preset inputs).
-  TNode* make_internal(std::span<const Key> keys,
-                       std::span<TCell* const> children) {
-    PWF_CHECK(keys.size() >= 1 && keys.size() <= kMaxKeys);
-    PWF_CHECK(children.size() == keys.size() + 1);
-    TNode* n = arena_.create<TNode>();
-    n->leaf = false;
-    n->nkeys = static_cast<std::uint8_t>(keys.size());
-    for (std::size_t i = 0; i < keys.size(); ++i) n->keys[i] = keys[i];
-    for (std::size_t i = 0; i < children.size(); ++i) n->child[i] = children[i];
-    return n;
-  }
-
-  // Builds a valid 2-6 tree over sorted, duplicate-free keys (input data;
-  // costs nothing in the model). `fanout` chooses how full the internal
-  // nodes are: 3 gives an all-2-3 tree (maximal splitting work for inserts),
-  // 6 a maximally packed tree. Returns nullptr for empty input.
-  TNode* build(std::span<const Key> sorted, int fanout = 3);
-
-  // Stable storage for key arrays whose subspans flow through the insertion
-  // pipeline.
-  std::span<const Key> hold(std::vector<Key> keys) {
-    held_.push_back(std::move(keys));
-    return held_.back();
-  }
-
-  std::size_t bytes_used() const { return arena_.bytes_used(); }
-
- private:
-  cm::Engine& eng_;
-  Arena arena_{1 << 18};
-  std::vector<std::vector<Key>> held_;
-};
+// Construct with the engine: Store st(eng).
+using Store = pipelined::ttree::Store<pipelined::CmPolicy>;
 
 // ---- analysis helpers (no engine actions) ----------------------------------
 
 inline TNode* peek(const TCell* c) {
-  PWF_CHECK_MSG(c->written, "peek of unwritten cell — computation incomplete");
-  return c->value;
+  return pipelined::ttree::peek<pipelined::CmPolicy>(c);
 }
 
 // All keys of the set, in order (splitters and leaf keys interleaved).
@@ -118,8 +46,7 @@ cm::Time max_created(const TNode* root);
 
 // Structural invariant: key counts in range, per-node key order, children
 // count, all leaves at the same depth, global key order, and no duplicate
-// keys. `root_relaxed` permits the root to be a leaf with any 1–5 keys or an
-// internal node with 2–6 children (which the invariant always allows anyway).
+// keys.
 bool validate(const TNode* root);
 
 // Membership test (splitters are members).

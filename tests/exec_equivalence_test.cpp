@@ -1,0 +1,319 @@
+// Cross-substrate equivalence: every algorithm body in src/pipelined/ is a
+// single templated coroutine, instantiated on three execution substrates —
+// CmExec (pipelined cost model), CmStrictExec (fork-join baseline) and
+// RtExec (coroutine runtime). This test feeds random inputs through all
+// available instantiations of each ported algorithm and checks every result
+// against a sequential oracle, so a substrate-specific divergence in any
+// shared body fails here regardless of which substrate introduced it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include "algos/mergesort.hpp"
+#include "algos/producer_consumer.hpp"
+#include "algos/quicksort.hpp"
+#include "costmodel/engine.hpp"
+#include "runtime/rt_algos.hpp"
+#include "runtime/rt_treap.hpp"
+#include "runtime/rt_trees.hpp"
+#include "runtime/rt_ttree.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/random.hpp"
+#include "treap/setops.hpp"
+#include "treap/treap.hpp"
+#include "trees/merge.hpp"
+#include "trees/rebalance.hpp"
+#include "trees/tree.hpp"
+#include "ttree/insert.hpp"
+#include "ttree/ttree.hpp"
+
+namespace pwf {
+namespace {
+
+using Key = std::int64_t;
+
+std::vector<Key> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<Key> s;
+  while (s.size() < n) s.insert(rng.range(0, 1 << 22));
+  return {s.begin(), s.end()};
+}
+
+std::vector<Key> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);  // duplicates allowed: exercises pivot-equal paths
+  std::vector<Key> v(n);
+  for (auto& x : v) x = rng.range(0, 1 << 10);
+  return v;
+}
+
+class ExecEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecEquivalence, TreeMerge) {
+  const std::uint64_t seed = GetParam();
+  const auto a = random_keys(500 + 37 * seed, seed * 2 + 1);
+  const auto b = random_keys(300 + 11 * seed, seed * 2 + 2);
+  std::vector<Key> oracle;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(oracle));
+
+  {
+    cm::Engine eng;  // CmExec: pipelined cost model
+    trees::Store st(eng);
+    trees::TreeCell* out = trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    std::vector<Key> got;
+    trees::collect_inorder(trees::peek(out), got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    cm::Engine eng;  // CmStrictExec: fork-join baseline
+    trees::Store st(eng);
+    std::vector<Key> got;
+    trees::collect_inorder(
+        trees::merge_strict(st, st.build_balanced(a), st.build_balanced(b)),
+        got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec: pipelined + strict on real threads
+    rt::trees::Store st;
+    EXPECT_EQ(rt::trees::wait_inorder(rt::trees::merge(
+                  st, st.input(st.build_balanced(a)),
+                  st.input(st.build_balanced(b)))),
+              oracle);
+    std::vector<Key> got;
+    rt::trees::collect_inorder(
+        rt::trees::merge_strict_blocking(st, st.build_balanced(a),
+                                         st.build_balanced(b)),
+        got);
+    EXPECT_EQ(got, oracle);
+  }
+}
+
+TEST_P(ExecEquivalence, TreeRebalance) {
+  const std::uint64_t seed = GetParam();
+  const auto a = random_keys(800 + 53 * seed, seed * 3 + 1);
+  const auto b = random_keys(200, seed * 3 + 2);
+  std::vector<Key> oracle;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(oracle));
+
+  std::vector<Key> cm_keys;
+  int cm_height = 0;
+  {
+    cm::Engine eng;
+    trees::Store st(eng);
+    trees::TreeCell* merged = trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    trees::TreeCell* out = trees::rebalance(st, merged);
+    trees::collect_inorder(trees::peek(out), cm_keys);
+    cm_height = trees::height(trees::peek(out));
+    EXPECT_EQ(cm_keys, oracle);
+  }
+  {
+    rt::Scheduler sched(2);
+    rt::trees::Store st;
+    rt::trees::Cell* merged = rt::trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    rt::trees::Cell* out = rt::trees::rebalance(st, merged);
+    EXPECT_EQ(rt::trees::wait_inorder(out), oracle);
+    // Rank-split rebalance is deterministic: both substrates build the same
+    // shape, not just the same key sequence.
+    EXPECT_EQ(rt::trees::height(rt::trees::peek(out)), cm_height);
+  }
+}
+
+TEST_P(ExecEquivalence, TreapSetOps) {
+  const std::uint64_t seed = GetParam();
+  const auto a = random_keys(400 + 29 * seed, seed * 5 + 1);
+  const auto b = random_keys(300 + 17 * seed, seed * 5 + 2);
+  std::vector<Key> u, d, i;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(u));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(d));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(i));
+
+  {
+    cm::Engine eng;  // CmExec
+    treap::Store st(eng);
+    const auto run = [&](treap::TreapCell* (*op)(treap::Store&,
+                                                 treap::TreapCell*,
+                                                 treap::TreapCell*),
+                         const std::vector<Key>& expected) {
+      treap::TreapCell* out =
+          op(st, st.input(st.build(a)), st.input(st.build(b)));
+      std::vector<Key> got;
+      treap::collect_inorder(treap::peek(out), got);
+      EXPECT_EQ(got, expected);
+      EXPECT_TRUE(treap::validate(st, treap::peek(out)));
+    };
+    run(treap::union_treaps, u);
+    run(treap::diff_treaps, d);
+    run(treap::intersect_treaps, i);
+  }
+  {
+    cm::Engine eng;  // CmStrictExec
+    treap::Store st(eng);
+    const auto collect = [](treap::Node* n) {
+      std::vector<Key> got;
+      treap::collect_inorder(n, got);
+      return got;
+    };
+    EXPECT_EQ(collect(treap::union_strict(st, st.build(a), st.build(b))), u);
+    EXPECT_EQ(collect(treap::diff_strict(st, st.build(a), st.build(b))), d);
+    EXPECT_EQ(collect(treap::intersect_strict(st, st.build(a), st.build(b))),
+              i);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec
+    rt::treap::Store st;
+    const auto run = [&](rt::treap::Cell* (*op)(rt::treap::Store&,
+                                                rt::treap::Cell*,
+                                                rt::treap::Cell*),
+                         const std::vector<Key>& expected) {
+      rt::treap::Cell* out =
+          op(st, st.input(st.build(a)), st.input(st.build(b)));
+      EXPECT_EQ(rt::treap::wait_inorder(out), expected);
+      EXPECT_TRUE(rt::treap::validate(st, out));
+    };
+    run(rt::treap::union_treaps, u);
+    run(rt::treap::diff_treaps, d);
+    run(rt::treap::intersect_treaps, i);
+    std::vector<Key> got;
+    rt::treap::Node* s =
+        rt::treap::union_strict_blocking(st, st.build(a), st.build(b));
+    EXPECT_EQ(rt::treap::wait_inorder(st.input(s)), u);
+  }
+}
+
+TEST_P(ExecEquivalence, TtreeBulkInsert) {
+  const std::uint64_t seed = GetParam();
+  const auto base = random_keys(600 + 41 * seed, seed * 7 + 1);
+  const auto extra = random_keys(250 + 13 * seed, seed * 7 + 2);
+  std::set<Key> ref(base.begin(), base.end());
+  ref.insert(extra.begin(), extra.end());
+  const std::vector<Key> oracle(ref.begin(), ref.end());
+
+  {
+    cm::Engine eng;  // CmExec
+    ttree::Store st(eng);
+    ttree::TCell* out =
+        ttree::bulk_insert(st, st.input(st.build(base, 3)), extra);
+    std::vector<Key> got;
+    ttree::collect_keys(ttree::peek(out), got);
+    EXPECT_EQ(got, oracle);
+    EXPECT_TRUE(ttree::validate(ttree::peek(out)));
+  }
+  {
+    cm::Engine eng;  // CmStrictExec
+    ttree::Store st(eng);
+    ttree::TNode* out = ttree::bulk_insert_strict(st, st.build(base, 3), extra);
+    std::vector<Key> got;
+    ttree::collect_keys(out, got);
+    EXPECT_EQ(got, oracle);
+    EXPECT_TRUE(ttree::validate(out));
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec
+    rt::ttree::Store st;
+    rt::ttree::Cell* out =
+        rt::ttree::bulk_insert(st, st.input(st.build(base, 3)), extra);
+    EXPECT_EQ(rt::ttree::wait_keys(out), oracle);
+    EXPECT_TRUE(rt::ttree::validate(out));
+  }
+}
+
+TEST_P(ExecEquivalence, Mergesort) {
+  const std::uint64_t seed = GetParam();
+  auto values = random_keys(700 + 61 * seed, seed * 11 + 1);
+  Rng rng(seed * 11 + 2);
+  for (std::size_t k = values.size(); k > 1; --k) {
+    std::swap(values[k - 1],
+              values[static_cast<std::size_t>(rng.range(0, k - 1))]);
+  }
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  {
+    cm::Engine eng;  // CmExec (plain + balanced)
+    trees::Store st(eng);
+    std::vector<Key> got;
+    trees::collect_inorder(trees::peek(algos::mergesort(st, values)), got);
+    EXPECT_EQ(got, oracle);
+    got.clear();
+    trees::collect_inorder(trees::peek(algos::mergesort_balanced(st, values)),
+                           got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    cm::Engine eng;  // CmStrictExec
+    trees::Store st(eng);
+    std::vector<Key> got;
+    trees::collect_inorder(algos::mergesort_strict(st, values), got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec (plain + balanced)
+    rt::trees::Store st;
+    EXPECT_EQ(rt::trees::wait_inorder(rt::trees::mergesort(st, values)),
+              oracle);
+    EXPECT_EQ(
+        rt::trees::wait_inorder(rt::trees::mergesort_balanced(st, values)),
+        oracle);
+  }
+}
+
+TEST_P(ExecEquivalence, Quicksort) {
+  const std::uint64_t seed = GetParam();
+  const auto values = random_values(500 + 43 * seed, seed * 13 + 1);
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  {
+    cm::Engine eng;  // CmExec
+    algos::ListStore st(eng);
+    EXPECT_EQ(algos::peek_list(algos::quicksort(st, values)), oracle);
+  }
+  {
+    cm::Engine eng;  // CmStrictExec
+    algos::ListStore st(eng);
+    EXPECT_EQ(algos::peek_list(algos::quicksort_strict(st, values)), oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec
+    rt::list::Store st;
+    EXPECT_EQ(rt::list::wait_list(rt::list::quicksort(st, values)), oracle);
+  }
+}
+
+TEST_P(ExecEquivalence, ProducerConsumer) {
+  const std::int64_t n = 64 + 32 * static_cast<std::int64_t>(GetParam());
+  const std::int64_t oracle = n * (n + 1) / 2;
+
+  {
+    cm::Engine eng;  // CmExec
+    algos::ListStore st(eng);
+    EXPECT_EQ(algos::produce_consume(st, n).sum, oracle);
+  }
+  {
+    cm::Engine eng;  // CmStrictExec-style baseline
+    algos::ListStore st(eng);
+    EXPECT_EQ(algos::produce_consume_strict(st, n).sum, oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec
+    rt::list::Store st;
+    EXPECT_EQ(rt::list::produce_consume_sum(st, n), oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecEquivalence, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace pwf

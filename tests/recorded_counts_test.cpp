@@ -1,0 +1,222 @@
+// Recorded cost-model counts for the paper's experiment workloads (E1–E6
+// plus the sorting/pipeline algorithms). The depth/work numbers below were
+// captured from the engine before the algorithm bodies moved into the
+// shared src/pipelined templates; the refactor must keep the measured DAG
+// bit-identical, so these act as a regression seal on the cost model.
+//
+// Every workload is deterministic (fixed Rng seeds); each runs in a fresh
+// engine so the counts are absolute, not cumulative.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "algos/mergesort.hpp"
+#include "algos/producer_consumer.hpp"
+#include "algos/quicksort.hpp"
+#include "costmodel/engine.hpp"
+#include "support/random.hpp"
+#include "treap/setops.hpp"
+#include "trees/merge.hpp"
+#include "trees/rebalance.hpp"
+#include "ttree/insert.hpp"
+
+namespace pwf {
+namespace {
+
+std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::int64_t> s;
+  while (s.size() < n) s.insert(rng.range(0, 1 << 20));
+  return {s.begin(), s.end()};
+}
+
+struct Counts {
+  cm::Time depth;
+  std::uint64_t work;
+};
+
+bool operator==(const Counts& a, const Counts& b) {
+  return a.depth == b.depth && a.work == b.work;
+}
+
+std::ostream& operator<<(std::ostream& os, const Counts& c) {
+  return os << "{" << c.depth << "u, " << c.work << "u}";
+}
+
+Counts counts_of(const cm::Engine& eng) { return {eng.depth(), eng.work()}; }
+
+// ---- E1/E2: tree merge, pipelined and strict -------------------------------
+
+Counts run_merge() {
+  cm::Engine eng;
+  trees::Store st(eng);
+  const auto a = random_keys(2000, 11);
+  const auto b = random_keys(1000, 12);
+  trees::TreeCell* out = trees::merge(st, st.input(st.build_balanced(a)),
+                                      st.input(st.build_balanced(b)));
+  (void)trees::peek(out);
+  return counts_of(eng);
+}
+
+Counts run_merge_strict() {
+  cm::Engine eng;
+  trees::Store st(eng);
+  const auto a = random_keys(2000, 11);
+  const auto b = random_keys(1000, 12);
+  (void)trees::merge_strict(st, st.build_balanced(a), st.build_balanced(b));
+  return counts_of(eng);
+}
+
+// ---- E3/E4: treap union, pipelined and strict ------------------------------
+
+std::pair<std::vector<std::int64_t>, std::vector<std::int64_t>>
+union_inputs() {
+  auto a = random_keys(2000, 21);
+  auto b = random_keys(1500, 22);
+  for (std::size_t i = 0; i < 400; ++i) b[i] = a[i * 2];  // force overlap
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return {a, b};
+}
+
+Counts run_union() {
+  cm::Engine eng;
+  treap::Store st(eng);
+  const auto [a, b] = union_inputs();
+  treap::TreapCell* out =
+      treap::union_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+  (void)treap::peek(out);
+  return counts_of(eng);
+}
+
+Counts run_union_strict() {
+  cm::Engine eng;
+  treap::Store st(eng);
+  const auto [a, b] = union_inputs();
+  (void)treap::union_strict(st, st.build(a), st.build(b));
+  return counts_of(eng);
+}
+
+// ---- E5: treap difference (and intersection, same pipeline family) ---------
+
+Counts run_diff() {
+  cm::Engine eng;
+  treap::Store st(eng);
+  const auto [a, b] = union_inputs();
+  treap::TreapCell* out =
+      treap::diff_treaps(st, st.input(st.build(a)), st.input(st.build(b)));
+  (void)treap::peek(out);
+  return counts_of(eng);
+}
+
+Counts run_intersect() {
+  cm::Engine eng;
+  treap::Store st(eng);
+  const auto [a, b] = union_inputs();
+  treap::TreapCell* out = treap::intersect_treaps(st, st.input(st.build(a)),
+                                                  st.input(st.build(b)));
+  (void)treap::peek(out);
+  return counts_of(eng);
+}
+
+// ---- E6: 2-6 tree bulk insert ----------------------------------------------
+
+Counts run_ttree() {
+  cm::Engine eng;
+  ttree::Store st(eng);
+  const auto base = random_keys(1500, 31);
+  auto keys = random_keys(700, 32);
+  ttree::TCell* out =
+      ttree::bulk_insert(st, st.input(st.build(base, 3)), keys);
+  (void)ttree::peek(out);
+  return counts_of(eng);
+}
+
+// ---- sorting / pipeline algorithms (E7/E8/E11/E12 guards) ------------------
+
+Counts run_mergesort() {
+  cm::Engine eng;
+  trees::Store st(eng);
+  Rng rng(41);
+  std::vector<std::int64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.range(-1000, 1000));
+  trees::TreeCell* out = algos::mergesort(st, v);
+  (void)trees::peek(out);
+  return counts_of(eng);
+}
+
+Counts run_mergesort_balanced() {
+  cm::Engine eng;
+  trees::Store st(eng);
+  Rng rng(42);
+  std::vector<std::int64_t> v;
+  for (int i = 0; i < 512; ++i) v.push_back(rng.range(-1000, 1000));
+  trees::TreeCell* out = algos::mergesort_balanced(st, v);
+  (void)trees::peek(out);
+  return counts_of(eng);
+}
+
+Counts run_rebalance() {
+  cm::Engine eng;
+  trees::Store st(eng);
+  const auto a = random_keys(1200, 43);
+  const auto b = random_keys(400, 44);
+  trees::TreeCell* merged = trees::merge(st, st.input(st.build_balanced(a)),
+                                         st.input(st.build_balanced(b)));
+  trees::TreeCell* out = trees::rebalance(st, merged);
+  (void)trees::peek(out);
+  return counts_of(eng);
+}
+
+Counts run_quicksort() {
+  cm::Engine eng;
+  algos::ListStore st(eng);
+  Rng rng(51);
+  std::vector<std::int64_t> v;
+  for (int i = 0; i < 600; ++i) v.push_back(rng.range(-5000, 5000));
+  algos::ListCell* out = algos::quicksort(st, v);
+  (void)algos::peek_list(out);
+  return counts_of(eng);
+}
+
+Counts run_producer_consumer() {
+  cm::Engine eng;
+  algos::ListStore st(eng);
+  (void)algos::produce_consume(st, 500);
+  return counts_of(eng);
+}
+
+struct Workload {
+  const char* name;
+  Counts (*run)();
+  Counts expected;
+};
+
+// Captured at the commit preceding the src/pipelined refactor.
+const Workload kWorkloads[] = {
+    {"merge", run_merge, {80u, 26051u}},
+    {"merge_strict", run_merge_strict, {116u, 10630u}},
+    {"union", run_union, {169u, 35659u}},
+    {"union_strict", run_union_strict, {277u, 13386u}},
+    {"diff", run_diff, {159u, 39098u}},
+    {"intersect", run_intersect, {272u, 45103u}},
+    {"ttree_insert", run_ttree, {252u, 21935u}},
+    {"mergesort", run_mergesort, {213u, 89965u}},
+    {"mergesort_balanced", run_mergesort_balanced, {1013u, 134796u}},
+    {"rebalance", run_rebalance, {340u, 46617u}},
+    {"quicksort", run_quicksort, {1858u, 22720u}},
+    {"producer_consumer", run_producer_consumer, {505u, 1506u}},
+};
+
+TEST(RecordedCounts, MatchPreRefactorValues) {
+  for (const Workload& w : kWorkloads) {
+    const Counts got = w.run();
+    EXPECT_EQ(got, w.expected) << w.name << " -> " << got;
+  }
+}
+
+}  // namespace
+}  // namespace pwf

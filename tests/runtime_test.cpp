@@ -8,12 +8,16 @@
 #include <set>
 #include <vector>
 
+#include "costmodel/engine.hpp"
 #include "runtime/future.hpp"
 #include "runtime/rt_treap.hpp"
 #include "runtime/rt_trees.hpp"
 #include "runtime/rt_ttree.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/random.hpp"
+#include "trees/merge.hpp"
+#include "trees/rebalance.hpp"
+#include "trees/tree.hpp"
 
 namespace pwf::rt {
 namespace {
@@ -373,6 +377,62 @@ TEST(RtRebalance, EmptyAndTiny) {
         trees::rebalance(st, st.input(st.build_balanced(one)));
     EXPECT_EQ(trees::wait_inorder(out), one);
   }
+}
+
+TEST(RtRebalance, MatchesCostModelResult) {
+  // The runtime and the cost model instantiate the *same* algorithm bodies
+  // (src/pipelined/trees.hpp), so merge + rebalance must produce the same
+  // tree on both substrates — same in-order keys and same shape.
+  const auto a = random_keys(2000, 50);
+  const auto b = random_keys(700, 51);
+
+  cm::Engine eng;
+  pwf::trees::Store cst(eng);
+  pwf::trees::TreeCell* cm_merged =
+      pwf::trees::merge(cst, cst.input(cst.build_balanced(a)),
+                        cst.input(cst.build_balanced(b)));
+  pwf::trees::TreeCell* cm_out = pwf::trees::rebalance(cst, cm_merged);
+  std::vector<std::int64_t> cm_keys;
+  pwf::trees::collect_inorder(pwf::trees::peek(cm_out), cm_keys);
+  const int cm_height = pwf::trees::height(pwf::trees::peek(cm_out));
+
+  Scheduler sched(4);
+  trees::Store st;
+  trees::Cell* merged = trees::merge(st, st.input(st.build_balanced(a)),
+                                     st.input(st.build_balanced(b)));
+  trees::Cell* balanced = trees::rebalance(st, merged);
+  EXPECT_EQ(trees::wait_inorder(balanced), cm_keys);
+  EXPECT_EQ(trees::height(trees::peek(balanced)), cm_height);
+}
+
+// ---- strict fork-join baselines on the runtime ---------------------------------------
+
+TEST(RtMerge, StrictBaselineMatchesPipelined) {
+  const auto a = random_keys(1500, 60);
+  const auto b = random_keys(900, 61);
+  Scheduler sched(4);
+  trees::Store st;
+  trees::Node* strict = trees::merge_strict_blocking(
+      st, st.build_balanced(a), st.build_balanced(b));
+  std::vector<std::int64_t> got;
+  trees::collect_inorder(strict, got);
+  std::vector<std::int64_t> expected;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(expected));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RtTreap, StrictUnionBaselineMatchesPipelined) {
+  const auto a = random_keys(1200, 62);
+  const auto b = random_keys(800, 63);
+  Scheduler sched(4);
+  treap::Store st;
+  treap::Node* strict =
+      treap::union_strict_blocking(st, st.build(a), st.build(b));
+  const auto got = treap::wait_inorder(st.input(strict));
+  std::set<std::int64_t> ref(a.begin(), a.end());
+  ref.insert(b.begin(), b.end());
+  EXPECT_EQ(got, std::vector<std::int64_t>(ref.begin(), ref.end()));
 }
 
 // ---- parallel 2-6 tree -------------------------------------------------------------
