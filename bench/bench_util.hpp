@@ -6,6 +6,7 @@
 // whole harness can be eyeballed or grepped.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -44,6 +45,75 @@ inline std::vector<std::int64_t> overlapping_keys(
 inline void verdict(const char* claim, bool ok) {
   std::printf("%s: %s\n", ok ? "PASS" : "FAIL", claim);
 }
+
+// Minimal streaming JSON writer for machine-readable bench outputs
+// (BENCH_*.json). Comma placement is tracked per container; key() suppresses
+// the separator before its value. Strings are emitted verbatim — callers pass
+// plain identifiers, not arbitrary text.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    comma();
+    std::fprintf(f_, "\"%s\": ", k);
+    pending_value_ = true;
+  }
+
+  void value(const char* s) {
+    comma();
+    std::fprintf(f_, "\"%s\"", s);
+  }
+  void value(const std::string& s) { value(s.c_str()); }
+  void value(double v) {
+    comma();
+    std::fprintf(f_, "%.6g", v);
+  }
+  void value(std::int64_t v) {
+    comma();
+    std::fprintf(f_, "%lld", static_cast<long long>(v));
+  }
+  void value(bool b) {
+    comma();
+    std::fputs(b ? "true" : "false", f_);
+  }
+
+  void field(const char* k, const char* s) { key(k), value(s); }
+  void field(const char* k, const std::string& s) { key(k), value(s); }
+  void field(const char* k, double v) { key(k), value(v); }
+  void field(const char* k, std::int64_t v) { key(k), value(v); }
+  void field(const char* k, bool b) { key(k), value(b); }
+
+ private:
+  void open(char c) {
+    comma();
+    std::fputc(c, f_);
+    first_.push_back(true);
+  }
+  void close(char c) {
+    std::fputc(c, f_);
+    first_.pop_back();
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) std::fputc(',', f_);
+      first_.back() = false;
+    }
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
 
 // Prints the scale-fit of y against a named model column.
 inline void report_fit(const char* ylabel, const char* model_name,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -45,6 +46,13 @@ struct CmPolicy {
   template <typename T>
   static void preset(cm::Cell<T>& c, T v) {
     cm::Engine::preset(c, std::move(v));
+  }
+  // Non-consuming availability probe (serial fast paths ask before walking;
+  // never an engine action — the cost model keeps threshold 0, so the DAG
+  // never sees it).
+  template <typename T>
+  static bool ready(const cm::Cell<T>* c) {
+    return c->written;
   }
   // Reads a finished cell's value without touching (analysis + strict code).
   template <typename T>
@@ -105,6 +113,21 @@ class CmExecBase {
   // Current DAG time, for structures that stamp nodes outside publish()
   // (2-6 tree node splits). Not an engine action.
   cm::Time now_stamp() const { return eng_->now(); }
+
+  // ---- granularity control -------------------------------------------------
+
+  // The cost model measures the paper's DAG, so it never coarsens: every
+  // serial-cutoff branch in the shared bodies is guarded by
+  // `serial_threshold() > 0` and is dead here — recorded counts stay
+  // bit-identical (tests/recorded_counts_test.cpp).
+  static constexpr std::size_t serial_threshold() { return 0; }
+  static void on_serial_cutoff() {}
+  // Escape hatch: run a would-be fork inline (substrate-neutral spelling of
+  // a plain recursive call). Unused while threshold is 0, but part of the
+  // Exec concept so shared bodies compile unchanged.
+  static Fiber::InlineAwaiter run_serial(Fiber f) {
+    return Fiber::InlineAwaiter{f.handle};
+  }
 
   // ---- fork-join (strict discipline) ---------------------------------------
 

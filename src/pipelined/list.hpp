@@ -8,6 +8,7 @@
 // produced.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <utility>
@@ -102,6 +103,21 @@ Fiber produce(Ex ex, Store<P>& st, std::int64_t n, Cell<P>* out) {
     ex.write(out, static_cast<LNode<P>*>(nullptr));
     co_return;
   }
+  // Serial cutoff: the remaining list depends on nothing, so below the
+  // threshold build the whole tail bottom-up in one loop instead of one
+  // fiber per element. Dead on the cost-model substrates (threshold 0).
+  if (const std::size_t thr = ex.serial_threshold();
+      thr > 0 && static_cast<std::uint64_t>(n) <= thr) {
+    ex.on_serial_cutoff();
+    LNode<P>* head = nullptr;
+    Cell<P>* next = st.input(nullptr);
+    for (std::int64_t i = 0; i <= n; ++i) {
+      head = st.cons(i, next);
+      next = st.input(head);
+    }
+    ex.write(out, head);
+    co_return;
+  }
   Cell<P>* tail = st.cell();
   ex.fork(produce(ex, st, n - 1, tail));
   ex.write(out, st.cons(n, tail));
@@ -158,6 +174,34 @@ Fiber quicksort_into(Ex ex, Store<P>& st, Cell<P>* lst, Cell<P>* rest,
   if (h == nullptr) {  // qs(nil, rest) = rest
     ex.write(out, co_await ex.touch(rest));
     co_return;
+  }
+  // Serial cutoff: if the remaining input list is fully materialized within
+  // the threshold, sort its values in place and emit the chain directly,
+  // pointing the last node's tail at `rest` — no touch of rest needed, so
+  // the suffix can still be pending.
+  if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+    std::vector<Value> vals;
+    vals.push_back(h->value);
+    bool complete = false;
+    Cell<P>* c = h->next;
+    while (vals.size() <= thr && P::ready(c)) {
+      const LNode<P>* m = P::peek(c);
+      if (m == nullptr) {
+        complete = true;
+        break;
+      }
+      vals.push_back(m->value);
+      c = m->next;
+    }
+    if (complete) {
+      ex.on_serial_cutoff();
+      std::sort(vals.begin(), vals.end());
+      Cell<P>* next = rest;
+      for (std::size_t i = vals.size(); i-- > 1;)
+        next = st.input(st.cons(vals[i], next));
+      ex.write(out, st.cons(vals[0], next));
+      co_return;
+    }
   }
   ex.step();
   Cell<P>* les = st.cell();

@@ -4,13 +4,33 @@
 // src/runtime/rt_trees.cpp (coroutine runtime).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "pipelined/exec.hpp"
 #include "pipelined/trees.hpp"
 
 namespace pwf::pipelined::trees {
+
+namespace detail {
+
+// Serial mergesort: the same recursion with serial merges, so the produced
+// tree is node-for-node the one the pipelined path would build (merge_serial
+// mirrors merge_into's splits exactly). Granularity fast path only — dead on
+// the cost-model substrates.
+template <typename P>
+Node<P>* msort_serial(Store<P>& st, std::span<const Key> values) {
+  if (values.empty()) return nullptr;
+  if (values.size() == 1)
+    return st.make_ready(values[0], nullptr, nullptr);
+  const std::size_t mid = values.size() / 2;
+  return merge_serial(st, msort_serial<P>(st, values.subspan(0, mid)),
+                      msort_serial<P>(st, values.subspan(mid)));
+}
+
+}  // namespace detail
 
 // Sorts `values` (duplicates allowed — they survive as equal adjacent keys)
 // into the BST under *out using pipelined merges. The recursion tree, the
@@ -25,6 +45,14 @@ Fiber msort_into(Ex ex, Store<P>& st, std::span<const Key> values,
   }
   if (values.size() == 1) {
     publish(ex, out, st.make_ready(values[0], nullptr, nullptr));
+    co_return;
+  }
+  // Serial cutoff: the input span is plain data (always available), so the
+  // size alone decides.
+  if (const std::size_t thr = ex.serial_threshold();
+      thr > 0 && values.size() <= thr) {
+    ex.on_serial_cutoff();
+    publish(ex, out, detail::msort_serial<P>(st, values));
     co_return;
   }
   const std::size_t mid = values.size() / 2;
@@ -70,6 +98,17 @@ Fiber msort_balanced_into(Ex ex, Store<P>& st, std::span<const Key> values,
   }
   if (values.size() == 1) {
     publish(ex, out, st.make_ready(values[0], nullptr, nullptr));
+    co_return;
+  }
+  // Serial cutoff: sort + median-split build is exactly what merge followed
+  // by the rank-size/2 rebalance produces at every level, so the output tree
+  // is unchanged.
+  if (const std::size_t thr = ex.serial_threshold();
+      thr > 0 && values.size() <= thr) {
+    ex.on_serial_cutoff();
+    std::vector<Key> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    publish(ex, out, st.build_balanced(sorted));
     co_return;
   }
   const std::size_t mid = values.size() / 2;

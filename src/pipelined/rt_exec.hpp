@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -42,6 +43,13 @@ struct RtPolicy {
   template <typename T>
   static T peek(const rt::FutCell<T>* c) {
     return c->peek();
+  }
+  // Non-consuming availability probe: serial fast paths walk only through
+  // cells that are already written and fall back to the pipelined path the
+  // moment one is not (no parking, no blocking).
+  template <typename T>
+  static bool ready(const rt::FutCell<T>* c) {
+    return c->written();
   }
 };
 
@@ -85,8 +93,16 @@ class RtExec {
  public:
   using Policy = RtPolicy;
 
+  // Below this many elements (or available nodes) the shared bodies stop
+  // forking and run tight sequential loops instead. 128 sits in the middle
+  // of the 64–256 band where per-frame overhead (~µs) dwarfs per-element
+  // work (~ns) but the lost parallelism is still negligible against total
+  // work; E23 sweeps the alternatives.
+  static constexpr std::size_t kDefaultSerialThreshold = 128;
+
   RtExec() = default;
   explicit RtExec(RtContext) {}
+  explicit RtExec(std::size_t threshold) : serial_threshold_(threshold) {}
 
   // ---- pipelined operations ------------------------------------------------
 
@@ -113,6 +129,21 @@ class RtExec {
   void steps(std::uint64_t) const {}
   void array_op(std::uint64_t) const {}
   std::uint64_t now_stamp() const { return 0; }
+
+  // ---- granularity control -------------------------------------------------
+
+  std::size_t serial_threshold() const { return serial_threshold_; }
+
+  void on_serial_cutoff() const {
+    if (rt::Scheduler* s = rt::Scheduler::current()) s->note_serial_cutoff();
+  }
+
+  // Run a would-be fork inline on this worker (symmetric transfer, no
+  // scheduler round trip). Anything the inline chain suspends on is produced
+  // by independently forked fibers, so chaining cannot deadlock.
+  static Fiber::InlineAwaiter run_serial(Fiber f) {
+    return Fiber::InlineAwaiter{f.handle};
+  }
 
   // ---- fork-join -----------------------------------------------------------
 
@@ -163,6 +194,9 @@ class RtExec {
   JoinAll fork_join_all(std::vector<Task<void>> ts) const {
     return JoinAll{std::move(ts)};
   }
+
+ private:
+  std::size_t serial_threshold_ = kDefaultSerialThreshold;
 };
 
 // Bridge to a blocking caller: runs the task on the scheduler and writes its

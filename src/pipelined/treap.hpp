@@ -136,6 +136,111 @@ Node<P>* peek(const Cell<P>* c) {
   return P::peek(c);
 }
 
+// ---- serial fast paths (granularity control) --------------------------------
+//
+// Plain recursive counterparts of the pipelined bodies, taken when the
+// relevant subtrees are fully materialized within Ex::serial_threshold()
+// nodes (see trees.hpp for the scheme). Unlike the strict baselines below,
+// these mirror the *pipelined* semantics exactly — including `val`
+// propagation — so the published result is indistinguishable from the one
+// the forked path would build. Dead on the cost-model substrates
+// (threshold 0).
+
+namespace detail {
+
+template <typename P>
+bool tree_avail(const Node<P>* n, std::size_t& budget) {
+  if (n == nullptr) return true;
+  if (budget == 0) return false;
+  --budget;
+  if (!P::ready(n->left) || !P::ready(n->right)) return false;
+  return tree_avail<P>(P::peek(n->left), budget) &&
+         tree_avail<P>(P::peek(n->right), budget);
+}
+
+template <typename P>
+struct SerialSplit {
+  Node<P>* less = nullptr;
+  Node<P>* greater = nullptr;
+  Node<P>* equal = nullptr;
+};
+
+template <typename P>
+SerialSplit<P> splitm_serial(Store<P>& st, Key s, Node<P>* t) {
+  if (t == nullptr) return {};
+  if (s < t->key) {
+    SerialSplit<P> sub = splitm_serial(st, s, peek<P>(t->left));
+    sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
+    sub.greater->val = t->val;
+    return sub;
+  }
+  if (s > t->key) {
+    SerialSplit<P> sub = splitm_serial(st, s, peek<P>(t->right));
+    sub.less = st.make(t->key, t->pri, t->left, st.input(sub.less));
+    sub.less->val = t->val;
+    return sub;
+  }
+  return {peek<P>(t->left), peek<P>(t->right), t};
+}
+
+template <typename P>
+Node<P>* join_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
+  if (t1 == nullptr) return t2;
+  if (t2 == nullptr) return t1;
+  Node<P>* res;
+  if (t1->pri >= t2->pri) {
+    Node<P>* j = join_serial(st, peek<P>(t1->right), t2);
+    res = st.make(t1->key, t1->pri, t1->left, st.input(j));
+    res->val = t1->val;
+  } else {
+    Node<P>* j = join_serial(st, t1, peek<P>(t2->left));
+    res = st.make(t2->key, t2->pri, st.input(j), t2->right);
+    res->val = t2->val;
+  }
+  return res;
+}
+
+template <typename P>
+Node<P>* union_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
+  if (ta == nullptr) return tb;
+  if (tb == nullptr) return ta;
+  if (ta->pri < tb->pri) std::swap(ta, tb);
+  SerialSplit<P> s = splitm_serial(st, ta->key, tb);
+  Node<P>* res =
+      st.make_ready(ta->key, ta->pri, union_serial(st, peek<P>(ta->left), s.less),
+                    union_serial(st, peek<P>(ta->right), s.greater));
+  res->val = ta->val;
+  return res;
+}
+
+template <typename P>
+Node<P>* diff_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
+  if (t1 == nullptr) return nullptr;
+  if (t2 == nullptr) return t1;
+  SerialSplit<P> s = splitm_serial(st, t1->key, t2);
+  Node<P>* l = diff_serial(st, peek<P>(t1->left), s.less);
+  Node<P>* r = diff_serial(st, peek<P>(t1->right), s.greater);
+  if (s.equal != nullptr) return join_serial(st, l, r);
+  Node<P>* res = st.make_ready(t1->key, t1->pri, l, r);
+  res->val = t1->val;
+  return res;
+}
+
+template <typename P>
+Node<P>* intersect_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
+  if (ta == nullptr || tb == nullptr) return nullptr;
+  if (ta->pri < tb->pri) std::swap(ta, tb);
+  SerialSplit<P> s = splitm_serial(st, ta->key, tb);
+  Node<P>* l = intersect_serial(st, peek<P>(ta->left), s.less);
+  Node<P>* r = intersect_serial(st, peek<P>(ta->right), s.greater);
+  if (s.equal == nullptr) return join_serial(st, l, r);
+  Node<P>* res = st.make_ready(ta->key, ta->pri, l, r);
+  res->val = ta->val;
+  return res;
+}
+
+}  // namespace detail
+
 // ---- pipelined versions (Figures 4 and 7) -----------------------------------
 
 // splitm (Figure 4): splits the available treap rooted at `t` by key `s`.
@@ -153,6 +258,17 @@ Fiber splitm_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
       ex.write(outR, static_cast<Node<P>*>(nullptr));
       if (outEq) ex.write(outEq, static_cast<Node<P>*>(nullptr));
       co_return;
+    }
+    if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+      std::size_t budget = thr;
+      if (detail::tree_avail<P>(t, budget)) {
+        ex.on_serial_cutoff();
+        detail::SerialSplit<P> sp = detail::splitm_serial(st, s, t);
+        publish(ex, outL, sp.less);
+        publish(ex, outR, sp.greater);
+        if (outEq) ex.write(outEq, sp.equal);
+        co_return;
+      }
     }
     ex.step();  // key comparison
     if (s < t->key) {
@@ -192,6 +308,14 @@ Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
     publish(ex, out, ta);
     co_return;
   }
+  if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+    std::size_t budget = thr;
+    if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
+      ex.on_serial_cutoff();
+      publish(ex, out, detail::union_serial(st, ta, tb));
+      co_return;
+    }
+  }
   ex.step();  // priority comparison
   if (ta->pri < tb->pri) std::swap(ta, tb);  // higher priority becomes root
   Node<P>* res = st.make(ta->key, ta->pri);
@@ -218,6 +342,15 @@ Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
     if (t2 == nullptr) {
       publish(ex, out, t1);
       co_return;
+    }
+    if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+      std::size_t budget = thr;
+      if (detail::tree_avail<P>(t1, budget) &&
+          detail::tree_avail<P>(t2, budget)) {
+        ex.on_serial_cutoff();
+        publish(ex, out, detail::join_serial(st, t1, t2));
+        co_return;
+      }
     }
     ex.step();  // priority comparison
     if (t1->pri >= t2->pri) {
@@ -257,6 +390,14 @@ Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
     publish(ex, out, t1);
     co_return;
   }
+  if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+    std::size_t budget = thr;
+    if (detail::tree_avail<P>(t1, budget) && detail::tree_avail<P>(t2, budget)) {
+      ex.on_serial_cutoff();
+      publish(ex, out, detail::diff_serial(st, t1, t2));
+      co_return;
+    }
+  }
   ex.step();
   Cell<P>* l2 = st.cell();
   Cell<P>* r2 = st.cell();
@@ -291,6 +432,14 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
   if (ta == nullptr || tb == nullptr) {
     ex.write(out, static_cast<Node<P>*>(nullptr));
     co_return;
+  }
+  if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+    std::size_t budget = thr;
+    if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
+      ex.on_serial_cutoff();
+      publish(ex, out, detail::intersect_serial(st, ta, tb));
+      co_return;
+    }
   }
   ex.step();  // priority comparison
   if (ta->pri < tb->pri) std::swap(ta, tb);  // recurse on the higher root

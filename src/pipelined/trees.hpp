@@ -124,6 +124,74 @@ Node<P>* peek(const Cell<P>* c) {
   return P::peek(c);
 }
 
+// ---- serial fast paths (granularity control) --------------------------------
+//
+// Below Ex::serial_threshold() the bodies stop forking one fiber per node
+// and run plain recursive code instead. The guard is availability-bounded:
+// tree_avail walks the subtree through its cells with a shared node budget
+// and succeeds only if every cell is already written within the budget — so
+// the serial path never parks, never blocks, and simply falls back to the
+// pipelined path when a producer is still running. Cost-model substrates
+// keep threshold 0, making every branch below dead there (recorded counts
+// are bit-identical).
+
+namespace detail {
+
+// True iff the subtree under `n` is fully materialized using at most
+// `budget` nodes (decremented; shared across sibling calls).
+template <typename P>
+bool tree_avail(const Node<P>* n, std::size_t& budget) {
+  if (n == nullptr) return true;
+  if (budget == 0) return false;
+  --budget;
+  if (!P::ready(n->left) || !P::ready(n->right)) return false;
+  return tree_avail<P>(P::peek(n->left), budget) &&
+         tree_avail<P>(P::peek(n->right), budget);
+}
+
+// split_strict without the coroutine: same structure, plain recursion.
+template <typename P>
+std::pair<Node<P>*, Node<P>*> split_serial(Store<P>& st, Key s, Node<P>* t) {
+  if (t == nullptr) return {nullptr, nullptr};
+  if (s <= t->key) {
+    auto [l1, r1] = split_serial(st, s, peek<P>(t->left));
+    return {l1, st.make(t->key, st.input(r1), t->right)};
+  }
+  auto [l1, r1] = split_serial(st, s, peek<P>(t->right));
+  return {st.make(t->key, t->left, st.input(l1)), r1};
+}
+
+template <typename P>
+Node<P>* merge_serial(Store<P>& st, Node<P>* a, Node<P>* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  auto [l2, r2] = split_serial(st, a->key, b);
+  return st.make_ready(a->key, merge_serial(st, peek<P>(a->left), l2),
+                       merge_serial(st, peek<P>(a->right), r2));
+}
+
+template <typename P>
+void collect_keys(const Node<P>* n, std::vector<Key>& out) {
+  if (n == nullptr) return;
+  collect_keys(peek<P>(n->left), out);
+  out.push_back(n->key);
+  collect_keys(peek<P>(n->right), out);
+}
+
+// measure without fork_join2: sequential size-annotated copy.
+template <typename P>
+Node<P>* measure_serial(Store<P>& st, Node<P>* n) {
+  if (n == nullptr) return nullptr;
+  Node<P>* l = measure_serial(st, peek<P>(n->left));
+  Node<P>* r = measure_serial(st, peek<P>(n->right));
+  Node<P>* copy = st.make_ready(n->key, l, r);
+  copy->lsize = l ? l->size : 0;
+  copy->size = 1 + copy->lsize + (r ? r->size : 0);
+  return copy;
+}
+
+}  // namespace detail
+
 // ---- pipelined merge (Figure 3) ---------------------------------------------
 
 // Splits the available tree rooted at `t` by key `s` into keys < s (written
@@ -138,6 +206,16 @@ Fiber split_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
       ex.write(outL, static_cast<Node<P>*>(nullptr));
       ex.write(outR, static_cast<Node<P>*>(nullptr));
       co_return;
+    }
+    if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+      std::size_t budget = thr;
+      if (detail::tree_avail<P>(t, budget)) {
+        ex.on_serial_cutoff();
+        auto [l, r] = detail::split_serial(st, s, t);
+        publish(ex, outL, l);
+        publish(ex, outR, r);
+        co_return;
+      }
     }
     ex.step();  // the key comparison
     if (s <= t->key) {  // keys >= s (including s itself) go to the right side
@@ -167,6 +245,14 @@ Fiber merge_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   if (tb == nullptr) {  // merge(A, Leaf) = A
     publish(ex, out, ta);
     co_return;
+  }
+  if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+    std::size_t budget = thr;
+    if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
+      ex.on_serial_cutoff();
+      publish(ex, out, detail::merge_serial(st, ta, tb));
+      co_return;
+    }
   }
   Node<P>* res = st.make(ta->key);
   Cell<P>* l2 = st.cell();
@@ -222,6 +308,13 @@ template <typename Ex, typename P = typename Ex::Policy>
 Task<Node<P>*> measure(Ex ex, Store<P>& st, Cell<P>* t) {
   Node<P>* n = co_await ex.touch(t);
   if (n == nullptr) co_return nullptr;
+  if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
+    std::size_t budget = thr;
+    if (detail::tree_avail<P>(n, budget)) {
+      ex.on_serial_cutoff();
+      co_return detail::measure_serial(st, n);
+    }
+  }
   auto [l, r] = co_await ex.fork_join2(measure(ex, st, n->left),
                                        measure(ex, st, n->right));
   Node<P>* copy = st.make_ready(n->key, l, r);
@@ -284,6 +377,24 @@ Fiber rebalance_into(Ex ex, Store<P>& st, Cell<P>* tree, std::uint64_t size,
     PWF_CHECK(t == nullptr);
     ex.write(out, static_cast<Node<P>*>(nullptr));
     co_return;
+  }
+  // Serial cutoff: size is known here, so the guard is exact — if the whole
+  // (size-annotated) input is already materialized and small, rebuild it
+  // perfectly balanced in one pass. Picking rank size/2 at every level is
+  // precisely build_balanced's mid split, so the output tree is the very
+  // tree the pipelined path would produce.
+  if (const std::size_t thr = ex.serial_threshold();
+      thr > 0 && size <= thr && P::ready(tree)) {
+    Node<P>* t = P::peek(tree);
+    std::size_t budget = thr;
+    if (detail::tree_avail<P>(t, budget)) {
+      ex.on_serial_cutoff();
+      std::vector<Key> keys;
+      keys.reserve(size);
+      detail::collect_keys<P>(t, keys);
+      publish(ex, out, st.build_balanced(keys));
+      co_return;
+    }
   }
   const std::uint64_t lcount = size / 2;  // median rank
   Cell<P>* lpart = st.cell();

@@ -260,11 +260,22 @@ Fiber insert_rec(Ex ex, Store<P>& st, TNode<P>* t, std::span<const Key> keys,
 template <typename Ex, typename P = typename Ex::Policy>
 Fiber descend_child(Ex ex, Store<P>& st, Cell<P>* child_cell,
                     std::span<const Key> keys, Assembly<P>& as) {
+  // Serial cutoff: below the threshold a child insertion runs inline on
+  // this worker (run_serial chains the frame by symmetric transfer) instead
+  // of going through the scheduler. Safe: everything an inline chain can
+  // suspend on was produced by fibers forked independently (earlier waves),
+  // so the dataflow stays acyclic and cannot deadlock.
+  const bool serial =
+      ex.serial_threshold() > 0 && keys.size() <= ex.serial_threshold();
+  if (serial) ex.on_serial_cutoff();
   TNode<P>* c = co_await ex.touch(child_cell);
   ex.step();  // the needs-split check
   if (!needs_split(c)) {
     Cell<P>* nc = st.cell();
-    ex.fork(insert_rec(ex, st, c, keys, nc));
+    if (serial)
+      co_await ex.run_serial(insert_rec(ex, st, c, keys, nc));
+    else
+      ex.fork(insert_rec(ex, st, c, keys, nc));
     as.add_child(nc);
     co_return;
   }
@@ -275,7 +286,10 @@ Fiber descend_child(Ex ex, Store<P>& st, Cell<P>* child_cell,
     as.add_child(st.input(sp.left));
   } else {
     Cell<P>* ncell = st.cell();
-    ex.fork(insert_rec(ex, st, sp.left, a1, ncell));
+    if (serial)
+      co_await ex.run_serial(insert_rec(ex, st, sp.left, a1, ncell));
+    else
+      ex.fork(insert_rec(ex, st, sp.left, a1, ncell));
     as.add_child(ncell);
   }
   as.add_key(sp.sep);
@@ -283,7 +297,10 @@ Fiber descend_child(Ex ex, Store<P>& st, Cell<P>* child_cell,
     as.add_child(st.input(sp.right));
   } else {
     Cell<P>* ncell = st.cell();
-    ex.fork(insert_rec(ex, st, sp.right, a2, ncell));
+    if (serial)
+      co_await ex.run_serial(insert_rec(ex, st, sp.right, a2, ncell));
+    else
+      ex.fork(insert_rec(ex, st, sp.right, a2, ncell));
     as.add_child(ncell);
   }
 }

@@ -1,0 +1,162 @@
+// Pooled allocation for coroutine frames (and other short-lived, same-sized
+// blocks). The runtime substrate allocates one coroutine frame per fork —
+// E13 showed the malloc/free pair dominating the per-future constant — so
+// the Fiber/Task promise types route frame storage through per-thread
+// size-class freelists: steady-state forks pop a warm block from the worker
+// that last freed one of the same class, and the heap is touched only to
+// grow the pool.
+//
+// Design:
+//   * size classes of 64 bytes up to 1 KiB; larger frames (rare: bodies with
+//     big locals) fall through to ::operator new and are counted as
+//     `oversize`;
+//   * allocation and release always use the *calling* thread's pool — a
+//     frame may be allocated on worker A and destroyed on worker B (work
+//     stealing moves frames freely), in which case the block simply migrates
+//     to B's freelist. Blocks are individually heap-allocated on a miss, so
+//     a pool can free any block regardless of origin;
+//   * per-class freelists are capped; releases beyond the cap return the
+//     block to the heap, bounding drift when producers and consumers of
+//     frames are persistently different threads;
+//   * hit/miss/oversize counters are relaxed atomics aggregated over a
+//     registry of live pools plus totals retired at thread exit
+//     (Scheduler::stats() surfaces them).
+//
+// The pool is substrate-neutral: cost-model runs allocate and free on one
+// thread and enjoy the same reuse. It adds no engine actions, so recorded
+// cost-model counts are unchanged (pinned by recorded_counts_test).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace pwf::rt {
+
+class FramePool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;      // allocations served from a freelist
+    std::uint64_t misses = 0;    // allocations that had to hit the heap
+    std::uint64_t oversize = 0;  // frames above the largest size class
+  };
+
+  // Pool-aware allocation entry points (promise operator new/delete).
+  static void* allocate(std::size_t bytes) { return local().alloc(bytes); }
+  static void release(void* p, std::size_t bytes) { local().free(p, bytes); }
+
+  // Process-wide counters across all threads that ever allocated.
+  static Stats stats();
+
+  // Touch the calling thread's pool (workers warm it at startup so the
+  // first fork does not pay the thread_local construction check).
+  static void warm() { local(); }
+
+ private:
+  static constexpr std::size_t kClassShift = 6;  // 64-byte classes
+  static constexpr std::size_t kClasses = 16;    // up to 1 KiB
+  static constexpr std::size_t kMaxPerClass = 4096;  // freelist length cap
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  struct Registry {
+    std::mutex mutex;
+    std::vector<const FramePool*> pools;
+    Stats retired;
+  };
+
+  // Leaked intentionally: thread_local pools deregister at thread exit, and
+  // exit order between thread-locals and function statics is otherwise a
+  // hazard.
+  static Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  static FramePool& local() {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  FramePool() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mutex);
+    r.pools.push_back(this);
+  }
+
+  ~FramePool() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mutex);
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (FreeNode* n = free_[c]; n != nullptr;) {
+        FreeNode* next = n->next;
+        ::operator delete(n);
+        n = next;
+      }
+    }
+    r.retired.hits += hits_.load(std::memory_order_relaxed);
+    r.retired.misses += misses_.load(std::memory_order_relaxed);
+    r.retired.oversize += oversize_.load(std::memory_order_relaxed);
+    std::erase(r.pools, this);
+  }
+
+  static std::size_t class_of(std::size_t bytes) {
+    return (bytes + (std::size_t{1} << kClassShift) - 1) >> kClassShift;
+  }
+  static std::size_t class_bytes(std::size_t cls) { return cls << kClassShift; }
+
+  void* alloc(std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    if (cls >= kClasses) {
+      oversize_.fetch_add(1, std::memory_order_relaxed);
+      return ::operator new(bytes);
+    }
+    if (FreeNode* n = free_[cls]) {
+      free_[cls] = n->next;
+      --count_[cls];
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return n;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(class_bytes(cls));
+  }
+
+  void free(void* p, std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    if (cls >= kClasses || count_[cls] >= kMaxPerClass) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* n = static_cast<FreeNode*>(p);
+    n->next = free_[cls];
+    free_[cls] = n;
+    ++count_[cls];
+  }
+
+  // Freelists are thread-private; the counters are atomics only so that
+  // stats() may read them from another thread (uncontended relaxed ops).
+  FreeNode* free_[kClasses] = {};
+  std::size_t count_[kClasses] = {};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> oversize_{0};
+};
+
+inline FramePool::Stats FramePool::stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  Stats s = r.retired;
+  for (const FramePool* p : r.pools) {
+    s.hits += p->hits_.load(std::memory_order_relaxed);
+    s.misses += p->misses_.load(std::memory_order_relaxed);
+    s.oversize += p->oversize_.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace pwf::rt

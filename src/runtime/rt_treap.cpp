@@ -32,6 +32,13 @@ Node* union_strict_blocking(Store& st, Node* a, Node* b) {
   return result->wait_blocking();
 }
 
+Node* diff_strict_blocking(Store& st, Node* a, Node* b) {
+  pl::RtExec ex;
+  Cell* result = st.cell();
+  ex.fork(pl::deliver(pl::treap::diff_strict(ex, st, a, b), result));
+  return result->wait_blocking();
+}
+
 namespace {
 void wait_collect(Cell* c, std::vector<Key>& out) {
   Node* n = c->wait_blocking();

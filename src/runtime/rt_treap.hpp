@@ -26,10 +26,11 @@ Cell* union_treaps(Store& st, Cell* a, Cell* b);
 Cell* diff_treaps(Store& st, Cell* a, Cell* b);
 Cell* intersect_treaps(Store& st, Cell* a, Cell* b);
 
-// Strict fork-join union baseline on the runtime (same body as the cost
-// model's union_strict). Blocks the calling thread until the result treap is
-// complete.
+// Strict fork-join baselines on the runtime (same bodies as the cost
+// model's union_strict/diff_strict). Block the calling thread until the
+// result treap is complete.
 Node* union_strict_blocking(Store& st, Node* a, Node* b);
+Node* diff_strict_blocking(Store& st, Node* a, Node* b);
 
 // Joins the computation: waits for every reachable cell, returns in-order
 // keys.

@@ -41,6 +41,13 @@ Node* merge_strict_blocking(Store& st, Node* a, Node* b) {
   return result->wait_blocking();
 }
 
+Node* mergesort_strict_blocking(Store& st, std::span<const Key> values) {
+  pl::RtExec ex;
+  Cell* result = st.cell();
+  ex.fork(pl::deliver(pl::trees::msort_strict(ex, st, values), result));
+  return result->wait_blocking();
+}
+
 Node* peek(const Cell* c) { return pl::trees::peek<pl::RtPolicy>(c); }
 
 void collect_inorder(const Node* root, std::vector<Key>& out) {

@@ -41,10 +41,11 @@ Cell* rebalance(Store& st, Cell* tree);
 // Θ(lg² n) critical path, height-optimal output; cf. algos mergesort_balanced).
 Cell* mergesort_balanced(Store& st, std::span<const Key> values);
 
-// Strict fork-join merge baseline on the runtime (the same body as the cost
-// model's merge_strict, on RtExec). Blocks the calling thread until the
-// result tree is complete.
+// Strict fork-join baselines on the runtime (the same bodies as the cost
+// model's merge_strict/msort_strict, on RtExec). Block the calling thread
+// until the result tree is complete.
 Node* merge_strict_blocking(Store& st, Node* a, Node* b);
+Node* mergesort_strict_blocking(Store& st, std::span<const Key> values);
 
 // ---- validation helpers (post-completion) -----------------------------------
 

@@ -8,6 +8,15 @@ Cell* bulk_insert(Store& st, Cell* root, std::span<const Key> sorted) {
   return pl::ttree::bulk_insert(pl::RtExec{}, st, root, sorted);
 }
 
+TNode* bulk_insert_strict_blocking(Store& st, TNode* root,
+                                   std::span<const Key> sorted) {
+  pl::RtExec ex;
+  Cell* result = st.cell();
+  ex.fork(pl::deliver(pl::ttree::bulk_insert_strict(ex, st, root, sorted),
+                      result));
+  return result->wait_blocking();
+}
+
 namespace {
 
 void wait_collect(Cell* c, std::vector<Key>& out) {

@@ -28,6 +28,11 @@ using Store = pipelined::ttree::Store<pipelined::RtPolicy>;
 // Returns the final root cell.
 Cell* bulk_insert(Store& st, Cell* root, std::span<const Key> sorted);
 
+// Strict wave-by-wave baseline (same body as the cost model's
+// bulk_insert_strict). Blocks the calling thread until the tree is complete.
+TNode* bulk_insert_strict_blocking(Store& st, TNode* root,
+                                   std::span<const Key> sorted);
+
 // ---- joins / validation -----------------------------------------------------
 
 // Waits for every reachable cell; returns all keys in order.

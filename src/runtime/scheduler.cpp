@@ -25,6 +25,11 @@ Scheduler::Stats Scheduler::stats() const {
   s.resumed = resumed_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
   s.injected = injected_.load(std::memory_order_relaxed);
+  s.inject_overflows = inject_overflows_.load(std::memory_order_relaxed);
+  s.serial_cutoffs = serial_cutoffs_.load(std::memory_order_relaxed);
+  const FramePool::Stats pool = FramePool::stats();
+  s.frame_pool_hits = pool.hits;
+  s.frame_pool_misses = pool.misses;
   return s;
 }
 
@@ -66,8 +71,14 @@ void Scheduler::post(std::coroutine_handle<> h) {
     workers_[t_worker_index]->deque.push(h.address());
   } else {
     injected_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(inject_mutex_);
-    inject_.push_back(h);
+    if (!inject_ring_.push(h.address())) {
+      // Ring full: spill to the mutex path so posts never block or drop.
+      inject_overflows_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(inject_mutex_);
+      inject_overflow_.push_back(h);
+      overflow_count_.store(inject_overflow_.size(),
+                            std::memory_order_release);
+    }
   }
   // Wake a parked worker if any (cheap check without the lock would race
   // with the park decision; take the lock — posts are not the hot path
@@ -83,11 +94,17 @@ std::coroutine_handle<> Scheduler::find_work(unsigned index) {
   Worker& me = *workers_[index];
   if (void* p = me.deque.pop())
     return std::coroutine_handle<>::from_address(p);
-  {
+  if (void* p = inject_ring_.pop())
+    return std::coroutine_handle<>::from_address(p);
+  // The overflow vector is only populated when the ring filled up; the
+  // atomic count lets the common case skip the mutex entirely.
+  if (overflow_count_.load(std::memory_order_acquire) != 0) {
     std::lock_guard<std::mutex> lk(inject_mutex_);
-    if (!inject_.empty()) {
-      auto h = inject_.back();
-      inject_.pop_back();
+    if (!inject_overflow_.empty()) {
+      auto h = inject_overflow_.back();
+      inject_overflow_.pop_back();
+      overflow_count_.store(inject_overflow_.size(),
+                            std::memory_order_release);
       return h;
     }
   }
@@ -110,6 +127,7 @@ std::coroutine_handle<> Scheduler::find_work(unsigned index) {
 void Scheduler::worker_loop(unsigned index) {
   t_worker_index = static_cast<int>(index);
   t_worker_scheduler = this;
+  FramePool::warm();
 #if PWF_ANALYZE
   rt::analyze::set_worker(static_cast<int>(index));
 #endif

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "runtime/deque.hpp"
+#include "runtime/frame_pool.hpp"
+#include "runtime/inject_ring.hpp"
 #include "support/check.hpp"
 #include "support/random.hpp"
 
@@ -45,12 +47,24 @@ class Scheduler {
 
   // Observability: aggregate counters since construction (approximate —
   // relaxed atomics, intended for monitoring and tests, not invariants).
+  // The frame-pool counters are process-wide (the pool outlives schedulers
+  // and is shared with cost-model runs), not per-Scheduler.
   struct Stats {
-    std::uint64_t resumed = 0;        // coroutine resumptions executed
-    std::uint64_t steals = 0;         // successful steals
-    std::uint64_t injected = 0;       // posts from non-worker threads
+    std::uint64_t resumed = 0;           // coroutine resumptions executed
+    std::uint64_t steals = 0;            // successful steals
+    std::uint64_t injected = 0;          // posts from non-worker threads
+    std::uint64_t inject_overflows = 0;  // posts that missed the ring
+    std::uint64_t serial_cutoffs = 0;    // substrate serial-path activations
+    std::uint64_t frame_pool_hits = 0;   // frames served from a freelist
+    std::uint64_t frame_pool_misses = 0; // frames that hit the heap
   };
   Stats stats() const;
+
+  // Called by RtExec when a body takes its serial fast path instead of
+  // forking (see docs/substrates.md on serial_threshold()).
+  void note_serial_cutoff() {
+    serial_cutoffs_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   struct Worker {
@@ -64,9 +78,14 @@ class Scheduler {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  // Injection queue for posts from non-worker threads.
+  // Injection queue for posts from non-worker threads: a bounded lock-free
+  // ring on the fast path, with a mutex-guarded overflow vector when the
+  // ring fills (overflow_count_ lets workers skip the mutex when empty).
+  static constexpr std::size_t kInjectCapacity = 1024;
+  InjectRing inject_ring_{kInjectCapacity};
   std::mutex inject_mutex_;
-  std::vector<std::coroutine_handle<>> inject_;
+  std::vector<std::coroutine_handle<>> inject_overflow_;
+  std::atomic<std::size_t> overflow_count_{0};
 
   // Parking lot.
   std::mutex park_mutex_;
@@ -78,6 +97,8 @@ class Scheduler {
   std::atomic<std::uint64_t> resumed_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> inject_overflows_{0};
+  std::atomic<std::uint64_t> serial_cutoffs_{0};
 };
 
 // Spawned computation: a detached coroutine. It starts suspended (the spawn
@@ -86,6 +107,16 @@ class Scheduler {
 // exclusively through future cells, as in the paper's model.
 struct Fiber {
   struct promise_type {
+    // Frames are pooled like the substrate-templated bodies' (see
+    // pipelined::PooledFrame): only the sized delete, so the pool can
+    // find the size class.
+    static void* operator new(std::size_t bytes) {
+      return FramePool::allocate(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) {
+      FramePool::release(p, bytes);
+    }
+
     Fiber get_return_object() {
       return Fiber{std::coroutine_handle<promise_type>::from_promise(*this)};
     }

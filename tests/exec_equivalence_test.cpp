@@ -315,5 +315,211 @@ TEST_P(ExecEquivalence, ProducerConsumer) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecEquivalence, ::testing::Values(0, 1, 2));
 
+// ---- serial-threshold straddle ----------------------------------------------
+// RtExec bottoms out in tight sequential loops below kDefaultSerialThreshold;
+// these sizes pin the handoff between the serial fast path and the forking
+// path: threshold-1, threshold, threshold+1 and 2*threshold must agree with
+// the sequential oracle on every substrate. The Cm substrates have threshold
+// 0 (the cutoff branches are dead there) and run as the control group.
+
+class ExecEquivalenceThreshold : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(ExecEquivalenceThreshold, TreeMergeAndRebalance) {
+  const std::size_t n = GetParam();
+  const auto a = random_keys(n, 2 * n + 1);
+  const auto b = random_keys(n, 2 * n + 2);
+  std::vector<Key> oracle;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(oracle));
+
+  {
+    cm::Engine eng;  // CmExec
+    trees::Store st(eng);
+    trees::TreeCell* out = trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    std::vector<Key> got;
+    trees::collect_inorder(trees::peek(out), got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    cm::Engine eng;  // CmStrictExec
+    trees::Store st(eng);
+    std::vector<Key> got;
+    trees::collect_inorder(
+        trees::merge_strict(st, st.build_balanced(a), st.build_balanced(b)),
+        got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec: merge, strict merge, and rebalance
+    rt::trees::Store st;
+    rt::trees::Cell* merged = rt::trees::merge(
+        st, st.input(st.build_balanced(a)), st.input(st.build_balanced(b)));
+    EXPECT_EQ(rt::trees::wait_inorder(merged), oracle);
+    std::vector<Key> got;
+    rt::trees::collect_inorder(
+        rt::trees::merge_strict_blocking(st, st.build_balanced(a),
+                                         st.build_balanced(b)),
+        got);
+    EXPECT_EQ(got, oracle);
+    rt::trees::Cell* balanced = rt::trees::rebalance(
+        st, rt::trees::merge(st, st.input(st.build_balanced(a)),
+                             st.input(st.build_balanced(b))));
+    EXPECT_EQ(rt::trees::wait_inorder(balanced), oracle);
+  }
+}
+
+TEST_P(ExecEquivalenceThreshold, TreapSetOps) {
+  const std::size_t n = GetParam();
+  const auto a = random_keys(n, 3 * n + 1);
+  const auto b = random_keys(n, 3 * n + 2);
+  std::vector<Key> u, d, i;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(u));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(d));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(i));
+
+  {
+    cm::Engine eng;  // CmExec
+    treap::Store st(eng);
+    const auto run = [&](treap::TreapCell* (*op)(treap::Store&,
+                                                 treap::TreapCell*,
+                                                 treap::TreapCell*),
+                         const std::vector<Key>& expected) {
+      treap::TreapCell* out =
+          op(st, st.input(st.build(a)), st.input(st.build(b)));
+      std::vector<Key> got;
+      treap::collect_inorder(treap::peek(out), got);
+      EXPECT_EQ(got, expected);
+      EXPECT_TRUE(treap::validate(st, treap::peek(out)));
+    };
+    run(treap::union_treaps, u);
+    run(treap::diff_treaps, d);
+    run(treap::intersect_treaps, i);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec, pipelined + strict
+    rt::treap::Store st;
+    const auto run = [&](rt::treap::Cell* (*op)(rt::treap::Store&,
+                                                rt::treap::Cell*,
+                                                rt::treap::Cell*),
+                         const std::vector<Key>& expected) {
+      rt::treap::Cell* out =
+          op(st, st.input(st.build(a)), st.input(st.build(b)));
+      EXPECT_EQ(rt::treap::wait_inorder(out), expected);
+      EXPECT_TRUE(rt::treap::validate(st, out));
+    };
+    run(rt::treap::union_treaps, u);
+    run(rt::treap::diff_treaps, d);
+    run(rt::treap::intersect_treaps, i);
+    EXPECT_EQ(rt::treap::wait_inorder(st.input(rt::treap::union_strict_blocking(
+                  st, st.build(a), st.build(b)))),
+              u);
+    EXPECT_EQ(rt::treap::wait_inorder(st.input(rt::treap::diff_strict_blocking(
+                  st, st.build(a), st.build(b)))),
+              d);
+  }
+}
+
+TEST_P(ExecEquivalenceThreshold, TtreeBulkInsert) {
+  const std::size_t n = GetParam();
+  const auto base = random_keys(n, 5 * n + 1);
+  const auto extra = random_keys(n, 5 * n + 2);
+  std::set<Key> ref(base.begin(), base.end());
+  ref.insert(extra.begin(), extra.end());
+  const std::vector<Key> oracle(ref.begin(), ref.end());
+
+  {
+    cm::Engine eng;  // CmExec
+    ttree::Store st(eng);
+    ttree::TCell* out =
+        ttree::bulk_insert(st, st.input(st.build(base, 3)), extra);
+    std::vector<Key> got;
+    ttree::collect_keys(ttree::peek(out), got);
+    EXPECT_EQ(got, oracle);
+    EXPECT_TRUE(ttree::validate(ttree::peek(out)));
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec, pipelined + strict
+    rt::ttree::Store st;
+    rt::ttree::Cell* out =
+        rt::ttree::bulk_insert(st, st.input(st.build(base, 3)), extra);
+    EXPECT_EQ(rt::ttree::wait_keys(out), oracle);
+    EXPECT_TRUE(rt::ttree::validate(out));
+    rt::ttree::TNode* s = rt::ttree::bulk_insert_strict_blocking(
+        st, st.build(base, 3), extra);
+    EXPECT_EQ(rt::ttree::wait_keys(st.input(s)), oracle);
+  }
+}
+
+TEST_P(ExecEquivalenceThreshold, Mergesort) {
+  const std::size_t n = GetParam();
+  auto values = random_keys(n, 7 * n + 1);
+  Rng rng(7 * n + 2);
+  for (std::size_t k = values.size(); k > 1; --k) {
+    std::swap(values[k - 1],
+              values[static_cast<std::size_t>(rng.range(0, k - 1))]);
+  }
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  {
+    cm::Engine eng;  // CmExec, plain + balanced
+    trees::Store st(eng);
+    std::vector<Key> got;
+    trees::collect_inorder(trees::peek(algos::mergesort(st, values)), got);
+    EXPECT_EQ(got, oracle);
+    got.clear();
+    trees::collect_inorder(trees::peek(algos::mergesort_balanced(st, values)),
+                           got);
+    EXPECT_EQ(got, oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec, plain + balanced + strict
+    rt::trees::Store st;
+    EXPECT_EQ(rt::trees::wait_inorder(rt::trees::mergesort(st, values)),
+              oracle);
+    EXPECT_EQ(
+        rt::trees::wait_inorder(rt::trees::mergesort_balanced(st, values)),
+        oracle);
+    std::vector<Key> got;
+    rt::trees::collect_inorder(
+        rt::trees::mergesort_strict_blocking(st, values), got);
+    EXPECT_EQ(got, oracle);
+  }
+}
+
+TEST_P(ExecEquivalenceThreshold, QuicksortAndProducerConsumer) {
+  const std::size_t n = GetParam();
+  const auto values = random_values(n, 11 * n + 1);
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+  const auto ni = static_cast<std::int64_t>(n);
+  const std::int64_t sum_oracle = ni * (ni + 1) / 2;
+
+  {
+    cm::Engine eng;  // CmExec
+    algos::ListStore st(eng);
+    EXPECT_EQ(algos::peek_list(algos::quicksort(st, values)), oracle);
+    EXPECT_EQ(algos::produce_consume(st, ni).sum, sum_oracle);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec
+    rt::list::Store st;
+    EXPECT_EQ(rt::list::wait_list(rt::list::quicksort(st, values)), oracle);
+    EXPECT_EQ(rt::list::produce_consume_sum(st, ni), sum_oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ExecEquivalenceThreshold,
+    ::testing::Values(pipelined::RtExec::kDefaultSerialThreshold - 1,
+                      pipelined::RtExec::kDefaultSerialThreshold,
+                      pipelined::RtExec::kDefaultSerialThreshold + 1,
+                      2 * pipelined::RtExec::kDefaultSerialThreshold));
+
 }  // namespace
 }  // namespace pwf

@@ -1,0 +1,145 @@
+// Tests for the fast-path runtime pieces behind E23: the per-thread coroutine
+// frame pool, the bounded MPMC injection ring with its mutex overflow
+// fallback, and the Scheduler stats that surface both (plus the serial-cutoff
+// counter the granularity control bumps).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/frame_pool.hpp"
+#include "runtime/inject_ring.hpp"
+#include "runtime/rt_trees.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace pwf::rt {
+namespace {
+
+TEST(RtFramePool, ReusesFreedBlocksLifo) {
+  const FramePool::Stats before = FramePool::stats();
+  void* p = FramePool::allocate(192);
+  FramePool::release(p, 192);
+  void* q = FramePool::allocate(192);
+  EXPECT_EQ(q, p);  // freelists are LIFO: the freshest block comes back first
+  FramePool::release(q, 192);
+  const FramePool::Stats after = FramePool::stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+}
+
+TEST(RtFramePool, SharesFreelistWithinSizeClass) {
+  // 200 and 250 bytes round up to the same 256-byte class, so a block freed
+  // at one size serves an allocation at the other.
+  void* p = FramePool::allocate(200);
+  FramePool::release(p, 200);
+  void* q = FramePool::allocate(250);
+  EXPECT_EQ(q, p);
+  FramePool::release(q, 250);
+}
+
+TEST(RtFramePool, OversizeBypassesPool) {
+  const FramePool::Stats before = FramePool::stats();
+  void* p = FramePool::allocate(4096);
+  ASSERT_NE(p, nullptr);
+  FramePool::release(p, 4096);
+  const FramePool::Stats after = FramePool::stats();
+  EXPECT_GE(after.oversize, before.oversize + 1);
+  // Oversize blocks never enter a freelist, so hits cannot come from them.
+}
+
+TEST(RtInjectRing, FifoWithinCapacity) {
+  InjectRing ring(8);
+  EXPECT_EQ(ring.pop(), nullptr);
+  const std::uintptr_t base = 0x1000;
+  for (std::uintptr_t i = 0; i < 8; ++i)
+    EXPECT_TRUE(ring.push(reinterpret_cast<void*>(base + i)));
+  EXPECT_FALSE(ring.push(reinterpret_cast<void*>(base + 99)));  // full
+  for (std::uintptr_t i = 0; i < 8; ++i)
+    EXPECT_EQ(ring.pop(), reinterpret_cast<void*>(base + i));
+  EXPECT_EQ(ring.pop(), nullptr);  // empty again
+}
+
+TEST(RtInjectRing, RecoversAfterPop) {
+  InjectRing ring(4);
+  const std::uintptr_t base = 0x2000;
+  for (std::uintptr_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(ring.push(reinterpret_cast<void*>(base + i)));
+  ASSERT_FALSE(ring.push(reinterpret_cast<void*>(base + 4)));
+  EXPECT_EQ(ring.pop(), reinterpret_cast<void*>(base + 0));
+  EXPECT_TRUE(ring.push(reinterpret_cast<void*>(base + 4)));  // slot freed
+  for (std::uintptr_t i = 1; i <= 4; ++i)
+    EXPECT_EQ(ring.pop(), reinterpret_cast<void*>(base + i));
+  EXPECT_EQ(ring.pop(), nullptr);
+}
+
+Fiber spin_until(std::atomic<bool>* started, std::atomic<bool>* release) {
+  started->store(true, std::memory_order_release);
+  while (!release->load(std::memory_order_acquire)) std::this_thread::yield();
+  co_return;
+}
+
+Fiber bump(std::atomic<int>* done) {
+  done->fetch_add(1, std::memory_order_acq_rel);
+  co_return;
+}
+
+TEST(RtSchedulerStats, InjectOverflowFallbackDeliversAll) {
+  Scheduler sched(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  // Pin the lone worker inside a spinning fiber so nothing drains the ring,
+  // then inject more posts than its capacity (1024): the excess must take
+  // the mutex-guarded overflow path and still be executed afterwards.
+  sched.post(spin_until(&started, &release).handle);
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  constexpr int kPosts = 1500;
+  for (int i = 0; i < kPosts; ++i) sched.post(bump(&done).handle);
+  release.store(true, std::memory_order_release);
+  while (done.load(std::memory_order_acquire) < kPosts)
+    std::this_thread::yield();
+  const Scheduler::Stats st = sched.stats();
+  EXPECT_EQ(done.load(), kPosts);
+  EXPECT_GT(st.inject_overflows, 0u);
+  EXPECT_GE(st.injected, static_cast<std::uint64_t>(kPosts));
+}
+
+TEST(RtSchedulerStats, SerialCutoffsCounted) {
+  Scheduler sched(1);
+  trees::Store st;
+  // Two 64-key trees are below the default serial threshold (128), and both
+  // inputs are preset, so the merge body takes its serial fast path.
+  std::vector<std::int64_t> a, b;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    a.push_back(2 * i);
+    b.push_back(2 * i + 1);
+  }
+  trees::Cell* out = trees::merge(st, st.input(st.build_balanced(a)),
+                                  st.input(st.build_balanced(b)));
+  EXPECT_EQ(trees::wait_inorder(out).size(), 128u);
+  EXPECT_GT(sched.stats().serial_cutoffs, 0u);
+}
+
+TEST(RtSchedulerStats, FramePoolHitsGrowUnderLoad) {
+  Scheduler sched(1);
+  trees::Store st;
+  std::vector<std::int64_t> a, b;
+  for (std::int64_t i = 0; i < 512; ++i) {
+    a.push_back(2 * i);
+    b.push_back(2 * i + 1);
+  }
+  // A 512-key merge forks above the cutoff; the worker allocates and frees
+  // fiber frames continuously, so its pool must start serving from the
+  // freelist within the run (and certainly across two runs).
+  const std::uint64_t before = sched.stats().frame_pool_hits;
+  for (int round = 0; round < 2; ++round) {
+    trees::Cell* out = trees::merge(st, st.input(st.build_balanced(a)),
+                                    st.input(st.build_balanced(b)));
+    EXPECT_EQ(trees::wait_inorder(out).size(), 1024u);
+  }
+  EXPECT_GT(sched.stats().frame_pool_hits, before);
+}
+
+}  // namespace
+}  // namespace pwf::rt
