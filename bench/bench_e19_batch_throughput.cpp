@@ -3,97 +3,196 @@
 // runtime. Like E13 this is an overhead study on a 1-core host (the paper's
 // p-scaling story is E9); the interesting number is the per-batch cost of
 // "one pipelined union" vs "m ordered-map updates".
-#include <benchmark/benchmark.h>
-
+//
+// Formerly a google-benchmark binary; now the standard Cli + JsonWriter
+// harness shape (E23/E24) so CI can smoke it and check in BENCH_e19.json.
+//
+// Flags: --smoke (tiny sizes, 2 reps), --out=FILE, --reps=N, --threads=N.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "runtime/parallel_map.hpp"
 #include "runtime/parallel_set.hpp"
 #include "runtime/scheduler.hpp"
+#include "support/cli.hpp"
 
 using namespace pwf;
 
 namespace {
 
-void BM_ParallelSetInsertBatch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto m = static_cast<std::size_t>(state.range(1));
+struct Sample {
+  std::string workload;
+  std::string variant;  // facade | std
+  std::int64_t n = 0;   // base structure size
+  std::int64_t m = 0;   // batch size (items per repetition)
+  double ms = 0.0;
+};
+
+struct Check {
+  std::string claim;
+  bool pass = false;
+};
+
+std::vector<Sample> g_samples;
+std::vector<Check> g_checks;
+
+void record(Sample s) {
+  std::printf("  %-14s %-7s n=%-6lld m=%-6lld %9.3f ms  %8.2f Mitems/s\n",
+              s.workload.c_str(), s.variant.c_str(),
+              static_cast<long long>(s.n), static_cast<long long>(s.m), s.ms,
+              static_cast<double>(s.m) / (s.ms * 1e3));
+  g_samples.push_back(std::move(s));
+}
+
+void check(std::string claim, bool pass) {
+  bench::verdict(claim.c_str(), pass);
+  g_checks.push_back({std::move(claim), pass});
+}
+
+template <typename F>
+double median_ms(int reps, F&& body) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void run_set_insert(rt::Scheduler& sched, std::size_t n, std::size_t m,
+                    int reps) {
   const auto base = bench::random_keys(n, 1);
   const auto batch = bench::random_keys(m, 2);
-  rt::Scheduler sched(2);
-  for (auto _ : state) {
-    state.PauseTiming();
-    rt::ParallelSet s(sched, base);
-    state.ResumeTiming();
-    s.insert_batch(batch);
-    benchmark::DoNotOptimize(s.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(m));
-}
-BENCHMARK(BM_ParallelSetInsertBatch)
-    ->Args({1 << 14, 1 << 10})
-    ->Args({1 << 14, 1 << 14})
-    ->Unit(benchmark::kMillisecond);
+  const auto ni = static_cast<std::int64_t>(n);
+  const auto mi = static_cast<std::int64_t>(m);
 
-void BM_StdSetInsertLoop(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto m = static_cast<std::size_t>(state.range(1));
-  const auto base = bench::random_keys(n, 1);
-  const auto batch = bench::random_keys(m, 2);
-  for (auto _ : state) {
-    state.PauseTiming();
-    std::set<std::int64_t> s(base.begin(), base.end());
-    state.ResumeTiming();
-    for (auto k : batch) s.insert(k);
-    benchmark::DoNotOptimize(s.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(m));
-}
-BENCHMARK(BM_StdSetInsertLoop)
-    ->Args({1 << 14, 1 << 10})
-    ->Args({1 << 14, 1 << 14})
-    ->Unit(benchmark::kMillisecond);
+  std::size_t facade_size = 0;
+  record({"set_insert", "facade", ni, mi, median_ms(reps, [&] {
+            rt::ParallelSet s(sched, base);
+            s.insert_batch(batch);
+            facade_size = s.size();  // joins the batch
+          })});
 
-void BM_ParallelMapAggregate(benchmark::State& state) {
-  const auto m = static_cast<std::size_t>(state.range(0));
+  std::size_t std_size = 0;
+  record({"set_insert", "std", ni, mi, median_ms(reps, [&] {
+            std::set<std::int64_t> s(base.begin(), base.end());
+            for (auto k : batch) s.insert(k);
+            std_size = s.size();
+          })});
+
+  char claim[96];
+  std::snprintf(claim, sizeof(claim),
+                "set_insert n=%lld m=%lld: facade size == std::set size",
+                static_cast<long long>(ni), static_cast<long long>(mi));
+  check(claim, facade_size == std_size);
+}
+
+void run_map_aggregate(rt::Scheduler& sched, std::size_t m, int reps) {
   Rng rng(3);
   std::vector<std::pair<std::int64_t, std::int64_t>> batch;
   for (std::size_t i = 0; i < m; ++i)
     batch.emplace_back(rng.range(0, 1 << 12), 1);
-  rt::Scheduler sched(2);
   const auto add = [](std::int64_t a, std::int64_t b) { return a + b; };
-  for (auto _ : state) {
-    rt::ParallelMap<std::int64_t> idx(sched);
-    for (int shard = 0; shard < 4; ++shard) idx.insert_batch(batch, add);
-    benchmark::DoNotOptimize(idx.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
-                          static_cast<std::int64_t>(m));
-}
-BENCHMARK(BM_ParallelMapAggregate)->Arg(1 << 12)->Unit(
-    benchmark::kMillisecond);
+  const auto mi = static_cast<std::int64_t>(4 * m);
 
-void BM_StdMapAggregate(benchmark::State& state) {
-  const auto m = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
-  std::vector<std::pair<std::int64_t, std::int64_t>> batch;
-  for (std::size_t i = 0; i < m; ++i)
-    batch.emplace_back(rng.range(0, 1 << 12), 1);
-  for (auto _ : state) {
-    std::map<std::int64_t, std::int64_t> idx;
-    for (int shard = 0; shard < 4; ++shard)
-      for (const auto& [k, v] : batch) idx[k] += v;
-    benchmark::DoNotOptimize(idx.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
-                          static_cast<std::int64_t>(m));
+  std::size_t facade_size = 0;
+  record({"map_aggregate", "facade", 0, mi, median_ms(reps, [&] {
+            rt::ParallelMap<std::int64_t> idx(sched);
+            for (int shard = 0; shard < 4; ++shard)
+              idx.insert_batch(batch, add);
+            facade_size = idx.size();  // joins the pipeline
+          })});
+
+  std::size_t std_size = 0;
+  record({"map_aggregate", "std", 0, mi, median_ms(reps, [&] {
+            std::map<std::int64_t, std::int64_t> idx;
+            for (int shard = 0; shard < 4; ++shard)
+              for (const auto& [k, v] : batch) idx[k] += v;
+            std_size = idx.size();
+          })});
+
+  check("map_aggregate: facade size == std::map size",
+        facade_size == std_size);
 }
-BENCHMARK(BM_StdMapAggregate)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+void write_json(const std::string& path, bool smoke, unsigned threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  bench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "e19_batch_throughput");
+  w.field("smoke", smoke);
+  w.field("threads", static_cast<std::int64_t>(threads));
+  w.key("results");
+  w.begin_array();
+  for (const Sample& s : g_samples) {
+    w.begin_object();
+    w.field("workload", s.workload);
+    w.field("variant", s.variant);
+    w.field("n", s.n);
+    w.field("m", s.m);
+    w.field("ms", s.ms);
+    w.field("mitems_per_s", static_cast<double>(s.m) / (s.ms * 1e3));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("checks");
+  w.begin_array();
+  for (const Check& c : g_checks) {
+    w.begin_object();
+    w.field("claim", c.claim);
+    w.field("pass", c.pass);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu samples, %zu checks)\n", path.c_str(),
+              g_samples.size(), g_checks.size());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, {{"smoke", "false"},
+                             {"out", "BENCH_e19.json"},
+                             {"reps", "0"},
+                             {"threads", "2"}});
+  const bool smoke = cli.get_bool("smoke");
+  const int reps = cli.get_int("reps") > 0
+                       ? static_cast<int>(cli.get_int("reps"))
+                       : (smoke ? 2 : 11);
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+
+  std::printf("E19: facade batch throughput vs std containers, "
+              "%u workers, %d reps (median)\n",
+              threads, reps);
+
+  rt::Scheduler sched(threads);
+  const std::size_t n = smoke ? 1 << 10 : 1 << 14;
+  run_set_insert(sched, n, smoke ? 1 << 8 : 1 << 10, reps);
+  run_set_insert(sched, n, n, reps);
+  run_map_aggregate(sched, smoke ? 1 << 8 : 1 << 12, reps);
+
+  write_json(cli.get_str("out"), smoke, threads);
+
+  int failures = 0;
+  for (const Check& c : g_checks)
+    if (!c.pass) ++failures;
+  return failures == 0 ? 0 : 1;
+}

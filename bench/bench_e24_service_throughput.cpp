@@ -1,0 +1,410 @@
+// E24 — service-layer batch throughput: streams of batches driven through
+// the ParallelSet / ParallelMap facades in three service configurations:
+//
+//   sync      — flush() after every batch (the pre-pipelining facade
+//               behavior: each batch joins and recounts before the next);
+//   pipelined — batches chain onto the still-materializing root and flush
+//               once at the end of the stream (the tentpole contract);
+//   sharded   — ShardedParallelSet/-Map with independent per-shard
+//               pipelines, flushed once at the end.
+//
+// Like E13/E19/E23 this is an overhead study on a small host: the
+// interesting numbers are (a) how much per-batch quiescence costs a batch
+// *stream*, and (b) that pipelining recovers it, evidenced by the facade's
+// overlap/pending counters. Every configuration is verified against a
+// std::set / std::map oracle fold of the same stream.
+//
+// Flags: --smoke (tiny sizes, 2 reps), --out=FILE, --reps=N,
+// --max_threads=N, --shards=N.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "runtime/parallel_map.hpp"
+#include "runtime/parallel_set.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sharded_map.hpp"
+#include "runtime/sharded_set.hpp"
+#include "support/cli.hpp"
+
+using namespace pwf;
+
+namespace {
+
+constexpr double kTargetSpeedup = 1.5;  // pipelined vs sync at >= 2 threads
+
+struct Sample {
+  std::string workload;
+  std::string variant;  // sync | pipelined | sharded
+  std::int64_t threads = 0;
+  std::int64_t batches = 0;
+  std::int64_t batch_size = 0;
+  std::int64_t items = 0;  // keys (or kv pairs) streamed per repetition
+  double ms = 0.0;
+  std::int64_t overlapped = 0;   // facade stats from the last repetition
+  std::int64_t max_pending = 0;
+};
+
+struct Check {
+  std::string claim;
+  bool pass = false;
+};
+
+std::vector<Sample> g_samples;
+std::vector<Check> g_checks;
+
+void record(Sample s) {
+  std::printf("  %-13s %-9s t=%lld %9.3f ms  %8.2f Mkeys/s  "
+              "overlap=%lld pending<=%lld\n",
+              s.workload.c_str(), s.variant.c_str(),
+              static_cast<long long>(s.threads), s.ms,
+              static_cast<double>(s.items) / (s.ms * 1e3),
+              static_cast<long long>(s.overlapped),
+              static_cast<long long>(s.max_pending));
+  g_samples.push_back(std::move(s));
+}
+
+void check(std::string claim, bool pass) {
+  bench::verdict(claim.c_str(), pass);
+  g_checks.push_back({std::move(claim), pass});
+}
+
+template <typename F>
+double median_ms(int reps, F&& body) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+using Keys = std::vector<std::int64_t>;
+
+// ---- set stream --------------------------------------------------------------
+// A long-lived index of `base_n` keys takes a stream of B small batches per
+// repetition: inserts only (set_stream) or a 2:1 insert/erase mix
+// (mixed_stream). This is the service shape the facades target — the batch
+// work is O(m lg(n/m)) but per-batch quiescence (sync mode: join + O(n)
+// recount after every batch) is O(n), so a batch *stream* lives or dies on
+// pipelining. Replaying the same stream each repetition reaches the same
+// final state (membership is decided by the last op per key), so the
+// std::set oracle is repetition-invariant.
+
+void run_set_stream(const char* name, bool with_erases, std::size_t base_n,
+                    std::size_t nbatches, std::size_t m, unsigned threads,
+                    unsigned shards, int reps, bool verify) {
+  const Keys base = bench::random_keys(base_n, 99);
+  std::vector<Keys> stream;
+  std::vector<bool> is_erase;
+  for (std::size_t i = 0; i < nbatches; ++i) {
+    stream.push_back(bench::random_keys(m, 100 + i));
+    is_erase.push_back(with_erases && i % 3 == 2);
+  }
+  std::set<std::int64_t> oracle_set(base.begin(), base.end());
+  for (std::size_t i = 0; i < nbatches; ++i) {
+    if (is_erase[i])
+      for (auto k : stream[i]) oracle_set.erase(k);
+    else
+      oracle_set.insert(stream[i].begin(), stream[i].end());
+  }
+  const Keys oracle(oracle_set.begin(), oracle_set.end());
+  const auto items = static_cast<std::int64_t>(nbatches * m);
+  const auto nb = static_cast<std::int64_t>(nbatches);
+  const auto mi = static_cast<std::int64_t>(m);
+  const auto t = static_cast<std::int64_t>(threads);
+
+  auto drive = [&](auto& s, bool flush_each) {
+    for (std::size_t i = 0; i < nbatches; ++i) {
+      if (is_erase[i])
+        s.erase_batch(stream[i]);
+      else
+        s.insert_batch(stream[i]);
+      if (flush_each) s.flush();
+    }
+    s.flush();
+  };
+
+  // Each variant owns one long-lived set seeded with the base. Repetitions
+  // time the batch stream only; the off-the-clock compact() between reps
+  // keeps the monotonic arena from skewing later repetitions.
+  auto measure = [&](auto& s, bool flush_each) {
+    s.insert_batch(base);
+    s.flush();
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      drive(s, flush_each);
+      const auto t1 = std::chrono::steady_clock::now();
+      times.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      s.compact();
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+
+  {
+    rt::ParallelSet s(*rt::Scheduler::current());
+    const double ms = measure(s, /*flush_each=*/true);
+    record({name, "sync", t, nb, mi, items, ms, 0, 0});
+    if (verify)
+      check(std::string(name) + " sync: keys == std::set oracle",
+            s.keys() == oracle);
+  }
+  {
+    rt::ParallelSet s(*rt::Scheduler::current());
+    const double ms = measure(s, /*flush_each=*/false);
+    const rt::ParallelSet::Stats st = s.stats();
+    record({name, "pipelined", t, nb, mi, items, ms,
+            static_cast<std::int64_t>(st.overlapped),
+            static_cast<std::int64_t>(st.max_pending)});
+    if (verify)
+      check(std::string(name) + " pipelined: keys == std::set oracle",
+            s.keys() == oracle);
+  }
+  {
+    rt::ShardedParallelSet s(*rt::Scheduler::current(), shards);
+    const double ms = measure(s, /*flush_each=*/false);
+    const rt::ParallelSet::Stats st = s.stats();
+    record({name, "sharded", t, nb, mi, items, ms,
+            static_cast<std::int64_t>(st.overlapped),
+            static_cast<std::int64_t>(st.max_pending)});
+    if (verify)
+      check(std::string(name) + " sharded: keys == std::set oracle",
+            s.keys() == oracle);
+  }
+}
+
+// ---- map aggregation ---------------------------------------------------------
+// Word-count rollup: B batches of (term, 1) over a small universe, merged
+// by +. The oracle is the std::map fold.
+
+void run_map_aggregate(std::size_t nbatches, std::size_t m, unsigned threads,
+                       unsigned shards, int reps, bool verify) {
+  using Item = std::pair<std::int64_t, std::int64_t>;
+  const auto add = [](std::int64_t a, std::int64_t b) { return a + b; };
+  std::vector<std::vector<Item>> stream;
+  Rng rng(42);
+  for (std::size_t i = 0; i < nbatches; ++i) {
+    std::vector<Item> batch;
+    for (std::size_t j = 0; j < m; ++j)
+      batch.emplace_back(rng.range(0, 1 << 12), 1);
+    stream.push_back(std::move(batch));
+  }
+  std::map<std::int64_t, std::int64_t> oracle_map;
+  for (const auto& batch : stream)
+    for (const auto& [k, v] : batch) oracle_map[k] += v;
+  const std::vector<Item> oracle(oracle_map.begin(), oracle_map.end());
+  const auto items = static_cast<std::int64_t>(nbatches * m);
+  const auto nb = static_cast<std::int64_t>(nbatches);
+  const auto mi = static_cast<std::int64_t>(m);
+  const auto t = static_cast<std::int64_t>(threads);
+
+  auto drive = [&](auto& idx, bool flush_each) {
+    for (const auto& batch : stream) {
+      idx.insert_batch(batch, add);
+      if (flush_each) idx.flush();
+    }
+    idx.flush();
+  };
+
+  {
+    std::vector<Item> got;
+    const double ms = median_ms(reps, [&] {
+      rt::ParallelMap<std::int64_t> idx(*rt::Scheduler::current());
+      drive(idx, /*flush_each=*/true);
+      got = idx.items();
+    });
+    record({"map_aggregate", "sync", t, nb, mi, items, ms, 0, 0});
+    if (verify)
+      check("map_aggregate sync: items == std::map oracle", got == oracle);
+  }
+  {
+    std::vector<Item> got;
+    rt::ParallelMap<std::int64_t>::Stats st;
+    const double ms = median_ms(reps, [&] {
+      rt::ParallelMap<std::int64_t> idx(*rt::Scheduler::current());
+      drive(idx, /*flush_each=*/false);
+      st = idx.stats();
+      got = idx.items();
+    });
+    record({"map_aggregate", "pipelined", t, nb, mi, items, ms,
+            static_cast<std::int64_t>(st.overlapped),
+            static_cast<std::int64_t>(st.max_pending)});
+    if (verify)
+      check("map_aggregate pipelined: items == std::map oracle",
+            got == oracle);
+  }
+  {
+    std::vector<Item> got;
+    rt::ParallelMap<std::int64_t>::Stats st;
+    const double ms = median_ms(reps, [&] {
+      rt::ShardedParallelMap<std::int64_t> idx(*rt::Scheduler::current(),
+                                               shards);
+      drive(idx, /*flush_each=*/false);
+      st = idx.stats();
+      got = idx.items();
+    });
+    record({"map_aggregate", "sharded", t, nb, mi, items, ms,
+            static_cast<std::int64_t>(st.overlapped),
+            static_cast<std::int64_t>(st.max_pending)});
+    if (verify)
+      check("map_aggregate sharded: items == std::map oracle", got == oracle);
+  }
+}
+
+void write_json(const std::string& path, bool smoke, unsigned max_threads,
+                unsigned shards) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  bench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "e24_service_throughput");
+  w.field("smoke", smoke);
+  w.field("max_threads", static_cast<std::int64_t>(max_threads));
+  w.field("shards", static_cast<std::int64_t>(shards));
+  w.key("results");
+  w.begin_array();
+  for (const Sample& s : g_samples) {
+    w.begin_object();
+    w.field("workload", s.workload);
+    w.field("variant", s.variant);
+    w.field("threads", s.threads);
+    w.field("batches", s.batches);
+    w.field("batch_size", s.batch_size);
+    w.field("items", s.items);
+    w.field("ms", s.ms);
+    w.field("mkeys_per_s", static_cast<double>(s.items) / (s.ms * 1e3));
+    w.field("overlapped", s.overlapped);
+    w.field("max_pending", s.max_pending);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("checks");
+  w.begin_array();
+  for (const Check& c : g_checks) {
+    w.begin_object();
+    w.field("claim", c.claim);
+    w.field("pass", c.pass);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu samples, %zu checks)\n", path.c_str(),
+              g_samples.size(), g_checks.size());
+}
+
+double find_ms(const char* workload, const char* variant,
+               std::int64_t threads) {
+  for (const Sample& s : g_samples)
+    if (s.workload == workload && s.variant == variant &&
+        s.threads == threads)
+      return s.ms;
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, {{"smoke", "false"},
+                             {"out", "BENCH_e24.json"},
+                             {"reps", "0"},
+                             {"max_threads", "0"},
+                             {"shards", "4"}});
+  const bool smoke = cli.get_bool("smoke");
+  const int reps = cli.get_int("reps") > 0
+                       ? static_cast<int>(cli.get_int("reps"))
+                       : (smoke ? 2 : 9);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // The headline claim is about >= 2 worker threads, so always sweep to at
+  // least 2 even on a 1-core host (workers oversubscribe harmlessly).
+  unsigned max_threads = cli.get_int("max_threads") > 0
+                             ? static_cast<unsigned>(cli.get_int("max_threads"))
+                             : std::max(2u, hw);
+  const auto shards = static_cast<unsigned>(cli.get_int("shards"));
+
+  const std::size_t base_n = smoke ? 1 << 10 : 1 << 16;
+  const std::size_t nbatches = smoke ? 6 : 32;
+  const std::size_t m = smoke ? 64 : 256;
+  const std::size_t m_map = smoke ? 256 : 1024;
+
+  std::printf("E24: service batch throughput, base %zu keys, %zu batches x "
+              "%zu keys, %u shards, threads 1..%u, %d reps (median)\n",
+              base_n, nbatches, m, shards, max_threads, reps);
+
+  for (unsigned t = 1; t <= max_threads; ++t) {
+    std::printf("-- threads=%u\n", t);
+    rt::Scheduler sched(t);
+    const bool verify = (t == 1 || t == max_threads);
+    run_set_stream("set_stream", /*with_erases=*/false, base_n, nbatches, m,
+                   t, shards, reps, verify);
+    run_set_stream("mixed_stream", /*with_erases=*/true, base_n, nbatches, m,
+                   t, shards, reps, verify);
+    run_map_aggregate(nbatches, m_map, t, shards, reps, verify);
+    const rt::Scheduler::Stats st = sched.stats();
+    std::printf("  stats: resumed=%llu steals=%llu injected=%llu "
+                "wakeups=%llu\n",
+                static_cast<unsigned long long>(st.resumed),
+                static_cast<unsigned long long>(st.steals),
+                static_cast<unsigned long long>(st.injected),
+                static_cast<unsigned long long>(st.wakeups));
+  }
+
+  // Overlap evidence: a pipelined stream keeps its whole batch window
+  // pending (max_pending == nbatches, deterministic), and at least one
+  // batch was issued against a still-materializing root.
+  std::int64_t total_overlap = 0;
+  bool pending_ok = true;
+  for (const Sample& s : g_samples)
+    if (s.variant == "pipelined") {
+      total_overlap += s.overlapped;
+      pending_ok &= s.max_pending == static_cast<std::int64_t>(nbatches);
+    }
+  check("pipelined streams hold the full batch window pending", pending_ok);
+  check("pipelined streams overlapped batches (stats.overlapped > 0)",
+        total_overlap > 0);
+
+  if (!smoke) {
+    // Headline: removing per-batch quiescence buys >= 1.5x stream
+    // throughput from 2 worker threads up, and never loses at 1 thread.
+    for (unsigned t = 1; t <= max_threads; ++t) {
+      const double sync_ms = find_ms("set_stream", "sync",
+                                     static_cast<std::int64_t>(t));
+      const double pipe_ms = find_ms("set_stream", "pipelined",
+                                     static_cast<std::int64_t>(t));
+      const double speedup = pipe_ms > 0.0 ? sync_ms / pipe_ms : 0.0;
+      char claim[128];
+      std::snprintf(claim, sizeof(claim),
+                    "set_stream pipelined >= %.1fx sync at %u threads "
+                    "(got %.2fx)",
+                    t >= 2 ? kTargetSpeedup : 1.0, t, speedup);
+      check(claim, speedup >= (t >= 2 ? kTargetSpeedup : 1.0));
+    }
+  }
+
+  write_json(cli.get_str("out"), smoke, max_threads, shards);
+
+  int failures = 0;
+  for (const Check& c : g_checks)
+    if (!c.pass) ++failures;
+  return failures == 0 ? 0 : 1;
+}

@@ -55,6 +55,11 @@ class ConcurrentArena {
     return bytes_reserved_.load(std::memory_order_relaxed);
   }
 
+  // Lifetime accounting for long-lived stores (the service facades report
+  // this per epoch): the arena is monotonic, so reserved bytes are the
+  // footprint — nothing is ever returned short of destroying the arena.
+  std::size_t bytes_used() const { return bytes_reserved(); }
+
  private:
   struct Chunk {
     std::unique_ptr<std::byte[]> data;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <mutex>
 #include <new>
+#include <thread>
 #include <vector>
 
 namespace pwf::rt {
@@ -42,6 +43,8 @@ class FramePool {
     std::uint64_t hits = 0;      // allocations served from a freelist
     std::uint64_t misses = 0;    // allocations that had to hit the heap
     std::uint64_t oversize = 0;  // frames above the largest size class
+    std::uint64_t frames_alloc = 0;  // frames ever allocated (incl. oversize)
+    std::uint64_t frames_freed = 0;  // frames ever released
   };
 
   // Pool-aware allocation entry points (promise operator new/delete).
@@ -50,6 +53,22 @@ class FramePool {
 
   // Process-wide counters across all threads that ever allocated.
   static Stats stats();
+
+  // True iff every coroutine frame ever allocated has been released — no
+  // fiber or task is live (running, queued, or parked in a cell) anywhere in
+  // the process. The per-thread counters are monotone, and quiescent() sums
+  // all frames_freed_ *before* all frames_alloc_: if the two totals agree,
+  // alloc >= freed at the fence instant squeezes to equality, proving a
+  // moment with zero live frames. The freed bump is a release op after the
+  // frame's last memory access, so a caller that observes the balance may
+  // reclaim memory those frames touched (ParallelSet/ParallelMap use this to
+  // retire arena epochs under pipelined batches — see docs/service.md).
+  static bool quiescent();
+
+  // Spin (with yields) until quiescent(). Only meaningful from a thread
+  // that holds no live coroutine frame of its own, while the scheduler that
+  // runs the outstanding fibers is still alive to drain them.
+  static void wait_quiescent();
 
   // Touch the calling thread's pool (workers warm it at startup so the
   // first fork does not pay the thread_local construction check).
@@ -102,6 +121,8 @@ class FramePool {
     r.retired.hits += hits_.load(std::memory_order_relaxed);
     r.retired.misses += misses_.load(std::memory_order_relaxed);
     r.retired.oversize += oversize_.load(std::memory_order_relaxed);
+    r.retired.frames_alloc += frames_alloc_.load(std::memory_order_relaxed);
+    r.retired.frames_freed += frames_freed_.load(std::memory_order_acquire);
     std::erase(r.pools, this);
   }
 
@@ -111,6 +132,7 @@ class FramePool {
   static std::size_t class_bytes(std::size_t cls) { return cls << kClassShift; }
 
   void* alloc(std::size_t bytes) {
+    frames_alloc_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t cls = class_of(bytes);
     if (cls >= kClasses) {
       oversize_.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +149,9 @@ class FramePool {
   }
 
   void free(void* p, std::size_t bytes) {
+    // Release: everything the dying frame read or wrote happens-before a
+    // quiescent() observer that counts this bump.
+    frames_freed_.fetch_add(1, std::memory_order_release);
     const std::size_t cls = class_of(bytes);
     if (cls >= kClasses || count_[cls] >= kMaxPerClass) {
       ::operator delete(p);
@@ -145,6 +170,8 @@ class FramePool {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> oversize_{0};
+  std::atomic<std::uint64_t> frames_alloc_{0};
+  std::atomic<std::uint64_t> frames_freed_{0};
 };
 
 inline FramePool::Stats FramePool::stats() {
@@ -155,8 +182,32 @@ inline FramePool::Stats FramePool::stats() {
     s.hits += p->hits_.load(std::memory_order_relaxed);
     s.misses += p->misses_.load(std::memory_order_relaxed);
     s.oversize += p->oversize_.load(std::memory_order_relaxed);
+    s.frames_alloc += p->frames_alloc_.load(std::memory_order_relaxed);
+    s.frames_freed += p->frames_freed_.load(std::memory_order_relaxed);
   }
   return s;
+}
+
+inline bool FramePool::quiescent() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  // Freed first, allocated second. Both counters are monotone, so
+  // freed_total <= alloc_total(t_fence) <= alloc_total_read; equality of the
+  // two sums forces alloc == freed at the fence — a quiescent instant. (The
+  // reverse read order could balance while a frame allocated after the
+  // alloc pass but freed before the freed pass is still live.)
+  std::uint64_t freed = r.retired.frames_freed;
+  for (const FramePool* p : r.pools)
+    freed += p->frames_freed_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::uint64_t alloc = r.retired.frames_alloc;
+  for (const FramePool* p : r.pools)
+    alloc += p->frames_alloc_.load(std::memory_order_relaxed);
+  return alloc == freed;
+}
+
+inline void FramePool::wait_quiescent() {
+  while (!quiescent()) std::this_thread::yield();
 }
 
 }  // namespace pwf::rt

@@ -3,13 +3,24 @@
 // insert_batch is one pipelined union whose value-merge function resolves
 // key collisions (sum for counters, last-writer-wins for stores, ...).
 //
+// Like ParallelSet, batches are asynchronous and pipelined across
+// operations: mutators chain their treap op onto the (possibly still
+// materializing) root cell and return immediately; `flush()` is the
+// explicit quiescence point, `size()` recounts lazily, and `get()` forces
+// only the cells along its search path. One mutator thread at a time; any
+// number of concurrent readers (`get`/`contains`/`items`). See
+// docs/service.md for the full contract.
+//
 // V must be trivially copyable and default constructible (values travel
 // through future cells and arena nodes, like every value in the paper's
 // model).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -25,16 +36,35 @@ class ParallelMap {
   using Key = map::Key;
   using Item = std::pair<Key, V>;
 
+  // Same shape as ParallelSet::Stats (service observability).
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t overlapped = 0;
+    std::uint64_t max_pending = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t arena_bytes = 0;
+  };
+
   explicit ParallelMap(Scheduler& sched,
                        std::uint64_t salt = 0x9e3779b97f4a7c15ULL)
-      : sched_(sched), store_(salt), root_(store_.input(nullptr)) {}
+      : sched_(sched),
+        salt_(salt),
+        store_(std::make_unique<map::Store<V>>(salt)),
+        root_(store_->input(nullptr)) {}
 
   ParallelMap(const ParallelMap&) = delete;
   ParallelMap& operator=(const ParallelMap&) = delete;
 
+  // Fibers of a chained batch may still be running (or parked) after every
+  // cell of the result tree is written — their outputs just aren't part of
+  // the final tree. They still read this map's arena, so the store can only
+  // be freed once the frame pool reports no live frames.
+  ~ParallelMap() { FramePool::wait_quiescent(); }
+
   // map = map ∪ items, duplicate keys resolved by merge(old, new). Items
   // need not be sorted; duplicate keys *within* the batch are pre-merged
-  // with the same function.
+  // with the same function. Returns without joining the union.
   template <typename Merge>
   void insert_batch(std::span<const Item> items, Merge merge) {
     if (items.empty()) return;
@@ -48,9 +78,10 @@ class ParallelMap {
       else
         dedup.push_back(it);
     }
-    map::Cell<V>* batch = store_.input(store_.build(dedup));
-    root_ = map::union_maps(store_, root_, batch, merge);
-    join_and_recount();
+    map::Cell<V>* batch = store_->input(store_->build(dedup));
+    map::Cell<V>* cur = root_.load(std::memory_order_acquire);
+    if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
+    chain(map::union_maps(*store_, cur, batch, merge));
   }
 
   // Overwrite semantics (new value wins).
@@ -61,42 +92,97 @@ class ParallelMap {
   // Remove a batch of keys.
   void erase_batch(std::span<const Key> keys) {
     if (keys.empty()) return;
+    std::vector<Key> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
     std::vector<Item> items;
-    items.reserve(keys.size());
-    for (Key k : keys) items.emplace_back(k, V{});
-    std::sort(items.begin(), items.end());
-    items.erase(std::unique(items.begin(), items.end(),
-                            [](const Item& x, const Item& y) {
-                              return x.first == y.first;
-                            }),
-                items.end());
-    map::Cell<V>* batch = store_.input(store_.build(items));
-    root_ = map::diff_maps(store_, root_, batch);
-    join_and_recount();
+    items.reserve(sorted.size());
+    for (Key k : sorted) items.emplace_back(k, V{});
+    map::Cell<V>* batch = store_->input(store_->build(items));
+    map::Cell<V>* cur = root_.load(std::memory_order_acquire);
+    if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
+    chain(map::diff_maps(*store_, cur, batch));
   }
 
-  std::optional<V> get(Key k) const { return map::lookup(root_, k); }
+  // Quiescence point: blocks until every pending batch has materialized.
+  void flush() const { force_recount(); }
+
+  // Quiescence + storage epoch (see ParallelSet::compact).
+  void compact() {
+    const std::vector<Item> snapshot = items();
+    FramePool::wait_quiescent();  // stragglers still read the old arena
+    auto fresh = std::make_unique<map::Store<V>>(salt_);
+    map::Cell<V>* next = fresh->input(fresh->build(snapshot));
+    root_.store(next, std::memory_order_release);
+    store_ = std::move(fresh);
+    size_.store(snapshot.size(), std::memory_order_relaxed);
+    size_valid_.store(true, std::memory_order_relaxed);
+    pending_.store(0, std::memory_order_relaxed);
+    epochs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Forces only the search path; safe concurrently with in-flight batches.
+  std::optional<V> get(Key k) const {
+    return map::lookup_wait(root_.load(std::memory_order_acquire), k);
+  }
   bool contains(Key k) const { return get(k).has_value(); }
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  std::vector<Item> items() const { return map::wait_items(root_); }
+
+  std::size_t size() const {
+    if (!size_valid_.load(std::memory_order_acquire)) force_recount();
+    return size_.load(std::memory_order_relaxed);
+  }
+  bool empty() const { return size() == 0; }
+
+  std::vector<Item> items() const {  // forces the whole snapshot
+    return map::wait_items(root_.load(std::memory_order_acquire));
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.overlapped = overlapped_.load(std::memory_order_relaxed);
+    s.max_pending = max_pending_.load(std::memory_order_relaxed);
+    s.flushes = flushes_.load(std::memory_order_relaxed);
+    s.epochs = epochs_.load(std::memory_order_relaxed);
+    s.arena_bytes = store_->bytes_used();
+    return s;
+  }
 
  private:
-  void join_and_recount() {
-    struct C {
-      static std::size_t count(map::Cell<V>* c) {
-        map::Node<V>* n = c->wait_blocking();
-        if (n == nullptr) return 0;
-        return 1 + count(n->left) + count(n->right);
-      }
-    };
-    size_ = C::count(root_);
+  void chain(map::Cell<V>* next) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t pending =
+        pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t hw = max_pending_.load(std::memory_order_relaxed);
+    while (pending > hw &&
+           !max_pending_.compare_exchange_weak(hw, pending,
+                                               std::memory_order_relaxed)) {
+    }
+    size_valid_.store(false, std::memory_order_relaxed);
+    root_.store(next, std::memory_order_release);
+  }
+
+  void force_recount() const {
+    map::Cell<V>* cur = root_.load(std::memory_order_acquire);
+    size_.store(map::wait_count(cur), std::memory_order_relaxed);
+    size_valid_.store(true, std::memory_order_relaxed);
+    pending_.store(0, std::memory_order_relaxed);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
   }
 
   Scheduler& sched_;
-  map::Store<V> store_;
-  map::Cell<V>* root_;
-  std::size_t size_ = 0;
+  std::uint64_t salt_;
+  std::unique_ptr<map::Store<V>> store_;  // replaced wholesale by compact()
+  std::atomic<map::Cell<V>*> root_;
+
+  mutable std::atomic<std::size_t> size_{0};
+  mutable std::atomic<bool> size_valid_{true};
+  mutable std::atomic<std::uint64_t> pending_{0};
+  mutable std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> overlapped_{0};
+  std::atomic<std::uint64_t> max_pending_{0};
+  std::atomic<std::uint64_t> epochs_{0};
 };
 
 }  // namespace pwf::rt

@@ -1,84 +1,171 @@
 #include "runtime/parallel_set.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace pwf::rt {
 
 namespace {
 
-// Waits for every reachable cell and counts nodes.
+// Full-tree forcing walks run on the caller's stack; explicit stacks keep
+// them safe on adversarially skewed treaps (see rt_treap.cpp).
 std::size_t wait_count(treap::Cell* c) {
-  treap::Node* n = c->wait_blocking();
-  if (n == nullptr) return 0;
-  return 1 + wait_count(n->left) + wait_count(n->right);
+  std::size_t count = 0;
+  std::vector<treap::Cell*> stack;
+  stack.push_back(c);
+  while (!stack.empty()) {
+    treap::Cell* cur = stack.back();
+    stack.pop_back();
+    treap::Node* n = cur->wait_blocking();
+    if (n == nullptr) continue;
+    ++count;
+    stack.push_back(n->left);
+    stack.push_back(n->right);
+  }
+  return count;
+}
+
+int wait_height(treap::Cell* c) {
+  int best = 0;
+  std::vector<std::pair<treap::Cell*, int>> stack;
+  stack.emplace_back(c, 1);
+  while (!stack.empty()) {
+    auto [cur, depth] = stack.back();
+    stack.pop_back();
+    treap::Node* n = cur->wait_blocking();
+    if (n == nullptr) continue;
+    best = std::max(best, depth);
+    stack.emplace_back(n->left, depth + 1);
+    stack.emplace_back(n->right, depth + 1);
+  }
+  return best;
 }
 
 }  // namespace
 
+ParallelSet::~ParallelSet() { FramePool::wait_quiescent(); }
+
 ParallelSet::ParallelSet(Scheduler& sched, std::uint64_t salt)
-    : sched_(sched), store_(salt), root_(store_.input(nullptr)) {}
+    : sched_(sched),
+      salt_(salt),
+      store_(std::make_unique<treap::Store>(salt)),
+      root_(store_->input(nullptr)) {}
 
 ParallelSet::ParallelSet(Scheduler& sched, std::span<const Key> keys,
                          std::uint64_t salt)
-    : sched_(sched), store_(salt), root_(nullptr) {
+    : sched_(sched),
+      salt_(salt),
+      store_(std::make_unique<treap::Store>(salt)),
+      root_(nullptr) {
   std::vector<Key> sorted(keys.begin(), keys.end());
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  size_ = sorted.size();
-  root_ = store_.input(store_.build(sorted));
+  size_.store(sorted.size(), std::memory_order_relaxed);
+  root_.store(store_->input(store_->build(sorted)), std::memory_order_release);
 }
 
 treap::Cell* ParallelSet::build_batch(std::span<const Key> keys) {
   std::vector<Key> sorted(keys.begin(), keys.end());
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  return store_.input(store_.build(sorted));
+  return store_->input(store_->build(sorted));
 }
 
-void ParallelSet::join_and_recount() { size_ = wait_count(root_); }
+void ParallelSet::chain(treap::Cell* next) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t pending =
+      pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t hw = max_pending_.load(std::memory_order_relaxed);
+  while (pending > hw &&
+         !max_pending_.compare_exchange_weak(hw, pending,
+                                             std::memory_order_relaxed)) {
+  }
+  size_valid_.store(false, std::memory_order_relaxed);
+  // Publish after the accounting so a reader that sees the new root also
+  // sees size_valid_ == false.
+  root_.store(next, std::memory_order_release);
+}
 
 void ParallelSet::insert_batch(std::span<const Key> keys) {
   if (keys.empty()) return;
-  root_ = treap::union_treaps(store_, root_, build_batch(keys));
-  join_and_recount();
+  treap::Cell* cur = root_.load(std::memory_order_acquire);
+  if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
+  chain(treap::union_treaps(*store_, cur, build_batch(keys)));
 }
 
 void ParallelSet::erase_batch(std::span<const Key> keys) {
   if (keys.empty()) return;
-  root_ = treap::diff_treaps(store_, root_, build_batch(keys));
-  join_and_recount();
+  treap::Cell* cur = root_.load(std::memory_order_acquire);
+  if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
+  chain(treap::diff_treaps(*store_, cur, build_batch(keys)));
 }
 
 void ParallelSet::retain_batch(std::span<const Key> keys) {
-  root_ = treap::intersect_treaps(store_, root_, build_batch(keys));
-  join_and_recount();
+  treap::Cell* cur = root_.load(std::memory_order_acquire);
+  if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
+  chain(treap::intersect_treaps(*store_, cur, build_batch(keys)));
+}
+
+void ParallelSet::force_recount() const {
+  treap::Cell* cur = root_.load(std::memory_order_acquire);
+  const std::size_t n = wait_count(cur);
+  size_.store(n, std::memory_order_relaxed);
+  size_valid_.store(true, std::memory_order_relaxed);
+  pending_.store(0, std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ParallelSet::compact() {
+  const std::vector<Key> snapshot = keys();  // forces every pending batch
+  // Forcing the result tree is not fiber quiescence: stragglers whose
+  // outputs aren't in the final tree still read the old arena.
+  FramePool::wait_quiescent();
+  auto fresh = std::make_unique<treap::Store>(salt_);
+  treap::Cell* next = fresh->input(fresh->build(snapshot));
+  root_.store(next, std::memory_order_release);
+  store_ = std::move(fresh);  // frees every superseded node and cell
+  size_.store(snapshot.size(), std::memory_order_relaxed);
+  size_valid_.store(true, std::memory_order_relaxed);
+  pending_.store(0, std::memory_order_relaxed);
+  epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ParallelSet::contains(Key k) const {
-  const treap::Node* n = root_->peek();
+  const treap::Node* n =
+      root_.load(std::memory_order_acquire)->wait_blocking();
   while (n != nullptr) {
     if (k < n->key)
-      n = n->left->peek();
+      n = n->left->wait_blocking();
     else if (k > n->key)
-      n = n->right->peek();
+      n = n->right->wait_blocking();
     else
       return true;
   }
   return false;
 }
 
+std::size_t ParallelSet::size() const {
+  if (!size_valid_.load(std::memory_order_acquire)) force_recount();
+  return size_.load(std::memory_order_relaxed);
+}
+
 std::vector<ParallelSet::Key> ParallelSet::keys() const {
-  return treap::wait_inorder(root_);
+  return treap::wait_inorder(root_.load(std::memory_order_acquire));
 }
 
 int ParallelSet::height() const {
-  struct H {
-    static int of(treap::Node* n) {
-      if (n == nullptr) return 0;
-      return 1 + std::max(of(n->left->peek()), of(n->right->peek()));
-    }
-  };
-  return H::of(root_->peek());
+  return wait_height(root_.load(std::memory_order_acquire));
+}
+
+ParallelSet::Stats ParallelSet::stats() const {
+  Stats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.overlapped = overlapped_.load(std::memory_order_relaxed);
+  s.max_pending = max_pending_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.epochs = epochs_.load(std::memory_order_relaxed);
+  s.arena_bytes = store_->bytes_used();
+  return s;
 }
 
 }  // namespace pwf::rt

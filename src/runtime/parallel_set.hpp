@@ -3,15 +3,32 @@
 // A sorted set of int64 keys supporting *batch* mutation: each batch is one
 // parallel treap union / difference / intersection (Sections 3.2–3.3 of the
 // paper) executed on the coroutine futures runtime, rather than m
-// sequential updates. Batches are synchronous at the API boundary: the call
-// returns once the result tree is fully built, so reads (`contains`,
-// `keys`, iteration) never observe pending futures.
+// sequential updates.
+//
+// Batches are **asynchronous and pipelined across operations**: a mutator
+// chains its treap op onto the current root cell — which may still be
+// materializing — and returns immediately. Successive batches overlap
+// exactly as `union(union(t, b1), b2)` does inside the paper's algorithms:
+// the second union descends into the first one's output while it is still
+// being written. Quiescence is explicit (`flush()`) or implied by the
+// whole-tree reads (`size()` when stale, `keys()`, `height()`); point reads
+// (`contains`) force only the cells along their search path, so they run
+// concurrently with in-flight batches and see the newest root published
+// before they started.
+//
+// Thread contract: one mutator thread at a time (batches chain through a
+// single root, like any sequential API); any number of concurrent reader
+// threads may call `contains`, `keys`, `height` and `size` while batches
+// are in flight. `compact()` frees superseded storage and must be called at
+// a point where no readers hold old roots.
 //
 // The set borrows a Scheduler (one scheduler per process may be alive; see
 // runtime/scheduler.hpp) and owns its node storage.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,6 +41,16 @@ class ParallelSet {
  public:
   using Key = treap::Key;
 
+  // Service-layer observability (relaxed counters, like Scheduler::Stats).
+  struct Stats {
+    std::uint64_t batches = 0;      // batch mutators issued
+    std::uint64_t overlapped = 0;   // issued while the root was still materializing
+    std::uint64_t max_pending = 0;  // high-water mark of unflushed batches
+    std::uint64_t flushes = 0;      // quiescence points (explicit + implied)
+    std::uint64_t epochs = 0;       // compactions (store replacements)
+    std::uint64_t arena_bytes = 0;  // current store footprint
+  };
+
   explicit ParallelSet(Scheduler& sched,
                        std::uint64_t salt = 0x9e3779b97f4a7c15ULL);
 
@@ -34,29 +61,63 @@ class ParallelSet {
   ParallelSet(const ParallelSet&) = delete;
   ParallelSet& operator=(const ParallelSet&) = delete;
 
-  // Batch mutators — one pipelined set operation each; duplicates within the
-  // batch and against the set are handled (set semantics). Unsorted input is
-  // fine; it is sorted internally.
+  // Waits for frame-pool quiescence: fibers of a chained batch may outlive
+  // the last written cell of the result tree (their outputs simply aren't
+  // part of it) and they read this set's arena until they finish.
+  ~ParallelSet();
+
+  // Batch mutators — one pipelined set operation each, chained onto the
+  // (possibly still-materializing) root; they return without joining.
+  // Duplicates within the batch and against the set are handled (set
+  // semantics). Unsorted input is fine; it is sorted internally.
   void insert_batch(std::span<const Key> keys);  // set = set ∪ keys
   void erase_batch(std::span<const Key> keys);   // set = set \ keys
   void retain_batch(std::span<const Key> keys);  // set = set ∩ keys
 
+  // Quiescence point: blocks until every pending batch has fully
+  // materialized, and refreshes the cached size.
+  void flush() const { force_recount(); }
+
+  // Quiescence + storage epoch: rebuilds the set into a fresh store and
+  // frees every node superseded by past batches (the arena is monotonic, so
+  // a long-lived service must compact periodically). Not safe while
+  // concurrent readers hold pre-compaction roots.
+  void compact();
+
+  // Forces only the cells along the search path (paper-style: a consumer
+  // descends into a tree whose producer may still be writing it).
   bool contains(Key k) const;
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  std::vector<Key> keys() const;  // in order
-  int height() const;
+
+  std::size_t size() const;  // lazily maintained; recounts only when stale
+  bool empty() const { return size() == 0; }
+  std::vector<Key> keys() const;  // in order; forces the whole snapshot
+  int height() const;             // forces the whole snapshot
+
+  Stats stats() const;
 
  private:
   // Builds a treap over a batch (sorted + deduplicated copy).
   treap::Cell* build_batch(std::span<const Key> keys);
-  // Blocks until the tree under `root_` is fully written; refreshes size_.
-  void join_and_recount();
+  // Publishes `next` as the new root and maintains the pending/overlap
+  // accounting shared by all three mutators.
+  void chain(treap::Cell* next);
+  // Blocks until the tree under the current root is fully written; refreshes
+  // size_. const: logically a read (all mutable state is cache/accounting).
+  void force_recount() const;
 
   Scheduler& sched_;
-  treap::Store store_;
-  treap::Cell* root_;
-  std::size_t size_ = 0;
+  std::uint64_t salt_;
+  std::unique_ptr<treap::Store> store_;  // replaced wholesale by compact()
+  std::atomic<treap::Cell*> root_;
+
+  mutable std::atomic<std::size_t> size_{0};
+  mutable std::atomic<bool> size_valid_{true};
+  mutable std::atomic<std::uint64_t> pending_{0};
+  mutable std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> overlapped_{0};
+  std::atomic<std::uint64_t> max_pending_{0};
+  std::atomic<std::uint64_t> epochs_{0};
 };
 
 }  // namespace pwf::rt

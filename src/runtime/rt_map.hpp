@@ -92,6 +92,8 @@ class Store {
     return spine.empty() ? nullptr : spine.front();
   }
 
+  std::size_t bytes_used() const { return arena_.bytes_used(); }
+
  private:
   std::uint64_t salt_;
   ConcurrentArena arena_;
@@ -244,21 +246,50 @@ Cell<V>* diff_maps(Store<V>& st, Cell<V>* a, Cell<V>* b) {
 
 // ---- joins / analysis --------------------------------------------------------
 
-// Waits for every reachable cell; returns items in key order.
+// Waits for every reachable cell; returns items in key order. Explicit
+// stack: this runs on the caller's stack, and a skewed treap would overflow
+// a recursive walk (see rt_treap.cpp).
 template <typename V>
 std::vector<std::pair<Key, V>> wait_items(Cell<V>* root_cell) {
   std::vector<std::pair<Key, V>> out;
-  struct W {
-    static void collect(Cell<V>* c, std::vector<std::pair<Key, V>>& acc) {
-      Node<V>* n = c->wait_blocking();
-      if (n == nullptr) return;
-      collect(n->left, acc);
-      acc.emplace_back(n->key, n->value);
-      collect(n->right, acc);
-    }
+  struct Frame {
+    Cell<V>* cell;
+    Node<V>* emit;
   };
-  W::collect(root_cell, out);
+  std::vector<Frame> stack;
+  stack.push_back({root_cell, nullptr});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.cell == nullptr) {
+      out.emplace_back(f.emit->key, f.emit->value);
+      continue;
+    }
+    Node<V>* n = f.cell->wait_blocking();
+    if (n == nullptr) continue;
+    stack.push_back({n->right, nullptr});
+    stack.push_back({nullptr, n});
+    stack.push_back({n->left, nullptr});
+  }
   return out;
+}
+
+// Waits for every reachable cell; returns the node count (flush-time
+// recount for the facades).
+template <typename V>
+std::size_t wait_count(Cell<V>* root_cell) {
+  std::size_t count = 0;
+  std::vector<Cell<V>*> stack;
+  stack.push_back(root_cell);
+  while (!stack.empty()) {
+    Node<V>* n = stack.back()->wait_blocking();
+    stack.pop_back();
+    if (n == nullptr) continue;
+    ++count;
+    stack.push_back(n->left);
+    stack.push_back(n->right);
+  }
+  return count;
 }
 
 // Post-completion point lookup.
@@ -270,6 +301,23 @@ std::optional<V> lookup(Cell<V>* root_cell, Key k) {
       n = n->left->peek();
     else if (k > n->key)
       n = n->right->peek();
+    else
+      return n->value;
+  }
+  return std::nullopt;
+}
+
+// Pipelined point lookup: forces only the cells along the search path, so it
+// runs concurrently with in-flight batch unions (the paper's consumer
+// descending into a producer's half-built tree).
+template <typename V>
+std::optional<V> lookup_wait(Cell<V>* root_cell, Key k) {
+  const Node<V>* n = root_cell->wait_blocking();
+  while (n != nullptr) {
+    if (k < n->key)
+      n = n->left->wait_blocking();
+    else if (k > n->key)
+      n = n->right->wait_blocking();
     else
       return n->value;
   }

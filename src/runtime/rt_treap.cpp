@@ -39,27 +39,42 @@ Node* diff_strict_blocking(Store& st, Node* a, Node* b) {
   return result->wait_blocking();
 }
 
-namespace {
-void wait_collect(Cell* c, std::vector<Key>& out) {
-  Node* n = c->wait_blocking();
-  if (n == nullptr) return;
-  wait_collect(n->left, out);
-  out.push_back(n->key);
-  wait_collect(n->right, out);
-}
-}  // namespace
-
+// The full-tree walks run on the *caller's* stack, not a coroutine frame, so
+// they must not recurse: a service-layer treap is adversarially shaped when
+// the keys are (sorted runs give O(lg n) expected height only in
+// expectation, and a hostile salt/key combination can degenerate), and a
+// deep recursion would overflow long before the runtime itself cared. Every
+// walk below uses an explicit stack.
 std::vector<Key> wait_inorder(Cell* root_cell) {
   std::vector<Key> out;
-  wait_collect(root_cell, out);
+  // Two-phase entries: a cell still to force, or a node ready to emit
+  // between its subtrees.
+  struct Frame {
+    Cell* cell;
+    Node* emit;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_cell, nullptr});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.cell == nullptr) {
+      out.push_back(f.emit->key);
+      continue;
+    }
+    Node* n = f.cell->wait_blocking();
+    if (n == nullptr) continue;
+    stack.push_back({n->right, nullptr});
+    stack.push_back({nullptr, n});
+    stack.push_back({n->left, nullptr});
+  }
   return out;
 }
 
 bool validate(const Store& st, Cell* root_cell) {
   // Force completion of every reachable cell, then run the shared peek-based
   // validator (peek asserts written(), which holds after the wait walk).
-  std::vector<Key> keys;
-  wait_collect(root_cell, keys);
+  wait_inorder(root_cell);
   return pl::treap::validate(st, root_cell->wait_blocking());
 }
 

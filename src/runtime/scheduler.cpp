@@ -27,6 +27,7 @@ Scheduler::Stats Scheduler::stats() const {
   s.injected = injected_.load(std::memory_order_relaxed);
   s.inject_overflows = inject_overflows_.load(std::memory_order_relaxed);
   s.serial_cutoffs = serial_cutoffs_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
   const FramePool::Stats pool = FramePool::stats();
   s.frame_pool_hits = pool.hits;
   s.frame_pool_misses = pool.misses;
@@ -80,14 +81,17 @@ void Scheduler::post(std::coroutine_handle<> h) {
                             std::memory_order_release);
     }
   }
-  // Wake a parked worker if any (cheap check without the lock would race
-  // with the park decision; take the lock — posts are not the hot path
-  // relative to coroutine resumption cost).
-  {
-    std::lock_guard<std::mutex> lk(park_mutex_);
-    if (parked_ == 0) return;
+  // Lock-free wake: the enqueue above and this load straddle a seq_cst
+  // fence, pairing with the worker's parked_ announcement + work recheck
+  // (Dekker handshake) — either the worker's recheck sees the item, or this
+  // load sees the announcement and signals. The worst residual miss (signal
+  // fired while the worker was between announcing and waiting) is bounded by
+  // the 1 ms park timeout.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_relaxed) != 0) {
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    park_cv_.notify_one();
   }
-  park_cv_.notify_one();
 }
 
 std::coroutine_handle<> Scheduler::find_work(unsigned index) {
@@ -131,24 +135,38 @@ void Scheduler::worker_loop(unsigned index) {
 #if PWF_ANALYZE
   rt::analyze::set_worker(static_cast<int>(index));
 #endif
+  const auto run = [this](std::coroutine_handle<> h) {
+    resumed_.fetch_add(1, std::memory_order_relaxed);
+#if PWF_ANALYZE
+    rt::analyze::set_current_fiber(h.address());
+#endif
+    h.resume();
+#if PWF_ANALYZE
+    rt::analyze::set_current_fiber(nullptr);
+#endif
+  };
   for (;;) {
     if (std::coroutine_handle<> h = find_work(index)) {
-      resumed_.fetch_add(1, std::memory_order_relaxed);
-#if PWF_ANALYZE
-      rt::analyze::set_current_fiber(h.address());
-#endif
-      h.resume();
-#if PWF_ANALYZE
-      rt::analyze::set_current_fiber(nullptr);
-#endif
+      run(h);
       continue;
     }
-    std::unique_lock<std::mutex> lk(park_mutex_);
-    if (stop_) break;
-    ++parked_;
-    park_cv_.wait_for(lk, std::chrono::milliseconds(1));
-    --parked_;
-    if (stop_) break;
+    // Spin-then-park. Announce first, then recheck: post() enqueues before
+    // it loads parked_, so if the recheck misses a concurrent post, the
+    // poster saw our announcement and signals the cv.
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    if (std::coroutine_handle<> h = find_work(index)) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      run(h);
+      continue;
+    }
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lk(park_mutex_);
+      if (!stop_) park_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      stopping = stop_;
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping) break;
   }
   t_worker_index = -1;
   t_worker_scheduler = nullptr;

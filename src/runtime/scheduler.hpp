@@ -55,6 +55,7 @@ class Scheduler {
     std::uint64_t injected = 0;          // posts from non-worker threads
     std::uint64_t inject_overflows = 0;  // posts that missed the ring
     std::uint64_t serial_cutoffs = 0;    // substrate serial-path activations
+    std::uint64_t wakeups = 0;           // park_cv_ signals issued by post()
     std::uint64_t frame_pool_hits = 0;   // frames served from a freelist
     std::uint64_t frame_pool_misses = 0; // frames that hit the heap
   };
@@ -87,11 +88,16 @@ class Scheduler {
   std::vector<std::coroutine_handle<>> inject_overflow_;
   std::atomic<std::size_t> overflow_count_{0};
 
-  // Parking lot.
+  // Parking lot. `parked_` is the Dekker bit of the lock-free wake path
+  // (same pattern as FutCell's kBlocked announcement): a worker announces
+  // itself *before* its final work recheck, a poster enqueues *before*
+  // loading the counter, so one side always observes the other and post()
+  // never touches park_mutex_. The mutex only serializes the cv wait itself
+  // and the stop_ flag.
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
-  bool stop_ = false;
-  unsigned parked_ = 0;
+  bool stop_ = false;  // guarded by park_mutex_
+  std::atomic<unsigned> parked_{0};
 
   // Monitoring counters (relaxed).
   std::atomic<std::uint64_t> resumed_{0};
@@ -99,6 +105,7 @@ class Scheduler {
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> inject_overflows_{0};
   std::atomic<std::uint64_t> serial_cutoffs_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
 };
 
 // Spawned computation: a detached coroutine. It starts suspended (the spawn

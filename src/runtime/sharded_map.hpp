@@ -1,0 +1,162 @@
+// ShardedParallelMap<V> — the key→value counterpart of ShardedParallelSet:
+// S range-partitioned ParallelMap shards with independent batch pipelines
+// and independent storage epochs. See sharded_set.hpp for the rationale;
+// this header only adds the value plumbing (slices carry (key, value)
+// items, insert routes the merge function through to each shard).
+//
+// Thread contract is inherited from ParallelMap: one mutator thread at a
+// time, any number of concurrent readers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/parallel_map.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/random.hpp"
+
+namespace pwf::rt {
+
+template <typename V>
+class ShardedParallelMap {
+ public:
+  using Key = typename ParallelMap<V>::Key;
+  using Item = typename ParallelMap<V>::Item;
+  using Stats = typename ParallelMap<V>::Stats;
+
+  ShardedParallelMap(Scheduler& sched, unsigned shards,
+                     std::uint64_t salt = 0x9e3779b97f4a7c15ULL) {
+    const unsigned n = std::max(1u, shards);
+    const std::uint64_t step =
+        std::numeric_limits<std::uint64_t>::max() / n + 1;
+    for (unsigned i = 1; i < n; ++i) lowers_.push_back(from_unsigned(step * i));
+    std::uint64_t sm = salt;
+    for (unsigned i = 0; i < n; ++i)
+      shards_.push_back(std::make_unique<ParallelMap<V>>(sched, splitmix64(sm)));
+  }
+
+  ShardedParallelMap(const ShardedParallelMap&) = delete;
+  ShardedParallelMap& operator=(const ShardedParallelMap&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Sorted + pre-merged once (so cross-slice behavior matches the unsharded
+  // map exactly), then each nonempty slice is one pipelined shard union.
+  template <typename Merge>
+  void insert_batch(std::span<const Item> items, Merge merge) {
+    if (items.empty()) return;
+    std::vector<Item> sorted(items.begin(), items.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Item& x, const Item& y) { return x.first < y.first; });
+    std::vector<Item> dedup;
+    for (const Item& it : sorted) {
+      if (!dedup.empty() && dedup.back().first == it.first)
+        dedup.back().second = merge(dedup.back().second, it.second);
+      else
+        dedup.push_back(it);
+    }
+    auto lo = dedup.begin();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto hi =
+          (i < lowers_.size())
+              ? std::lower_bound(lo, dedup.end(), lowers_[i],
+                                 [](const Item& it, Key b) {
+                                   return it.first < b;
+                                 })
+              : dedup.end();
+      if (hi != lo)
+        shards_[i]->insert_batch(
+            std::span<const Item>(dedup.data() + (lo - dedup.begin()),
+                                  static_cast<std::size_t>(hi - lo)),
+            merge);
+      lo = hi;
+    }
+  }
+
+  void assign_batch(std::span<const Item> items) {
+    insert_batch(items, [](const V&, const V& incoming) { return incoming; });
+  }
+
+  void erase_batch(std::span<const Key> keys) {
+    if (keys.empty()) return;
+    std::vector<Key> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    auto lo = sorted.begin();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto hi = (i < lowers_.size())
+                          ? std::lower_bound(lo, sorted.end(), lowers_[i])
+                          : sorted.end();
+      if (hi != lo)
+        shards_[i]->erase_batch(
+            std::span<const Key>(sorted.data() + (lo - sorted.begin()),
+                                 static_cast<std::size_t>(hi - lo)));
+      lo = hi;
+    }
+  }
+
+  void flush() const {
+    for (const auto& s : shards_) s->flush();
+  }
+
+  void compact() {
+    for (auto& s : shards_) s->compact();
+  }
+  void compact_shard(std::size_t i) { shards_[i]->compact(); }
+
+  std::optional<V> get(Key k) const { return shard_of(k).get(k); }
+  bool contains(Key k) const { return shard_of(k).contains(k); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->size();
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::vector<Item> items() const {  // key-sorted concatenation
+    std::vector<Item> out;
+    for (const auto& s : shards_) {
+      std::vector<Item> part = s->items();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  Stats stats() const {
+    Stats agg;
+    for (const auto& s : shards_) {
+      const Stats st = s->stats();
+      agg.batches += st.batches;
+      agg.overlapped += st.overlapped;
+      agg.max_pending = std::max(agg.max_pending, st.max_pending);
+      agg.flushes += st.flushes;
+      agg.epochs += st.epochs;
+      agg.arena_bytes += st.arena_bytes;
+    }
+    return agg;
+  }
+
+  Stats shard_stats(std::size_t i) const { return shards_[i]->stats(); }
+
+ private:
+  static Key from_unsigned(std::uint64_t u) {
+    return static_cast<Key>(u ^ (std::uint64_t{1} << 63));
+  }
+
+  std::size_t shard_index(Key k) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(lowers_.begin(), lowers_.end(), k) - lowers_.begin());
+  }
+  ParallelMap<V>& shard_of(Key k) const { return *shards_[shard_index(k)]; }
+
+  std::vector<Key> lowers_;  // lower boundary of shards 1..S-1
+  std::vector<std::unique_ptr<ParallelMap<V>>> shards_;
+};
+
+}  // namespace pwf::rt

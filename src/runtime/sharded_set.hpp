@@ -1,0 +1,167 @@
+// ShardedParallelSet — a range-partitioned façade over S independent
+// ParallelSet shards, each with its own store and its own pending-batch
+// pipeline.
+//
+// Why shard a structure whose batches are already parallel? Two reasons,
+// both service-shaped rather than algorithmic:
+//   1. *Independent pipelines.* A ParallelSet chains every batch through a
+//      single root cell, so one slow batch delays the materialization of
+//      everything behind it. With S shards a batch splits into S slices
+//      that chain onto S independent roots — stragglers only stall their
+//      own key range.
+//   2. *Independent epochs.* compact() (the arena-epoch rebuild) can be
+//      rotated across shards, bounding the pause and the peak footprint to
+//      1/S of the whole set.
+//
+// Partitioning is by key range: the signed 64-bit key space is cut into S
+// equal-width contiguous ranges (computed in order-preserving unsigned
+// space), so `keys()` is the plain concatenation of the shards' in-order
+// walks. An incoming batch is sorted once and sliced per shard by binary
+// search — O(S lg m) to route a batch of m keys.
+//
+// Thread contract is inherited from ParallelSet: one mutator thread at a
+// time, any number of concurrent readers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/parallel_set.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/random.hpp"
+
+namespace pwf::rt {
+
+class ShardedParallelSet {
+ public:
+  using Key = ParallelSet::Key;
+  using Stats = ParallelSet::Stats;
+
+  ShardedParallelSet(Scheduler& sched, unsigned shards,
+                     std::uint64_t salt = 0x9e3779b97f4a7c15ULL) {
+    const unsigned n = std::max(1u, shards);
+    // Shard i owns [lower_[i-1], lower_[i]) with implicit -inf / +inf ends.
+    const std::uint64_t step =
+        std::numeric_limits<std::uint64_t>::max() / n + 1;
+    for (unsigned i = 1; i < n; ++i) lowers_.push_back(from_unsigned(step * i));
+    std::uint64_t sm = salt;
+    for (unsigned i = 0; i < n; ++i)
+      shards_.push_back(std::make_unique<ParallelSet>(sched, splitmix64(sm)));
+  }
+
+  ShardedParallelSet(const ShardedParallelSet&) = delete;
+  ShardedParallelSet& operator=(const ShardedParallelSet&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Batch mutators: sort + dedup once, slice per shard by binary search,
+  // then chain each nonempty slice onto its shard's pipeline.
+  void insert_batch(std::span<const Key> keys) {
+    for_each_slice(keys, /*visit_empty=*/false,
+                   [](ParallelSet& s, std::span<const Key> slice) {
+                     s.insert_batch(slice);
+                   });
+  }
+  void erase_batch(std::span<const Key> keys) {
+    for_each_slice(keys, /*visit_empty=*/false,
+                   [](ParallelSet& s, std::span<const Key> slice) {
+                     s.erase_batch(slice);
+                   });
+  }
+  // retain must visit *every* shard: a shard whose slice is empty keeps no
+  // keys (set ∩ ∅ = ∅).
+  void retain_batch(std::span<const Key> keys) {
+    for_each_slice(keys, /*visit_empty=*/true,
+                   [](ParallelSet& s, std::span<const Key> slice) {
+                     s.retain_batch(slice);
+                   });
+  }
+
+  void flush() const {
+    for (const auto& s : shards_) s->flush();
+  }
+
+  // Compact every shard. Long-lived services should instead rotate:
+  // `compact_shard(epoch % shard_count())` once per maintenance tick.
+  void compact() {
+    for (auto& s : shards_) s->compact();
+  }
+  void compact_shard(std::size_t i) { shards_[i]->compact(); }
+
+  bool contains(Key k) const { return shard_of(k).contains(k); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->size();
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::vector<Key> keys() const {  // sorted: shards are contiguous ranges
+    std::vector<Key> out;
+    for (const auto& s : shards_) {
+      std::vector<Key> part = s->keys();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  // Aggregate across shards: counters sum; max_pending is the max over
+  // shards (per-pipeline depth is the meaningful quantity).
+  Stats stats() const {
+    Stats agg;
+    for (const auto& s : shards_) {
+      const Stats st = s->stats();
+      agg.batches += st.batches;
+      agg.overlapped += st.overlapped;
+      agg.max_pending = std::max(agg.max_pending, st.max_pending);
+      agg.flushes += st.flushes;
+      agg.epochs += st.epochs;
+      agg.arena_bytes += st.arena_bytes;
+    }
+    return agg;
+  }
+
+  Stats shard_stats(std::size_t i) const { return shards_[i]->stats(); }
+
+ private:
+  // Order-preserving int64 <-> uint64 (flip the sign bit), so the uniform
+  // unsigned split yields contiguous signed ranges.
+  static Key from_unsigned(std::uint64_t u) {
+    return static_cast<Key>(u ^ (std::uint64_t{1} << 63));
+  }
+
+  std::size_t shard_index(Key k) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(lowers_.begin(), lowers_.end(), k) - lowers_.begin());
+  }
+  ParallelSet& shard_of(Key k) const { return *shards_[shard_index(k)]; }
+
+  template <typename Visit>
+  void for_each_slice(std::span<const Key> keys, bool visit_empty,
+                      Visit visit) {
+    std::vector<Key> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    auto lo = sorted.begin();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto hi = (i < lowers_.size())
+                          ? std::lower_bound(lo, sorted.end(), lowers_[i])
+                          : sorted.end();
+      if (hi != lo || visit_empty)
+        visit(*shards_[i],
+              std::span<const Key>(sorted.data() + (lo - sorted.begin()),
+                                   static_cast<std::size_t>(hi - lo)));
+      lo = hi;
+    }
+  }
+
+  std::vector<Key> lowers_;  // lower boundary of shards 1..S-1
+  std::vector<std::unique_ptr<ParallelSet>> shards_;
+};
+
+}  // namespace pwf::rt

@@ -10,6 +10,7 @@
 #include "runtime/parallel_map.hpp"
 #include "runtime/rt_map.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/sharded_map.hpp"
 #include "support/random.hpp"
 
 namespace pwf::rt {
@@ -160,6 +161,86 @@ TEST(ParallelMap, LargeShardAggregation) {
   for (const auto& [k, v] : m.items()) total += v;
   EXPECT_EQ(total, 6 * 20000);
 }
+
+TEST(ParallelMapPipeline, StatsAndCompact) {
+  Scheduler sched(2);
+  Rng rng(41);
+  ParallelMap<std::int64_t> m(sched);
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  std::map<map::Key, std::int64_t> ref;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Item> batch;
+    for (int i = 0; i < 3000; ++i)
+      batch.emplace_back(rng.range(0, 4000),
+                         static_cast<std::int64_t>(rng.below(10)));
+    m.insert_batch(batch, add);
+    for (const auto& [k, v] : batch) ref[k] += v;
+  }
+  ParallelMap<std::int64_t>::Stats st = m.stats();
+  EXPECT_EQ(st.batches, 5u);
+  EXPECT_EQ(st.max_pending, 5u);
+  EXPECT_EQ(st.flushes, 0u);
+  m.flush();
+  EXPECT_EQ(m.stats().flushes, 1u);
+
+  const auto before = m.stats();
+  m.compact();
+  const auto after = m.stats();
+  EXPECT_EQ(after.epochs, before.epochs + 1);
+  EXPECT_LT(after.arena_bytes, before.arena_bytes);
+  EXPECT_EQ(m.items(), std::vector<Item>(ref.begin(), ref.end()));
+}
+
+class ShardedMapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedMapSweep, MatchesUnshardedAndStdMap) {
+  const unsigned shards = static_cast<unsigned>(GetParam());
+  Scheduler sched(2);
+  Rng rng(700 + shards);
+  ShardedParallelMap<std::int64_t> sh(sched, shards);
+  ParallelMap<std::int64_t> flat(sched);
+  std::map<map::Key, std::int64_t> ref;
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  EXPECT_EQ(sh.shard_count(), shards);
+
+  for (int round = 0; round < 15; ++round) {
+    if (rng.below(4) != 0) {
+      std::vector<Item> batch;
+      const std::size_t sz = 1 + rng.below(300);
+      for (std::size_t i = 0; i < sz; ++i)
+        batch.emplace_back(rng.range(-2000, 2000),  // negative keys too
+                           static_cast<std::int64_t>(rng.below(100)));
+      sh.insert_batch(batch, add);
+      flat.insert_batch(batch, add);
+      for (const auto& [k, v] : batch) ref[k] += v;
+    } else {
+      std::vector<map::Key> keys;
+      const std::size_t sz = 1 + rng.below(200);
+      for (std::size_t i = 0; i < sz; ++i) keys.push_back(rng.range(-2000, 2000));
+      sh.erase_batch(keys);
+      flat.erase_batch(keys);
+      for (map::Key k : keys) ref.erase(k);
+    }
+    ASSERT_EQ(sh.size(), ref.size()) << "round " << round;
+    ASSERT_EQ(sh.items(), flat.items()) << "round " << round;
+    ASSERT_EQ(sh.items(), std::vector<Item>(ref.begin(), ref.end()))
+        << "round " << round;
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const map::Key k = rng.range(-2000, 2000);
+    const auto it = ref.find(k);
+    ASSERT_EQ(sh.get(k),
+              it == ref.end() ? std::nullopt
+                              : std::optional<std::int64_t>(it->second));
+  }
+
+  sh.compact();
+  EXPECT_EQ(sh.stats().epochs, shards);
+  EXPECT_EQ(sh.items(), std::vector<Item>(ref.begin(), ref.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedMapSweep, ::testing::Values(1, 4));
 
 }  // namespace
 }  // namespace pwf::rt

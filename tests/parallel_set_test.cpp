@@ -1,12 +1,17 @@
 // Tests for the ParallelSet facade: batch set semantics against std::set,
-// across thread counts, batch shapes, and long randomized sessions.
+// across thread counts, batch shapes, and long randomized sessions; plus
+// the pipelined-batch contract (stats, flush, compact), concurrent readers
+// racing in-flight batches, and sharded-vs-unsharded equivalence.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "runtime/parallel_set.hpp"
+#include "runtime/sharded_set.hpp"
 #include "support/random.hpp"
 
 namespace pwf::rt {
@@ -130,6 +135,172 @@ TEST(ParallelSet, LargeBatches) {
   EXPECT_EQ(s.size(), ref.size());
   EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
 }
+
+// ---- pipelined batch contract ----------------------------------------------
+
+TEST(ParallelSetPipeline, StatsCountBatchesAndPending) {
+  Scheduler sched(2);
+  Rng rng(21);
+  ParallelSet s(sched);
+  for (int i = 0; i < 6; ++i) s.insert_batch(draw(rng, 3000));
+  ParallelSet::Stats st = s.stats();
+  EXPECT_EQ(st.batches, 6u);
+  EXPECT_EQ(st.max_pending, 6u);  // no flush between batches
+  EXPECT_EQ(st.flushes, 0u);
+  s.flush();
+  st = s.stats();
+  EXPECT_EQ(st.flushes, 1u);
+  EXPECT_EQ(st.max_pending, 6u);  // high-water mark survives the flush
+  // After quiescence, size() is served from the cache: no extra flush.
+  (void)s.size();
+  EXPECT_EQ(s.stats().flushes, 1u);
+}
+
+TEST(ParallelSetPipeline, BackToBackBatchesOverlap) {
+  // Each union below processes 20k keys; the next insert_batch is issued
+  // microseconds later, long before that union materializes its root — so
+  // the overlap counter must fire.
+  Scheduler sched(2);
+  Rng rng(22);
+  ParallelSet s(sched);
+  for (int i = 0; i < 10; ++i) s.insert_batch(draw(rng, 20000, 1 << 26));
+  EXPECT_GT(s.stats().overlapped, 0u);
+  s.flush();
+  EXPECT_GT(s.size(), 0u);
+}
+
+TEST(ParallelSetPipeline, CompactStartsFreshEpoch) {
+  Scheduler sched(2);
+  Rng rng(23);
+  ParallelSet s(sched);
+  std::set<std::int64_t> ref;
+  for (int i = 0; i < 8; ++i) {
+    const auto ins = draw(rng, 4000);
+    s.insert_batch(ins);
+    ref.insert(ins.begin(), ins.end());
+    const auto del = draw(rng, 2000);
+    s.erase_batch(del);
+    for (auto k : del) ref.erase(k);
+  }
+  const ParallelSet::Stats before = s.stats();
+  s.compact();
+  const ParallelSet::Stats after = s.stats();
+  EXPECT_EQ(after.epochs, before.epochs + 1);
+  // The fresh store holds one clean build; the old one held 16 batches of
+  // superseded nodes on a monotonic arena.
+  EXPECT_LT(after.arena_bytes, before.arena_bytes);
+  EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+  // The set keeps working across the epoch swap.
+  const auto more = draw(rng, 1000);
+  s.insert_batch(more);
+  ref.insert(more.begin(), more.end());
+  EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
+// ---- concurrent readers vs pipelined writers (tsan-covered) ----------------
+
+TEST(ParallelSetConcurrent, ReadersRacePipelinedWriters) {
+  Scheduler sched(2);
+  Rng rng(31);
+  const auto initial = draw(rng, 2000);
+  ParallelSet s(sched, initial);
+  std::set<std::int64_t> ref(initial.begin(), initial.end());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> sink{0};  // keeps the reader loops un-elidable
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&s, &stop, &sink, r] {
+      Rng mine(100 + r);
+      std::size_t acc = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        acc += s.contains(mine.range(0, 1 << 20)) ? 1 : 0;
+        if (mine.below(64) == 0) acc += s.keys().size();
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+
+  for (int round = 0; round < 12; ++round) {
+    const auto batch = draw(rng, 1 + rng.below(2000));
+    if (rng.coin()) {
+      s.insert_batch(batch);
+      ref.insert(batch.begin(), batch.end());
+    } else {
+      s.erase_batch(batch);
+      for (auto k : batch) ref.erase(k);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  s.flush();
+  EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
+// ---- sharded vs unsharded equivalence --------------------------------------
+
+class ShardedSetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedSetSweep, MatchesUnshardedAndStdSet) {
+  const unsigned shards = static_cast<unsigned>(GetParam());
+  Scheduler sched(2);
+  Rng rng(500 + shards);
+  ShardedParallelSet sh(sched, shards);
+  ParallelSet flat(sched);
+  std::set<std::int64_t> ref;
+  EXPECT_EQ(sh.shard_count(), shards);
+
+  auto draw_signed = [&rng](std::size_t n) {
+    // Negative keys exercise the shard-boundary sign-bit mapping.
+    std::vector<std::int64_t> out;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(rng.range(-(1 << 20), 1 << 20));
+    return out;
+  };
+
+  for (int round = 0; round < 20; ++round) {
+    const auto op = rng.below(3);
+    const auto batch = draw_signed(1 + rng.below(400));
+    if (op == 0) {
+      sh.insert_batch(batch);
+      flat.insert_batch(batch);
+      ref.insert(batch.begin(), batch.end());
+    } else if (op == 1) {
+      sh.erase_batch(batch);
+      flat.erase_batch(batch);
+      for (auto k : batch) ref.erase(k);
+    } else {
+      std::vector<std::int64_t> keep = batch;
+      keep.insert(keep.end(), ref.begin(), ref.end());
+      if (rng.coin()) keep.resize(keep.size() / 2);
+      sh.retain_batch(keep);
+      flat.retain_batch(keep);
+      const std::set<std::int64_t> keep_set(keep.begin(), keep.end());
+      std::set<std::int64_t> next;
+      for (auto k : ref)
+        if (keep_set.count(k)) next.insert(k);
+      ref = std::move(next);
+    }
+    ASSERT_EQ(sh.size(), ref.size()) << "round " << round;
+    ASSERT_EQ(sh.keys(), flat.keys()) << "round " << round;
+    ASSERT_EQ(sh.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()))
+        << "round " << round;
+  }
+
+  // Point reads route through the boundary binary search.
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t k = rng.range(-(1 << 20), 1 << 20);
+    ASSERT_EQ(sh.contains(k), ref.count(k) != 0);
+  }
+
+  // Compacting every shard preserves contents and bumps per-shard epochs.
+  sh.compact();
+  EXPECT_EQ(sh.stats().epochs, shards);
+  EXPECT_EQ(sh.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedSetSweep, ::testing::Values(1, 3, 8));
 
 }  // namespace
 }  // namespace pwf::rt

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "costmodel/engine.hpp"
@@ -189,6 +191,59 @@ TEST(Scheduler, StatsCountResumptions) {
   const auto s = sched.stats();
   EXPECT_GE(s.resumed, static_cast<std::uint64_t>(kFibers));
   EXPECT_GE(s.injected, static_cast<std::uint64_t>(kFibers));  // posted from main
+}
+
+// Pins the lock-free wake path: posts from the worker's own fast path (a
+// running worker forking locally) find parked_ == 0 — with one worker busy
+// running the tree there is nobody to wake — so they must not signal.
+// Signals may only come from the external spawn(s) that seed the run.
+TEST(Scheduler, WorkerLocalPostsDoNotSignal) {
+  Scheduler sched(1);
+  std::atomic<int> leaves{0};
+  FutCell<int> done;
+  struct Maker {
+    static Fiber node(int depth, std::atomic<int>& leaves,
+                      FutCell<int>& done) {
+      if (depth == 0) {
+        if (leaves.fetch_add(1) + 1 == 1 << 9) done.write(1);
+        co_return;
+      }
+      spawn(node(depth - 1, leaves, done));
+      spawn(node(depth - 1, leaves, done));
+    }
+  };
+  spawn(Maker::node(9, leaves, done));  // 1 external post, 2^10-2 local ones
+  done.wait_blocking();
+  const auto s = sched.stats();
+  EXPECT_GE(s.resumed, (1u << 10) - 1);
+  // Every local post saw the lone worker running (parked_ == 0). Only the
+  // external seed post — and stray posts racing a 1 ms park timeout — may
+  // signal; anywhere near the fiber count means the fast path signals.
+  EXPECT_LE(s.wakeups, 16u);
+}
+
+// The other half of the handshake: a post aimed at genuinely parked workers
+// must signal (and count the signal). Workers park in 1 ms slices, so after
+// a few quiet milliseconds a post lands on a parked worker with high
+// probability; retry a bounded number of times to make it deterministic.
+TEST(Scheduler, ExternalPostWakesParkedWorker) {
+  Scheduler sched(2);
+  struct Maker {
+    static Fiber touch(FutCell<int>& d) {
+      d.write(1);
+      co_return;
+    }
+  };
+  const std::uint64_t before = sched.stats().wakeups;
+  bool signalled = false;
+  for (int attempt = 0; attempt < 200 && !signalled; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    FutCell<int> done;
+    spawn(Maker::touch(done));
+    done.wait_blocking();
+    signalled = sched.stats().wakeups > before;
+  }
+  EXPECT_TRUE(signalled);
 }
 
 // ---- parallel tree merge ----------------------------------------------------------
