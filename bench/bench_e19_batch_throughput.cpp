@@ -7,7 +7,14 @@
 // Formerly a google-benchmark binary; now the standard Cli + JsonWriter
 // harness shape (E23/E24) so CI can smoke it and check in BENCH_e19.json.
 //
-// Flags: --smoke (tiny sizes, 2 reps), --out=FILE, --reps=N, --threads=N.
+// Each facade sample also reports its software cache economy — storage
+// composition of the result tree (internal nodes vs chunked leaves), the
+// scheduler's leaf-op count for the batch, and arena bytes per batch item —
+// so the chunked-leaf storage (docs/storage.md) can be tuned from the JSON.
+//
+// Flags: --smoke (tiny sizes, 2 reps), --out=FILE, --reps=N, --threads=N,
+// --leaf-cap=CAP[,CAP...] (sweep the leaf-chunk capacity, e.g.
+// --leaf-cap=1,8,16,32,64; 1 disables chunking).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -26,12 +33,27 @@ using namespace pwf;
 
 namespace {
 
+// Software cache economy of one facade run (absent for std variants).
+struct Cache {
+  bool present = false;
+  std::int64_t internal_nodes = 0;  // one 64-byte line each
+  std::int64_t leaf_chunks = 0;     // flat sorted runs
+  std::int64_t leaf_keys = 0;       // keys stored inside chunks
+  std::int64_t leaf_ops = 0;        // chunk merges/splits per batch (store)
+  std::int64_t sched_leaf_ops = 0;  // pipelined-path leaf hits (scheduler)
+  std::int64_t arena_bytes = 0;
+  std::int64_t wasted_padding = 0;
+  double bytes_per_item = 0.0;  // arena_bytes / batch items
+};
+
 struct Sample {
   std::string workload;
-  std::string variant;  // facade | std
-  std::int64_t n = 0;   // base structure size
-  std::int64_t m = 0;   // batch size (items per repetition)
+  std::string variant;     // facade | std
+  std::int64_t n = 0;      // base structure size
+  std::int64_t m = 0;      // batch size (items per repetition)
+  std::int64_t leaf_cap = 0;  // leaf-chunk capacity used for this run
   double ms = 0.0;
+  Cache cache;
 };
 
 struct Check {
@@ -43,10 +65,19 @@ std::vector<Sample> g_samples;
 std::vector<Check> g_checks;
 
 void record(Sample s) {
-  std::printf("  %-14s %-7s n=%-6lld m=%-6lld %9.3f ms  %8.2f Mitems/s\n",
+  std::printf("  %-14s %-7s n=%-6lld m=%-6lld cap=%-4lld %9.3f ms  "
+              "%8.2f Mitems/s",
               s.workload.c_str(), s.variant.c_str(),
-              static_cast<long long>(s.n), static_cast<long long>(s.m), s.ms,
+              static_cast<long long>(s.n), static_cast<long long>(s.m),
+              static_cast<long long>(s.leaf_cap), s.ms,
               static_cast<double>(s.m) / (s.ms * 1e3));
+  if (s.cache.present)
+    std::printf("  [%lld nodes, %lld chunks, %lld leaf keys, %.1f B/item]",
+                static_cast<long long>(s.cache.internal_nodes),
+                static_cast<long long>(s.cache.leaf_chunks),
+                static_cast<long long>(s.cache.leaf_keys),
+                s.cache.bytes_per_item);
+  std::printf("\n");
   g_samples.push_back(std::move(s));
 }
 
@@ -70,57 +101,103 @@ double median_ms(int reps, F&& body) {
   return times[times.size() / 2];
 }
 
+// One extra untimed facade run that harvests the cache-economy numbers, so
+// the whole-tree walk never perturbs the timed region.
+template <typename Facade>
+Cache harvest_cache(Facade& facade, std::int64_t sched_leaf_ops,
+                    std::int64_t items) {
+  const auto ce = facade.cache_economy();
+  Cache c;
+  c.present = true;
+  c.internal_nodes = static_cast<std::int64_t>(ce.internal_nodes);
+  c.leaf_chunks = static_cast<std::int64_t>(ce.leaf_chunks);
+  c.leaf_keys = static_cast<std::int64_t>(ce.leaf_keys);
+  c.leaf_ops = static_cast<std::int64_t>(ce.leaf_ops);
+  c.sched_leaf_ops = sched_leaf_ops;
+  c.arena_bytes = static_cast<std::int64_t>(ce.arena_bytes);
+  c.wasted_padding = static_cast<std::int64_t>(ce.wasted_padding);
+  c.bytes_per_item =
+      items > 0 ? static_cast<double>(ce.arena_bytes) / items : 0.0;
+  return c;
+}
+
 void run_set_insert(rt::Scheduler& sched, std::size_t n, std::size_t m,
-                    int reps) {
+                    std::size_t leaf_cap, int reps) {
   const auto base = bench::random_keys(n, 1);
   const auto batch = bench::random_keys(m, 2);
   const auto ni = static_cast<std::int64_t>(n);
   const auto mi = static_cast<std::int64_t>(m);
+  const auto ci = static_cast<std::int64_t>(leaf_cap);
 
   std::size_t facade_size = 0;
-  record({"set_insert", "facade", ni, mi, median_ms(reps, [&] {
-            rt::ParallelSet s(sched, base);
-            s.insert_batch(batch);
-            facade_size = s.size();  // joins the batch
-          })});
+  const double facade_ms = median_ms(reps, [&] {
+    rt::ParallelSet s(sched, base, pipelined::treap::kDefaultSalt, leaf_cap);
+    s.insert_batch(batch);
+    facade_size = s.size();  // joins the batch
+  });
+  Cache cache;
+  {
+    rt::ParallelSet s(sched, base, pipelined::treap::kDefaultSalt, leaf_cap);
+    const auto ops0 = sched.stats().leaf_ops;
+    s.insert_batch(batch);
+    s.flush();
+    const auto ops1 = sched.stats().leaf_ops;
+    cache = harvest_cache(s, static_cast<std::int64_t>(ops1 - ops0), mi);
+  }
+  record({"set_insert", "facade", ni, mi, ci, facade_ms, cache});
 
   std::size_t std_size = 0;
-  record({"set_insert", "std", ni, mi, median_ms(reps, [&] {
+  record({"set_insert", "std", ni, mi, ci, median_ms(reps, [&] {
             std::set<std::int64_t> s(base.begin(), base.end());
             for (auto k : batch) s.insert(k);
             std_size = s.size();
-          })});
+          }),
+          Cache{}});
 
   char claim[96];
   std::snprintf(claim, sizeof(claim),
-                "set_insert n=%lld m=%lld: facade size == std::set size",
-                static_cast<long long>(ni), static_cast<long long>(mi));
+                "set_insert n=%lld m=%lld cap=%lld: facade size == std size",
+                static_cast<long long>(ni), static_cast<long long>(mi),
+                static_cast<long long>(ci));
   check(claim, facade_size == std_size);
 }
 
-void run_map_aggregate(rt::Scheduler& sched, std::size_t m, int reps) {
+void run_map_aggregate(rt::Scheduler& sched, std::size_t m,
+                       std::size_t leaf_cap, int reps) {
   Rng rng(3);
   std::vector<std::pair<std::int64_t, std::int64_t>> batch;
   for (std::size_t i = 0; i < m; ++i)
     batch.emplace_back(rng.range(0, 1 << 12), 1);
   const auto add = [](std::int64_t a, std::int64_t b) { return a + b; };
   const auto mi = static_cast<std::int64_t>(4 * m);
+  const auto ci = static_cast<std::int64_t>(leaf_cap);
+  const std::uint64_t salt = 0x9e3779b97f4a7c15ULL;
 
   std::size_t facade_size = 0;
-  record({"map_aggregate", "facade", 0, mi, median_ms(reps, [&] {
-            rt::ParallelMap<std::int64_t> idx(sched);
-            for (int shard = 0; shard < 4; ++shard)
-              idx.insert_batch(batch, add);
-            facade_size = idx.size();  // joins the pipeline
-          })});
+  const double facade_ms = median_ms(reps, [&] {
+    rt::ParallelMap<std::int64_t> idx(sched, salt, leaf_cap);
+    for (int shard = 0; shard < 4; ++shard) idx.insert_batch(batch, add);
+    facade_size = idx.size();  // joins the pipeline
+  });
+  Cache cache;
+  {
+    rt::ParallelMap<std::int64_t> idx(sched, salt, leaf_cap);
+    const auto ops0 = sched.stats().leaf_ops;
+    for (int shard = 0; shard < 4; ++shard) idx.insert_batch(batch, add);
+    idx.flush();
+    const auto ops1 = sched.stats().leaf_ops;
+    cache = harvest_cache(idx, static_cast<std::int64_t>(ops1 - ops0), mi);
+  }
+  record({"map_aggregate", "facade", 0, mi, ci, facade_ms, cache});
 
   std::size_t std_size = 0;
-  record({"map_aggregate", "std", 0, mi, median_ms(reps, [&] {
+  record({"map_aggregate", "std", 0, mi, ci, median_ms(reps, [&] {
             std::map<std::int64_t, std::int64_t> idx;
             for (int shard = 0; shard < 4; ++shard)
               for (const auto& [k, v] : batch) idx[k] += v;
             std_size = idx.size();
-          })});
+          }),
+          Cache{}});
 
   check("map_aggregate: facade size == std::map size",
         facade_size == std_size);
@@ -145,8 +222,22 @@ void write_json(const std::string& path, bool smoke, unsigned threads) {
     w.field("variant", s.variant);
     w.field("n", s.n);
     w.field("m", s.m);
+    w.field("leaf_cap", s.leaf_cap);
     w.field("ms", s.ms);
     w.field("mitems_per_s", static_cast<double>(s.m) / (s.ms * 1e3));
+    if (s.cache.present) {
+      w.key("cache");
+      w.begin_object();
+      w.field("internal_nodes", s.cache.internal_nodes);
+      w.field("leaf_chunks", s.cache.leaf_chunks);
+      w.field("leaf_keys", s.cache.leaf_keys);
+      w.field("leaf_ops", s.cache.leaf_ops);
+      w.field("sched_leaf_ops", s.cache.sched_leaf_ops);
+      w.field("arena_bytes", s.cache.arena_bytes);
+      w.field("wasted_padding", s.cache.wasted_padding);
+      w.field("bytes_per_item", s.cache.bytes_per_item);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -166,18 +257,38 @@ void write_json(const std::string& path, bool smoke, unsigned threads) {
               g_samples.size(), g_checks.size());
 }
 
+std::vector<std::size_t> parse_caps(const std::string& spec) {
+  std::vector<std::size_t> caps;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    if (!tok.empty()) caps.push_back(std::stoull(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (caps.empty()) caps.push_back(pipelined::treap::kDefaultLeafCapacity);
+  return caps;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {{"smoke", "false"},
-                             {"out", "BENCH_e19.json"},
-                             {"reps", "0"},
-                             {"threads", "2"}});
+  const Cli cli(argc, argv,
+                {{"smoke", "false"},
+                 {"out", "BENCH_e19.json"},
+                 {"reps", "0"},
+                 {"threads", "2"},
+                 {"leaf-cap",
+                  std::to_string(pipelined::treap::kDefaultLeafCapacity)}});
   const bool smoke = cli.get_bool("smoke");
   const int reps = cli.get_int("reps") > 0
                        ? static_cast<int>(cli.get_int("reps"))
                        : (smoke ? 2 : 11);
   const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const std::vector<std::size_t> caps = parse_caps(cli.get_str("leaf-cap"));
 
   std::printf("E19: facade batch throughput vs std containers, "
               "%u workers, %d reps (median)\n",
@@ -185,9 +296,11 @@ int main(int argc, char** argv) {
 
   rt::Scheduler sched(threads);
   const std::size_t n = smoke ? 1 << 10 : 1 << 14;
-  run_set_insert(sched, n, smoke ? 1 << 8 : 1 << 10, reps);
-  run_set_insert(sched, n, n, reps);
-  run_map_aggregate(sched, smoke ? 1 << 8 : 1 << 12, reps);
+  for (const std::size_t cap : caps) {
+    run_set_insert(sched, n, smoke ? 1 << 8 : 1 << 10, cap, reps);
+    run_set_insert(sched, n, n, cap, reps);
+    run_map_aggregate(sched, smoke ? 1 << 8 : 1 << 12, cap, reps);
+  }
 
   write_json(cli.get_str("out"), smoke, threads);
 

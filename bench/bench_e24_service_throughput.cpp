@@ -39,6 +39,31 @@ namespace {
 
 constexpr double kTargetSpeedup = 1.5;  // pipelined vs sync at >= 2 threads
 
+// Software cache economy of the facade's final snapshot (docs/storage.md).
+struct CacheCols {
+  bool present = false;
+  std::int64_t internal_nodes = 0;
+  std::int64_t leaf_chunks = 0;
+  std::int64_t leaf_keys = 0;
+  std::int64_t leaf_ops = 0;
+  std::int64_t arena_bytes = 0;
+  std::int64_t wasted_padding = 0;
+};
+
+template <typename Facade>
+CacheCols harvest_cache(const Facade& facade) {
+  const auto ce = facade.cache_economy();
+  CacheCols c;
+  c.present = true;
+  c.internal_nodes = static_cast<std::int64_t>(ce.internal_nodes);
+  c.leaf_chunks = static_cast<std::int64_t>(ce.leaf_chunks);
+  c.leaf_keys = static_cast<std::int64_t>(ce.leaf_keys);
+  c.leaf_ops = static_cast<std::int64_t>(ce.leaf_ops);
+  c.arena_bytes = static_cast<std::int64_t>(ce.arena_bytes);
+  c.wasted_padding = static_cast<std::int64_t>(ce.wasted_padding);
+  return c;
+}
+
 struct Sample {
   std::string workload;
   std::string variant;  // sync | pipelined | sharded
@@ -49,6 +74,7 @@ struct Sample {
   double ms = 0.0;
   std::int64_t overlapped = 0;   // facade stats from the last repetition
   std::int64_t max_pending = 0;
+  CacheCols cache;
 };
 
 struct Check {
@@ -159,7 +185,7 @@ void run_set_stream(const char* name, bool with_erases, std::size_t base_n,
   {
     rt::ParallelSet s(*rt::Scheduler::current());
     const double ms = measure(s, /*flush_each=*/true);
-    record({name, "sync", t, nb, mi, items, ms, 0, 0});
+    record({name, "sync", t, nb, mi, items, ms, 0, 0, harvest_cache(s)});
     if (verify)
       check(std::string(name) + " sync: keys == std::set oracle",
             s.keys() == oracle);
@@ -170,7 +196,7 @@ void run_set_stream(const char* name, bool with_erases, std::size_t base_n,
     const rt::ParallelSet::Stats st = s.stats();
     record({name, "pipelined", t, nb, mi, items, ms,
             static_cast<std::int64_t>(st.overlapped),
-            static_cast<std::int64_t>(st.max_pending)});
+            static_cast<std::int64_t>(st.max_pending), harvest_cache(s)});
     if (verify)
       check(std::string(name) + " pipelined: keys == std::set oracle",
             s.keys() == oracle);
@@ -181,7 +207,7 @@ void run_set_stream(const char* name, bool with_erases, std::size_t base_n,
     const rt::ParallelSet::Stats st = s.stats();
     record({name, "sharded", t, nb, mi, items, ms,
             static_cast<std::int64_t>(st.overlapped),
-            static_cast<std::int64_t>(st.max_pending)});
+            static_cast<std::int64_t>(st.max_pending), harvest_cache(s)});
     if (verify)
       check(std::string(name) + " sharded: keys == std::set oracle",
             s.keys() == oracle);
@@ -223,33 +249,38 @@ void run_map_aggregate(std::size_t nbatches, std::size_t m, unsigned threads,
 
   {
     std::vector<Item> got;
+    CacheCols cache;
     const double ms = median_ms(reps, [&] {
       rt::ParallelMap<std::int64_t> idx(*rt::Scheduler::current());
       drive(idx, /*flush_each=*/true);
       got = idx.items();
+      cache = harvest_cache(idx);
     });
-    record({"map_aggregate", "sync", t, nb, mi, items, ms, 0, 0});
+    record({"map_aggregate", "sync", t, nb, mi, items, ms, 0, 0, cache});
     if (verify)
       check("map_aggregate sync: items == std::map oracle", got == oracle);
   }
   {
     std::vector<Item> got;
+    CacheCols cache;
     rt::ParallelMap<std::int64_t>::Stats st;
     const double ms = median_ms(reps, [&] {
       rt::ParallelMap<std::int64_t> idx(*rt::Scheduler::current());
       drive(idx, /*flush_each=*/false);
       st = idx.stats();
       got = idx.items();
+      cache = harvest_cache(idx);
     });
     record({"map_aggregate", "pipelined", t, nb, mi, items, ms,
             static_cast<std::int64_t>(st.overlapped),
-            static_cast<std::int64_t>(st.max_pending)});
+            static_cast<std::int64_t>(st.max_pending), cache});
     if (verify)
       check("map_aggregate pipelined: items == std::map oracle",
             got == oracle);
   }
   {
     std::vector<Item> got;
+    CacheCols cache;
     rt::ParallelMap<std::int64_t>::Stats st;
     const double ms = median_ms(reps, [&] {
       rt::ShardedParallelMap<std::int64_t> idx(*rt::Scheduler::current(),
@@ -257,10 +288,11 @@ void run_map_aggregate(std::size_t nbatches, std::size_t m, unsigned threads,
       drive(idx, /*flush_each=*/false);
       st = idx.stats();
       got = idx.items();
+      cache = harvest_cache(idx);
     });
     record({"map_aggregate", "sharded", t, nb, mi, items, ms,
             static_cast<std::int64_t>(st.overlapped),
-            static_cast<std::int64_t>(st.max_pending)});
+            static_cast<std::int64_t>(st.max_pending), cache});
     if (verify)
       check("map_aggregate sharded: items == std::map oracle", got == oracle);
   }
@@ -293,6 +325,17 @@ void write_json(const std::string& path, bool smoke, unsigned max_threads,
     w.field("mkeys_per_s", static_cast<double>(s.items) / (s.ms * 1e3));
     w.field("overlapped", s.overlapped);
     w.field("max_pending", s.max_pending);
+    if (s.cache.present) {
+      w.key("cache");
+      w.begin_object();
+      w.field("internal_nodes", s.cache.internal_nodes);
+      w.field("leaf_chunks", s.cache.leaf_chunks);
+      w.field("leaf_keys", s.cache.leaf_keys);
+      w.field("leaf_ops", s.cache.leaf_ops);
+      w.field("arena_bytes", s.cache.arena_bytes);
+      w.field("wasted_padding", s.cache.wasted_padding);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

@@ -42,6 +42,10 @@ struct CmPolicy {
     Arena() : pwf::Arena(1 << 18) {}
   };
   static constexpr bool kHasTimestamps = true;
+  // The cost model measures the paper's node-per-key DAG: chunked-leaf
+  // storage is disabled outright, so every leaf branch in the shared bodies
+  // is `if constexpr`-dead and the recorded counts stay bit-identical.
+  static constexpr std::size_t kMaxLeafCapacity = 0;
 
   template <typename T>
   static void preset(cm::Cell<T>& c, T v) {
@@ -122,6 +126,9 @@ class CmExecBase {
   // bit-identical (tests/recorded_counts_test.cpp).
   static constexpr std::size_t serial_threshold() { return 0; }
   static void on_serial_cutoff() {}
+  // Leaf-chunk fast paths never run here (kMaxLeafCapacity 0); the hook is
+  // part of the Exec concept so shared bodies compile unchanged.
+  static void on_leaf_op() {}
   // Escape hatch: run a would-be fork inline (substrate-neutral spelling of
   // a plain recursive call). Unused while threshold is 0, but part of the
   // Exec concept so shared bodies compile unchanged.

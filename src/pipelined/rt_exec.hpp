@@ -35,6 +35,10 @@ struct RtPolicy {
   using Context = RtContext;
   using Arena = rt::ConcurrentArena;
   static constexpr bool kHasTimestamps = false;
+  // Upper bound on the flat leaf-chunk capacity a Store may request
+  // (docs/storage.md). The per-store default is treap::kDefaultLeafCapacity;
+  // this cap just keeps a misconfigured store from building kilobyte-scans.
+  static constexpr std::size_t kMaxLeafCapacity = 1024;
 
   template <typename T>
   static void preset(rt::FutCell<T>& c, T v) {
@@ -136,6 +140,10 @@ class RtExec {
 
   void on_serial_cutoff() const {
     if (rt::Scheduler* s = rt::Scheduler::current()) s->note_serial_cutoff();
+  }
+
+  void on_leaf_op() const {
+    if (rt::Scheduler* s = rt::Scheduler::current()) s->note_leaf_op();
   }
 
   // Run a would-be fork inline on this worker (symmetric transfer, no

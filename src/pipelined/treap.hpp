@@ -7,12 +7,23 @@
 // Priorities are derived from keys by hashing (splitmix64 with a store-wide
 // salt), so a key has the same priority in every treap of a store; this
 // preserves the paper's randomness assumption because the hash is a PRF of
-// the key.
+// the key. The hash is computed once per key at build time and cached in the
+// node / leaf-entry record; the hot bodies below only ever compare cached
+// priorities.
+//
+// Storage is B-treap-style (docs/storage.md): internal nodes keep the
+// key/priority/child layout in one cache line, while subtrees below the
+// store's leaf capacity collapse into sorted flat chunks of LeafEntry that
+// the serial fast paths process branch-free. Substrates opt in through
+// P::kMaxLeafCapacity — the cost model pins it to 0, so every leaf branch is
+// `if constexpr`-dead there and the recorded DAG counts stay bit-identical.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <span>
 #include <utility>
@@ -33,6 +44,19 @@ struct Node;
 template <typename P>
 using Cell = typename P::template Cell<Node<P>*>;
 
+// One key of a flat leaf chunk. The priority is cached alongside the key so
+// re-chunking (slices, merges, joins) never rehashes.
+struct LeafEntry {
+  Key key = 0;
+  Pri pri = 0;
+};
+
+// A node is either *internal* (items == nullptr; left/right are cells) or a
+// *leaf view* (items != nullptr; left/right unused): a window [items,
+// items+count) into an immutable, key-sorted, arena-backed entry array. A
+// leaf's key/pri mirror its maximum-priority entry (items[root_pos]) — the
+// root the subtree would have had — so every priority comparison in the
+// bodies below works on leaves unchanged.
 template <typename P>
 struct Node {
   Key key = 0;
@@ -41,20 +65,39 @@ struct Node {
   typename P::Time created{};  // t(v) (cost model only)
   Cell<P>* left = nullptr;
   Cell<P>* right = nullptr;
+  const LeafEntry* items = nullptr;  // leaf view into a sorted chunk
+  std::uint32_t count = 0;           // number of entries in the view
+  std::uint32_t root_pos = 0;        // index of the max-priority entry
 };
 
+template <typename P>
+bool is_leaf(const Node<P>* n) {
+  return n != nullptr && n->items != nullptr;
+}
+
 inline constexpr std::uint64_t kDefaultSalt = 0x9e3779b97f4a7c15ULL;
+
+// Default flat-chunk capacity: picked by the bench_e19 --leaf-cap sweep
+// (BENCH_e19.json); tunable per Store.
+inline constexpr std::size_t kDefaultLeafCapacity = 32;
 
 template <typename P>
 class Store {
  public:
   using Context = typename P::Context;
 
-  explicit Store(Context ctx, std::uint64_t salt = kDefaultSalt)
-      : ctx_(std::move(ctx)), salt_(salt) {}
-  explicit Store(std::uint64_t salt = kDefaultSalt)
+  // Internal nodes must stay within one cache line — the point of caching
+  // the priority and packing the leaf view into the node record.
+  static_assert(sizeof(Node<P>) <= 64,
+                "treap::Node must fit in a 64-byte cache line");
+
+  explicit Store(Context ctx, std::uint64_t salt = kDefaultSalt,
+                 std::size_t leaf_cap = kDefaultLeafCapacity)
+      : ctx_(std::move(ctx)), salt_(salt), leaf_cap_(clamp_cap(leaf_cap)) {}
+  explicit Store(std::uint64_t salt = kDefaultSalt,
+                 std::size_t leaf_cap = kDefaultLeafCapacity)
     requires std::default_initializable<Context>
-      : salt_(salt) {}
+      : salt_(salt), leaf_cap_(clamp_cap(leaf_cap)) {}
 
   decltype(auto) engine() { return ctx_.engine(); }
 
@@ -62,6 +105,10 @@ class Store {
     std::uint64_t x = static_cast<std::uint64_t>(k) ^ salt_;
     return splitmix64(x);
   }
+
+  // Effective flat-chunk capacity: 1 means "no chunking" (every key is its
+  // own node); the substrate's kMaxLeafCapacity bounds it from above.
+  std::size_t leaf_capacity() const { return leaf_cap_; }
 
   Cell<P>* cell() { return arena_.template create<Cell<P>>(); }
 
@@ -86,13 +133,59 @@ class Store {
     return make(key, pri, input(l), input(r));
   }
 
+  // 64-byte-aligned chunk storage for leaf entries.
+  LeafEntry* alloc_entries(std::size_t n) {
+    return static_cast<LeafEntry*>(
+        arena_.allocate(n * sizeof(LeafEntry), 64));
+  }
+
+  // Leaf view over base[lo, hi) (hi > lo); scans for the max-priority entry.
+  Node<P>* make_leaf(const LeafEntry* base, std::uint32_t lo,
+                     std::uint32_t hi) {
+    std::uint32_t rp = lo;
+    for (std::uint32_t i = lo + 1; i < hi; ++i)
+      if (base[i].pri > base[rp].pri) rp = i;
+    Node<P>* n = arena_.template create<Node<P>>();
+    n->key = base[rp].key;
+    n->pri = base[rp].pri;
+    n->items = base + lo;
+    n->count = hi - lo;
+    n->root_pos = rp - lo;
+    return n;
+  }
+
+  // Treap over a sorted, duplicate-free entry range: ranges at or below the
+  // leaf capacity become flat chunks, larger ones get an internal node at
+  // the max-priority entry. Equivalent (same keys, same heap/BST shape above
+  // the chunks) to the node-per-key treap over the same keys.
+  Node<P>* chunked(const LeafEntry* base, std::uint32_t lo, std::uint32_t hi) {
+    if (lo == hi) return nullptr;
+    if (hi - lo <= leaf_cap_) return make_leaf(base, lo, hi);
+    std::uint32_t rp = lo;
+    for (std::uint32_t i = lo + 1; i < hi; ++i)
+      if (base[i].pri > base[rp].pri) rp = i;
+    Node<P>* l = chunked(base, lo, rp);
+    Node<P>* r = chunked(base, rp + 1, hi);
+    return make(base[rp].key, base[rp].pri, input(l), input(r));
+  }
+
   // Builds a treap over the given keys (input data; costs nothing in the
-  // model). Keys are sorted and deduplicated; construction is the O(n)
-  // right-spine (Cartesian tree) method.
+  // model). Keys are sorted and deduplicated. With chunking enabled the tree
+  // is built over a flat entry array (hashing each priority exactly once);
+  // otherwise construction is the O(n) right-spine (Cartesian tree) method.
   Node<P>* build(std::span<const Key> keys) {
     std::vector<Key> sorted(keys.begin(), keys.end());
     std::sort(sorted.begin(), sorted.end());
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (leaf_cap_ > 1 && !sorted.empty()) {
+        LeafEntry* e = alloc_entries(sorted.size());
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+          e[i] = {sorted[i], priority(sorted[i])};
+        return chunked(e, 0, static_cast<std::uint32_t>(sorted.size()));
+      }
+    }
 
     // Each new (larger) key pops smaller-priority spine nodes and adopts the
     // popped chain as its left subtree. Adopted links get fresh preset cells
@@ -115,9 +208,33 @@ class Store {
 
   std::size_t bytes_used() const { return arena_.bytes_used(); }
 
+  // Arena monitoring passthrough; only instantiated for arenas that track
+  // padding (the runtime's ConcurrentArena).
+  std::size_t wasted_padding() const { return arena_.wasted_padding(); }
+
+  // Leaf-chunk operations (merge/split/concat of flat runs) performed
+  // against this store, across all substrates and both the serial and
+  // pipelined paths. Relaxed: a monitoring counter, like arena bytes.
+  void note_leaf_op() const {
+    leaf_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t leaf_ops() const {
+    return leaf_ops_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static std::size_t clamp_cap(std::size_t req) {
+    if constexpr (P::kMaxLeafCapacity == 0) {
+      return 1;
+    } else {
+      return std::min(std::max<std::size_t>(req, 1), P::kMaxLeafCapacity);
+    }
+  }
+
   Context ctx_;
   std::uint64_t salt_ = kDefaultSalt;
+  std::size_t leaf_cap_ = 1;
+  mutable std::atomic<std::uint64_t> leaf_ops_{0};
   typename P::Arena arena_;
 };
 
@@ -144,15 +261,26 @@ Node<P>* peek(const Cell<P>* c) {
 // these mirror the *pipelined* semantics exactly — including `val`
 // propagation — so the published result is indistinguishable from the one
 // the forked path would build. Dead on the cost-model substrates
-// (threshold 0).
+// (threshold 0), as is every leaf branch (kMaxLeafCapacity 0).
 
 namespace detail {
+
+inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
 
 template <typename P>
 bool tree_avail(const Node<P>* n, std::size_t& budget) {
   if (n == nullptr) return true;
   if (budget == 0) return false;
   --budget;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (n->items != nullptr) return true;  // leaf chunks are always complete
+  }
   if (!P::ready(n->left) || !P::ready(n->right)) return false;
   return tree_avail<P>(P::peek(n->left), budget) &&
          tree_avail<P>(P::peek(n->right), budget);
@@ -165,9 +293,170 @@ struct SerialSplit {
   Node<P>* equal = nullptr;
 };
 
+// ---- leaf-chunk primitives --------------------------------------------------
+//
+// Only instantiated when P::kMaxLeafCapacity > 0. All of them operate on the
+// immutable entry arrays, so slices share storage with their source leaf and
+// only merges/joins allocate new chunks.
+
+// Sub-view of a leaf, [lo, hi) relative to leaf->items. Empty -> nullptr.
+template <typename P>
+Node<P>* leaf_slice(Store<P>& st, const Node<P>* leaf, std::uint32_t lo,
+                    std::uint32_t hi) {
+  if (lo >= hi) return nullptr;
+  return st.make_leaf(leaf->items, lo, hi);
+}
+
+// The subtree a leaf's root entry would have on each side.
+template <typename P>
+Node<P>* left_part(Store<P>& st, Node<P>* t) {
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t)) return leaf_slice(st, t, 0, t->root_pos);
+  }
+  return peek<P>(t->left);
+}
+
+template <typename P>
+Node<P>* right_part(Store<P>& st, Node<P>* t) {
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t)) return leaf_slice(st, t, t->root_pos + 1, t->count);
+  }
+  return peek<P>(t->right);
+}
+
+// Rewrites a leaf as an internal node (same key/pri, preset side slices) so
+// the pipelined bodies can hand out child cells.
+template <typename P>
+Node<P>* open_leaf(Store<P>& st, Node<P>* t) {
+  return st.make(t->key, t->pri, st.input(left_part(st, t)),
+                 st.input(right_part(st, t)));
+}
+
+// splitm on a flat chunk: one binary search, two zero-copy slices. The equal
+// verdict is a one-entry leaf view (consumers only null-check it on the set
+// path).
+template <typename P>
+SerialSplit<P> split_leaf(Store<P>& st, Key s, const Node<P>* t) {
+  st.note_leaf_op();
+  const LeafEntry* e = t->items;
+  const std::uint32_t n = t->count;
+  std::uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (e[mid].key < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  SerialSplit<P> out;
+  out.less = leaf_slice(st, t, 0, lo);
+  if (lo < n && e[lo].key == s) {
+    out.equal = st.make_leaf(e, lo, lo + 1);
+    out.greater = leaf_slice(st, t, lo + 1, n);
+  } else {
+    out.greater = leaf_slice(st, t, lo, n);
+  }
+  return out;
+}
+
+// Sorted-array union of two chunks; duplicates keep a's entry. Re-chunks the
+// merged array (an internal spine appears only above the capacity).
+template <typename P>
+Node<P>* leaf_union(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+  st.note_leaf_op();
+  LeafEntry* out = st.alloc_entries(a->count + b->count);
+  const LeafEntry* x = a->items;
+  const LeafEntry* xe = x + a->count;
+  const LeafEntry* y = b->items;
+  const LeafEntry* ye = y + b->count;
+  LeafEntry* w = out;
+  while (x != xe && y != ye) {
+    prefetch(x + 4);
+    prefetch(y + 4);
+    if (x->key < y->key) {
+      *w++ = *x++;
+    } else if (y->key < x->key) {
+      *w++ = *y++;
+    } else {
+      *w++ = *x++;
+      ++y;
+    }
+  }
+  while (x != xe) *w++ = *x++;
+  while (y != ye) *w++ = *y++;
+  return st.chunked(out, 0, static_cast<std::uint32_t>(w - out));
+}
+
+// Sorted-array difference a \ b.
+template <typename P>
+Node<P>* leaf_diff(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+  st.note_leaf_op();
+  LeafEntry* out = st.alloc_entries(a->count);
+  const LeafEntry* x = a->items;
+  const LeafEntry* xe = x + a->count;
+  const LeafEntry* y = b->items;
+  const LeafEntry* ye = y + b->count;
+  LeafEntry* w = out;
+  while (x != xe && y != ye) {
+    prefetch(x + 4);
+    prefetch(y + 4);
+    if (x->key < y->key) {
+      *w++ = *x++;
+    } else if (y->key < x->key) {
+      ++y;
+    } else {
+      ++x;
+      ++y;
+    }
+  }
+  while (x != xe) *w++ = *x++;
+  return st.chunked(out, 0, static_cast<std::uint32_t>(w - out));
+}
+
+// Sorted-array intersection.
+template <typename P>
+Node<P>* leaf_intersect(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+  st.note_leaf_op();
+  LeafEntry* out = st.alloc_entries(std::min(a->count, b->count));
+  const LeafEntry* x = a->items;
+  const LeafEntry* xe = x + a->count;
+  const LeafEntry* y = b->items;
+  const LeafEntry* ye = y + b->count;
+  LeafEntry* w = out;
+  while (x != xe && y != ye) {
+    prefetch(x + 4);
+    prefetch(y + 4);
+    if (x->key < y->key) {
+      ++x;
+    } else if (y->key < x->key) {
+      ++y;
+    } else {
+      *w++ = *x++;
+      ++y;
+    }
+  }
+  return st.chunked(out, 0, static_cast<std::uint32_t>(w - out));
+}
+
+// join of two chunks (all of a's keys < all of b's): flat concatenation.
+template <typename P>
+Node<P>* leaf_concat(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+  st.note_leaf_op();
+  LeafEntry* out = st.alloc_entries(a->count + b->count);
+  std::memcpy(out, a->items, a->count * sizeof(LeafEntry));
+  std::memcpy(out + a->count, b->items, b->count * sizeof(LeafEntry));
+  return st.chunked(out, 0, a->count + b->count);
+}
+
+// ---- serial recursive bodies ------------------------------------------------
+
 template <typename P>
 SerialSplit<P> splitm_serial(Store<P>& st, Key s, Node<P>* t) {
   if (t == nullptr) return {};
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t)) return split_leaf(st, s, t);
+  }
   if (s < t->key) {
     SerialSplit<P> sub = splitm_serial(st, s, peek<P>(t->left));
     sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
@@ -187,12 +476,21 @@ template <typename P>
 Node<P>* join_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
   if (t1 == nullptr) return t2;
   if (t2 == nullptr) return t1;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t1) && is_leaf(t2)) return leaf_concat(st, t1, t2);
+  }
   Node<P>* res;
   if (t1->pri >= t2->pri) {
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (is_leaf(t1)) t1 = open_leaf(st, t1);
+    }
     Node<P>* j = join_serial(st, peek<P>(t1->right), t2);
     res = st.make(t1->key, t1->pri, t1->left, st.input(j));
     res->val = t1->val;
   } else {
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (is_leaf(t2)) t2 = open_leaf(st, t2);
+    }
     Node<P>* j = join_serial(st, t1, peek<P>(t2->left));
     res = st.make(t2->key, t2->pri, st.input(j), t2->right);
     res->val = t2->val;
@@ -204,11 +502,15 @@ template <typename P>
 Node<P>* union_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
   if (ta == nullptr) return tb;
   if (tb == nullptr) return ta;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(ta) && is_leaf(tb)) return leaf_union(st, ta, tb);
+  }
   if (ta->pri < tb->pri) std::swap(ta, tb);
   SerialSplit<P> s = splitm_serial(st, ta->key, tb);
   Node<P>* res =
-      st.make_ready(ta->key, ta->pri, union_serial(st, peek<P>(ta->left), s.less),
-                    union_serial(st, peek<P>(ta->right), s.greater));
+      st.make_ready(ta->key, ta->pri,
+                    union_serial(st, left_part(st, ta), s.less),
+                    union_serial(st, right_part(st, ta), s.greater));
   res->val = ta->val;
   return res;
 }
@@ -217,9 +519,12 @@ template <typename P>
 Node<P>* diff_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
   if (t1 == nullptr) return nullptr;
   if (t2 == nullptr) return t1;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t1) && is_leaf(t2)) return leaf_diff(st, t1, t2);
+  }
   SerialSplit<P> s = splitm_serial(st, t1->key, t2);
-  Node<P>* l = diff_serial(st, peek<P>(t1->left), s.less);
-  Node<P>* r = diff_serial(st, peek<P>(t1->right), s.greater);
+  Node<P>* l = diff_serial(st, left_part(st, t1), s.less);
+  Node<P>* r = diff_serial(st, right_part(st, t1), s.greater);
   if (s.equal != nullptr) return join_serial(st, l, r);
   Node<P>* res = st.make_ready(t1->key, t1->pri, l, r);
   res->val = t1->val;
@@ -229,10 +534,13 @@ Node<P>* diff_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
 template <typename P>
 Node<P>* intersect_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
   if (ta == nullptr || tb == nullptr) return nullptr;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(ta) && is_leaf(tb)) return leaf_intersect(st, ta, tb);
+  }
   if (ta->pri < tb->pri) std::swap(ta, tb);
   SerialSplit<P> s = splitm_serial(st, ta->key, tb);
-  Node<P>* l = intersect_serial(st, peek<P>(ta->left), s.less);
-  Node<P>* r = intersect_serial(st, peek<P>(ta->right), s.greater);
+  Node<P>* l = intersect_serial(st, left_part(st, ta), s.less);
+  Node<P>* r = intersect_serial(st, right_part(st, ta), s.greater);
   if (s.equal == nullptr) return join_serial(st, l, r);
   Node<P>* res = st.make_ready(ta->key, ta->pri, l, r);
   res->val = ta->val;
@@ -258,6 +566,16 @@ Fiber splitm_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
       ex.write(outR, static_cast<Node<P>*>(nullptr));
       if (outEq) ex.write(outEq, static_cast<Node<P>*>(nullptr));
       co_return;
+    }
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (is_leaf(t)) {
+        ex.on_leaf_op();
+        detail::SerialSplit<P> sp = detail::split_leaf(st, s, t);
+        publish(ex, outL, sp.less);
+        publish(ex, outR, sp.greater);
+        if (outEq) ex.write(outEq, sp.equal);
+        co_return;
+      }
     }
     if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
       std::size_t budget = thr;
@@ -308,6 +626,13 @@ Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
     publish(ex, out, ta);
     co_return;
   }
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(ta) && is_leaf(tb)) {
+      ex.on_leaf_op();
+      publish(ex, out, detail::leaf_union(st, ta, tb));
+      co_return;
+    }
+  }
   if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
     std::size_t budget = thr;
     if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
@@ -318,6 +643,9 @@ Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   }
   ex.step();  // priority comparison
   if (ta->pri < tb->pri) std::swap(ta, tb);  // higher priority becomes root
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(ta)) ta = detail::open_leaf(st, ta);
+  }
   Node<P>* res = st.make(ta->key, ta->pri);
   res->val = ta->val;
   Cell<P>* l2 = st.cell();
@@ -343,6 +671,13 @@ Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
       publish(ex, out, t1);
       co_return;
     }
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (is_leaf(t1) && is_leaf(t2)) {
+        ex.on_leaf_op();
+        publish(ex, out, detail::leaf_concat(st, t1, t2));
+        co_return;
+      }
+    }
     if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
       std::size_t budget = thr;
       if (detail::tree_avail<P>(t1, budget) &&
@@ -354,12 +689,18 @@ Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
     }
     ex.step();  // priority comparison
     if (t1->pri >= t2->pri) {
+      if constexpr (P::kMaxLeafCapacity > 0) {
+        if (is_leaf(t1)) t1 = detail::open_leaf(st, t1);
+      }
       Node<P>* res = st.make(t1->key, t1->pri, t1->left, st.cell());
       res->val = t1->val;
       publish(ex, out, res);
       out = res->right;
       t1 = co_await ex.touch(t1->right);
     } else {
+      if constexpr (P::kMaxLeafCapacity > 0) {
+        if (is_leaf(t2)) t2 = detail::open_leaf(st, t2);
+      }
       Node<P>* res = st.make(t2->key, t2->pri, st.cell(), t2->right);
       res->val = t2->val;
       publish(ex, out, res);
@@ -390,6 +731,13 @@ Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
     publish(ex, out, t1);
     co_return;
   }
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t1) && is_leaf(t2)) {
+      ex.on_leaf_op();
+      publish(ex, out, detail::leaf_diff(st, t1, t2));
+      co_return;
+    }
+  }
   if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
     std::size_t budget = thr;
     if (detail::tree_avail<P>(t1, budget) && detail::tree_avail<P>(t2, budget)) {
@@ -399,6 +747,9 @@ Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
     }
   }
   ex.step();
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t1)) t1 = detail::open_leaf(st, t1);
+  }
   Cell<P>* l2 = st.cell();
   Cell<P>* r2 = st.cell();
   Cell<P>* eq = st.cell();
@@ -433,6 +784,13 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
     ex.write(out, static_cast<Node<P>*>(nullptr));
     co_return;
   }
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(ta) && is_leaf(tb)) {
+      ex.on_leaf_op();
+      publish(ex, out, detail::leaf_intersect(st, ta, tb));
+      co_return;
+    }
+  }
   if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
     std::size_t budget = thr;
     if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
@@ -443,6 +801,9 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
   }
   ex.step();  // priority comparison
   if (ta->pri < tb->pri) std::swap(ta, tb);  // recurse on the higher root
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(ta)) ta = detail::open_leaf(st, ta);
+  }
   Cell<P>* l2 = st.cell();
   Cell<P>* r2 = st.cell();
   Cell<P>* eq = st.cell();
@@ -477,6 +838,13 @@ template <typename Ex, typename P = typename Ex::Policy>
 Task<StrictSplit<P>> splitm_strict(Ex ex, Store<P>& st, Key s, Node<P>* t) {
   ex.step();
   if (t == nullptr) co_return {};
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t)) {
+      ex.on_leaf_op();
+      detail::SerialSplit<P> sp = detail::split_leaf(st, s, t);
+      co_return {sp.less, sp.greater, sp.equal};
+    }
+  }
   if (s < t->key) {
     StrictSplit<P> sub = co_await splitm_strict(ex, st, s, peek<P>(t->left));
     sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
@@ -497,9 +865,21 @@ Task<Node<P>*> join_strict(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2) {
   ex.step();
   if (t1 == nullptr) co_return t2;
   if (t2 == nullptr) co_return t1;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t1) && is_leaf(t2)) {
+      ex.on_leaf_op();
+      co_return detail::leaf_concat(st, t1, t2);
+    }
+  }
   if (t1->pri >= t2->pri) {
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (is_leaf(t1)) t1 = detail::open_leaf(st, t1);
+    }
     Node<P>* j = co_await join_strict(ex, st, peek<P>(t1->right), t2);
     co_return st.make(t1->key, t1->pri, t1->left, st.input(j));
+  }
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(t2)) t2 = detail::open_leaf(st, t2);
   }
   Node<P>* j = co_await join_strict(ex, st, t1, peek<P>(t2->left));
   co_return st.make(t2->key, t2->pri, st.input(j), t2->right);
@@ -512,7 +892,16 @@ Task<Node<P>*> union_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   ex.step();
   if (a == nullptr) co_return b;
   if (b == nullptr) co_return a;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(a) && is_leaf(b)) {
+      ex.on_leaf_op();
+      co_return detail::leaf_union(st, a, b);
+    }
+  }
   if (a->pri < b->pri) std::swap(a, b);
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(a)) a = detail::open_leaf(st, a);
+  }
   StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
   auto [l, r] =
       co_await ex.fork_join2(union_strict(ex, st, peek<P>(a->left), s.less),
@@ -524,7 +913,16 @@ template <typename Ex, typename P = typename Ex::Policy>
 Task<Node<P>*> intersect_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   ex.step();
   if (a == nullptr || b == nullptr) co_return nullptr;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(a) && is_leaf(b)) {
+      ex.on_leaf_op();
+      co_return detail::leaf_intersect(st, a, b);
+    }
+  }
   if (a->pri < b->pri) std::swap(a, b);
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(a)) a = detail::open_leaf(st, a);
+  }
   StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
   auto [l, r] = co_await ex.fork_join2(
       intersect_strict(ex, st, peek<P>(a->left), s.less),
@@ -538,6 +936,15 @@ Task<Node<P>*> diff_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   ex.step();
   if (a == nullptr) co_return nullptr;
   if (b == nullptr) co_return a;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(a) && is_leaf(b)) {
+      ex.on_leaf_op();
+      co_return detail::leaf_diff(st, a, b);
+    }
+  }
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(a)) a = detail::open_leaf(st, a);
+  }
   StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
   auto [l, r] =
       co_await ex.fork_join2(diff_strict(ex, st, peek<P>(a->left), s.less),
@@ -551,6 +958,13 @@ Task<Node<P>*> diff_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
 template <typename P>
 void collect_inorder(const Node<P>* root, std::vector<Key>& out) {
   if (root == nullptr) return;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(root)) {
+      for (std::uint32_t i = 0; i < root->count; ++i)
+        out.push_back(root->items[i].key);
+      return;
+    }
+  }
   collect_inorder(peek<P>(root->left), out);
   out.push_back(root->key);
   collect_inorder(peek<P>(root->right), out);
@@ -559,13 +973,21 @@ void collect_inorder(const Node<P>* root, std::vector<Key>& out) {
 template <typename P>
 int height(const Node<P>* root) {
   if (root == nullptr) return 0;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(root)) return 1;
+  }
   return 1 +
          std::max(height(peek<P>(root->left)), height(peek<P>(root->right)));
 }
 
+// Number of *keys* (a leaf chunk contributes all its entries), so the size
+// semantics match the node-per-key layout.
 template <typename P>
 std::uint64_t count_nodes(const Node<P>* root) {
   if (root == nullptr) return 0;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(root)) return root->count;
+  }
   return 1 + count_nodes(peek<P>(root->left)) +
          count_nodes(peek<P>(root->right));
 }
@@ -573,8 +995,34 @@ std::uint64_t count_nodes(const Node<P>* root) {
 template <typename P>
 typename P::Time max_created(const Node<P>* root) {
   if (root == nullptr) return 0;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(root)) return root->created;
+  }
   return std::max({root->created, max_created(peek<P>(root->left)),
                    max_created(peek<P>(root->right))});
+}
+
+// Software cache-economy of a finished tree: how many cache lines an
+// operation has to touch, and how they are spent.
+struct CacheEconomy {
+  std::uint64_t internal_nodes = 0;
+  std::uint64_t leaf_chunks = 0;
+  std::uint64_t leaf_keys = 0;  // keys stored inside chunks
+};
+
+template <typename P>
+void cache_economy_of(const Node<P>* root, CacheEconomy& ce) {
+  if (root == nullptr) return;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(root)) {
+      ++ce.leaf_chunks;
+      ce.leaf_keys += root->count;
+      return;
+    }
+  }
+  ++ce.internal_nodes;
+  cache_economy_of(peek<P>(root->left), ce);
+  cache_economy_of(peek<P>(root->right), ce);
 }
 
 namespace detail {
@@ -582,19 +1030,40 @@ template <typename P>
 bool valid_in_range(const Store<P>& st, const Node<P>* n, const Key* lo,
                     const Key* hi, Pri max_pri) {
   if (n == nullptr) return true;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(n)) {
+      if (n->count == 0 || n->root_pos >= n->count) return false;
+      if (n->pri > max_pri) return false;
+      Pri best = 0;
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        const LeafEntry& e = n->items[i];
+        if (lo && e.key <= *lo) return false;
+        if (hi && e.key >= *hi) return false;
+        if (i > 0 && n->items[i - 1].key >= e.key) return false;
+        if (e.pri > best) best = e.pri;
+      }
+      // The node record mirrors the max-priority entry.
+      return n->items[n->root_pos].pri == best &&
+             n->key == n->items[n->root_pos].key &&
+             n->pri == n->items[n->root_pos].pri;
+    }
+  }
   if (lo && n->key <= *lo) return false;
   if (hi && n->key >= *hi) return false;
   if (n->pri > max_pri) return false;
-  if (n->pri != st.priority(n->key)) return false;
   return valid_in_range(st, peek<P>(n->left), lo, &n->key, n->pri) &&
          valid_in_range(st, peek<P>(n->right), &n->key, hi, n->pri);
 }
 }  // namespace detail
 
-// Full treap invariant: BST order on keys, heap order on priorities, and
-// priorities consistent with the store's hash.
+// Full treap invariant: BST order on keys, heap order on priorities. The
+// recursion checks order against the *cached* priorities (they are copied,
+// never recomputed, by every operation); consistency with the store's hash
+// is spot-checked once at the root instead of rehashing every node.
 template <typename P>
 bool validate(const Store<P>& st, const Node<P>* root) {
+  if (root == nullptr) return true;
+  if (root->pri != st.priority(root->key)) return false;
   return detail::valid_in_range(st, root, nullptr, nullptr,
                                 std::numeric_limits<Pri>::max());
 }

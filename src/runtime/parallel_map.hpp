@@ -8,8 +8,9 @@
 // materializing) root cell and return immediately; `flush()` is the
 // explicit quiescence point, `size()` recounts lazily, and `get()` forces
 // only the cells along its search path. One mutator thread at a time; any
-// number of concurrent readers (`get`/`contains`/`items`). See
-// docs/service.md for the full contract.
+// number of concurrent readers (`get`/`contains`/`items`). `compact()` is
+// safe against concurrent readers (same seq_cst reader-count protocol as
+// ParallelSet). See docs/service.md for the full contract.
 //
 // V must be trivially copyable and default constructible (values travel
 // through future cells and arena nodes, like every value in the paper's
@@ -23,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "runtime/rt_map.hpp"
@@ -46,11 +48,23 @@ class ParallelMap {
     std::uint64_t arena_bytes = 0;
   };
 
+  // Storage composition of the current snapshot (docs/storage.md).
+  struct CacheEconomy {
+    std::uint64_t internal_nodes = 0;
+    std::uint64_t leaf_chunks = 0;
+    std::uint64_t leaf_keys = 0;
+    std::uint64_t leaf_ops = 0;  // chunk merges/splits on this store
+    std::uint64_t arena_bytes = 0;
+    std::uint64_t wasted_padding = 0;
+  };
+
   explicit ParallelMap(Scheduler& sched,
-                       std::uint64_t salt = 0x9e3779b97f4a7c15ULL)
+                       std::uint64_t salt = 0x9e3779b97f4a7c15ULL,
+                       std::size_t leaf_cap = map::kDefaultLeafCapacity)
       : sched_(sched),
         salt_(salt),
-        store_(std::make_unique<map::Store<V>>(salt)),
+        leaf_cap_(leaf_cap),
+        store_(std::make_unique<map::Store<V>>(salt, leaf_cap)),
         root_(store_->input(nullptr)) {}
 
   ParallelMap(const ParallelMap&) = delete;
@@ -107,13 +121,17 @@ class ParallelMap {
   // Quiescence point: blocks until every pending batch has materialized.
   void flush() const { force_recount(); }
 
-  // Quiescence + storage epoch (see ParallelSet::compact).
+  // Quiescence + storage epoch (see ParallelSet::compact): publishes the
+  // fresh chunked root seq_cst, then drains the reader count before freeing
+  // the old store.
   void compact() {
     const std::vector<Item> snapshot = items();
     FramePool::wait_quiescent();  // stragglers still read the old arena
-    auto fresh = std::make_unique<map::Store<V>>(salt_);
+    auto fresh = std::make_unique<map::Store<V>>(salt_, leaf_cap_);
     map::Cell<V>* next = fresh->input(fresh->build(snapshot));
-    root_.store(next, std::memory_order_release);
+    root_.store(next, std::memory_order_seq_cst);
+    while (active_readers_.load(std::memory_order_seq_cst) != 0)
+      std::this_thread::yield();
     store_ = std::move(fresh);
     size_.store(snapshot.size(), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
@@ -123,7 +141,8 @@ class ParallelMap {
 
   // Forces only the search path; safe concurrently with in-flight batches.
   std::optional<V> get(Key k) const {
-    return map::lookup_wait(root_.load(std::memory_order_acquire), k);
+    ReadGuard guard(active_readers_);
+    return map::lookup_wait(root_.load(std::memory_order_seq_cst), k);
   }
   bool contains(Key k) const { return get(k).has_value(); }
 
@@ -134,7 +153,8 @@ class ParallelMap {
   bool empty() const { return size() == 0; }
 
   std::vector<Item> items() const {  // forces the whole snapshot
-    return map::wait_items(root_.load(std::memory_order_acquire));
+    ReadGuard guard(active_readers_);
+    return map::wait_items(root_.load(std::memory_order_seq_cst));
   }
 
   Stats stats() const {
@@ -148,7 +168,30 @@ class ParallelMap {
     return s;
   }
 
+  CacheEconomy cache_economy() const {  // forces the whole snapshot
+    ReadGuard guard(active_readers_);
+    const map::CacheEconomy ce =
+        map::cache_economy(root_.load(std::memory_order_seq_cst));
+    CacheEconomy out;
+    out.internal_nodes = ce.internal_nodes;
+    out.leaf_chunks = ce.leaf_chunks;
+    out.leaf_keys = ce.leaf_keys;
+    out.leaf_ops = store_->leaf_ops();
+    out.arena_bytes = store_->bytes_used();
+    out.wasted_padding = store_->wasted_padding();
+    return out;
+  }
+
  private:
+  // Same seq_cst Dekker pair as ParallelSet (see parallel_set.cpp).
+  struct ReadGuard {
+    std::atomic<std::uint64_t>& count;
+    explicit ReadGuard(std::atomic<std::uint64_t>& c) : count(c) {
+      count.fetch_add(1, std::memory_order_seq_cst);
+    }
+    ~ReadGuard() { count.fetch_sub(1, std::memory_order_release); }
+  };
+
   void chain(map::Cell<V>* next) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t pending =
@@ -163,7 +206,8 @@ class ParallelMap {
   }
 
   void force_recount() const {
-    map::Cell<V>* cur = root_.load(std::memory_order_acquire);
+    ReadGuard guard(active_readers_);
+    map::Cell<V>* cur = root_.load(std::memory_order_seq_cst);
     size_.store(map::wait_count(cur), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
     pending_.store(0, std::memory_order_relaxed);
@@ -172,8 +216,11 @@ class ParallelMap {
 
   Scheduler& sched_;
   std::uint64_t salt_;
+  std::size_t leaf_cap_;
   std::unique_ptr<map::Store<V>> store_;  // replaced wholesale by compact()
   std::atomic<map::Cell<V>*> root_;
+
+  mutable std::atomic<std::uint64_t> active_readers_{0};
 
   mutable std::atomic<std::size_t> size_{0};
   mutable std::atomic<bool> size_valid_{true};

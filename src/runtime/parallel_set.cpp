@@ -1,11 +1,24 @@
 #include "runtime/parallel_set.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 namespace pwf::rt {
 
 namespace {
+
+// Announces a reader to compact()'s Dekker pair: the seq_cst increment is
+// ordered against compact()'s seq_cst root publish, so either the reader's
+// root load (also seq_cst) sees the fresh root, or compact's drain loop sees
+// the reader and keeps the old store alive until it leaves.
+struct ReadGuard {
+  std::atomic<std::uint64_t>& count;
+  explicit ReadGuard(std::atomic<std::uint64_t>& c) : count(c) {
+    count.fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~ReadGuard() { count.fetch_sub(1, std::memory_order_release); }
+};
 
 // Full-tree forcing walks run on the caller's stack; explicit stacks keep
 // them safe on adversarially skewed treaps (see rt_treap.cpp).
@@ -18,6 +31,10 @@ std::size_t wait_count(treap::Cell* c) {
     stack.pop_back();
     treap::Node* n = cur->wait_blocking();
     if (n == nullptr) continue;
+    if (pipelined::treap::is_leaf(n)) {
+      count += n->count;
+      continue;
+    }
     ++count;
     stack.push_back(n->left);
     stack.push_back(n->right);
@@ -35,6 +52,7 @@ int wait_height(treap::Cell* c) {
     treap::Node* n = cur->wait_blocking();
     if (n == nullptr) continue;
     best = std::max(best, depth);
+    if (pipelined::treap::is_leaf(n)) continue;
     stack.emplace_back(n->left, depth + 1);
     stack.emplace_back(n->right, depth + 1);
   }
@@ -45,17 +63,20 @@ int wait_height(treap::Cell* c) {
 
 ParallelSet::~ParallelSet() { FramePool::wait_quiescent(); }
 
-ParallelSet::ParallelSet(Scheduler& sched, std::uint64_t salt)
+ParallelSet::ParallelSet(Scheduler& sched, std::uint64_t salt,
+                         std::size_t leaf_cap)
     : sched_(sched),
       salt_(salt),
-      store_(std::make_unique<treap::Store>(salt)),
+      leaf_cap_(leaf_cap),
+      store_(std::make_unique<treap::Store>(salt, leaf_cap)),
       root_(store_->input(nullptr)) {}
 
 ParallelSet::ParallelSet(Scheduler& sched, std::span<const Key> keys,
-                         std::uint64_t salt)
+                         std::uint64_t salt, std::size_t leaf_cap)
     : sched_(sched),
       salt_(salt),
-      store_(std::make_unique<treap::Store>(salt)),
+      leaf_cap_(leaf_cap),
+      store_(std::make_unique<treap::Store>(salt, leaf_cap)),
       root_(nullptr) {
   std::vector<Key> sorted(keys.begin(), keys.end());
   std::sort(sorted.begin(), sorted.end());
@@ -107,7 +128,8 @@ void ParallelSet::retain_batch(std::span<const Key> keys) {
 }
 
 void ParallelSet::force_recount() const {
-  treap::Cell* cur = root_.load(std::memory_order_acquire);
+  ReadGuard guard(active_readers_);
+  treap::Cell* cur = root_.load(std::memory_order_seq_cst);
   const std::size_t n = wait_count(cur);
   size_.store(n, std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
@@ -120,9 +142,15 @@ void ParallelSet::compact() {
   // Forcing the result tree is not fiber quiescence: stragglers whose
   // outputs aren't in the final tree still read the old arena.
   FramePool::wait_quiescent();
-  auto fresh = std::make_unique<treap::Store>(salt_);
+  auto fresh = std::make_unique<treap::Store>(salt_, leaf_cap_);
   treap::Cell* next = fresh->input(fresh->build(snapshot));
-  root_.store(next, std::memory_order_release);
+  // Dekker publish: the seq_cst store is ordered against every reader's
+  // seq_cst announce. A reader that loaded the old root has incremented
+  // active_readers_ before this store, so the drain loop below observes it;
+  // a reader announcing later is guaranteed to load the fresh root.
+  root_.store(next, std::memory_order_seq_cst);
+  while (active_readers_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
   store_ = std::move(fresh);  // frees every superseded node and cell
   size_.store(snapshot.size(), std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
@@ -131,9 +159,23 @@ void ParallelSet::compact() {
 }
 
 bool ParallelSet::contains(Key k) const {
+  ReadGuard guard(active_readers_);
   const treap::Node* n =
-      root_.load(std::memory_order_acquire)->wait_blocking();
+      root_.load(std::memory_order_seq_cst)->wait_blocking();
   while (n != nullptr) {
+    if (pipelined::treap::is_leaf(n)) {
+      const pipelined::treap::LeafEntry* e = n->items;
+      std::uint32_t lo = 0, hi = n->count;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (e[mid].key < k) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo < n->count && e[lo].key == k;
+    }
     if (k < n->key)
       n = n->left->wait_blocking();
     else if (k > n->key)
@@ -150,11 +192,13 @@ std::size_t ParallelSet::size() const {
 }
 
 std::vector<ParallelSet::Key> ParallelSet::keys() const {
-  return treap::wait_inorder(root_.load(std::memory_order_acquire));
+  ReadGuard guard(active_readers_);
+  return treap::wait_inorder(root_.load(std::memory_order_seq_cst));
 }
 
 int ParallelSet::height() const {
-  return wait_height(root_.load(std::memory_order_acquire));
+  ReadGuard guard(active_readers_);
+  return wait_height(root_.load(std::memory_order_seq_cst));
 }
 
 ParallelSet::Stats ParallelSet::stats() const {
@@ -166,6 +210,20 @@ ParallelSet::Stats ParallelSet::stats() const {
   s.epochs = epochs_.load(std::memory_order_relaxed);
   s.arena_bytes = store_->bytes_used();
   return s;
+}
+
+ParallelSet::CacheEconomy ParallelSet::cache_economy() const {
+  ReadGuard guard(active_readers_);
+  const pipelined::treap::CacheEconomy ce =
+      treap::cache_economy(root_.load(std::memory_order_seq_cst));
+  CacheEconomy out;
+  out.internal_nodes = ce.internal_nodes;
+  out.leaf_chunks = ce.leaf_chunks;
+  out.leaf_keys = ce.leaf_keys;
+  out.leaf_ops = store_->leaf_ops();
+  out.arena_bytes = store_->bytes_used();
+  out.wasted_padding = store_->wasted_padding();
+  return out;
 }
 
 }  // namespace pwf::rt

@@ -19,8 +19,11 @@
 // Thread contract: one mutator thread at a time (batches chain through a
 // single root, like any sequential API); any number of concurrent reader
 // threads may call `contains`, `keys`, `height` and `size` while batches
-// are in flight. `compact()` frees superseded storage and must be called at
-// a point where no readers hold old roots.
+// are in flight. `compact()` may run concurrently with readers: reads
+// announce themselves through a seq_cst reader count before loading the
+// root, and compact publishes the fresh root before spinning the count down
+// to zero — so a reader either sees the new root or finishes on the old
+// store before it is freed (docs/service.md).
 //
 // The set borrows a Scheduler (one scheduler per process may be alive; see
 // runtime/scheduler.hpp) and owns its node storage.
@@ -51,12 +54,26 @@ class ParallelSet {
     std::uint64_t arena_bytes = 0;  // current store footprint
   };
 
+  // Software cache-economy of the current snapshot (docs/storage.md):
+  // storage composition plus arena footprint, for the E19/E24 columns.
+  struct CacheEconomy {
+    std::uint64_t internal_nodes = 0;  // one cache line each
+    std::uint64_t leaf_chunks = 0;     // flat sorted key runs
+    std::uint64_t leaf_keys = 0;       // keys living inside chunks
+    std::uint64_t leaf_ops = 0;        // chunk merges/splits on this store
+    std::uint64_t arena_bytes = 0;     // store footprint
+    std::uint64_t wasted_padding = 0;  // arena alignment + dead-tail waste
+  };
+
   explicit ParallelSet(Scheduler& sched,
-                       std::uint64_t salt = 0x9e3779b97f4a7c15ULL);
+                       std::uint64_t salt = 0x9e3779b97f4a7c15ULL,
+                       std::size_t leaf_cap =
+                           pipelined::treap::kDefaultLeafCapacity);
 
   // Initial contents (cheaper than insert_batch on an empty set).
   ParallelSet(Scheduler& sched, std::span<const Key> keys,
-              std::uint64_t salt = 0x9e3779b97f4a7c15ULL);
+              std::uint64_t salt = 0x9e3779b97f4a7c15ULL,
+              std::size_t leaf_cap = pipelined::treap::kDefaultLeafCapacity);
 
   ParallelSet(const ParallelSet&) = delete;
   ParallelSet& operator=(const ParallelSet&) = delete;
@@ -78,10 +95,12 @@ class ParallelSet {
   // materialized, and refreshes the cached size.
   void flush() const { force_recount(); }
 
-  // Quiescence + storage epoch: rebuilds the set into a fresh store and
-  // frees every node superseded by past batches (the arena is monotonic, so
-  // a long-lived service must compact periodically). Not safe while
-  // concurrent readers hold pre-compaction roots.
+  // Quiescence + storage epoch: rebuilds the set into a fresh chunked store
+  // and frees every node superseded by past batches (the arena is
+  // monotonic, so a long-lived service must compact periodically). Safe
+  // against concurrent readers: the old store is freed only after the
+  // reader count drains (see the thread contract above). Still a mutator —
+  // one at a time, not concurrent with batch calls.
   void compact();
 
   // Forces only the cells along the search path (paper-style: a consumer
@@ -94,6 +113,7 @@ class ParallelSet {
   int height() const;             // forces the whole snapshot
 
   Stats stats() const;
+  CacheEconomy cache_economy() const;  // forces the whole snapshot
 
  private:
   // Builds a treap over a batch (sorted + deduplicated copy).
@@ -107,8 +127,12 @@ class ParallelSet {
 
   Scheduler& sched_;
   std::uint64_t salt_;
+  std::size_t leaf_cap_;
   std::unique_ptr<treap::Store> store_;  // replaced wholesale by compact()
   std::atomic<treap::Cell*> root_;
+
+  // Readers in flight (seq_cst Dekker pair with compact()'s root publish).
+  mutable std::atomic<std::uint64_t> active_readers_{0};
 
   mutable std::atomic<std::size_t> size_{0};
   mutable std::atomic<bool> size_valid_{true};

@@ -64,11 +64,37 @@ std::vector<Key> wait_inorder(Cell* root_cell) {
     }
     Node* n = f.cell->wait_blocking();
     if (n == nullptr) continue;
+    if (pl::treap::is_leaf(n)) {
+      for (std::uint32_t i = 0; i < n->count; ++i)
+        out.push_back(n->items[i].key);
+      continue;
+    }
     stack.push_back({n->right, nullptr});
     stack.push_back({nullptr, n});
     stack.push_back({n->left, nullptr});
   }
   return out;
+}
+
+pl::treap::CacheEconomy cache_economy(Cell* root_cell) {
+  pl::treap::CacheEconomy ce;
+  std::vector<Cell*> stack;
+  stack.push_back(root_cell);
+  while (!stack.empty()) {
+    Cell* c = stack.back();
+    stack.pop_back();
+    Node* n = c->wait_blocking();
+    if (n == nullptr) continue;
+    if (pl::treap::is_leaf(n)) {
+      ++ce.leaf_chunks;
+      ce.leaf_keys += n->count;
+      continue;
+    }
+    ++ce.internal_nodes;
+    stack.push_back(n->left);
+    stack.push_back(n->right);
+  }
+  return ce;
 }
 
 bool validate(const Store& st, Cell* root_cell) {

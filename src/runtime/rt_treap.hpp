@@ -22,6 +22,11 @@ using Node = pipelined::treap::Node<pipelined::RtPolicy>;
 using Cell = FutCell<Node*>;
 using Store = pipelined::treap::Store<pipelined::RtPolicy>;
 
+// The packed node record (key/priority/children + the leaf view) is the
+// cache-line contract the chunked storage relies on (docs/storage.md).
+static_assert(sizeof(Node) <= 64,
+              "runtime treap node must fit in one cache line");
+
 Cell* union_treaps(Store& st, Cell* a, Cell* b);
 Cell* diff_treaps(Store& st, Cell* a, Cell* b);
 Cell* intersect_treaps(Store& st, Cell* a, Cell* b);
@@ -38,5 +43,10 @@ std::vector<Key> wait_inorder(Cell* root_cell);
 
 // Post-completion validation (BST + heap order + deterministic priorities).
 bool validate(const Store& st, Cell* root_cell);
+
+// Storage composition of a finished tree (forces every reachable cell):
+// how many cache lines the structure spends on internal nodes vs flat leaf
+// chunks — the cache-economy column of E19/E24.
+pipelined::treap::CacheEconomy cache_economy(Cell* root_cell);
 
 }  // namespace pwf::rt::treap

@@ -55,6 +55,7 @@ class Scheduler {
     std::uint64_t injected = 0;          // posts from non-worker threads
     std::uint64_t inject_overflows = 0;  // posts that missed the ring
     std::uint64_t serial_cutoffs = 0;    // substrate serial-path activations
+    std::uint64_t leaf_ops = 0;          // leaf-chunk fast-path activations
     std::uint64_t wakeups = 0;           // park_cv_ signals issued by post()
     std::uint64_t frame_pool_hits = 0;   // frames served from a freelist
     std::uint64_t frame_pool_misses = 0; // frames that hit the heap
@@ -65,6 +66,12 @@ class Scheduler {
   // forking (see docs/substrates.md on serial_threshold()).
   void note_serial_cutoff() {
     serial_cutoffs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Called by RtExec when a body resolves an operation entirely inside flat
+  // leaf chunks (docs/storage.md) — the cache-economy column of E19/E24.
+  void note_leaf_op() {
+    leaf_ops_.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
@@ -105,6 +112,7 @@ class Scheduler {
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> inject_overflows_{0};
   std::atomic<std::uint64_t> serial_cutoffs_{0};
+  std::atomic<std::uint64_t> leaf_ops_{0};
   std::atomic<std::uint64_t> wakeups_{0};
 };
 

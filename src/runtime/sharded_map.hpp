@@ -28,16 +28,19 @@ class ShardedParallelMap {
   using Key = typename ParallelMap<V>::Key;
   using Item = typename ParallelMap<V>::Item;
   using Stats = typename ParallelMap<V>::Stats;
+  using CacheEconomy = typename ParallelMap<V>::CacheEconomy;
 
   ShardedParallelMap(Scheduler& sched, unsigned shards,
-                     std::uint64_t salt = 0x9e3779b97f4a7c15ULL) {
+                     std::uint64_t salt = 0x9e3779b97f4a7c15ULL,
+                     std::size_t leaf_cap = map::kDefaultLeafCapacity) {
     const unsigned n = std::max(1u, shards);
     const std::uint64_t step =
         std::numeric_limits<std::uint64_t>::max() / n + 1;
     for (unsigned i = 1; i < n; ++i) lowers_.push_back(from_unsigned(step * i));
     std::uint64_t sm = salt;
     for (unsigned i = 0; i < n; ++i)
-      shards_.push_back(std::make_unique<ParallelMap<V>>(sched, splitmix64(sm)));
+      shards_.push_back(
+          std::make_unique<ParallelMap<V>>(sched, splitmix64(sm), leaf_cap));
   }
 
   ShardedParallelMap(const ShardedParallelMap&) = delete;
@@ -143,6 +146,21 @@ class ShardedParallelMap {
   }
 
   Stats shard_stats(std::size_t i) const { return shards_[i]->stats(); }
+
+  // Storage composition summed over every shard (forces all snapshots).
+  CacheEconomy cache_economy() const {
+    CacheEconomy agg;
+    for (const auto& s : shards_) {
+      const CacheEconomy ce = s->cache_economy();
+      agg.internal_nodes += ce.internal_nodes;
+      agg.leaf_chunks += ce.leaf_chunks;
+      agg.leaf_keys += ce.leaf_keys;
+      agg.leaf_ops += ce.leaf_ops;
+      agg.arena_bytes += ce.arena_bytes;
+      agg.wasted_padding += ce.wasted_padding;
+    }
+    return agg;
+  }
 
  private:
   static Key from_unsigned(std::uint64_t u) {

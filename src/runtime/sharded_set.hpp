@@ -40,9 +40,12 @@ class ShardedParallelSet {
  public:
   using Key = ParallelSet::Key;
   using Stats = ParallelSet::Stats;
+  using CacheEconomy = ParallelSet::CacheEconomy;
 
   ShardedParallelSet(Scheduler& sched, unsigned shards,
-                     std::uint64_t salt = 0x9e3779b97f4a7c15ULL) {
+                     std::uint64_t salt = 0x9e3779b97f4a7c15ULL,
+                     std::size_t leaf_cap =
+                         pipelined::treap::kDefaultLeafCapacity) {
     const unsigned n = std::max(1u, shards);
     // Shard i owns [lower_[i-1], lower_[i]) with implicit -inf / +inf ends.
     const std::uint64_t step =
@@ -50,7 +53,8 @@ class ShardedParallelSet {
     for (unsigned i = 1; i < n; ++i) lowers_.push_back(from_unsigned(step * i));
     std::uint64_t sm = salt;
     for (unsigned i = 0; i < n; ++i)
-      shards_.push_back(std::make_unique<ParallelSet>(sched, splitmix64(sm)));
+      shards_.push_back(
+          std::make_unique<ParallelSet>(sched, splitmix64(sm), leaf_cap));
   }
 
   ShardedParallelSet(const ShardedParallelSet&) = delete;
@@ -127,6 +131,21 @@ class ShardedParallelSet {
   }
 
   Stats shard_stats(std::size_t i) const { return shards_[i]->stats(); }
+
+  // Storage composition summed over every shard (forces all snapshots).
+  CacheEconomy cache_economy() const {
+    CacheEconomy agg;
+    for (const auto& s : shards_) {
+      const CacheEconomy ce = s->cache_economy();
+      agg.internal_nodes += ce.internal_nodes;
+      agg.leaf_chunks += ce.leaf_chunks;
+      agg.leaf_keys += ce.leaf_keys;
+      agg.leaf_ops += ce.leaf_ops;
+      agg.arena_bytes += ce.arena_bytes;
+      agg.wasted_padding += ce.wasted_padding;
+    }
+    return agg;
+  }
 
  private:
   // Order-preserving int64 <-> uint64 (flip the sign bit), so the uniform

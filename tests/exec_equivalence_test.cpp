@@ -521,5 +521,152 @@ INSTANTIATE_TEST_SUITE_P(
                       pipelined::RtExec::kDefaultSerialThreshold + 1,
                       2 * pipelined::RtExec::kDefaultSerialThreshold));
 
+// ---- leaf-chunk boundary straddle -------------------------------------------
+// Runtime treaps store subtrees at or below Store::leaf_capacity() as flat
+// sorted chunks (docs/storage.md). These sizes pin the handoff between
+// chunked leaves and internal nodes: capacity-1, capacity and capacity+1
+// inputs, plus a few chunks' worth, must agree with the sequential oracle on
+// every substrate. The Cm substrates have kMaxLeafCapacity == 0 (the leaf
+// branches are compiled out there) and run as the control group.
+
+class ExecEquivalenceLeaf : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExecEquivalenceLeaf, TreapSetOps) {
+  const std::size_t n = GetParam();
+  const auto a = random_keys(n, 13 * n + 1);
+  const auto b = random_keys(n, 13 * n + 2);
+  std::vector<Key> u, d, i;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(u));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(d));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(i));
+
+  {
+    cm::Engine eng;  // CmExec + CmStrictExec: node-per-key control group
+    treap::Store st(eng);
+    const auto run = [&](treap::TreapCell* (*op)(treap::Store&,
+                                                 treap::TreapCell*,
+                                                 treap::TreapCell*),
+                         const std::vector<Key>& expected) {
+      treap::TreapCell* out =
+          op(st, st.input(st.build(a)), st.input(st.build(b)));
+      std::vector<Key> got;
+      treap::collect_inorder(treap::peek(out), got);
+      EXPECT_EQ(got, expected);
+      EXPECT_TRUE(treap::validate(st, treap::peek(out)));
+    };
+    run(treap::union_treaps, u);
+    run(treap::diff_treaps, d);
+    run(treap::intersect_treaps, i);
+    std::vector<Key> got;
+    treap::collect_inorder(treap::union_strict(st, st.build(a), st.build(b)),
+                           got);
+    EXPECT_EQ(got, u);
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec with chunked leaves, pipelined + strict
+    rt::treap::Store st;
+    const auto run = [&](rt::treap::Cell* (*op)(rt::treap::Store&,
+                                                rt::treap::Cell*,
+                                                rt::treap::Cell*),
+                         const std::vector<Key>& expected) {
+      rt::treap::Cell* out =
+          op(st, st.input(st.build(a)), st.input(st.build(b)));
+      EXPECT_EQ(rt::treap::wait_inorder(out), expected);
+      EXPECT_TRUE(rt::treap::validate(st, out));
+    };
+    run(rt::treap::union_treaps, u);
+    run(rt::treap::diff_treaps, d);
+    run(rt::treap::intersect_treaps, i);
+    EXPECT_EQ(rt::treap::wait_inorder(st.input(rt::treap::union_strict_blocking(
+                  st, st.build(a), st.build(b)))),
+              u);
+    EXPECT_EQ(rt::treap::wait_inorder(st.input(rt::treap::diff_strict_blocking(
+                  st, st.build(a), st.build(b)))),
+              d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ExecEquivalenceLeaf,
+    ::testing::Values(pipelined::treap::kDefaultLeafCapacity - 1,
+                      pipelined::treap::kDefaultLeafCapacity,
+                      pipelined::treap::kDefaultLeafCapacity + 1,
+                      5 * pipelined::treap::kDefaultLeafCapacity + 3));
+
+// Structural contract of the chunked storage itself, on the runtime
+// substrate: builds at/above capacity chunk as expected, ops that descend
+// into a chunk promote it to an internal node without losing keys, and
+// small results collapse back into a single flat chunk.
+TEST(ExecEquivalenceLeafStructure, BuildPromoteCollapse) {
+  rt::Scheduler sched(2);
+  rt::treap::Store st;
+  const std::size_t cap = st.leaf_capacity();
+  ASSERT_GT(cap, 1u);
+
+  // Build at capacity: one flat chunk, no internal nodes.
+  {
+    const auto keys = random_keys(cap, 901);
+    rt::treap::Cell* c = st.input(st.build(keys));
+    const rt::treap::Node* root = c->wait_blocking();
+    ASSERT_NE(root, nullptr);
+    EXPECT_TRUE(pipelined::treap::is_leaf(root));
+    const auto ce = rt::treap::cache_economy(c);
+    EXPECT_EQ(ce.internal_nodes, 0u);
+    EXPECT_EQ(ce.leaf_chunks, 1u);
+    EXPECT_EQ(ce.leaf_keys, cap);
+  }
+  // Build just above capacity: the root must be a real node.
+  {
+    const auto keys = random_keys(cap + 1, 902);
+    const rt::treap::Node* root = st.input(st.build(keys))->wait_blocking();
+    ASSERT_NE(root, nullptr);
+    EXPECT_FALSE(pipelined::treap::is_leaf(root));
+  }
+  // Promotion: union a single chunk into a much larger treap. The op
+  // descends into the chunk (leaf -> internal rewrite on the winner path)
+  // and every key of both inputs must survive.
+  {
+    const auto big = random_keys(20 * cap, 903);
+    const auto small = random_keys(cap, 904);
+    std::vector<Key> expected;
+    std::set_union(big.begin(), big.end(), small.begin(), small.end(),
+                   std::back_inserter(expected));
+    rt::treap::Cell* out = rt::treap::union_treaps(
+        st, st.input(st.build(big)), st.input(st.build(small)));
+    EXPECT_EQ(rt::treap::wait_inorder(out), expected);
+    EXPECT_TRUE(rt::treap::validate(st, out));
+  }
+  // Collapse: an intersection far below capacity re-chunks into one leaf.
+  {
+    auto a = random_keys(10 * cap, 905);
+    auto b = random_keys(10 * cap, 906);
+    std::vector<Key> shared;
+    for (std::size_t k = 0; k < cap / 2; ++k)
+      shared.push_back(static_cast<Key>(1) << 40 | static_cast<Key>(k));
+    a.insert(a.end(), shared.begin(), shared.end());
+    b.insert(b.end(), shared.begin(), shared.end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<Key> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    ASSERT_GE(expected.size(), cap / 2);
+    rt::treap::Cell* out = rt::treap::intersect_treaps(
+        st, st.input(st.build(a)), st.input(st.build(b)));
+    EXPECT_EQ(rt::treap::wait_inorder(out), expected);
+    // Every key is either a chunk entry or an internal node, and the result
+    // re-chunks into far fewer structural units than one node per key. (The
+    // pipelined join path may keep a few internal nodes above the chunks, so
+    // this is not always a single flat leaf.)
+    const auto ce = rt::treap::cache_economy(out);
+    EXPECT_EQ(ce.leaf_keys + ce.internal_nodes, expected.size());
+    EXPECT_GE(ce.leaf_chunks, 1u);
+    EXPECT_LE(ce.internal_nodes + ce.leaf_chunks, expected.size() / 2);
+  }
+}
+
 }  // namespace
 }  // namespace pwf

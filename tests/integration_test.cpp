@@ -115,8 +115,10 @@ TEST(EndToEnd, CostModelAndRuntimeUnionProduceIdenticalTreaps) {
     cm_height = treap::height(treap::peek(out));
   }
   {
+    // leaf_cap = 1 disables chunked leaves so the runtime tree's *shape*
+    // matches the cost model's node-per-key tree exactly.
     rt::Scheduler sched(2);
-    rt::treap::Store st;
+    rt::treap::Store st(pipelined::treap::kDefaultSalt, 1);
     rt::treap::Cell* out = rt::treap::union_treaps(
         st, st.input(st.build(a)), st.input(st.build(b)));
     const auto rt_keys = rt::treap::wait_inorder(out);
@@ -125,10 +127,20 @@ TEST(EndToEnd, CostModelAndRuntimeUnionProduceIdenticalTreaps) {
     struct H {
       static int of(rt::treap::Node* n) {
         if (!n) return 0;
+        if (pipelined::treap::is_leaf(n)) return 1;
         return 1 + std::max(of(n->left->peek()), of(n->right->peek()));
       }
     };
     EXPECT_EQ(H::of(out->peek()), cm_height);
+  }
+  {
+    // With default chunked-leaf storage the shape compresses but the
+    // logical contents must be unchanged.
+    rt::Scheduler sched(2);
+    rt::treap::Store st;
+    rt::treap::Cell* out = rt::treap::union_treaps(
+        st, st.input(st.build(a)), st.input(st.build(b)));
+    EXPECT_EQ(rt::treap::wait_inorder(out), cm_keys);
   }
 }
 

@@ -238,6 +238,48 @@ TEST(ParallelSetConcurrent, ReadersRacePipelinedWriters) {
   EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
 }
 
+TEST(ParallelSetConcurrent, ReadersRaceChunkedCompaction) {
+  // compact() rebuilds the set into fresh chunked-leaf storage and frees the
+  // old store; readers announce themselves through the seq_cst reader count
+  // (docs/storage.md). Point reads and whole-tree walks race repeated
+  // compactions here — under tsan this pins the Dekker publish/drain pair.
+  Scheduler sched(2);
+  Rng rng(37);
+  const auto initial = draw(rng, 3000);
+  ParallelSet s(sched, initial);
+  std::set<std::int64_t> ref(initial.begin(), initial.end());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> sink{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&s, &stop, &sink, r] {
+      Rng mine(200 + r);
+      std::size_t acc = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        acc += s.contains(mine.range(0, 1 << 20)) ? 1 : 0;
+        if (mine.below(32) == 0) acc += s.keys().size();
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    const auto ins = draw(rng, 1 + rng.below(1500));
+    s.insert_batch(ins);
+    ref.insert(ins.begin(), ins.end());
+    const auto del = draw(rng, 1 + rng.below(700));
+    s.erase_batch(del);
+    for (auto k : del) ref.erase(k);
+    s.compact();  // rebuild into chunked leaves while readers are live
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  s.flush();
+  EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
 // ---- sharded vs unsharded equivalence --------------------------------------
 
 class ShardedSetSweep : public ::testing::TestWithParam<int> {};
