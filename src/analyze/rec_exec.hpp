@@ -1,0 +1,244 @@
+// RecExec — the recording substrate (the fourth execution substrate, see
+// docs/substrates.md).
+//
+// Like CmExec its awaiters are immediately ready, so the shared coroutine
+// bodies run to completion inside a single resume() and every trace is
+// recorded from the *real* algorithm code paths — not from a model of them.
+// Unlike CmExec, the substrate parameters that shape the runtime's execution
+// are live here instead of if-constexpr-dead:
+//
+//   * RecPolicy::kMaxLeafCapacity > 0 — chunked-leaf storage is enabled, so
+//     a Store may be configured with any leaf capacity up to the runtime's
+//     bound and the bodies' leaf fast paths actually execute;
+//   * serial_threshold() is a runtime value — subtrees below it take the
+//     serial-cutoff branches exactly as RtExec would.
+//
+// The fork/touch/write hooks emit a cm::Trace as usual, and the granularity
+// hooks tag their actions (ActionKind::kLeafOp with the covered key count,
+// ActionKind::kSerialCutoff), so the coarsened operations appear in the DAG
+// as explicit actions. The result feeds two consumers unchanged:
+//
+//   * pwf::analyze::verify() — well-formedness of the runtime's real code
+//     paths (write-once, race-freedom, EREW, per-epoch linearity);
+//   * sim::Dag — the Section-4 greedy-schedule simulator, now replaying the
+//     coarsened DAG the runtime executes rather than the node-per-key model.
+//
+// The pwf-record driver (tools/pwf_record.cpp) runs every algorithm family
+// across a leaf-capacity x serial-threshold grid and verifies each trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "costmodel/engine.hpp"
+#include "costmodel/trace.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+#include "pipelined/list.hpp"
+#include "pipelined/mergesort.hpp"
+#include "pipelined/treap.hpp"
+#include "pipelined/trees.hpp"
+#include "pipelined/ttree.hpp"
+#include "support/check.hpp"
+
+namespace pwf::analyze {
+
+// Same cells, clocks and context as the cost model — the trace format is
+// shared — but with chunked-leaf storage enabled at the runtime's bound
+// (pipelined::RtPolicy::kMaxLeafCapacity), so a Store<RecPolicy> accepts the
+// same leaf capacities the runtime services use.
+struct RecPolicy : pipelined::CmPolicy {
+  static constexpr std::size_t kMaxLeafCapacity = 1024;
+};
+
+class RecExec : public pipelined::CmExecBase {
+ public:
+  using Policy = RecPolicy;
+
+  // `threshold` is the serial cutoff the shared bodies consult (0 = never
+  // coarsen, RtExec::kDefaultSerialThreshold = what the runtime does). The
+  // engine must be tracing — a recording substrate with no trace records
+  // nothing, which is always a configuration bug.
+  explicit RecExec(cm::Engine& eng, std::size_t threshold = 0)
+      : CmExecBase(eng), threshold_(threshold) {
+    PWF_CHECK_MSG(eng.trace() != nullptr,
+                  "RecExec requires a tracing engine: cm::Engine(true)");
+  }
+
+  // ---- granularity control (live, unlike the cost model's) -----------------
+
+  std::size_t serial_threshold() const { return threshold_; }
+
+  void on_serial_cutoff() const { engine().serial_cutoff(); }
+
+  // A chunked-leaf rebuild/merge/split covering `keys` keys: one explicit,
+  // tagged DAG action (the bodies then run the leaf operation itself as
+  // ordinary node construction, which costs no further actions).
+  void on_leaf_op(std::size_t keys) const {
+    engine().leaf_op(static_cast<std::uint64_t>(keys));
+  }
+
+  // Opens a new storage epoch in the trace (call at a compaction point,
+  // before rebuilding into a fresh store). The verifier checks that no data
+  // edge crosses an epoch boundary: a cross-epoch read would dereference an
+  // arena the compaction freed.
+  void new_epoch() const { engine().new_epoch(); }
+
+ private:
+  std::size_t threshold_;
+};
+
+// ---- family shims -----------------------------------------------------------
+//
+// Mirrors of the cost-model shims (src/treap/setops.cpp, src/trees/*.cpp,
+// src/algos/*.cpp, src/ttree/insert.cpp) on the recording substrate: every
+// awaiter is ready, so run_inline drives each coroutine to completion on the
+// calling thread while the engine records the DAG.
+namespace rec {
+
+using Key = pipelined::treap::Key;
+using Value = pipelined::list::Value;
+
+using TreapStore = pipelined::treap::Store<RecPolicy>;
+using TreapNode = pipelined::treap::Node<RecPolicy>;
+using TreapCell = pipelined::treap::Cell<RecPolicy>;
+
+using TreeStore = pipelined::trees::Store<RecPolicy>;
+using TreeNode = pipelined::trees::Node<RecPolicy>;
+using TreeCell = pipelined::trees::Cell<RecPolicy>;
+
+using TtreeStore = pipelined::ttree::Store<RecPolicy>;
+using TtreeNode = pipelined::ttree::TNode<RecPolicy>;
+using TtreeCell = pipelined::ttree::Cell<RecPolicy>;
+
+using ListStore = pipelined::list::Store<RecPolicy>;
+using ListCell = pipelined::list::Cell<RecPolicy>;
+
+// ---- treap set operations (pipelined + strict) ------------------------------
+
+inline TreapCell* union_treaps(RecExec ex, TreapStore& st, TreapCell* a,
+                               TreapCell* b) {
+  TreapCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::treap::union_into(ex, st, a, b, out));
+  });
+  return out;
+}
+
+inline TreapCell* diff_treaps(RecExec ex, TreapStore& st, TreapCell* a,
+                              TreapCell* b) {
+  TreapCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::treap::diff_into(ex, st, a, b, out));
+  });
+  return out;
+}
+
+inline TreapCell* intersect_treaps(RecExec ex, TreapStore& st, TreapCell* a,
+                                   TreapCell* b) {
+  TreapCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::treap::intersect_into(ex, st, a, b, out));
+  });
+  return out;
+}
+
+inline TreapNode* union_strict(RecExec ex, TreapStore& st, TreapNode* a,
+                               TreapNode* b) {
+  return pipelined::run_inline(pipelined::treap::union_strict(ex, st, a, b));
+}
+
+inline TreapNode* diff_strict(RecExec ex, TreapStore& st, TreapNode* a,
+                              TreapNode* b) {
+  return pipelined::run_inline(pipelined::treap::diff_strict(ex, st, a, b));
+}
+
+inline std::vector<Key> treap_inorder(const TreapCell* c) {
+  std::vector<Key> out;
+  pipelined::treap::collect_inorder<RecPolicy>(
+      pipelined::treap::peek<RecPolicy>(c), out);
+  return out;
+}
+
+// ---- binary-tree merge / rebalance ------------------------------------------
+
+inline TreeCell* merge(RecExec ex, TreeStore& st, TreeCell* a, TreeCell* b) {
+  TreeCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::trees::merge_into(ex, st, a, b, out));
+  });
+  return out;
+}
+
+inline TreeCell* rebalance(RecExec ex, TreeStore& st, TreeCell* tree) {
+  // measure runs inline in the calling thread (the recorded DAG depends on
+  // it); only the rebalance recursion is forked.
+  TreeNode* annotated =
+      pipelined::run_inline(pipelined::trees::measure(ex, st, tree));
+  TreeCell* acell = st.input(annotated);
+  TreeCell* out = st.cell();
+  const std::uint64_t n = pipelined::trees::size_of(annotated);
+  ex.engine().fork([&] {
+    pipelined::run_inline(
+        pipelined::trees::rebalance_into(ex, st, acell, n, out));
+  });
+  return out;
+}
+
+inline std::vector<Key> tree_inorder(const TreeCell* c) {
+  std::vector<Key> out;
+  pipelined::trees::collect_inorder<RecPolicy>(
+      pipelined::trees::peek<RecPolicy>(c), out);
+  return out;
+}
+
+// ---- mergesort --------------------------------------------------------------
+
+inline TreeCell* mergesort(RecExec ex, TreeStore& st,
+                           const std::vector<Key>& values) {
+  TreeCell* out = st.cell();
+  ex.fork(pipelined::trees::msort_into(ex, st, values, out));
+  return out;
+}
+
+// ---- 2-6 tree bulk insert ---------------------------------------------------
+
+inline TtreeCell* bulk_insert(RecExec ex, TtreeStore& st, TtreeCell* root,
+                              std::span<const Key> sorted) {
+  return pipelined::ttree::bulk_insert(ex, st, root, sorted);
+}
+
+inline std::vector<Key> ttree_keys(const TtreeCell* c) {
+  std::vector<Key> out;
+  pipelined::ttree::collect_keys<RecPolicy>(
+      pipelined::ttree::peek<RecPolicy>(c), out);
+  return out;
+}
+
+// ---- list quicksort + producer/consumer -------------------------------------
+
+inline ListCell* quicksort(RecExec ex, ListStore& st,
+                           const std::vector<Value>& values) {
+  ListCell* in = st.input_list(values);
+  ListCell* nil = st.input(nullptr);
+  ListCell* out = st.cell();
+  ex.fork(pipelined::list::quicksort_into(ex, st, in, nil, out));
+  return out;
+}
+
+inline std::vector<Value> list_values(const ListCell* head) {
+  return pipelined::list::peek_list<RecPolicy>(head);
+}
+
+inline std::int64_t produce_consume(RecExec ex, ListStore& st,
+                                    std::int64_t n) {
+  ListCell* list = st.cell();
+  ex.fork(pipelined::list::produce(ex, st, n, list));
+  return pipelined::run_inline(pipelined::list::consume(ex, list));
+}
+
+}  // namespace rec
+}  // namespace pwf::analyze

@@ -1,6 +1,7 @@
 #include "analyze/rt_recorder.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <unordered_map>
@@ -44,6 +45,11 @@ State& state() {
 thread_local int t_worker = -1;
 thread_local const void* t_fiber = nullptr;
 
+// Batches chained onto a service root but not yet flushed/compacted.
+// Deliberately outside State: it is owned by live ParallelSet/ParallelMap
+// instances and must survive reset() between Scheduler lifetimes.
+std::atomic<std::uint64_t> g_unflushed{0};
+
 }  // namespace
 
 const char* event_name(Ev e) {
@@ -82,22 +88,44 @@ void record(Ev kind, const void* cell) {
 void set_worker(int index) { t_worker = index; }
 void set_current_fiber(const void* frame) { t_fiber = frame; }
 
+void note_pipeline_chained() {
+  g_unflushed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_pipeline_flushed(std::uint64_t batches) {
+  // Saturating decrement: a service may flush counts it chained before the
+  // recorder was last reset by an unrelated test harness.
+  std::uint64_t cur = g_unflushed.load(std::memory_order_relaxed);
+  while (cur != 0 &&
+         !g_unflushed.compare_exchange_weak(cur, cur - std::min(cur, batches),
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t pipeline_unflushed() {
+  return g_unflushed.load(std::memory_order_relaxed);
+}
+
 RtReport audit() {
   State& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
   RtReport rep;
   rep.events = s.seq;
   rep.cells = s.cells.size();
+  rep.unflushed = g_unflushed.load(std::memory_order_relaxed);
+  // With an unflushed service pipeline live, a parked-but-unwritten cell is
+  // simply still materializing — its writer chains off the unflushed root.
+  std::vector<CellCounts>& parked_bucket =
+      rep.unflushed > 0 ? rep.pending : rep.never_written;
   for (const auto& [ptr, c] : s.cells) {
     if (c.presets + c.writes > 1) rep.double_written.push_back(c);
-    if (c.parks > 0 && c.presets + c.writes == 0)
-      rep.never_written.push_back(c);
+    if (c.parks > 0 && c.presets + c.writes == 0) parked_bucket.push_back(c);
     if (c.touches > 1) rep.nonlinear.push_back(c);
   }
   rep.double_written.insert(rep.double_written.end(), s.retired_double.begin(),
                             s.retired_double.end());
-  rep.never_written.insert(rep.never_written.end(), s.retired_parked.begin(),
-                           s.retired_parked.end());
+  parked_bucket.insert(parked_bucket.end(), s.retired_parked.begin(),
+                       s.retired_parked.end());
   rep.nonlinear.insert(rep.nonlinear.end(), s.retired_nonlinear.begin(),
                        s.retired_nonlinear.end());
   auto by_ptr = [](const CellCounts& a, const CellCounts& b) {
@@ -105,6 +133,7 @@ RtReport audit() {
   };
   std::sort(rep.double_written.begin(), rep.double_written.end(), by_ptr);
   std::sort(rep.never_written.begin(), rep.never_written.end(), by_ptr);
+  std::sort(rep.pending.begin(), rep.pending.end(), by_ptr);
   std::sort(rep.nonlinear.begin(), rep.nonlinear.end(), by_ptr);
   return rep;
 }
@@ -129,6 +158,15 @@ void reset() {
 
 void audit_at_shutdown() {
   const RtReport rep = audit();
+  if (!rep.pending.empty()) {
+    std::fprintf(stderr,
+                 "pwf-analyze(rt): note: %zu cell(s) pending on %llu "
+                 "unflushed service batch(es) at scheduler shutdown (call "
+                 "flush()/compact() before destroying the Scheduler to drain "
+                 "them)\n",
+                 rep.pending.size(),
+                 static_cast<unsigned long long>(rep.unflushed));
+  }
   if (!rep.ok() || !rep.nonlinear.empty()) {
     std::fprintf(stderr,
                  "pwf-analyze(rt): audit of %llu events over %llu cells:\n",

@@ -56,12 +56,17 @@ struct CellCounts {
 struct RtReport {
   std::uint64_t events = 0;
   std::uint64_t cells = 0;
+  std::uint64_t unflushed = 0;             // service batches chained, not flushed
   std::vector<CellCounts> double_written;  // presets + writes > 1
   std::vector<CellCounts> never_written;   // parked on, never preset/written
+  std::vector<CellCounts> pending;         // like never_written, but an
+                                           // unflushed service pipeline was
+                                           // live at audit time — legitimately
+                                           // still materializing, not a hang
   std::vector<CellCounts> nonlinear;       // touched more than once
 
-  // Deadlocks and double writes are hard violations; nonlinear reads are a
-  // property report.
+  // Deadlocks and double writes are hard violations; nonlinear reads and
+  // pending-pipeline cells are property reports.
   bool ok() const { return double_written.empty() && never_written.empty(); }
 };
 
@@ -72,6 +77,20 @@ void record(Ev kind, const void* cell);
 void set_worker(int index);
 // Fiber identity: the coroutine frame the worker is about to resume.
 void set_current_fiber(const void* frame);
+
+// ---- service-pipeline accounting ------------------------------------------
+//
+// ParallelSet/ParallelMap batches chain onto a still-materializing root and
+// return immediately; their cells stay unwritten until a quiescence point
+// (flush/compact/whole-tree read) forces them. If the Scheduler is destroyed
+// first, the shutdown audit would misread those cells as parked-forever
+// deadlocks. The services report chained/flushed batch counts so the audit
+// can demote such findings to "pending on an unflushed pipeline" instead.
+// The counter is owned by live services, so reset() does not clear it.
+
+void note_pipeline_chained();
+void note_pipeline_flushed(std::uint64_t batches);
+std::uint64_t pipeline_unflushed();
 
 // ---- auditing -------------------------------------------------------------
 

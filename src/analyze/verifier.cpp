@@ -124,6 +124,17 @@ std::string action_str(const Trace& trace, ActionId a) {
   std::string s = "action " + std::to_string(a);
   if (a < trace.threads().size())
     s += " (thread " + std::to_string(trace.threads()[a]) + ")";
+  // Coarsened-operation tags from the recording substrate: a violation
+  // inside a leaf rebuild or a serial cutoff is reported as such.
+  for (const Trace::Tag& t : trace.tags()) {
+    if (t.action != a) continue;
+    s += " [";
+    s += cm::action_kind_name(t.kind);
+    if (t.kind == cm::ActionKind::kLeafOp)
+      s += " over " + std::to_string(t.payload) + " keys";
+    s += "]";
+    break;
+  }
   return s;
 }
 
@@ -137,6 +148,7 @@ const char* violation_kind_name(ViolationKind k) {
     case ViolationKind::kReadRacesWrite: return "read-races-write";
     case ViolationKind::kErewConflict: return "erew-conflict";
     case ViolationKind::kNonLinearRead: return "nonlinear-read";
+    case ViolationKind::kEpochCrossingData: return "epoch-crossing-data";
   }
   return "?";
 }
@@ -154,6 +166,15 @@ std::string Report::to_string() const {
                 static_cast<unsigned long long>(num_writes), max_cell_reads,
                 static_cast<unsigned long long>(nonlinear_cells));
   std::string out = buf;
+  if (num_epochs > 1 || leaf_ops > 0 || serial_cutoffs > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "; %u epochs, %llu leaf-ops over %llu keys, "
+                  "%llu serial cutoffs",
+                  num_epochs, static_cast<unsigned long long>(leaf_ops),
+                  static_cast<unsigned long long>(leaf_keys),
+                  static_cast<unsigned long long>(serial_cutoffs));
+    out += buf;
+  }
   for (const auto& v : violations) {
     out += "\n  [";
     out += violation_kind_name(v.kind);
@@ -175,6 +196,15 @@ Report verify(const cm::Trace& trace, const Options& opts) {
   rep.num_edges = trace.edges().size();
   rep.num_reads = trace.reads().size();
   rep.num_writes = trace.writes().size();
+  rep.num_epochs = trace.num_epochs();
+  for (const Trace::Tag& t : trace.tags()) {
+    if (t.kind == cm::ActionKind::kLeafOp) {
+      ++rep.leaf_ops;
+      rep.leaf_keys += t.payload;
+    } else if (t.kind == cm::ActionKind::kSerialCutoff) {
+      ++rep.serial_cutoffs;
+    }
+  }
 
   auto add = [&](Violation v) {
     if (rep.violations.size() >= opts.max_violations) {
@@ -202,6 +232,26 @@ Report verify(const cm::Trace& trace, const Options& opts) {
   }
 
   Graph g = build_graph(trace, valid);
+
+  // Epoch closure: every data edge must stay within one storage epoch. An
+  // epoch boundary is a compaction point — the previous store's arena is
+  // freed — so a write in one epoch feeding a read in a later one means the
+  // reader dereferences freed memory.
+  if (trace.num_epochs() > 1) {
+    for (const auto& e : valid) {
+      if (e.kind != EdgeKind::kData) continue;
+      const std::uint32_t se = trace.epoch_of(e.src);
+      const std::uint32_t de = trace.epoch_of(e.dst);
+      if (se != de)
+        add({ViolationKind::kEpochCrossingData, cm::kNoCell, e.src, e.dst,
+             witness_path(g, e.dst),
+             "data edge " + action_str(trace, e.src) + " (epoch " +
+                 std::to_string(se) + ") -> " + action_str(trace, e.dst) +
+                 " (epoch " + std::to_string(de) +
+                 ") crosses a compaction: the read dereferences a freed "
+                 "store"});
+    }
+  }
 
   // Group accesses per cell.
   std::unordered_map<CellId, CellAccesses> cells;
@@ -265,19 +315,30 @@ Report verify(const cm::Trace& trace, const Options& opts) {
                  " (no DAG path; determinacy race)"});
     }
 
-    // Linearity (Section 4): at most one read per cell.
-    const auto nreads = static_cast<std::uint32_t>(acc.reads.size());
-    rep.max_cell_reads = std::max(rep.max_cell_reads, nreads);
-    if (nreads > 1) {
-      ++rep.nonlinear_cells;
-      if (opts.check_linearity)
-        for (std::size_t i = 1; i < acc.reads.size(); ++i)
-          add({ViolationKind::kNonLinearRead, c, acc.reads[0], acc.reads[i],
-               witness_path(g, acc.reads[i]),
-               "read by " + action_str(trace, acc.reads[0]) + " and again by " +
-                   action_str(trace, acc.reads[i]) +
-                   " (Section 4 requires linear code)"});
+    // Linearity (Section 4): at most one read per cell *per storage epoch*.
+    // Reads are sorted, and epochs partition the id space into ascending
+    // ranges, so one pass groups them. Without epoch marks every read is in
+    // epoch 0 and this is the plain per-cell check.
+    bool cell_nonlinear = false;
+    for (std::size_t i = 0; i < acc.reads.size();) {
+      const std::uint32_t ep = trace.epoch_of(acc.reads[i]);
+      std::size_t j = i + 1;
+      while (j < acc.reads.size() && trace.epoch_of(acc.reads[j]) == ep) ++j;
+      const auto nreads = static_cast<std::uint32_t>(j - i);
+      rep.max_cell_reads = std::max(rep.max_cell_reads, nreads);
+      if (nreads > 1) {
+        cell_nonlinear = true;
+        if (opts.check_linearity)
+          for (std::size_t k = i + 1; k < j; ++k)
+            add({ViolationKind::kNonLinearRead, c, acc.reads[i], acc.reads[k],
+                 witness_path(g, acc.reads[k]),
+                 "read by " + action_str(trace, acc.reads[i]) +
+                     " and again by " + action_str(trace, acc.reads[k]) +
+                     " (Section 4 requires linear code)"});
+      }
+      i = j;
     }
+    if (cell_nonlinear) ++rep.nonlinear_cells;
 
     // EREW: no two same-cell accesses on one timestep. Levels are the
     // earliest-start schedule, which is how the engine's clocks place

@@ -18,7 +18,18 @@
 //                       exclusive-write machine model;
 //   * linearity       — every cell read at most once (Section 4's
 //                       restriction; optional, reported as stats either
-//                       way).
+//                       way). Checked *per storage epoch*: a trace with
+//                       epoch marks (compaction points recorded by the
+//                       recording substrate, see rec_exec.hpp) is linear if
+//                       no cell is read twice within one epoch;
+//   * epoch closure   — no data edge crosses an epoch boundary: a
+//                       compaction frees the previous store's arena, so a
+//                       cross-epoch read dereferences freed memory.
+//
+// Traces from the recording substrate additionally tag coarsened actions
+// (leaf-op with the covered key count, serial-cutoff); the verifier carries
+// the tags into its statistics and diagnostics so a violation inside a leaf
+// rebuild is reported as such.
 //
 // Violations carry the action ids (with their thread ids), the cell id, and
 // a shortest root-to-offender witness path through the DAG — the "stack
@@ -39,7 +50,8 @@ enum class ViolationKind : std::uint8_t {
   kReadNeverWritten,  // read of a cell with no write and no preset
   kReadRacesWrite,    // read not ordered after the cell's write
   kErewConflict,      // two same-cell accesses on the same timestep
-  kNonLinearRead,     // second (or later) read of a cell
+  kNonLinearRead,     // second (or later) read of a cell in one epoch
+  kEpochCrossingData, // data edge across a storage-epoch boundary
 };
 
 const char* violation_kind_name(ViolationKind k);
@@ -77,6 +89,12 @@ struct Report {
   std::uint64_t num_writes = 0;
   std::uint32_t max_cell_reads = 0;  // linearity: <= 1 for linear programs
   std::uint64_t nonlinear_cells = 0;
+
+  // Recording-substrate extras (zero on plain cost-model traces).
+  std::uint32_t num_epochs = 1;        // storage epochs (1 = no compaction)
+  std::uint64_t leaf_ops = 0;          // actions tagged kLeafOp
+  std::uint64_t leaf_keys = 0;         // total keys covered by leaf ops
+  std::uint64_t serial_cutoffs = 0;    // actions tagged kSerialCutoff
 
   bool ok() const { return violations.empty(); }
   bool linear() const { return max_cell_reads <= 1; }

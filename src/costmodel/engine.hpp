@@ -90,6 +90,30 @@ class Engine {
   // modelled as a breadth-n, depth-2 DAG (Figure 9).
   void array_op(std::uint64_t n);
 
+  // One unit action tagged as a chunked-leaf operation covering `keys` keys
+  // (recording substrate: makes the runtime's leaf fast paths visible as
+  // explicit DAG nodes instead of untagged steps).
+  void leaf_op(std::uint64_t keys) {
+    act();
+    ++leaf_ops_;
+    if (trace_) trace_->tag_action(last_action_, ActionKind::kLeafOp, keys);
+  }
+
+  // One unit action tagged as a serial cutoff: the subtree below fell under
+  // the substrate's serial threshold and ran as a plain recursive call.
+  void serial_cutoff() {
+    act();
+    ++serial_cutoffs_;
+    if (trace_)
+      trace_->tag_action(last_action_, ActionKind::kSerialCutoff);
+  }
+
+  // Opens a new storage epoch in the trace (a compaction point: the store is
+  // rebuilt wholesale; data edges must not cross it). No engine action.
+  void new_epoch() {
+    if (trace_) trace_->new_epoch();
+  }
+
   // ---- future cells ---------------------------------------------------------
 
   template <typename T>
@@ -261,6 +285,10 @@ class Engine {
   std::uint32_t max_cell_reads() const { return max_cell_reads_; }
   std::uint64_t nonlinear_reads() const { return nonlinear_reads_; }
 
+  // Coarsened-operation counters (recording substrate).
+  std::uint64_t leaf_ops() const { return leaf_ops_; }
+  std::uint64_t serial_cutoffs() const { return serial_cutoffs_; }
+
   // Pipeline-delay profile: a touch "suspends" when the writer's timestamp
   // lies ahead of the toucher's clock; the wait is the data-edge slack.
   // These are the dynamic pipeline delays of Sections 3.1–3.3 (data
@@ -320,6 +348,8 @@ class Engine {
   std::uint64_t work_ = 0;
   std::uint32_t max_cell_reads_ = 0;
   std::uint64_t nonlinear_reads_ = 0;
+  std::uint64_t leaf_ops_ = 0;
+  std::uint64_t serial_cutoffs_ = 0;
   WaitStats waits_;
 
   ActionId last_action_ = kNoAction;

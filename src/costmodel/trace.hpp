@@ -12,6 +12,7 @@
 // data (available at time 0, so a read of them needs no ordering write).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -49,12 +50,40 @@ inline const char* edge_kind_name(EdgeKind k) {
   return "?";
 }
 
+// Optional per-action tags. Most actions are untagged unit steps (kGeneric);
+// the recording substrate (src/analyze/rec_exec.hpp) tags the runtime's
+// coarsened operations so the verifier and the simulator can see them:
+//   kLeafOp        — a chunked-leaf rebuild/merge/split; payload = number of
+//                    keys the leaf operation covered.
+//   kSerialCutoff  — a subtree fell under the serial threshold and ran as a
+//                    plain recursive call; payload unused (0).
+enum class ActionKind : std::uint8_t {
+  kGeneric,
+  kLeafOp,
+  kSerialCutoff,
+};
+
+inline const char* action_kind_name(ActionKind k) {
+  switch (k) {
+    case ActionKind::kGeneric: return "generic";
+    case ActionKind::kLeafOp: return "leaf-op";
+    case ActionKind::kSerialCutoff: return "serial-cutoff";
+  }
+  return "?";
+}
+
 class Trace {
  public:
   struct Edge {
     ActionId src;
     ActionId dst;
     EdgeKind kind;
+  };
+
+  struct Tag {
+    ActionId action;
+    ActionKind kind;
+    std::uint64_t payload;  // kLeafOp: key count; otherwise 0
   };
 
   ActionId new_action(ThreadId thread = 0) {
@@ -72,6 +101,27 @@ class Trace {
   // write action. May be called repeatedly for the same cell.
   void note_preset(CellId c) { presets_.push_back(c); }
 
+  // Tags an existing action with a coarsened-operation kind (see ActionKind).
+  void tag_action(ActionId a, ActionKind kind, std::uint64_t payload = 0) {
+    tags_.push_back({a, kind, payload});
+  }
+
+  // Opens a new storage epoch: all actions recorded from now on belong to it.
+  // Epoch boundaries are compaction points — a store is rebuilt wholesale and
+  // the previous arena freed, so a data edge must never cross one (the
+  // verifier's epoch check). Epoch 0 exists implicitly from the start.
+  void new_epoch() { epoch_marks_.push_back(num_actions_); }
+
+  // Epoch an action belongs to: the number of marks at or before its id.
+  std::uint32_t epoch_of(ActionId a) const {
+    const auto it = std::upper_bound(epoch_marks_.begin(), epoch_marks_.end(),
+                                     static_cast<std::uint64_t>(a));
+    return static_cast<std::uint32_t>(it - epoch_marks_.begin());
+  }
+  std::uint32_t num_epochs() const {
+    return static_cast<std::uint32_t>(epoch_marks_.size()) + 1;
+  }
+
   std::uint64_t num_actions() const { return num_actions_; }
   std::span<const Edge> edges() const { return edges_; }
   // Thread id of each action, indexed by ActionId.
@@ -83,6 +133,9 @@ class Trace {
     return writes_;
   }
   std::span<const CellId> presets() const { return presets_; }
+  std::span<const Tag> tags() const { return tags_; }
+  // Action-id boundaries of the epochs after the implicit epoch 0 (ascending).
+  std::span<const std::uint64_t> epoch_marks() const { return epoch_marks_; }
 
  private:
   std::uint64_t num_actions_ = 0;
@@ -91,6 +144,8 @@ class Trace {
   std::vector<std::pair<ActionId, CellId>> reads_;
   std::vector<std::pair<ActionId, CellId>> writes_;
   std::vector<CellId> presets_;
+  std::vector<Tag> tags_;
+  std::vector<std::uint64_t> epoch_marks_;
 };
 
 }  // namespace pwf::cm

@@ -127,8 +127,10 @@ class CmExecBase {
   static constexpr std::size_t serial_threshold() { return 0; }
   static void on_serial_cutoff() {}
   // Leaf-chunk fast paths never run here (kMaxLeafCapacity 0); the hook is
-  // part of the Exec concept so shared bodies compile unchanged.
-  static void on_leaf_op() {}
+  // part of the Exec concept so shared bodies compile unchanged. The bodies
+  // pass the number of keys the leaf operation covered (RecExec records it;
+  // the other substrates ignore it).
+  static void on_leaf_op(std::size_t /*keys*/) {}
   // Escape hatch: run a would-be fork inline (substrate-neutral spelling of
   // a plain recursive call). Unused while threshold is 0, but part of the
   // Exec concept so shared bodies compile unchanged.

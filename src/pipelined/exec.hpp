@@ -11,7 +11,15 @@
 //     engine actions and the measured DAG is bit-identical to a plain-call
 //     formulation;
 //   * on the runtime substrate `touch` suspends on an unwritten FutCell and
-//     `fork` posts the child to the scheduler.
+//     `fork` posts the child to the scheduler;
+//   * on the recording substrate (src/analyze/rec_exec.hpp) awaiters are
+//     ready like the cost model's, but fork/touch/write emit a verifiable
+//     cm::Trace, and the granularity hooks are live: `Policy::ready(c)`
+//     probes availability without consuming a read, `serial_threshold()` is
+//     a runtime value, and `on_leaf_op(keys)` / `on_serial_cutoff()` tag
+//     explicit DAG actions — so the runtime's coarsened code paths (leaf
+//     fast paths, serial cutoffs) appear in the recorded DAG instead of
+//     being if-constexpr-dead as they are on the cost model.
 //
 // Two coroutine shapes cover all bodies:
 //

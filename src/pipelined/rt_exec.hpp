@@ -142,7 +142,7 @@ class RtExec {
     if (rt::Scheduler* s = rt::Scheduler::current()) s->note_serial_cutoff();
   }
 
-  void on_leaf_op() const {
+  void on_leaf_op(std::size_t /*keys*/) const {
     if (rt::Scheduler* s = rt::Scheduler::current()) s->note_leaf_op();
   }
 

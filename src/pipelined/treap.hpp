@@ -569,7 +569,7 @@ Fiber splitm_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
     }
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t)) {
-        ex.on_leaf_op();
+        ex.on_leaf_op(t->count);
         detail::SerialSplit<P> sp = detail::split_leaf(st, s, t);
         publish(ex, outL, sp.less);
         publish(ex, outR, sp.greater);
@@ -628,7 +628,7 @@ Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   }
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(ta) && is_leaf(tb)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(ta->count + tb->count);
       publish(ex, out, detail::leaf_union(st, ta, tb));
       co_return;
     }
@@ -673,7 +673,7 @@ Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
     }
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t1) && is_leaf(t2)) {
-        ex.on_leaf_op();
+        ex.on_leaf_op(t1->count + t2->count);
         publish(ex, out, detail::leaf_concat(st, t1, t2));
         co_return;
       }
@@ -733,7 +733,7 @@ Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   }
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t1) && is_leaf(t2)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(t1->count + t2->count);
       publish(ex, out, detail::leaf_diff(st, t1, t2));
       co_return;
     }
@@ -786,7 +786,7 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
   }
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(ta) && is_leaf(tb)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(ta->count + tb->count);
       publish(ex, out, detail::leaf_intersect(st, ta, tb));
       co_return;
     }
@@ -840,7 +840,7 @@ Task<StrictSplit<P>> splitm_strict(Ex ex, Store<P>& st, Key s, Node<P>* t) {
   if (t == nullptr) co_return {};
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(t->count);
       detail::SerialSplit<P> sp = detail::split_leaf(st, s, t);
       co_return {sp.less, sp.greater, sp.equal};
     }
@@ -867,7 +867,7 @@ Task<Node<P>*> join_strict(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2) {
   if (t2 == nullptr) co_return t1;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t1) && is_leaf(t2)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(t1->count + t2->count);
       co_return detail::leaf_concat(st, t1, t2);
     }
   }
@@ -894,7 +894,7 @@ Task<Node<P>*> union_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   if (b == nullptr) co_return a;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a) && is_leaf(b)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(a->count + b->count);
       co_return detail::leaf_union(st, a, b);
     }
   }
@@ -915,7 +915,7 @@ Task<Node<P>*> intersect_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   if (a == nullptr || b == nullptr) co_return nullptr;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a) && is_leaf(b)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(a->count + b->count);
       co_return detail::leaf_intersect(st, a, b);
     }
   }
@@ -938,7 +938,7 @@ Task<Node<P>*> diff_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   if (b == nullptr) co_return a;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a) && is_leaf(b)) {
-      ex.on_leaf_op();
+      ex.on_leaf_op(a->count + b->count);
       co_return detail::leaf_diff(st, a, b);
     }
   }

@@ -30,6 +30,10 @@
 #include "runtime/rt_map.hpp"
 #include "runtime/scheduler.hpp"
 
+#if PWF_ANALYZE
+#include "analyze/rt_recorder.hpp"
+#endif
+
 namespace pwf::rt {
 
 template <typename V>
@@ -73,8 +77,16 @@ class ParallelMap {
   // Fibers of a chained batch may still be running (or parked) after every
   // cell of the result tree is written — their outputs just aren't part of
   // the final tree. They still read this map's arena, so the store can only
-  // be freed once the frame pool reports no live frames.
-  ~ParallelMap() { FramePool::wait_quiescent(); }
+  // be freed once the frame pool reports no live frames. After ~Scheduler no
+  // worker can drain them, so waiting would hang forever (any fiber still
+  // queued at shutdown was dropped); the map is torn down as-is.
+  ~ParallelMap() {
+    if (Scheduler::current() != nullptr) FramePool::wait_quiescent();
+#if PWF_ANALYZE
+    analyze::note_pipeline_flushed(
+        pending_.exchange(0, std::memory_order_relaxed));
+#endif
+  }
 
   // map = map ∪ items, duplicate keys resolved by merge(old, new). Items
   // need not be sorted; duplicate keys *within* the batch are pre-merged
@@ -135,7 +147,12 @@ class ParallelMap {
     store_ = std::move(fresh);
     size_.store(snapshot.size(), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
+#if PWF_ANALYZE
+    analyze::note_pipeline_flushed(
+        pending_.exchange(0, std::memory_order_relaxed));
+#else
     pending_.store(0, std::memory_order_relaxed);
+#endif
     epochs_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -194,6 +211,9 @@ class ParallelMap {
 
   void chain(map::Cell<V>* next) {
     batches_.fetch_add(1, std::memory_order_relaxed);
+#if PWF_ANALYZE
+    analyze::note_pipeline_chained();
+#endif
     const std::uint64_t pending =
         pending_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::uint64_t hw = max_pending_.load(std::memory_order_relaxed);
@@ -210,7 +230,12 @@ class ParallelMap {
     map::Cell<V>* cur = root_.load(std::memory_order_seq_cst);
     size_.store(map::wait_count(cur), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
+#if PWF_ANALYZE
+    analyze::note_pipeline_flushed(
+        pending_.exchange(0, std::memory_order_relaxed));
+#else
     pending_.store(0, std::memory_order_relaxed);
+#endif
     flushes_.fetch_add(1, std::memory_order_relaxed);
   }
 

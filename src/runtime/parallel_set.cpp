@@ -4,6 +4,10 @@
 #include <thread>
 #include <utility>
 
+#if PWF_ANALYZE
+#include "analyze/rt_recorder.hpp"
+#endif
+
 namespace pwf::rt {
 
 namespace {
@@ -61,7 +65,16 @@ int wait_height(treap::Cell* c) {
 
 }  // namespace
 
-ParallelSet::~ParallelSet() { FramePool::wait_quiescent(); }
+ParallelSet::~ParallelSet() {
+  // Only a live scheduler can drain in-flight fibers; after ~Scheduler the
+  // frame pool can never reach quiescence (workers are gone and any fiber
+  // still queued at shutdown was dropped), so spinning would hang forever.
+  if (Scheduler::current() != nullptr) FramePool::wait_quiescent();
+#if PWF_ANALYZE
+  analyze::note_pipeline_flushed(
+      pending_.exchange(0, std::memory_order_relaxed));
+#endif
+}
 
 ParallelSet::ParallelSet(Scheduler& sched, std::uint64_t salt,
                          std::size_t leaf_cap)
@@ -94,6 +107,9 @@ treap::Cell* ParallelSet::build_batch(std::span<const Key> keys) {
 
 void ParallelSet::chain(treap::Cell* next) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+#if PWF_ANALYZE
+  analyze::note_pipeline_chained();
+#endif
   const std::uint64_t pending =
       pending_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::uint64_t hw = max_pending_.load(std::memory_order_relaxed);
@@ -133,7 +149,12 @@ void ParallelSet::force_recount() const {
   const std::size_t n = wait_count(cur);
   size_.store(n, std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
+#if PWF_ANALYZE
+  analyze::note_pipeline_flushed(
+      pending_.exchange(0, std::memory_order_relaxed));
+#else
   pending_.store(0, std::memory_order_relaxed);
+#endif
   flushes_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -154,7 +175,12 @@ void ParallelSet::compact() {
   store_ = std::move(fresh);  // frees every superseded node and cell
   size_.store(snapshot.size(), std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
+#if PWF_ANALYZE
+  analyze::note_pipeline_flushed(
+      pending_.exchange(0, std::memory_order_relaxed));
+#else
   pending_.store(0, std::memory_order_relaxed);
+#endif
   epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 

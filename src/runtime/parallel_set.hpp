@@ -80,7 +80,9 @@ class ParallelSet {
 
   // Waits for frame-pool quiescence: fibers of a chained batch may outlive
   // the last written cell of the result tree (their outputs simply aren't
-  // part of it) and they read this set's arena until they finish.
+  // part of it) and they read this set's arena until they finish. Skipped
+  // when no Scheduler is alive — nothing could drain the frames, so waiting
+  // would hang (fibers still queued at scheduler shutdown were dropped).
   ~ParallelSet();
 
   // Batch mutators — one pipelined set operation each, chained onto the

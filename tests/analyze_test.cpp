@@ -188,6 +188,96 @@ TEST(Verifier, NonLinearReadFlagged) {
   EXPECT_EQ(rep2.nonlinear_cells, 1u);
 }
 
+// ---- recording-substrate disciplines (action tags + storage epochs) --------
+
+TEST(Verifier, DoubleWriteInsideLeafRebuildFlagged) {
+  // Two leaf-op-tagged actions (as RecExec records for chunked-leaf
+  // rebuilds) both publish the same output cell: the double-write diagnostic
+  // must name the coarsened operations and their key counts.
+  Trace t;
+  const ActionId w0 = t.new_action(0);
+  const ActionId w1 = t.new_action(0);
+  t.add_edge(w0, w1, EdgeKind::kThread);
+  t.record_write(w0, 3);
+  t.record_write(w1, 3);
+  t.tag_action(w0, cm::ActionKind::kLeafOp, 17);
+  t.tag_action(w1, cm::ActionKind::kLeafOp, 9);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kDoubleWrite);
+  EXPECT_EQ(v.cell, 3u);
+  EXPECT_EQ(v.first, w0);
+  EXPECT_EQ(v.second, w1);
+  ASSERT_FALSE(v.path.empty());
+  EXPECT_EQ(v.path.back(), w1);
+  EXPECT_NE(v.detail.find("leaf-op over 17 keys"), std::string::npos);
+  EXPECT_NE(v.detail.find("leaf-op over 9 keys"), std::string::npos);
+  EXPECT_EQ(rep.leaf_ops, 2u);
+  EXPECT_EQ(rep.leaf_keys, 26u);
+}
+
+TEST(Verifier, EpochCrossingDataEdgeFlagged) {
+  // A compaction (new_epoch) between a write and the read of its cell: the
+  // old store's arena is freed at the boundary, so the read dereferences
+  // freed memory even though it is perfectly ordered after the write.
+  Trace t;
+  const ActionId w = t.new_action(0);
+  t.record_write(w, 6);
+  t.new_epoch();
+  const ActionId r = t.new_action(0);
+  t.add_edge(w, r, EdgeKind::kData);
+  t.record_read(r, 6);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kEpochCrossingData);
+  EXPECT_EQ(v.first, w);
+  EXPECT_EQ(v.second, r);
+  ASSERT_FALSE(v.path.empty());
+  EXPECT_EQ(v.path.back(), r);
+  EXPECT_NE(v.detail.find("crosses a compaction"), std::string::npos);
+  EXPECT_EQ(rep.num_epochs, 2u);
+}
+
+TEST(Verifier, NonLinearLeafChunkReadFlaggedPerEpoch) {
+  // A leaf chunk read twice within one epoch is nonlinear, and the second
+  // reader's leaf-op tag shows up in the diagnostic.
+  Trace t;
+  const ActionId w = t.new_action(0);
+  const ActionId r0 = t.new_action(0);
+  const ActionId r1 = t.new_action(0);
+  t.add_edge(w, r0, EdgeKind::kData);
+  t.add_edge(r0, r1, EdgeKind::kThread);
+  t.add_edge(w, r1, EdgeKind::kData);
+  t.record_write(w, 2);
+  t.record_read(r0, 2);
+  t.record_read(r1, 2);
+  t.tag_action(r1, cm::ActionKind::kLeafOp, 32);
+  const Report rep = verify(t);
+  ASSERT_FALSE(rep.ok());
+  const Violation& v = first_of(rep, ViolationKind::kNonLinearRead);
+  EXPECT_EQ(v.cell, 2u);
+  EXPECT_EQ(v.first, r0);
+  EXPECT_EQ(v.second, r1);
+  ASSERT_FALSE(v.path.empty());
+  EXPECT_EQ(v.path.back(), r1);
+  EXPECT_NE(v.detail.find("leaf-op over 32 keys"), std::string::npos);
+
+  // The same double read split across a compaction is linear per epoch: a
+  // fresh store re-presents the data, so each epoch reads the cell once.
+  Trace t2;
+  t2.note_preset(2);
+  const ActionId s0 = t2.new_action(0);
+  t2.record_read(s0, 2);
+  t2.new_epoch();
+  const ActionId s1 = t2.new_action(0);
+  t2.add_edge(s0, s1, EdgeKind::kThread);
+  t2.record_read(s1, 2);
+  const Report rep2 = verify(t2);
+  EXPECT_TRUE(rep2.ok()) << rep2.to_string();
+  EXPECT_EQ(rep2.max_cell_reads, 1u);
+  EXPECT_EQ(rep2.num_epochs, 2u);
+}
+
 TEST(Verifier, ErewConflictFlagged) {
   // Two forked children touch the same preset cell on the same timestep
   // (both at level 2): concurrent reads, not EREW.

@@ -1,10 +1,12 @@
 // Cross-substrate equivalence: every algorithm body in src/pipelined/ is a
-// single templated coroutine, instantiated on three execution substrates —
-// CmExec (pipelined cost model), CmStrictExec (fork-join baseline) and
-// RtExec (coroutine runtime). This test feeds random inputs through all
-// available instantiations of each ported algorithm and checks every result
-// against a sequential oracle, so a substrate-specific divergence in any
-// shared body fails here regardless of which substrate introduced it.
+// single templated coroutine, instantiated on four execution substrates —
+// CmExec (pipelined cost model), CmStrictExec (fork-join baseline), RtExec
+// (coroutine runtime) and RecExec (recording substrate). This test feeds
+// random inputs through all available instantiations of each ported
+// algorithm and checks every result against a sequential oracle, so a
+// substrate-specific divergence in any shared body fails here regardless of
+// which substrate introduced it. The RecExec column additionally requires
+// every recorded trace to pass the pwf-analyze verifier.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,6 +18,8 @@
 #include "algos/mergesort.hpp"
 #include "algos/producer_consumer.hpp"
 #include "algos/quicksort.hpp"
+#include "analyze/rec_exec.hpp"
+#include "analyze/verifier.hpp"
 #include "costmodel/engine.hpp"
 #include "runtime/rt_algos.hpp"
 #include "runtime/rt_treap.hpp"
@@ -314,6 +318,132 @@ TEST_P(ExecEquivalence, ProducerConsumer) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecEquivalence, ::testing::Values(0, 1, 2));
+
+// ---- RecExec column ---------------------------------------------------------
+// The recording substrate runs the same bodies with the granularity knobs
+// live (chunked leaves, runtime serial threshold) while recording a DAG.
+// Every family must match the sequential oracle at leaf cap 0 (node-per-key,
+// the cost-model shape) and at the runtime's default cap of 32 — and every
+// recorded trace must be verifier-clean (linearity demoted to a statistic,
+// as in the engine-destructor hook: the Section-2 model allows multi-reads).
+
+namespace rec = analyze::rec;
+
+void expect_trace_clean(const cm::Engine& eng, const char* what) {
+  ASSERT_NE(eng.trace(), nullptr);
+  analyze::Options opts;
+  opts.check_linearity = false;
+  const analyze::Report rep = analyze::verify(*eng.trace(), opts);
+  EXPECT_TRUE(rep.ok()) << what << ": " << rep.to_string();
+}
+
+class ExecEquivalenceRec : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExecEquivalenceRec, TreapSetOps) {
+  const std::size_t cap = GetParam();
+  const auto a = random_keys(400, 17);
+  const auto b = random_keys(300, 18);
+  std::vector<Key> u, d, i;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(u));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(d));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(i));
+
+  cm::Engine eng(/*trace=*/true);
+  analyze::RecExec ex(eng);
+  rec::TreapStore st(eng, pipelined::treap::kDefaultSalt, cap);
+  EXPECT_EQ(rec::treap_inorder(rec::union_treaps(
+                ex, st, st.input(st.build(a)), st.input(st.build(b)))),
+            u);
+  EXPECT_EQ(rec::treap_inorder(rec::diff_treaps(
+                ex, st, st.input(st.build(a)), st.input(st.build(b)))),
+            d);
+  EXPECT_EQ(rec::treap_inorder(rec::intersect_treaps(
+                ex, st, st.input(st.build(a)), st.input(st.build(b)))),
+            i);
+  std::vector<Key> got;
+  pipelined::treap::collect_inorder<analyze::RecPolicy>(
+      rec::union_strict(ex, st, st.build(a), st.build(b)), got);
+  EXPECT_EQ(got, u);
+  expect_trace_clean(eng, "treap");
+}
+
+TEST_P(ExecEquivalenceRec, TreeMergeAndRebalance) {
+  const std::size_t cap = GetParam();
+  (void)cap;  // binary trees have no chunked leaves; both points still record
+  const auto a = random_keys(500, 19);
+  const auto b = random_keys(300, 20);
+  std::vector<Key> oracle;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(oracle));
+
+  cm::Engine eng(/*trace=*/true);
+  analyze::RecExec ex(eng);
+  rec::TreeStore st(eng);
+  rec::TreeCell* merged = rec::merge(ex, st, st.input(st.build_balanced(a)),
+                                     st.input(st.build_balanced(b)));
+  EXPECT_EQ(rec::tree_inorder(merged), oracle);
+  EXPECT_EQ(rec::tree_inorder(rec::rebalance(ex, st, merged)), oracle);
+  expect_trace_clean(eng, "trees");
+}
+
+TEST_P(ExecEquivalenceRec, TtreeBulkInsert) {
+  const std::size_t cap = GetParam();
+  (void)cap;
+  const auto base = random_keys(600, 21);
+  const auto extra = random_keys(250, 22);
+  std::set<Key> ref(base.begin(), base.end());
+  ref.insert(extra.begin(), extra.end());
+  const std::vector<Key> oracle(ref.begin(), ref.end());
+
+  cm::Engine eng(/*trace=*/true);
+  analyze::RecExec ex(eng);
+  rec::TtreeStore st(eng);
+  EXPECT_EQ(rec::ttree_keys(rec::bulk_insert(
+                ex, st, st.input(st.build(base, 3)), extra)),
+            oracle);
+  expect_trace_clean(eng, "ttree");
+}
+
+TEST_P(ExecEquivalenceRec, Mergesort) {
+  const std::size_t cap = GetParam();
+  (void)cap;
+  auto values = random_keys(700, 23);
+  Rng rng(24);
+  for (std::size_t k = values.size(); k > 1; --k) {
+    std::swap(values[k - 1],
+              values[static_cast<std::size_t>(rng.range(0, k - 1))]);
+  }
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  cm::Engine eng(/*trace=*/true);
+  analyze::RecExec ex(eng);
+  rec::TreeStore st(eng);
+  EXPECT_EQ(rec::tree_inorder(rec::mergesort(ex, st, values)), oracle);
+  expect_trace_clean(eng, "mergesort");
+}
+
+TEST_P(ExecEquivalenceRec, QuicksortAndProducerConsumer) {
+  const std::size_t cap = GetParam();
+  (void)cap;
+  const auto values = random_values(500, 25);
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  cm::Engine eng(/*trace=*/true);
+  analyze::RecExec ex(eng);
+  rec::ListStore st(eng);
+  EXPECT_EQ(rec::list_values(rec::quicksort(ex, st, values)), oracle);
+  EXPECT_EQ(rec::produce_consume(ex, st, 256), 256 * 257 / 2);
+  expect_trace_clean(eng, "list");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LeafCaps, ExecEquivalenceRec,
+    ::testing::Values(std::size_t{0}, pipelined::treap::kDefaultLeafCapacity));
 
 // ---- serial-threshold straddle ----------------------------------------------
 // RtExec bottoms out in tight sequential loops below kDefaultSerialThreshold;

@@ -6,9 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <vector>
 
 #include "analyze/rt_recorder.hpp"
 #include "runtime/future.hpp"
+#include "runtime/parallel_map.hpp"
+#include "runtime/parallel_set.hpp"
 #include "runtime/scheduler.hpp"
 
 #if !PWF_ANALYZE
@@ -129,6 +136,63 @@ TEST_F(RtAnalyze, ShutdownAbortsOnParkedForeverWaiter) {
         // finds the parked waiter and aborts instead of hanging silently.
       },
       "never-written|parked forever|runtime audit failed");
+}
+
+// Constructing, writing, flushing, and destroying a service under the
+// instrumented build must leave a clean audit — and while batches are
+// unflushed, any parked-but-unwritten cells are classified as pending on the
+// pipeline, not as deadlocks.
+TEST_F(RtAnalyze, ServiceLifecycleAuditsClean) {
+  {
+    Scheduler sched(2);
+    {
+      ParallelSet set(sched);
+      std::vector<std::int64_t> keys(4096);
+      std::iota(keys.begin(), keys.end(), 0);
+      set.insert_batch(keys);
+      set.erase_batch(std::vector<std::int64_t>{0, 1, 2, 3});
+      EXPECT_GE(analyze::pipeline_unflushed(), 2u);
+      const analyze::RtReport mid = analyze::audit();
+      EXPECT_TRUE(mid.ok()) << "in-flight service batches misread as "
+                               "parked-forever";
+      EXPECT_TRUE(mid.never_written.empty());
+      set.flush();
+      EXPECT_EQ(analyze::pipeline_unflushed(), 0u);
+      EXPECT_EQ(set.size(), 4092u);
+    }  // ~ParallelSet drains frames (scheduler alive)
+  }    // shutdown audit must pass
+  EXPECT_EQ(analyze::audit().events, 0u);
+}
+
+// The destruction order the ISSUE names: the Scheduler dies while service
+// pipelines are still unflushed. The shutdown audit must treat cells chained
+// on the unflushed roots as pending (no abort), and the service destructors
+// must not spin on frame-pool quiescence nobody can produce (no hang). Runs
+// in a death-test child because fibers dropped at scheduler shutdown leak
+// pool frames process-wide, which would poison later wait_quiescent calls.
+void shutdown_with_unflushed_pipeline() {
+  auto sched = std::make_unique<Scheduler>(2);
+  auto set = std::make_unique<ParallelSet>(*sched);
+  auto map = std::make_unique<ParallelMap<std::int64_t>>(*sched);
+  std::vector<std::int64_t> keys(40000);
+  std::iota(keys.begin(), keys.end(), 0);
+  set->insert_batch(keys);
+  set->erase_batch(keys);
+  set->insert_batch(keys);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  items.reserve(keys.size());
+  for (std::int64_t k : keys) items.emplace_back(k, k);
+  map->insert_batch(items, [](std::int64_t, std::int64_t b) { return b; });
+  sched.reset();  // audit runs with unflushed batches: must not abort
+  map.reset();    // must not hang: no scheduler can drain frames
+  set.reset();
+  std::_Exit(0);
+}
+
+TEST_F(RtAnalyze, SchedulerShutdownWithUnflushedPipelineNeitherAbortsNorHangs) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(shutdown_with_unflushed_pipeline(),
+              ::testing::ExitedWithCode(0), "");
 }
 
 TEST_F(RtAnalyze, DoubleWriteStillAbortsEagerly) {

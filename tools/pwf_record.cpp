@@ -1,0 +1,325 @@
+// pwf-record — DAG-record the runtime's real code paths and verify them.
+//
+// Runs every algorithm family on the RecExec recording substrate
+// (src/analyze/rec_exec.hpp) across a substrate-parameter grid — leaf-chunk
+// capacity x serial threshold — and, for each run:
+//
+//   1. checks the computed result against a sequential oracle,
+//   2. verifies the recorded cm::Trace with pwf::analyze::verify()
+//      (write-once, race-freedom, EREW, epoch closure; linearity as a
+//      statistic, matching the engine-destructor hook),
+//   3. replays the trace through the Section-4 greedy-schedule simulator
+//      (sim::Dag + sim::schedule) and checks the Brent bound
+//      steps <= w/p + d for several processor counts.
+//
+// The treap family additionally exercises storage epochs: it compacts into
+// a fresh store mid-run (RecExec::new_epoch), so leaf operations, serial
+// cutoffs AND epoch boundaries all appear in the verified traces.
+//
+// Exit status is nonzero on any oracle mismatch, verifier violation, or
+// simulator bound breach — CI runs `pwf-record --grid smoke`.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/rec_exec.hpp"
+#include "analyze/verifier.hpp"
+#include "costmodel/engine.hpp"
+#include "sim/dag.hpp"
+#include "sim/scheduler.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using pwf::analyze::RecExec;
+namespace rec = pwf::analyze::rec;
+using rec::Key;
+
+struct Config {
+  std::vector<std::size_t> leaf_caps{0, 1, 32};
+  std::vector<std::size_t> thresholds{0, 1, 128};
+  std::size_t n = 1500;  // keys per input in each family run
+  bool verbose = false;
+};
+
+struct Tally {
+  int runs = 0;
+  int failures = 0;
+};
+
+std::vector<Key> random_keys(std::size_t n, std::uint64_t seed) {
+  pwf::Rng rng(seed);
+  std::set<Key> s;
+  while (s.size() < n) s.insert(rng.range(0, 1 << 22));
+  return {s.begin(), s.end()};
+}
+
+// Steps 2 + 3 above, shared by every family runner. `what` names the run in
+// diagnostics; returns false on any violation or bound breach.
+bool verify_trace(const pwf::cm::Engine& eng, const std::string& what,
+                  const Config& cfg, std::uint32_t expected_epochs = 1) {
+  const pwf::cm::Trace* trace = eng.trace();
+  if (trace == nullptr) {
+    std::fprintf(stderr, "FAIL %s: engine recorded no trace\n", what.c_str());
+    return false;
+  }
+  pwf::analyze::Options opts;
+  opts.check_linearity = false;  // Section-4 property, reported as a stat
+  const pwf::analyze::Report rep = pwf::analyze::verify(*trace, opts);
+  bool ok = rep.ok();
+  if (!ok)
+    std::fprintf(stderr, "FAIL %s: verifier violations:\n%s\n", what.c_str(),
+                 rep.to_string().c_str());
+  if (rep.num_epochs != expected_epochs) {
+    std::fprintf(stderr, "FAIL %s: expected %u storage epochs, trace has %u\n",
+                 what.c_str(), expected_epochs, rep.num_epochs);
+    ok = false;
+  }
+
+  // Replay on the greedy-schedule simulator (the recording substrate is the
+  // simulator's input path: same Dag ctor the cm-engine traces use).
+  const pwf::sim::Dag dag(*trace);
+  for (const std::uint64_t p : {1ull, 4ull, 16ull}) {
+    const pwf::sim::ScheduleResult sr =
+        pwf::sim::schedule(dag, p, pwf::sim::Discipline::kStack);
+    if (!sr.within_bound(p)) {
+      std::fprintf(stderr,
+                   "FAIL %s: greedy schedule at p=%llu broke the Brent bound "
+                   "(steps %llu, work %llu, depth %llu)\n",
+                   what.c_str(), static_cast<unsigned long long>(p),
+                   static_cast<unsigned long long>(sr.steps),
+                   static_cast<unsigned long long>(sr.work),
+                   static_cast<unsigned long long>(sr.depth));
+      ok = false;
+    }
+  }
+  if (cfg.verbose && ok)
+    std::printf("ok   %s: %s\n", what.c_str(), rep.to_string().c_str());
+  return ok;
+}
+
+std::string run_name(const char* family, std::size_t cap, std::size_t thr) {
+  return std::string(family) + " (leaf-cap " + std::to_string(cap) +
+         ", threshold " + std::to_string(thr) + ")";
+}
+
+// ---- family runners ---------------------------------------------------------
+// Each records one engine-lifetime of work at the given substrate parameters
+// and self-checks against a sequential oracle before the trace is verified.
+
+bool run_treap(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("treap-setops", cap, thr);
+  const auto a = random_keys(cfg.n, 101);
+  const auto b = random_keys(cfg.n * 2 / 3, 102);
+  std::vector<Key> u, d, i;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(u));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(d));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(i));
+
+  pwf::cm::Engine eng(/*trace_enabled=*/true);
+  RecExec ex(eng, thr);
+  bool ok = true;
+  std::vector<Key> got_u;
+  {
+    rec::TreapStore st(eng, pwf::pipelined::treap::kDefaultSalt, cap);
+    rec::TreapCell* uc = rec::union_treaps(
+        ex, st, st.input(st.build(a)), st.input(st.build(b)));
+    got_u = rec::treap_inorder(uc);
+    ok &= got_u == u;
+    ok &= rec::treap_inorder(rec::diff_treaps(ex, st, st.input(st.build(a)),
+                                              st.input(st.build(b)))) == d;
+    ok &= rec::treap_inorder(rec::intersect_treaps(
+              ex, st, st.input(st.build(a)), st.input(st.build(b)))) == i;
+    // Strict baseline on the same substrate parameters.
+    std::vector<Key> got_strict;
+    pwf::pipelined::treap::collect_inorder<pwf::analyze::RecPolicy>(
+        rec::union_strict(ex, st, st.build(a), st.build(b)), got_strict);
+    ok &= got_strict == u;
+  }
+  // Storage epoch: compact the union result into a fresh store, then keep
+  // operating on it. The old store's trace actions stay in epoch 0, the new
+  // store's in epoch 1; no data edge may cross (the old arena is freed at a
+  // real compaction point — ParallelSet::compact does exactly this).
+  ex.new_epoch();
+  {
+    rec::TreapStore st2(eng, pwf::pipelined::treap::kDefaultSalt, cap);
+    const auto batch = random_keys(cfg.n / 2, 103);
+    std::vector<Key> after;
+    std::set_difference(u.begin(), u.end(), batch.begin(), batch.end(),
+                        std::back_inserter(after));
+    ok &= rec::treap_inorder(rec::diff_treaps(
+              ex, st2, st2.input(st2.build(got_u)),
+              st2.input(st2.build(batch)))) == after;
+  }
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg, /*expected_epochs=*/2) && ok;
+}
+
+bool run_trees(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("tree-merge-rebalance", cap, thr);
+  const auto a = random_keys(cfg.n, 201);
+  const auto b = random_keys(cfg.n / 2, 202);
+  std::vector<Key> oracle;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(oracle));
+
+  pwf::cm::Engine eng(true);
+  RecExec ex(eng, thr);
+  rec::TreeStore st(eng);
+  rec::TreeCell* merged = rec::merge(ex, st, st.input(st.build_balanced(a)),
+                                     st.input(st.build_balanced(b)));
+  bool ok = rec::tree_inorder(merged) == oracle;
+  ok &= rec::tree_inorder(rec::rebalance(ex, st, merged)) == oracle;
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg) && ok;
+}
+
+bool run_ttree(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("ttree-bulk-insert", cap, thr);
+  const auto base = random_keys(cfg.n, 301);
+  const auto extra = random_keys(cfg.n / 2, 302);
+  std::set<Key> ref(base.begin(), base.end());
+  ref.insert(extra.begin(), extra.end());
+  const std::vector<Key> oracle(ref.begin(), ref.end());
+
+  pwf::cm::Engine eng(true);
+  RecExec ex(eng, thr);
+  rec::TtreeStore st(eng);
+  rec::TtreeCell* out =
+      rec::bulk_insert(ex, st, st.input(st.build(base, 3)), extra);
+  const bool ok = rec::ttree_keys(out) == oracle;
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg) && ok;
+}
+
+bool run_mergesort(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("mergesort", cap, thr);
+  auto values = random_keys(cfg.n, 401);
+  pwf::Rng rng(402);
+  for (std::size_t k = values.size(); k > 1; --k)
+    std::swap(values[k - 1],
+              values[static_cast<std::size_t>(rng.range(0, k - 1))]);
+  std::vector<Key> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  pwf::cm::Engine eng(true);
+  RecExec ex(eng, thr);
+  rec::TreeStore st(eng);
+  const bool ok = rec::tree_inorder(rec::mergesort(ex, st, values)) == oracle;
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg) && ok;
+}
+
+bool run_quicksort(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("quicksort", cap, thr);
+  pwf::Rng rng(501);  // duplicates allowed: exercises pivot-equal paths
+  std::vector<rec::Value> values(cfg.n);
+  for (auto& x : values) x = rng.range(0, 1 << 10);
+  std::vector<rec::Value> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+
+  pwf::cm::Engine eng(true);
+  RecExec ex(eng, thr);
+  rec::ListStore st(eng);
+  const bool ok = rec::list_values(rec::quicksort(ex, st, values)) == oracle;
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg) && ok;
+}
+
+bool run_produce_consume(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("produce-consume", cap, thr);
+  const auto n = static_cast<std::int64_t>(cfg.n);
+  pwf::cm::Engine eng(true);
+  RecExec ex(eng, thr);
+  rec::ListStore st(eng);
+  const bool ok = rec::produce_consume(ex, st, n) == n * (n + 1) / 2;
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg) && ok;
+}
+
+struct Family {
+  const char* name;
+  bool (*run)(std::size_t cap, std::size_t thr, const Config& cfg);
+};
+
+constexpr Family kFamilies[] = {
+    {"treap", run_treap},           {"trees", run_trees},
+    {"ttree", run_ttree},           {"mergesort", run_mergesort},
+    {"quicksort", run_quicksort},   {"produce-consume", run_produce_consume},
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--grid smoke|full] [--family NAME|all] [--leaf-cap N]\n"
+      "          [--threshold N] [--n N] [--verbose]\n"
+      "families: treap trees ttree mergesort quicksort produce-consume\n"
+      "Defaults run the full grid: leaf cap {0,1,32} x threshold {0,1,128}.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  std::string family = "all";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--grid") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "full") == 0) {
+        cfg.n = 6000;
+      } else if (std::strcmp(v, "smoke") != 0) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--family") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      family = v;
+    } else if (arg == "--leaf-cap") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.leaf_caps = {static_cast<std::size_t>(std::stoul(v))};
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.thresholds = {static_cast<std::size_t>(std::stoul(v))};
+    } else if (arg == "--n") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.n = std::stoul(v);
+    } else if (arg == "--verbose") {
+      cfg.verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  Tally tally;
+  for (const Family& f : kFamilies) {
+    if (family != "all" && family != f.name) continue;
+    for (const std::size_t cap : cfg.leaf_caps) {
+      for (const std::size_t thr : cfg.thresholds) {
+        ++tally.runs;
+        if (!f.run(cap, thr, cfg)) ++tally.failures;
+      }
+    }
+  }
+  if (tally.runs == 0) return usage(argv[0]);
+  std::printf("pwf-record: %d run(s), %d failure(s)\n", tally.runs,
+              tally.failures);
+  return tally.failures == 0 ? 0 : 1;
+}
