@@ -13,6 +13,7 @@
 #include "costmodel/engine.hpp"
 #include "support/cli.hpp"
 #include "treap/map_union.hpp"
+#include "treap/setops.hpp"
 
 using namespace pwf;
 
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
           for (treap::Key k : ka) a.emplace_back(k, 1);
           for (treap::Key k : kb) b.emplace_back(k, 1);
           cm::Engine eng;
-          treap::Store st(eng);
+          treap::MapStore st(eng);
           treap::union_merge(
               st, st.input(treap::build_map(st, a)),
               st.input(treap::build_map(st, b)),

@@ -81,6 +81,13 @@ class RecExec : public pipelined::CmExecBase {
     engine().leaf_op(static_cast<std::uint64_t>(keys));
   }
 
+  // An augmented-value recomputation (one forked aug_into fiber finishing):
+  // one explicit, tagged DAG action, so the maintenance cost of PAM-style
+  // augmentation is visible in the recorded trace. Aug fibers re-read node
+  // cells the structural fibers also read (CREW, not EREW) — recording runs
+  // over augmented entries must call cm::Engine::set_crew(true).
+  void on_aug_op() const { engine().aug_op(); }
+
   // Opens a new storage epoch in the trace (call at a compaction point,
   // before rebuilding into a fresh store). The verifier checks that no data
   // edge crosses an epoch boundary: a cross-epoch read would dereference an
@@ -160,6 +167,41 @@ inline std::vector<Key> treap_inorder(const TreapCell* c) {
   std::vector<Key> out;
   pipelined::treap::collect_inorder<RecPolicy>(
       pipelined::treap::peek<RecPolicy>(c), out);
+  return out;
+}
+
+// ---- augmented treap maps ---------------------------------------------------
+//
+// The aug-map family records the same union body instantiated with a
+// sum-augmented int64 map entry, so the forked aug_into fibers (tagged
+// kAugOp) appear in the DAG and the verifier checks the real augmented code
+// paths. Aug fibers re-read node cells structural fibers read, so the
+// engine must run with set_crew(true) (races are still checked).
+
+using AugMapEntry =
+    pipelined::treap::AugEntry<pipelined::treap::MapEntry<std::int64_t>,
+                               pipelined::treap::SumAug<std::int64_t>>;
+using AugMapStore = pipelined::treap::Store<RecPolicy, AugMapEntry>;
+using AugMapNode = pipelined::treap::Node<RecPolicy, AugMapEntry>;
+using AugMapCell = pipelined::treap::Cell<RecPolicy, AugMapEntry>;
+
+inline AugMapCell* union_aug_maps(RecExec ex, AugMapStore& st, AugMapCell* a,
+                                  AugMapCell* b) {
+  AugMapCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::treap::union_into(
+        ex, st, a, b, out,
+        [](std::int64_t x, std::int64_t y) { return x + y; }));
+  });
+  return out;
+}
+
+inline AugMapCell* diff_aug_maps(RecExec ex, AugMapStore& st, AugMapCell* a,
+                                 AugMapCell* b) {
+  AugMapCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::treap::diff_into(ex, st, a, b, out));
+  });
   return out;
 }
 

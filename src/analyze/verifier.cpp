@@ -166,13 +166,14 @@ std::string Report::to_string() const {
                 static_cast<unsigned long long>(num_writes), max_cell_reads,
                 static_cast<unsigned long long>(nonlinear_cells));
   std::string out = buf;
-  if (num_epochs > 1 || leaf_ops > 0 || serial_cutoffs > 0) {
+  if (num_epochs > 1 || leaf_ops > 0 || serial_cutoffs > 0 || aug_ops > 0) {
     std::snprintf(buf, sizeof buf,
                   "; %u epochs, %llu leaf-ops over %llu keys, "
-                  "%llu serial cutoffs",
+                  "%llu serial cutoffs, %llu aug-ops",
                   num_epochs, static_cast<unsigned long long>(leaf_ops),
                   static_cast<unsigned long long>(leaf_keys),
-                  static_cast<unsigned long long>(serial_cutoffs));
+                  static_cast<unsigned long long>(serial_cutoffs),
+                  static_cast<unsigned long long>(aug_ops));
     out += buf;
   }
   for (const auto& v : violations) {
@@ -203,6 +204,8 @@ Report verify(const cm::Trace& trace, const Options& opts) {
       rep.leaf_keys += t.payload;
     } else if (t.kind == cm::ActionKind::kSerialCutoff) {
       ++rep.serial_cutoffs;
+    } else if (t.kind == cm::ActionKind::kAugOp) {
+      ++rep.aug_ops;
     }
   }
 
@@ -364,12 +367,15 @@ Report verify(const cm::Trace& trace, const Options& opts) {
   return rep;
 }
 
-void verify_and_report(const cm::Trace& trace, const char* what) {
+void verify_and_report(const cm::Trace& trace, const char* what, bool crew) {
   // Linearity is a Section-4 property, not a well-formedness requirement of
   // the Section-2 model, so the always-on hook reports it as a statistic
-  // only; tests that demand linear code call verify() directly.
+  // only; tests that demand linear code call verify() directly. CREW traces
+  // (augmented bodies, Engine::set_crew) additionally skip the EREW check —
+  // the hard checks (write-once, races, dangling reads, epochs) remain.
   Options opts;
   opts.check_linearity = false;
+  opts.check_erew = !crew;
   const Report rep = verify(trace, opts);
   std::fprintf(stderr, "%s [%s]: %s\n", rep.ok() ? "pwf-analyze ok" : "pwf-analyze FAILED",
                what, rep.to_string().c_str());

@@ -95,6 +95,7 @@ struct Report {
   std::uint64_t leaf_ops = 0;          // actions tagged kLeafOp
   std::uint64_t leaf_keys = 0;         // total keys covered by leaf ops
   std::uint64_t serial_cutoffs = 0;    // actions tagged kSerialCutoff
+  std::uint64_t aug_ops = 0;           // actions tagged kAugOp
 
   bool ok() const { return violations.empty(); }
   bool linear() const { return max_cell_reads <= 1; }
@@ -107,6 +108,10 @@ Report verify(const cm::Trace& trace, const Options& opts = {});
 // Engine-destructor hook (analyze mode): verify with linearity demoted to a
 // statistic (the Section-2 model legitimately allows multi-reads), print the
 // report to stderr if anything is wrong, and abort on hard violations.
-void verify_and_report(const cm::Trace& trace, const char* what);
+// `crew` additionally relaxes the EREW check: augmented bodies re-read node
+// cells concurrently from their aggregate fibers by design, and every such
+// read still carries its data edge, so race-freedom remains fully checked.
+void verify_and_report(const cm::Trace& trace, const char* what,
+                       bool crew = false);
 
 }  // namespace pwf::analyze

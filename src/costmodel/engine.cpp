@@ -7,9 +7,11 @@ namespace pwf::cm {
 Engine::~Engine() {
   // Analyze mode: audit the recorded DAG before dropping it. Aborts (with a
   // printed report) on double writes, determinacy races, dangling reads, or
-  // EREW conflicts; linearity is reported as a statistic.
+  // EREW conflicts; linearity is reported as a statistic. Engines running
+  // augmented bodies declare themselves CREW (set_crew), which relaxes only
+  // the EREW-by-level check — aug fibers re-read node cells by design.
   if (trace_ != nullptr && analyze_mode())
-    analyze::verify_and_report(*trace_, "cm::Engine");
+    analyze::verify_and_report(*trace_, "cm::Engine", crew_);
   delete trace_;
 }
 

@@ -108,6 +108,14 @@ class Engine {
       trace_->tag_action(last_action_, ActionKind::kSerialCutoff);
   }
 
+  // One unit action tagged as an augmented-value recomputation (the
+  // aug_into fiber combining a node's subtree aggregate).
+  void aug_op() {
+    act();
+    ++aug_ops_;
+    if (trace_) trace_->tag_action(last_action_, ActionKind::kAugOp);
+  }
+
   // Opens a new storage epoch in the trace (a compaction point: the store is
   // rebuilt wholesale; data edges must not cross it). No engine action.
   void new_epoch() {
@@ -288,6 +296,13 @@ class Engine {
   // Coarsened-operation counters (recording substrate).
   std::uint64_t leaf_ops() const { return leaf_ops_; }
   std::uint64_t serial_cutoffs() const { return serial_cutoffs_; }
+  std::uint64_t aug_ops() const { return aug_ops_; }
+
+  // Declares the trace concurrent-read (CREW): augmented bodies re-read node
+  // cells from their aug fibers, so the destructor's analyze-mode
+  // verification must relax the EREW-by-level check (races are still
+  // impossible — every touch records its data edge). See docs/augmentation.md.
+  void set_crew(bool crew) { crew_ = crew; }
 
   // Pipeline-delay profile: a touch "suspends" when the writer's timestamp
   // lies ahead of the toucher's clock; the wait is the data-edge slack.
@@ -350,6 +365,8 @@ class Engine {
   std::uint64_t nonlinear_reads_ = 0;
   std::uint64_t leaf_ops_ = 0;
   std::uint64_t serial_cutoffs_ = 0;
+  std::uint64_t aug_ops_ = 0;
+  bool crew_ = false;
   WaitStats waits_;
 
   ActionId last_action_ = kNoAction;

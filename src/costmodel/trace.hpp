@@ -57,10 +57,13 @@ inline const char* edge_kind_name(EdgeKind k) {
 //                    keys the leaf operation covered.
 //   kSerialCutoff  — a subtree fell under the serial threshold and ran as a
 //                    plain recursive call; payload unused (0).
+//   kAugOp         — an augmented-value recomputation (aug_into combining a
+//                    node's subtree aggregate); payload unused (0).
 enum class ActionKind : std::uint8_t {
   kGeneric,
   kLeafOp,
   kSerialCutoff,
+  kAugOp,
 };
 
 inline const char* action_kind_name(ActionKind k) {
@@ -68,6 +71,7 @@ inline const char* action_kind_name(ActionKind k) {
     case ActionKind::kGeneric: return "generic";
     case ActionKind::kLeafOp: return "leaf-op";
     case ActionKind::kSerialCutoff: return "serial-cutoff";
+    case ActionKind::kAugOp: return "aug-op";
   }
   return "?";
 }

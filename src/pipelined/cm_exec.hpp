@@ -131,6 +131,10 @@ class CmExecBase {
   // pass the number of keys the leaf operation covered (RecExec records it;
   // the other substrates ignore it).
   static void on_leaf_op(std::size_t /*keys*/) {}
+  // Aggregate recomputation hook (augmented entries). The aug_into fiber's
+  // touches/writes are already engine actions; the hook exists so recording
+  // substrates can tag them (RecExec) and the runtime can count them.
+  static void on_aug_op() {}
   // Escape hatch: run a would-be fork inline (substrate-neutral spelling of
   // a plain recursive call). Unused while threshold is 0, but part of the
   // Exec concept so shared bodies compile unchanged.

@@ -146,6 +146,10 @@ class RtExec {
     if (rt::Scheduler* s = rt::Scheduler::current()) s->note_leaf_op();
   }
 
+  void on_aug_op() const {
+    if (rt::Scheduler* s = rt::Scheduler::current()) s->note_aug_op();
+  }
+
   // Run a would-be fork inline on this worker (symmetric transfer, no
   // scheduler round trip). Anything the inline chain suspends on is produced
   // by independently forked fibers, so chaining cannot deadlock.

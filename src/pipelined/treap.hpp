@@ -1,8 +1,20 @@
 // Single-source treaps (the paper's Sections 3.2–3.3) — splitm, union,
 // join, difference, intersection, plus the strict fork-join baselines —
 // written once against the substrate concept (docs/substrates.md) and
-// instantiated by src/treap (cost model) and src/runtime/rt_treap
-// (coroutine runtime).
+// instantiated by src/treap (cost model), src/runtime/rt_treap (coroutine
+// runtime sets) and src/runtime/rt_map (coroutine runtime maps).
+//
+// Every body is parameterized on an Entry policy E (treap_entry.hpp):
+//   * SetEntry keeps the paper's key-only semantics — all payload and
+//     augmentation statements are `if constexpr`-dead, so the recorded
+//     cost-model counts are bit-identical to the key-only formulation;
+//   * MapEntry<V> carries a value; union takes a Merge functor applied in
+//     *operand* order (merge(value_in_a, value_in_b), tracked by `flip`
+//     across the priority swaps), difference drops b's values;
+//   * AugEntry adds a PAM-style augmentation: each node owns one extra
+//     future cell holding combine() over its subtree, recomputed by a
+//     forked aug_into fiber per rebuilt node — the aggregate flows through
+//     the same pipelined DAG as the structure itself (docs/augmentation.md).
 //
 // Priorities are derived from keys by hashing (splitmix64 with a store-wide
 // salt), so a key has the same priority in every treap of a store; this
@@ -13,7 +25,7 @@
 //
 // Storage is B-treap-style (docs/storage.md): internal nodes keep the
 // key/priority/child layout in one cache line, while subtrees below the
-// store's leaf capacity collapse into sorted flat chunks of LeafEntry that
+// store's leaf capacity collapse into sorted flat chunks of LeafEntryT that
 // the serial fast paths process branch-free. Substrates opt in through
 // P::kMaxLeafCapacity — the cost model pins it to 0, so every leaf branch is
 // `if constexpr`-dead there and the recorded DAG counts stay bit-identical.
@@ -30,48 +42,70 @@
 #include <vector>
 
 #include "pipelined/exec.hpp"
+#include "pipelined/treap_entry.hpp"
 #include "support/check.hpp"
 #include "support/random.hpp"
 
 namespace pwf::pipelined::treap {
 
-using Key = std::int64_t;
-using Pri = std::uint64_t;
-
-template <typename P>
+template <typename P, typename E = SetEntry>
 struct Node;
 
-template <typename P>
-using Cell = typename P::template Cell<Node<P>*>;
+template <typename P, typename E = SetEntry>
+using Cell = typename P::template Cell<Node<P, E>*>;
 
 // One key of a flat leaf chunk. The priority is cached alongside the key so
-// re-chunking (slices, merges, joins) never rehashes.
-struct LeafEntry {
+// re-chunking (slices, merges, joins) never rehashes; the value column
+// vanishes for key-only entries.
+template <typename E>
+struct LeafEntryT {
   Key key = 0;
   Pri pri = 0;
+  [[no_unique_address]] typename E::Value value{};
 };
+
+// Key-only alias, kept for the set-facade code that scans chunks directly.
+using LeafEntry = LeafEntryT<SetEntry>;
+
+namespace detail {
+
+// Augmented nodes own one extra future cell: the subtree aggregate, written
+// by the aug_into fiber (or preset by the chunk builders). Empty base for
+// unaugmented entries so the node layout doesn't move.
+template <typename P, typename E, bool = E::kHasAug>
+struct AugBase {};
+
+template <typename P, typename E>
+struct AugBase<P, E, true> {
+  typename P::template Cell<typename E::AugOps::Aug>* aug = nullptr;
+};
+
+}  // namespace detail
 
 // A node is either *internal* (items == nullptr; left/right are cells) or a
 // *leaf view* (items != nullptr; left/right unused): a window [items,
 // items+count) into an immutable, key-sorted, arena-backed entry array. A
-// leaf's key/pri mirror its maximum-priority entry (items[root_pos]) — the
-// root the subtree would have had — so every priority comparison in the
+// leaf's key/pri/value mirror its maximum-priority entry (items[root_pos]) —
+// the root the subtree would have had — so every priority comparison in the
 // bodies below works on leaves unchanged.
-template <typename P>
-struct Node {
+template <typename P, typename E>
+struct Node : detail::AugBase<P, E> {
+  using Policy = P;
+  using Entry = E;
+
   Key key = 0;
   Pri pri = 0;
-  std::int64_t val = 0;  // payload (used by the map operations only)
+  [[no_unique_address]] typename E::Value value{};
   typename P::Time created{};  // t(v) (cost model only)
-  Cell<P>* left = nullptr;
-  Cell<P>* right = nullptr;
-  const LeafEntry* items = nullptr;  // leaf view into a sorted chunk
-  std::uint32_t count = 0;           // number of entries in the view
-  std::uint32_t root_pos = 0;        // index of the max-priority entry
+  Cell<P, E>* left = nullptr;
+  Cell<P, E>* right = nullptr;
+  const LeafEntryT<E>* items = nullptr;  // leaf view into a sorted chunk
+  std::uint32_t count = 0;               // number of entries in the view
+  std::uint32_t root_pos = 0;            // index of the max-priority entry
 };
 
-template <typename P>
-bool is_leaf(const Node<P>* n) {
+template <typename P, typename E>
+bool is_leaf(const Node<P, E>* n) {
   return n != nullptr && n->items != nullptr;
 }
 
@@ -81,14 +115,19 @@ inline constexpr std::uint64_t kDefaultSalt = 0x9e3779b97f4a7c15ULL;
 // (BENCH_e19.json); tunable per Store.
 inline constexpr std::size_t kDefaultLeafCapacity = 32;
 
-template <typename P>
+template <typename P, typename E = SetEntry>
 class Store {
  public:
   using Context = typename P::Context;
+  using Entry = E;
+  using Value = typename E::Value;
+  using AugValue = typename AugTraits<E>::Aug;
 
   // Internal nodes must stay within one cache line — the point of caching
-  // the priority and packing the leaf view into the node record.
-  static_assert(sizeof(Node<P>) <= 64,
+  // the priority and packing the leaf view into the node record. Augmented
+  // nodes spend one extra pointer on the aggregate cell; payloads beyond a
+  // word trade the line for locality of the payload itself.
+  static_assert(E::kHasAug || sizeof(Value) > 8 || sizeof(Node<P, E>) <= 64,
                 "treap::Node must fit in a 64-byte cache line");
 
   explicit Store(Context ctx, std::uint64_t salt = kDefaultSalt,
@@ -110,16 +149,16 @@ class Store {
   // own node); the substrate's kMaxLeafCapacity bounds it from above.
   std::size_t leaf_capacity() const { return leaf_cap_; }
 
-  Cell<P>* cell() { return arena_.template create<Cell<P>>(); }
+  Cell<P, E>* cell() { return arena_.template create<Cell<P, E>>(); }
 
-  Cell<P>* input(Node<P>* root) {
-    Cell<P>* c = cell();
+  Cell<P, E>* input(Node<P, E>* root) {
+    Cell<P, E>* c = cell();
     P::preset(*c, root);
     return c;
   }
 
-  Node<P>* make(Key key, Pri pri, Cell<P>* l, Cell<P>* r) {
-    Node<P>* n = arena_.template create<Node<P>>();
+  Node<P, E>* make(Key key, Pri pri, Cell<P, E>* l, Cell<P, E>* r) {
+    Node<P, E>* n = create_node();
     n->key = key;
     n->pri = pri;
     n->left = l;
@@ -127,60 +166,82 @@ class Store {
     return n;
   }
 
-  Node<P>* make(Key key, Pri pri) { return make(key, pri, cell(), cell()); }
+  Node<P, E>* make(Key key, Pri pri) { return make(key, pri, cell(), cell()); }
 
-  Node<P>* make_ready(Key key, Pri pri, Node<P>* l, Node<P>* r) {
+  Node<P, E>* make_ready(Key key, Pri pri, Node<P, E>* l, Node<P, E>* r) {
     return make(key, pri, input(l), input(r));
   }
 
   // 64-byte-aligned chunk storage for leaf entries.
-  LeafEntry* alloc_entries(std::size_t n) {
-    return static_cast<LeafEntry*>(
-        arena_.allocate(n * sizeof(LeafEntry), 64));
+  LeafEntryT<E>* alloc_entries(std::size_t n) {
+    return static_cast<LeafEntryT<E>*>(
+        arena_.allocate(n * sizeof(LeafEntryT<E>), 64));
   }
 
   // Leaf view over base[lo, hi) (hi > lo); scans for the max-priority entry.
-  Node<P>* make_leaf(const LeafEntry* base, std::uint32_t lo,
-                     std::uint32_t hi) {
+  // The chunk is fully materialized data, so an augmented leaf's aggregate
+  // is preset here — leaf aug cells are *always* readable.
+  Node<P, E>* make_leaf(const LeafEntryT<E>* base, std::uint32_t lo,
+                        std::uint32_t hi) {
     std::uint32_t rp = lo;
     for (std::uint32_t i = lo + 1; i < hi; ++i)
       if (base[i].pri > base[rp].pri) rp = i;
-    Node<P>* n = arena_.template create<Node<P>>();
+    Node<P, E>* n = create_node();
     n->key = base[rp].key;
     n->pri = base[rp].pri;
+    n->value = base[rp].value;
     n->items = base + lo;
     n->count = hi - lo;
     n->root_pos = rp - lo;
+    if constexpr (E::kHasAug) {
+      using Ops = typename E::AugOps;
+      AugValue acc = Ops::identity();
+      for (std::uint32_t i = lo; i < hi; ++i)
+        acc = Ops::combine(acc, Ops::from_entry(base[i].key, base[i].value));
+      P::preset(*n->aug, acc);
+    }
     return n;
   }
 
   // Treap over a sorted, duplicate-free entry range: ranges at or below the
   // leaf capacity become flat chunks, larger ones get an internal node at
   // the max-priority entry. Equivalent (same keys, same heap/BST shape above
-  // the chunks) to the node-per-key treap over the same keys.
-  Node<P>* chunked(const LeafEntry* base, std::uint32_t lo, std::uint32_t hi) {
+  // the chunks) to the node-per-key treap over the same keys. Aggregates are
+  // preset bottom-up (children are complete when the parent is made).
+  Node<P, E>* chunked(const LeafEntryT<E>* base, std::uint32_t lo,
+                      std::uint32_t hi) {
     if (lo == hi) return nullptr;
     if (hi - lo <= leaf_cap_) return make_leaf(base, lo, hi);
     std::uint32_t rp = lo;
     for (std::uint32_t i = lo + 1; i < hi; ++i)
       if (base[i].pri > base[rp].pri) rp = i;
-    Node<P>* l = chunked(base, lo, rp);
-    Node<P>* r = chunked(base, rp + 1, hi);
-    return make(base[rp].key, base[rp].pri, input(l), input(r));
+    Node<P, E>* l = chunked(base, lo, rp);
+    Node<P, E>* r = chunked(base, rp + 1, hi);
+    Node<P, E>* n = make(base[rp].key, base[rp].pri, input(l), input(r));
+    n->value = base[rp].value;
+    if constexpr (E::kHasAug) {
+      using Ops = typename E::AugOps;
+      AugValue acc = Ops::identity();
+      if (l != nullptr) acc = Ops::combine(acc, P::peek(l->aug));
+      acc = Ops::combine(acc, Ops::from_entry(n->key, n->value));
+      if (r != nullptr) acc = Ops::combine(acc, P::peek(r->aug));
+      P::preset(*n->aug, acc);
+    }
+    return n;
   }
 
   // Builds a treap over the given keys (input data; costs nothing in the
   // model). Keys are sorted and deduplicated. With chunking enabled the tree
   // is built over a flat entry array (hashing each priority exactly once);
   // otherwise construction is the O(n) right-spine (Cartesian tree) method.
-  Node<P>* build(std::span<const Key> keys) {
+  Node<P, E>* build(std::span<const Key> keys) {
     std::vector<Key> sorted(keys.begin(), keys.end());
     std::sort(sorted.begin(), sorted.end());
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (leaf_cap_ > 1 && !sorted.empty()) {
-        LeafEntry* e = alloc_entries(sorted.size());
+        LeafEntryT<E>* e = alloc_entries(sorted.size());
         for (std::size_t i = 0; i < sorted.size(); ++i)
           e[i] = {sorted[i], priority(sorted[i])};
         return chunked(e, 0, static_cast<std::uint32_t>(sorted.size()));
@@ -190,11 +251,11 @@ class Store {
     // Each new (larger) key pops smaller-priority spine nodes and adopts the
     // popped chain as its left subtree. Adopted links get fresh preset cells
     // (runtime cells are write-once, so the placeholder can't be rewritten).
-    std::vector<Node<P>*> spine;
+    std::vector<Node<P, E>*> spine;
     spine.reserve(64);
     for (Key k : sorted) {
-      Node<P>* n = make_ready(k, priority(k), nullptr, nullptr);
-      Node<P>* last_popped = nullptr;
+      Node<P, E>* n = make_ready(k, priority(k), nullptr, nullptr);
+      Node<P, E>* last_popped = nullptr;
       while (!spine.empty() && spine.back()->pri < n->pri) {
         last_popped = spine.back();
         spine.pop_back();
@@ -203,7 +264,43 @@ class Store {
       if (!spine.empty()) spine.back()->right = input(n);
       spine.push_back(n);
     }
-    return spine.empty() ? nullptr : spine.front();
+    Node<P, E>* root = spine.empty() ? nullptr : spine.front();
+    if constexpr (E::kHasAug) preset_augs(root);
+    return root;
+  }
+
+  // Construction over key-sorted, duplicate-free (key, value) items (input
+  // data): hashes each priority once into a flat item array, then chunks it.
+  // With leaf_cap == 1 falls back to the O(n) right-spine method.
+  Node<P, E>* build(std::span<const std::pair<Key, Value>> sorted)
+    requires(E::kHasValue)
+  {
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (leaf_cap_ > 1 && !sorted.empty()) {
+        LeafEntryT<E>* e = alloc_entries(sorted.size());
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+          e[i] = {sorted[i].first, priority(sorted[i].first),
+                  sorted[i].second};
+        return chunked(e, 0, static_cast<std::uint32_t>(sorted.size()));
+      }
+    }
+    std::vector<Node<P, E>*> spine;
+    spine.reserve(64);
+    for (const auto& [k, v] : sorted) {
+      Node<P, E>* n = make_ready(k, priority(k), nullptr, nullptr);
+      n->value = v;
+      Node<P, E>* last_popped = nullptr;
+      while (!spine.empty() && spine.back()->pri < n->pri) {
+        last_popped = spine.back();
+        spine.pop_back();
+      }
+      if (last_popped != nullptr) n->left = input(last_popped);
+      if (!spine.empty()) spine.back()->right = input(n);
+      spine.push_back(n);
+    }
+    Node<P, E>* root = spine.empty() ? nullptr : spine.front();
+    if constexpr (E::kHasAug) preset_augs(root);
+    return root;
   }
 
   std::size_t bytes_used() const { return arena_.bytes_used(); }
@@ -223,6 +320,29 @@ class Store {
   }
 
  private:
+  Node<P, E>* create_node() {
+    Node<P, E>* n = arena_.template create<Node<P, E>>();
+    if constexpr (E::kHasAug)
+      n->aug = arena_.template create<
+          typename P::template Cell<typename E::AugOps::Aug>>();
+    return n;
+  }
+
+  // Bottom-up aggregate preset for spine-built trees (every cell of the
+  // tree is already preset, so peeking children is safe).
+  AugValue preset_augs(Node<P, E>* n)
+    requires(E::kHasAug)
+  {
+    using Ops = typename E::AugOps;
+    if (n == nullptr) return Ops::identity();
+    if (is_leaf(n)) return P::peek(n->aug);
+    AugValue acc = preset_augs(P::peek(n->left));
+    acc = Ops::combine(acc, Ops::from_entry(n->key, n->value));
+    acc = Ops::combine(acc, preset_augs(P::peek(n->right)));
+    P::preset(*n->aug, acc);
+    return acc;
+  }
+
   static std::size_t clamp_cap(std::size_t req) {
     if constexpr (P::kMaxLeafCapacity == 0) {
       return 1;
@@ -240,28 +360,90 @@ class Store {
 
 // Publishes a node into its destination cell, stamping t(v) where the
 // substrate keeps timestamps.
-template <typename Ex, typename P = typename Ex::Policy>
-void publish(Ex ex, Cell<P>* out, Node<P>* n) {
+template <typename Ex, typename P, typename E>
+void publish(Ex ex, Cell<P, E>* out, Node<P, E>* n) {
   ex.write(out, n);
   if constexpr (P::kHasTimestamps) {
     if (n) n->created = out->ts;
   }
 }
 
-template <typename P>
-Node<P>* peek(const Cell<P>* c) {
+template <typename P, typename C>
+auto peek(const C* c) {
   return P::peek(c);
 }
+
+// ---- augmentation -----------------------------------------------------------
+
+// Recomputes one rebuilt internal node's aggregate from its children. This
+// is itself a pipelined consumer: it touches the child cells and the child
+// aggregate cells, so the aggregate flows bottom-up through the same future
+// DAG as the structure (the paper's pipelining argument, applied to PAM-style
+// augmentation). Leaf chunks never get here — their aggregates are preset by
+// make_leaf. Note the deliberate CREW reads: an aug fiber re-reads cells the
+// structural fibers also read, so augmented traces are verified with the
+// EREW/linearity checks relaxed (docs/augmentation.md).
+template <typename Ex, typename P, typename E>
+Fiber aug_into(Ex ex, Node<P, E>* n) {
+  using Ops = typename E::AugOps;
+  typename E::AugOps::Aug acc = Ops::identity();
+  Node<P, E>* l = co_await ex.touch(n->left);
+  if (l != nullptr) acc = Ops::combine(acc, co_await ex.touch(l->aug));
+  acc = Ops::combine(acc, Ops::from_entry(n->key, n->value));
+  Node<P, E>* r = co_await ex.touch(n->right);
+  if (r != nullptr) acc = Ops::combine(acc, co_await ex.touch(r->aug));
+  ex.on_aug_op();
+  ex.write(n->aug, acc);
+}
+
+namespace detail {
+
+// Deferred aug_into forks for the progressive bodies (splitm, join): their
+// nodes are published *before* the child cells are written, so the aug
+// fibers can only be forked at the body's exits — in reverse creation order,
+// because later nodes are descendants of earlier ones and the eager
+// substrates require a valid topological fork order. Empty (and free) for
+// unaugmented entries.
+template <typename P, typename E, bool = E::kHasAug>
+struct AugPending {
+  void add(Node<P, E>*) {}
+  template <typename Ex>
+  void flush(Ex) {}
+};
+
+template <typename P, typename E>
+struct AugPending<P, E, true> {
+  std::vector<Node<P, E>*> nodes;
+  void add(Node<P, E>* n) { nodes.push_back(n); }
+  template <typename Ex>
+  void flush(Ex ex) {
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it)
+      ex.fork(aug_into(ex, *it));
+    nodes.clear();
+  }
+};
+
+// Forks the aggregate recomputation for one freshly built node whose child
+// cells are already linked (the non-progressive creation sites).
+template <typename Ex, typename P, typename E>
+void fork_aug(Ex ex, Node<P, E>* n) {
+  if constexpr (E::kHasAug) ex.fork(aug_into(ex, n));
+}
+
+}  // namespace detail
 
 // ---- serial fast paths (granularity control) --------------------------------
 //
 // Plain recursive counterparts of the pipelined bodies, taken when the
 // relevant subtrees are fully materialized within Ex::serial_threshold()
 // nodes (see trees.hpp for the scheme). Unlike the strict baselines below,
-// these mirror the *pipelined* semantics exactly — including `val`
-// propagation — so the published result is indistinguishable from the one
-// the forked path would build. Dead on the cost-model substrates
-// (threshold 0), as is every leaf branch (kMaxLeafCapacity 0).
+// these mirror the *pipelined* semantics exactly — including value and
+// aggregate propagation — so the published result is indistinguishable from
+// the one the forked path would build. They take the executor only to fork
+// aggregate fibers (child aggregates of a pre-existing tree may still be in
+// flight on the runtime substrate, so even the serial path cannot compute
+// them synchronously). Dead on the cost-model substrates (threshold 0), as
+// is every leaf branch (kMaxLeafCapacity 0).
 
 namespace detail {
 
@@ -273,8 +455,8 @@ inline void prefetch(const void* p) {
 #endif
 }
 
-template <typename P>
-bool tree_avail(const Node<P>* n, std::size_t& budget) {
+template <typename P, typename E>
+bool tree_avail(const Node<P, E>* n, std::size_t& budget) {
   if (n == nullptr) return true;
   if (budget == 0) return false;
   --budget;
@@ -282,15 +464,15 @@ bool tree_avail(const Node<P>* n, std::size_t& budget) {
     if (n->items != nullptr) return true;  // leaf chunks are always complete
   }
   if (!P::ready(n->left) || !P::ready(n->right)) return false;
-  return tree_avail<P>(P::peek(n->left), budget) &&
-         tree_avail<P>(P::peek(n->right), budget);
+  return tree_avail(P::peek(n->left), budget) &&
+         tree_avail(P::peek(n->right), budget);
 }
 
-template <typename P>
+template <typename P, typename E>
 struct SerialSplit {
-  Node<P>* less = nullptr;
-  Node<P>* greater = nullptr;
-  Node<P>* equal = nullptr;
+  Node<P, E>* less = nullptr;
+  Node<P, E>* greater = nullptr;
+  Node<P, E>* equal = nullptr;
 };
 
 // ---- leaf-chunk primitives --------------------------------------------------
@@ -300,45 +482,51 @@ struct SerialSplit {
 // only merges/joins allocate new chunks.
 
 // Sub-view of a leaf, [lo, hi) relative to leaf->items. Empty -> nullptr.
-template <typename P>
-Node<P>* leaf_slice(Store<P>& st, const Node<P>* leaf, std::uint32_t lo,
-                    std::uint32_t hi) {
+template <typename P, typename E>
+Node<P, E>* leaf_slice(Store<P, E>& st, const Node<P, E>* leaf,
+                       std::uint32_t lo, std::uint32_t hi) {
   if (lo >= hi) return nullptr;
   return st.make_leaf(leaf->items, lo, hi);
 }
 
 // The subtree a leaf's root entry would have on each side.
-template <typename P>
-Node<P>* left_part(Store<P>& st, Node<P>* t) {
+template <typename P, typename E>
+Node<P, E>* left_part(Store<P, E>& st, Node<P, E>* t) {
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t)) return leaf_slice(st, t, 0, t->root_pos);
   }
   return peek<P>(t->left);
 }
 
-template <typename P>
-Node<P>* right_part(Store<P>& st, Node<P>* t) {
+template <typename P, typename E>
+Node<P, E>* right_part(Store<P, E>& st, Node<P, E>* t) {
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t)) return leaf_slice(st, t, t->root_pos + 1, t->count);
   }
   return peek<P>(t->right);
 }
 
-// Rewrites a leaf as an internal node (same key/pri, preset side slices) so
-// the pipelined bodies can hand out child cells.
-template <typename P>
-Node<P>* open_leaf(Store<P>& st, Node<P>* t) {
-  return st.make(t->key, t->pri, st.input(left_part(st, t)),
-                 st.input(right_part(st, t)));
+// Rewrites a leaf as an internal node (same key/pri/value, preset side
+// slices) so the pipelined bodies can hand out child cells. The opened node
+// is only ever consumed as an operand (never published), but its aggregate
+// is preset anyway — copied from the leaf — so every node keeps the "aug
+// cell readable or in flight" invariant.
+template <typename P, typename E>
+Node<P, E>* open_leaf(Store<P, E>& st, Node<P, E>* t) {
+  Node<P, E>* n = st.make(t->key, t->pri, st.input(left_part(st, t)),
+                          st.input(right_part(st, t)));
+  n->value = t->value;
+  if constexpr (E::kHasAug) P::preset(*n->aug, P::peek(t->aug));
+  return n;
 }
 
 // splitm on a flat chunk: one binary search, two zero-copy slices. The equal
-// verdict is a one-entry leaf view (consumers only null-check it on the set
-// path).
-template <typename P>
-SerialSplit<P> split_leaf(Store<P>& st, Key s, const Node<P>* t) {
+// verdict is a one-entry leaf view carrying the value (the set path only
+// null-checks it).
+template <typename P, typename E>
+SerialSplit<P, E> split_leaf(Store<P, E>& st, Key s, const Node<P, E>* t) {
   st.note_leaf_op();
-  const LeafEntry* e = t->items;
+  const LeafEntryT<E>* e = t->items;
   const std::uint32_t n = t->count;
   std::uint32_t lo = 0, hi = n;
   while (lo < hi) {
@@ -349,7 +537,7 @@ SerialSplit<P> split_leaf(Store<P>& st, Key s, const Node<P>* t) {
       hi = mid;
     }
   }
-  SerialSplit<P> out;
+  SerialSplit<P, E> out;
   out.less = leaf_slice(st, t, 0, lo);
   if (lo < n && e[lo].key == s) {
     out.equal = st.make_leaf(e, lo, lo + 1);
@@ -360,17 +548,20 @@ SerialSplit<P> split_leaf(Store<P>& st, Key s, const Node<P>* t) {
   return out;
 }
 
-// Sorted-array union of two chunks; duplicates keep a's entry. Re-chunks the
-// merged array (an internal spine appears only above the capacity).
-template <typename P>
-Node<P>* leaf_union(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+// Sorted-array union of two chunks; a shared key keeps
+// merge(value_in_a, value_in_b) (`flip` says (a, b) arrived swapped relative
+// to the caller's operand order). Re-chunks the merged array (an internal
+// spine appears only above the capacity).
+template <typename P, typename E, typename Merge>
+Node<P, E>* leaf_union(Store<P, E>& st, const Node<P, E>* a,
+                       const Node<P, E>* b, Merge merge, bool flip) {
   st.note_leaf_op();
-  LeafEntry* out = st.alloc_entries(a->count + b->count);
-  const LeafEntry* x = a->items;
-  const LeafEntry* xe = x + a->count;
-  const LeafEntry* y = b->items;
-  const LeafEntry* ye = y + b->count;
-  LeafEntry* w = out;
+  LeafEntryT<E>* out = st.alloc_entries(a->count + b->count);
+  const LeafEntryT<E>* x = a->items;
+  const LeafEntryT<E>* xe = x + a->count;
+  const LeafEntryT<E>* y = b->items;
+  const LeafEntryT<E>* ye = y + b->count;
+  LeafEntryT<E>* w = out;
   while (x != xe && y != ye) {
     prefetch(x + 4);
     prefetch(y + 4);
@@ -379,7 +570,10 @@ Node<P>* leaf_union(Store<P>& st, const Node<P>* a, const Node<P>* b) {
     } else if (y->key < x->key) {
       *w++ = *y++;
     } else {
-      *w++ = *x++;
+      *w = *x;
+      w->value = flip ? merge(y->value, x->value) : merge(x->value, y->value);
+      ++w;
+      ++x;
       ++y;
     }
   }
@@ -388,16 +582,17 @@ Node<P>* leaf_union(Store<P>& st, const Node<P>* a, const Node<P>* b) {
   return st.chunked(out, 0, static_cast<std::uint32_t>(w - out));
 }
 
-// Sorted-array difference a \ b.
-template <typename P>
-Node<P>* leaf_diff(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+// Sorted-array difference a \ b (b's values are irrelevant).
+template <typename P, typename E>
+Node<P, E>* leaf_diff(Store<P, E>& st, const Node<P, E>* a,
+                      const Node<P, E>* b) {
   st.note_leaf_op();
-  LeafEntry* out = st.alloc_entries(a->count);
-  const LeafEntry* x = a->items;
-  const LeafEntry* xe = x + a->count;
-  const LeafEntry* y = b->items;
-  const LeafEntry* ye = y + b->count;
-  LeafEntry* w = out;
+  LeafEntryT<E>* out = st.alloc_entries(a->count);
+  const LeafEntryT<E>* x = a->items;
+  const LeafEntryT<E>* xe = x + a->count;
+  const LeafEntryT<E>* y = b->items;
+  const LeafEntryT<E>* ye = y + b->count;
+  LeafEntryT<E>* w = out;
   while (x != xe && y != ye) {
     prefetch(x + 4);
     prefetch(y + 4);
@@ -414,16 +609,17 @@ Node<P>* leaf_diff(Store<P>& st, const Node<P>* a, const Node<P>* b) {
   return st.chunked(out, 0, static_cast<std::uint32_t>(w - out));
 }
 
-// Sorted-array intersection.
-template <typename P>
-Node<P>* leaf_intersect(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+// Sorted-array intersection (a's values survive).
+template <typename P, typename E>
+Node<P, E>* leaf_intersect(Store<P, E>& st, const Node<P, E>* a,
+                           const Node<P, E>* b) {
   st.note_leaf_op();
-  LeafEntry* out = st.alloc_entries(std::min(a->count, b->count));
-  const LeafEntry* x = a->items;
-  const LeafEntry* xe = x + a->count;
-  const LeafEntry* y = b->items;
-  const LeafEntry* ye = y + b->count;
-  LeafEntry* w = out;
+  LeafEntryT<E>* out = st.alloc_entries(std::min(a->count, b->count));
+  const LeafEntryT<E>* x = a->items;
+  const LeafEntryT<E>* xe = x + a->count;
+  const LeafEntryT<E>* y = b->items;
+  const LeafEntryT<E>* ye = y + b->count;
+  LeafEntryT<E>* w = out;
   while (x != xe && y != ye) {
     prefetch(x + 4);
     prefetch(y + 4);
@@ -440,110 +636,129 @@ Node<P>* leaf_intersect(Store<P>& st, const Node<P>* a, const Node<P>* b) {
 }
 
 // join of two chunks (all of a's keys < all of b's): flat concatenation.
-template <typename P>
-Node<P>* leaf_concat(Store<P>& st, const Node<P>* a, const Node<P>* b) {
+template <typename P, typename E>
+Node<P, E>* leaf_concat(Store<P, E>& st, const Node<P, E>* a,
+                        const Node<P, E>* b) {
   st.note_leaf_op();
-  LeafEntry* out = st.alloc_entries(a->count + b->count);
-  std::memcpy(out, a->items, a->count * sizeof(LeafEntry));
-  std::memcpy(out + a->count, b->items, b->count * sizeof(LeafEntry));
+  LeafEntryT<E>* out = st.alloc_entries(a->count + b->count);
+  std::memcpy(out, a->items, a->count * sizeof(LeafEntryT<E>));
+  std::memcpy(out + a->count, b->items, b->count * sizeof(LeafEntryT<E>));
   return st.chunked(out, 0, a->count + b->count);
 }
 
 // ---- serial recursive bodies ------------------------------------------------
 
-template <typename P>
-SerialSplit<P> splitm_serial(Store<P>& st, Key s, Node<P>* t) {
+template <typename Ex, typename P, typename E>
+SerialSplit<P, E> splitm_serial(Ex ex, Store<P, E>& st, Key s, Node<P, E>* t) {
   if (t == nullptr) return {};
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t)) return split_leaf(st, s, t);
   }
   if (s < t->key) {
-    SerialSplit<P> sub = splitm_serial(st, s, peek<P>(t->left));
+    SerialSplit<P, E> sub = splitm_serial(ex, st, s, peek<P>(t->left));
     sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
-    sub.greater->val = t->val;
+    sub.greater->value = t->value;
+    fork_aug(ex, sub.greater);
     return sub;
   }
   if (s > t->key) {
-    SerialSplit<P> sub = splitm_serial(st, s, peek<P>(t->right));
+    SerialSplit<P, E> sub = splitm_serial(ex, st, s, peek<P>(t->right));
     sub.less = st.make(t->key, t->pri, t->left, st.input(sub.less));
-    sub.less->val = t->val;
+    sub.less->value = t->value;
+    fork_aug(ex, sub.less);
     return sub;
   }
   return {peek<P>(t->left), peek<P>(t->right), t};
 }
 
-template <typename P>
-Node<P>* join_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
+template <typename Ex, typename P, typename E>
+Node<P, E>* join_serial(Ex ex, Store<P, E>& st, Node<P, E>* t1,
+                        Node<P, E>* t2) {
   if (t1 == nullptr) return t2;
   if (t2 == nullptr) return t1;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t1) && is_leaf(t2)) return leaf_concat(st, t1, t2);
   }
-  Node<P>* res;
+  Node<P, E>* res;
   if (t1->pri >= t2->pri) {
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t1)) t1 = open_leaf(st, t1);
     }
-    Node<P>* j = join_serial(st, peek<P>(t1->right), t2);
+    Node<P, E>* j = join_serial(ex, st, peek<P>(t1->right), t2);
     res = st.make(t1->key, t1->pri, t1->left, st.input(j));
-    res->val = t1->val;
+    res->value = t1->value;
   } else {
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t2)) t2 = open_leaf(st, t2);
     }
-    Node<P>* j = join_serial(st, t1, peek<P>(t2->left));
+    Node<P, E>* j = join_serial(ex, st, t1, peek<P>(t2->left));
     res = st.make(t2->key, t2->pri, st.input(j), t2->right);
-    res->val = t2->val;
+    res->value = t2->value;
   }
+  fork_aug(ex, res);
   return res;
 }
 
-template <typename P>
-Node<P>* union_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
+template <typename Ex, typename P, typename E, typename Merge>
+Node<P, E>* union_serial(Ex ex, Store<P, E>& st, Node<P, E>* ta,
+                         Node<P, E>* tb, Merge merge, bool flip) {
   if (ta == nullptr) return tb;
   if (tb == nullptr) return ta;
   if constexpr (P::kMaxLeafCapacity > 0) {
-    if (is_leaf(ta) && is_leaf(tb)) return leaf_union(st, ta, tb);
+    if (is_leaf(ta) && is_leaf(tb)) return leaf_union(st, ta, tb, merge, flip);
   }
-  if (ta->pri < tb->pri) std::swap(ta, tb);
-  SerialSplit<P> s = splitm_serial(st, ta->key, tb);
-  Node<P>* res =
-      st.make_ready(ta->key, ta->pri,
-                    union_serial(st, left_part(st, ta), s.less),
-                    union_serial(st, right_part(st, ta), s.greater));
-  res->val = ta->val;
+  if (ta->pri < tb->pri) {
+    std::swap(ta, tb);
+    flip = !flip;
+  }
+  SerialSplit<P, E> s = splitm_serial(ex, st, ta->key, tb);
+  Node<P, E>* res = st.make_ready(
+      ta->key, ta->pri,
+      union_serial(ex, st, left_part(st, ta), s.less, merge, flip),
+      union_serial(ex, st, right_part(st, ta), s.greater, merge, flip));
+  res->value = ta->value;
+  if constexpr (E::kHasValue) {
+    if (s.equal != nullptr)
+      res->value = flip ? merge(s.equal->value, ta->value)
+                        : merge(ta->value, s.equal->value);
+  }
+  fork_aug(ex, res);
   return res;
 }
 
-template <typename P>
-Node<P>* diff_serial(Store<P>& st, Node<P>* t1, Node<P>* t2) {
+template <typename Ex, typename P, typename E>
+Node<P, E>* diff_serial(Ex ex, Store<P, E>& st, Node<P, E>* t1,
+                        Node<P, E>* t2) {
   if (t1 == nullptr) return nullptr;
   if (t2 == nullptr) return t1;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t1) && is_leaf(t2)) return leaf_diff(st, t1, t2);
   }
-  SerialSplit<P> s = splitm_serial(st, t1->key, t2);
-  Node<P>* l = diff_serial(st, left_part(st, t1), s.less);
-  Node<P>* r = diff_serial(st, right_part(st, t1), s.greater);
-  if (s.equal != nullptr) return join_serial(st, l, r);
-  Node<P>* res = st.make_ready(t1->key, t1->pri, l, r);
-  res->val = t1->val;
+  SerialSplit<P, E> s = splitm_serial(ex, st, t1->key, t2);
+  Node<P, E>* l = diff_serial(ex, st, left_part(st, t1), s.less);
+  Node<P, E>* r = diff_serial(ex, st, right_part(st, t1), s.greater);
+  if (s.equal != nullptr) return join_serial(ex, st, l, r);
+  Node<P, E>* res = st.make_ready(t1->key, t1->pri, l, r);
+  res->value = t1->value;
+  fork_aug(ex, res);
   return res;
 }
 
-template <typename P>
-Node<P>* intersect_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
+template <typename Ex, typename P, typename E>
+Node<P, E>* intersect_serial(Ex ex, Store<P, E>& st, Node<P, E>* ta,
+                             Node<P, E>* tb) {
   if (ta == nullptr || tb == nullptr) return nullptr;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(ta) && is_leaf(tb)) return leaf_intersect(st, ta, tb);
   }
   if (ta->pri < tb->pri) std::swap(ta, tb);
-  SerialSplit<P> s = splitm_serial(st, ta->key, tb);
-  Node<P>* l = intersect_serial(st, left_part(st, ta), s.less);
-  Node<P>* r = intersect_serial(st, right_part(st, ta), s.greater);
-  if (s.equal == nullptr) return join_serial(st, l, r);
-  Node<P>* res = st.make_ready(ta->key, ta->pri, l, r);
-  res->val = ta->val;
+  SerialSplit<P, E> s = splitm_serial(ex, st, ta->key, tb);
+  Node<P, E>* l = intersect_serial(ex, st, left_part(st, ta), s.less);
+  Node<P, E>* r = intersect_serial(ex, st, right_part(st, ta), s.greater);
+  if (s.equal == nullptr) return join_serial(ex, st, l, r);
+  Node<P, E>* res = st.make_ready(ta->key, ta->pri, l, r);
+  res->value = ta->value;
+  fork_aug(ex, res);
   return res;
 }
 
@@ -557,67 +772,80 @@ Node<P>* intersect_serial(Store<P>& st, Node<P>* ta, Node<P>* tb) {
 // delivered through it (nullptr if s was absent). outEq is written only when
 // the traversal terminates — the "splitm completes as soon as it finds the
 // splitter" behaviour diff depends on.
-template <typename Ex, typename P = typename Ex::Policy>
-Fiber splitm_from(Ex ex, Store<P>& st, Key s, Node<P>* t, Cell<P>* outL,
-                  Cell<P>* outR, Cell<P>* outEq) {
+template <typename Ex, typename P, typename E>
+Fiber splitm_from(Ex ex, Store<P, E>& st, Key s, Node<P, E>* t,
+                  Cell<P, E>* outL, Cell<P, E>* outR, Cell<P, E>* outEq) {
+  detail::AugPending<P, E> augs;
   for (;;) {
     if (t == nullptr) {
-      ex.write(outL, static_cast<Node<P>*>(nullptr));
-      ex.write(outR, static_cast<Node<P>*>(nullptr));
-      if (outEq) ex.write(outEq, static_cast<Node<P>*>(nullptr));
+      ex.write(outL, static_cast<Node<P, E>*>(nullptr));
+      ex.write(outR, static_cast<Node<P, E>*>(nullptr));
+      if (outEq) ex.write(outEq, static_cast<Node<P, E>*>(nullptr));
+      augs.flush(ex);
       co_return;
     }
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t)) {
         ex.on_leaf_op(t->count);
-        detail::SerialSplit<P> sp = detail::split_leaf(st, s, t);
+        detail::SerialSplit<P, E> sp = detail::split_leaf(st, s, t);
         publish(ex, outL, sp.less);
         publish(ex, outR, sp.greater);
         if (outEq) ex.write(outEq, sp.equal);
+        augs.flush(ex);
         co_return;
       }
     }
     if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
       std::size_t budget = thr;
-      if (detail::tree_avail<P>(t, budget)) {
+      if (detail::tree_avail(t, budget)) {
         ex.on_serial_cutoff();
-        detail::SerialSplit<P> sp = detail::splitm_serial(st, s, t);
+        detail::SerialSplit<P, E> sp = detail::splitm_serial(ex, st, s, t);
         publish(ex, outL, sp.less);
         publish(ex, outR, sp.greater);
         if (outEq) ex.write(outEq, sp.equal);
+        augs.flush(ex);
         co_return;
       }
     }
     ex.step();  // key comparison
     if (s < t->key) {
-      Node<P>* keep = st.make(t->key, t->pri, st.cell(), t->right);
-      keep->val = t->val;
+      Node<P, E>* keep = st.make(t->key, t->pri, st.cell(), t->right);
+      keep->value = t->value;
       publish(ex, outR, keep);
+      augs.add(keep);
       outR = keep->left;
       t = co_await ex.touch(t->left);
     } else if (s > t->key) {
-      Node<P>* keep = st.make(t->key, t->pri, t->left, st.cell());
-      keep->val = t->val;
+      Node<P, E>* keep = st.make(t->key, t->pri, t->left, st.cell());
+      keep->value = t->value;
       publish(ex, outL, keep);
+      augs.add(keep);
       outL = keep->right;
       t = co_await ex.touch(t->right);
     } else {
       // Splitter found: its subtrees are the two sides; the node itself is
-      // excluded (and reported through outEq for difference).
+      // excluded (and reported through outEq for difference and the map
+      // union's value merge).
       ex.write(outL, co_await ex.touch(t->left));
       ex.write(outR, co_await ex.touch(t->right));
       if (outEq) ex.write(outEq, t);
+      augs.flush(ex);
       co_return;
     }
   }
 }
 
 // Pipelined union (Figure 4): keys of both treaps, duplicates removed, heap
-// and BST order restored. Consumes both inputs.
-template <typename Ex, typename P = typename Ex::Policy>
-Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
-  Node<P>* ta = co_await ex.touch(a);
-  Node<P>* tb = co_await ex.touch(b);
+// and BST order restored. Consumes both inputs. For value-carrying entries a
+// shared key keeps merge(value_in_a, value_in_b) — operand order, tracked by
+// `flip` across priority swaps — which requires waiting for splitm's equal
+// verdict before publishing each root (the set path keeps the original
+// publish-before-verdict pipeline, so its recorded counts don't move).
+template <typename Ex, typename P, typename E, typename Merge = FirstWins>
+Fiber union_into(Ex ex, Store<P, E>& st, Cell<P, E>* a, Cell<P, E>* b,
+                 Cell<P, E>* out, Merge merge = {}, bool flip = false) {
+  Node<P, E>* ta = co_await ex.touch(a);
+  Node<P, E>* tb = co_await ex.touch(b);
   if (ta == nullptr) {
     publish(ex, out, tb);
     co_return;
@@ -629,61 +857,81 @@ Fiber union_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(ta) && is_leaf(tb)) {
       ex.on_leaf_op(ta->count + tb->count);
-      publish(ex, out, detail::leaf_union(st, ta, tb));
+      publish(ex, out, detail::leaf_union(st, ta, tb, merge, flip));
       co_return;
     }
   }
   if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
     std::size_t budget = thr;
-    if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
+    if (detail::tree_avail(ta, budget) && detail::tree_avail(tb, budget)) {
       ex.on_serial_cutoff();
-      publish(ex, out, detail::union_serial(st, ta, tb));
+      publish(ex, out, detail::union_serial(ex, st, ta, tb, merge, flip));
       co_return;
     }
   }
   ex.step();  // priority comparison
-  if (ta->pri < tb->pri) std::swap(ta, tb);  // higher priority becomes root
+  if (ta->pri < tb->pri) {  // higher priority becomes root
+    std::swap(ta, tb);
+    flip = !flip;
+  }
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(ta)) ta = detail::open_leaf(st, ta);
   }
-  Node<P>* res = st.make(ta->key, ta->pri);
-  res->val = ta->val;
-  Cell<P>* l2 = st.cell();
-  Cell<P>* r2 = st.cell();
+  Node<P, E>* res = st.make(ta->key, ta->pri);
+  res->value = ta->value;
+  Cell<P, E>* l2 = st.cell();
+  Cell<P, E>* r2 = st.cell();
+  Cell<P, E>* eq = nullptr;
+  if constexpr (E::kHasValue) eq = st.cell();
   const Key v = ta->key;
-  ex.fork(splitm_from(ex, st, v, tb, l2, r2, nullptr));
-  ex.fork(union_into(ex, st, ta->left, l2, res->left));
-  ex.fork(union_into(ex, st, ta->right, r2, res->right));
+  ex.fork(splitm_from(ex, st, v, tb, l2, r2, eq));
+  ex.fork(union_into(ex, st, ta->left, l2, res->left, merge, flip));
+  ex.fork(union_into(ex, st, ta->right, r2, res->right, merge, flip));
+  if constexpr (E::kHasValue) {
+    // The root's final value depends on whether the key is shared; unlike
+    // the pure-set union we must wait for splitm's verdict before
+    // publishing.
+    Node<P, E>* dup = co_await ex.touch(eq);
+    if (dup != nullptr)
+      res->value = flip ? merge(dup->value, ta->value)
+                        : merge(ta->value, dup->value);
+  }
   publish(ex, out, res);
+  detail::fork_aug(ex, res);
 }
 
 // join (Figure 7 helper): every key of `t1` less than every key of `t2`;
 // interleaves the right spine of t1 with the left spine of t2 by priority,
 // publishing progressively.
-template <typename Ex, typename P = typename Ex::Policy>
-Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
+template <typename Ex, typename P, typename E>
+Fiber join_from(Ex ex, Store<P, E>& st, Node<P, E>* t1, Node<P, E>* t2,
+                Cell<P, E>* out) {
+  detail::AugPending<P, E> augs;
   for (;;) {
     if (t1 == nullptr) {
       publish(ex, out, t2);
+      augs.flush(ex);
       co_return;
     }
     if (t2 == nullptr) {
       publish(ex, out, t1);
+      augs.flush(ex);
       co_return;
     }
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t1) && is_leaf(t2)) {
         ex.on_leaf_op(t1->count + t2->count);
         publish(ex, out, detail::leaf_concat(st, t1, t2));
+        augs.flush(ex);
         co_return;
       }
     }
     if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
       std::size_t budget = thr;
-      if (detail::tree_avail<P>(t1, budget) &&
-          detail::tree_avail<P>(t2, budget)) {
+      if (detail::tree_avail(t1, budget) && detail::tree_avail(t2, budget)) {
         ex.on_serial_cutoff();
-        publish(ex, out, detail::join_serial(st, t1, t2));
+        publish(ex, out, detail::join_serial(ex, st, t1, t2));
+        augs.flush(ex);
         co_return;
       }
     }
@@ -692,18 +940,20 @@ Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
       if constexpr (P::kMaxLeafCapacity > 0) {
         if (is_leaf(t1)) t1 = detail::open_leaf(st, t1);
       }
-      Node<P>* res = st.make(t1->key, t1->pri, t1->left, st.cell());
-      res->val = t1->val;
+      Node<P, E>* res = st.make(t1->key, t1->pri, t1->left, st.cell());
+      res->value = t1->value;
       publish(ex, out, res);
+      augs.add(res);
       out = res->right;
       t1 = co_await ex.touch(t1->right);
     } else {
       if constexpr (P::kMaxLeafCapacity > 0) {
         if (is_leaf(t2)) t2 = detail::open_leaf(st, t2);
       }
-      Node<P>* res = st.make(t2->key, t2->pri, st.cell(), t2->right);
-      res->val = t2->val;
+      Node<P, E>* res = st.make(t2->key, t2->pri, st.cell(), t2->right);
+      res->value = t2->value;
       publish(ex, out, res);
+      augs.add(res);
       out = res->left;
       t2 = co_await ex.touch(t2->left);
     }
@@ -711,20 +961,23 @@ Fiber join_from(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2, Cell<P>* out) {
 }
 
 // Forked wrapper: wait for both diff/intersect sides, then join them.
-template <typename Ex, typename P = typename Ex::Policy>
-Fiber join_entry(Ex ex, Store<P>& st, Cell<P>* l, Cell<P>* r, Cell<P>* out) {
-  Node<P>* jl = co_await ex.touch(l);
-  Node<P>* jr = co_await ex.touch(r);
+template <typename Ex, typename P, typename E>
+Fiber join_entry(Ex ex, Store<P, E>& st, Cell<P, E>* l, Cell<P, E>* r,
+                 Cell<P, E>* out) {
+  Node<P, E>* jl = co_await ex.touch(l);
+  Node<P, E>* jr = co_await ex.touch(r);
   co_await join_from(ex, st, jl, jr, out);
 }
 
-// Pipelined difference (Figure 7): keys of `a` not present in `b`.
-template <typename Ex, typename P = typename Ex::Policy>
-Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
-  Node<P>* t1 = co_await ex.touch(a);
-  Node<P>* t2 = co_await ex.touch(b);
+// Pipelined difference (Figure 7): keys of `a` not present in `b` (b's
+// values are irrelevant).
+template <typename Ex, typename P, typename E>
+Fiber diff_into(Ex ex, Store<P, E>& st, Cell<P, E>* a, Cell<P, E>* b,
+                Cell<P, E>* out) {
+  Node<P, E>* t1 = co_await ex.touch(a);
+  Node<P, E>* t2 = co_await ex.touch(b);
   if (t1 == nullptr) {
-    ex.write(out, static_cast<Node<P>*>(nullptr));
+    ex.write(out, static_cast<Node<P, E>*>(nullptr));
     co_return;
   }
   if (t2 == nullptr) {
@@ -740,9 +993,9 @@ Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   }
   if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
     std::size_t budget = thr;
-    if (detail::tree_avail<P>(t1, budget) && detail::tree_avail<P>(t2, budget)) {
+    if (detail::tree_avail(t1, budget) && detail::tree_avail(t2, budget)) {
       ex.on_serial_cutoff();
-      publish(ex, out, detail::diff_serial(st, t1, t2));
+      publish(ex, out, detail::diff_serial(ex, st, t1, t2));
       co_return;
     }
   }
@@ -750,38 +1003,40 @@ Fiber diff_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b, Cell<P>* out) {
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t1)) t1 = detail::open_leaf(st, t1);
   }
-  Cell<P>* l2 = st.cell();
-  Cell<P>* r2 = st.cell();
-  Cell<P>* eq = st.cell();
+  Cell<P, E>* l2 = st.cell();
+  Cell<P, E>* r2 = st.cell();
+  Cell<P, E>* eq = st.cell();
   const Key v = t1->key;
   ex.fork(splitm_from(ex, st, v, t2, l2, r2, eq));
-  Cell<P>* dl = st.cell();
-  Cell<P>* dr = st.cell();
+  Cell<P, E>* dl = st.cell();
+  Cell<P, E>* dr = st.cell();
   ex.fork(diff_into(ex, st, t1->left, l2, dl));
   ex.fork(diff_into(ex, st, t1->right, r2, dr));
   // Whether the root survives depends on whether splitm found it in b — the
   // "work after the recursive calls" that makes diff's pipeline notable.
-  Node<P>* found = co_await ex.touch(eq);
+  Node<P, E>* found = co_await ex.touch(eq);
   if (found != nullptr) {
     ex.fork(join_entry(ex, st, dl, dr, out));
   } else {
-    Node<P>* res = st.make(t1->key, t1->pri, dl, dr);
-    res->val = t1->val;
+    Node<P, E>* res = st.make(t1->key, t1->pri, dl, dr);
+    res->value = t1->value;
     publish(ex, out, res);
+    detail::fork_aug(ex, res);
   }
 }
 
 // Pipelined intersection (the third set operation from the authors'
 // companion paper "Fast set operations using treaps"): keys present in both
-// treaps. Structurally the dual of difference — the root survives exactly
-// when splitm *finds* it.
-template <typename Ex, typename P = typename Ex::Policy>
-Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
-                     Cell<P>* out) {
-  Node<P>* ta = co_await ex.touch(a);
-  Node<P>* tb = co_await ex.touch(b);
+// treaps (a's values survive where the surviving root came from a).
+// Structurally the dual of difference — the root survives exactly when
+// splitm *finds* it.
+template <typename Ex, typename P, typename E>
+Fiber intersect_into(Ex ex, Store<P, E>& st, Cell<P, E>* a, Cell<P, E>* b,
+                     Cell<P, E>* out) {
+  Node<P, E>* ta = co_await ex.touch(a);
+  Node<P, E>* tb = co_await ex.touch(b);
   if (ta == nullptr || tb == nullptr) {
-    ex.write(out, static_cast<Node<P>*>(nullptr));
+    ex.write(out, static_cast<Node<P, E>*>(nullptr));
     co_return;
   }
   if constexpr (P::kMaxLeafCapacity > 0) {
@@ -793,9 +1048,9 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
   }
   if (const std::size_t thr = ex.serial_threshold(); thr > 0) {
     std::size_t budget = thr;
-    if (detail::tree_avail<P>(ta, budget) && detail::tree_avail<P>(tb, budget)) {
+    if (detail::tree_avail(ta, budget) && detail::tree_avail(tb, budget)) {
       ex.on_serial_cutoff();
-      publish(ex, out, detail::intersect_serial(st, ta, tb));
+      publish(ex, out, detail::intersect_serial(ex, st, ta, tb));
       co_return;
     }
   }
@@ -804,21 +1059,22 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(ta)) ta = detail::open_leaf(st, ta);
   }
-  Cell<P>* l2 = st.cell();
-  Cell<P>* r2 = st.cell();
-  Cell<P>* eq = st.cell();
+  Cell<P, E>* l2 = st.cell();
+  Cell<P, E>* r2 = st.cell();
+  Cell<P, E>* eq = st.cell();
   const Key v = ta->key;
   ex.fork(splitm_from(ex, st, v, tb, l2, r2, eq));
-  Cell<P>* il = st.cell();
-  Cell<P>* ir = st.cell();
+  Cell<P, E>* il = st.cell();
+  Cell<P, E>* ir = st.cell();
   ex.fork(intersect_into(ex, st, ta->left, l2, il));
   ex.fork(intersect_into(ex, st, ta->right, r2, ir));
   // Dual of diff: the root survives exactly when splitm found it in b.
-  Node<P>* found = co_await ex.touch(eq);
+  Node<P, E>* found = co_await ex.touch(eq);
   if (found != nullptr) {
-    Node<P>* res = st.make(ta->key, ta->pri, il, ir);
-    res->val = ta->val;
+    Node<P, E>* res = st.make(ta->key, ta->pri, il, ir);
+    res->value = ta->value;
     publish(ex, out, res);
+    detail::fork_aug(ex, res);
   } else {
     ex.fork(join_entry(ex, st, il, ir, out));
   }
@@ -827,41 +1083,46 @@ Fiber intersect_into(Ex ex, Store<P>& st, Cell<P>* a, Cell<P>* b,
 // ---- strict (non-pipelined) baselines ---------------------------------------
 
 // Sequential splitm returning complete trees (+ the equal node if present).
-template <typename P>
+template <typename P, typename E>
 struct StrictSplit {
-  Node<P>* less = nullptr;
-  Node<P>* greater = nullptr;
-  Node<P>* equal = nullptr;
+  Node<P, E>* less = nullptr;
+  Node<P, E>* greater = nullptr;
+  Node<P, E>* equal = nullptr;
 };
 
-template <typename Ex, typename P = typename Ex::Policy>
-Task<StrictSplit<P>> splitm_strict(Ex ex, Store<P>& st, Key s, Node<P>* t) {
+template <typename Ex, typename P, typename E>
+Task<StrictSplit<P, E>> splitm_strict(Ex ex, Store<P, E>& st, Key s,
+                                      Node<P, E>* t) {
   ex.step();
   if (t == nullptr) co_return {};
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(t)) {
       ex.on_leaf_op(t->count);
-      detail::SerialSplit<P> sp = detail::split_leaf(st, s, t);
+      detail::SerialSplit<P, E> sp = detail::split_leaf(st, s, t);
       co_return {sp.less, sp.greater, sp.equal};
     }
   }
   if (s < t->key) {
-    StrictSplit<P> sub = co_await splitm_strict(ex, st, s, peek<P>(t->left));
+    StrictSplit<P, E> sub = co_await splitm_strict(ex, st, s, peek<P>(t->left));
     sub.greater = st.make(t->key, t->pri, st.input(sub.greater), t->right);
-    sub.greater->val = t->val;
+    sub.greater->value = t->value;
+    detail::fork_aug(ex, sub.greater);
     co_return sub;
   }
   if (s > t->key) {
-    StrictSplit<P> sub = co_await splitm_strict(ex, st, s, peek<P>(t->right));
+    StrictSplit<P, E> sub =
+        co_await splitm_strict(ex, st, s, peek<P>(t->right));
     sub.less = st.make(t->key, t->pri, t->left, st.input(sub.less));
-    sub.less->val = t->val;
+    sub.less->value = t->value;
+    detail::fork_aug(ex, sub.less);
     co_return sub;
   }
   co_return {peek<P>(t->left), peek<P>(t->right), t};
 }
 
-template <typename Ex, typename P = typename Ex::Policy>
-Task<Node<P>*> join_strict(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2) {
+template <typename Ex, typename P, typename E>
+Task<Node<P, E>*> join_strict(Ex ex, Store<P, E>& st, Node<P, E>* t1,
+                              Node<P, E>* t2) {
   ex.step();
   if (t1 == nullptr) co_return t2;
   if (t2 == nullptr) co_return t1;
@@ -871,46 +1132,66 @@ Task<Node<P>*> join_strict(Ex ex, Store<P>& st, Node<P>* t1, Node<P>* t2) {
       co_return detail::leaf_concat(st, t1, t2);
     }
   }
+  Node<P, E>* res;
   if (t1->pri >= t2->pri) {
     if constexpr (P::kMaxLeafCapacity > 0) {
       if (is_leaf(t1)) t1 = detail::open_leaf(st, t1);
     }
-    Node<P>* j = co_await join_strict(ex, st, peek<P>(t1->right), t2);
-    co_return st.make(t1->key, t1->pri, t1->left, st.input(j));
+    Node<P, E>* j = co_await join_strict(ex, st, peek<P>(t1->right), t2);
+    res = st.make(t1->key, t1->pri, t1->left, st.input(j));
+    res->value = t1->value;
+  } else {
+    if constexpr (P::kMaxLeafCapacity > 0) {
+      if (is_leaf(t2)) t2 = detail::open_leaf(st, t2);
+    }
+    Node<P, E>* j = co_await join_strict(ex, st, t1, peek<P>(t2->left));
+    res = st.make(t2->key, t2->pri, st.input(j), t2->right);
+    res->value = t2->value;
   }
-  if constexpr (P::kMaxLeafCapacity > 0) {
-    if (is_leaf(t2)) t2 = detail::open_leaf(st, t2);
-  }
-  Node<P>* j = co_await join_strict(ex, st, t1, peek<P>(t2->left));
-  co_return st.make(t2->key, t2->pri, st.input(j), t2->right);
+  detail::fork_aug(ex, res);
+  co_return res;
 }
 
 // Fork-join union/difference/intersection: splitm runs to completion, then
 // the two recursive calls run in parallel.
-template <typename Ex, typename P = typename Ex::Policy>
-Task<Node<P>*> union_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+template <typename Ex, typename P, typename E, typename Merge = FirstWins>
+Task<Node<P, E>*> union_strict(Ex ex, Store<P, E>& st, Node<P, E>* a,
+                               Node<P, E>* b, Merge merge = {},
+                               bool flip = false) {
   ex.step();
   if (a == nullptr) co_return b;
   if (b == nullptr) co_return a;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a) && is_leaf(b)) {
       ex.on_leaf_op(a->count + b->count);
-      co_return detail::leaf_union(st, a, b);
+      co_return detail::leaf_union(st, a, b, merge, flip);
     }
   }
-  if (a->pri < b->pri) std::swap(a, b);
+  if (a->pri < b->pri) {
+    std::swap(a, b);
+    flip = !flip;
+  }
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a)) a = detail::open_leaf(st, a);
   }
-  StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
-  auto [l, r] =
-      co_await ex.fork_join2(union_strict(ex, st, peek<P>(a->left), s.less),
-                             union_strict(ex, st, peek<P>(a->right), s.greater));
-  co_return st.make_ready(a->key, a->pri, l, r);
+  StrictSplit<P, E> s = co_await splitm_strict(ex, st, a->key, b);
+  auto [l, r] = co_await ex.fork_join2(
+      union_strict(ex, st, peek<P>(a->left), s.less, merge, flip),
+      union_strict(ex, st, peek<P>(a->right), s.greater, merge, flip));
+  Node<P, E>* res = st.make_ready(a->key, a->pri, l, r);
+  res->value = a->value;
+  if constexpr (E::kHasValue) {
+    if (s.equal != nullptr)
+      res->value = flip ? merge(s.equal->value, a->value)
+                        : merge(a->value, s.equal->value);
+  }
+  detail::fork_aug(ex, res);
+  co_return res;
 }
 
-template <typename Ex, typename P = typename Ex::Policy>
-Task<Node<P>*> intersect_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+template <typename Ex, typename P, typename E>
+Task<Node<P, E>*> intersect_strict(Ex ex, Store<P, E>& st, Node<P, E>* a,
+                                   Node<P, E>* b) {
   ex.step();
   if (a == nullptr || b == nullptr) co_return nullptr;
   if constexpr (P::kMaxLeafCapacity > 0) {
@@ -923,16 +1204,22 @@ Task<Node<P>*> intersect_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a)) a = detail::open_leaf(st, a);
   }
-  StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
+  StrictSplit<P, E> s = co_await splitm_strict(ex, st, a->key, b);
   auto [l, r] = co_await ex.fork_join2(
       intersect_strict(ex, st, peek<P>(a->left), s.less),
       intersect_strict(ex, st, peek<P>(a->right), s.greater));
-  if (s.equal != nullptr) co_return st.make_ready(a->key, a->pri, l, r);
+  if (s.equal != nullptr) {
+    Node<P, E>* res = st.make_ready(a->key, a->pri, l, r);
+    res->value = a->value;
+    detail::fork_aug(ex, res);
+    co_return res;
+  }
   co_return co_await join_strict(ex, st, l, r);
 }
 
-template <typename Ex, typename P = typename Ex::Policy>
-Task<Node<P>*> diff_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
+template <typename Ex, typename P, typename E>
+Task<Node<P, E>*> diff_strict(Ex ex, Store<P, E>& st, Node<P, E>* a,
+                              Node<P, E>* b) {
   ex.step();
   if (a == nullptr) co_return nullptr;
   if (b == nullptr) co_return a;
@@ -945,18 +1232,21 @@ Task<Node<P>*> diff_strict(Ex ex, Store<P>& st, Node<P>* a, Node<P>* b) {
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(a)) a = detail::open_leaf(st, a);
   }
-  StrictSplit<P> s = co_await splitm_strict(ex, st, a->key, b);
+  StrictSplit<P, E> s = co_await splitm_strict(ex, st, a->key, b);
   auto [l, r] =
       co_await ex.fork_join2(diff_strict(ex, st, peek<P>(a->left), s.less),
                              diff_strict(ex, st, peek<P>(a->right), s.greater));
   if (s.equal != nullptr) co_return co_await join_strict(ex, st, l, r);
-  co_return st.make_ready(a->key, a->pri, l, r);
+  Node<P, E>* res = st.make_ready(a->key, a->pri, l, r);
+  res->value = a->value;
+  detail::fork_aug(ex, res);
+  co_return res;
 }
 
 // ---- analysis helpers (no substrate actions) --------------------------------
 
-template <typename P>
-void collect_inorder(const Node<P>* root, std::vector<Key>& out) {
+template <typename P, typename E>
+void collect_inorder(const Node<P, E>* root, std::vector<Key>& out) {
   if (root == nullptr) return;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(root)) {
@@ -970,8 +1260,25 @@ void collect_inorder(const Node<P>* root, std::vector<Key>& out) {
   collect_inorder(peek<P>(root->right), out);
 }
 
-template <typename P>
-int height(const Node<P>* root) {
+// In-order (key, value) collection for value-carrying entries.
+template <typename P, typename E>
+void collect_items(const Node<P, E>* root,
+                   std::vector<std::pair<Key, typename E::Value>>& out) {
+  if (root == nullptr) return;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(root)) {
+      for (std::uint32_t i = 0; i < root->count; ++i)
+        out.emplace_back(root->items[i].key, root->items[i].value);
+      return;
+    }
+  }
+  collect_items(peek<P>(root->left), out);
+  out.emplace_back(root->key, root->value);
+  collect_items(peek<P>(root->right), out);
+}
+
+template <typename P, typename E>
+int height(const Node<P, E>* root) {
   if (root == nullptr) return 0;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(root)) return 1;
@@ -982,8 +1289,8 @@ int height(const Node<P>* root) {
 
 // Number of *keys* (a leaf chunk contributes all its entries), so the size
 // semantics match the node-per-key layout.
-template <typename P>
-std::uint64_t count_nodes(const Node<P>* root) {
+template <typename P, typename E>
+std::uint64_t count_nodes(const Node<P, E>* root) {
   if (root == nullptr) return 0;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(root)) return root->count;
@@ -992,8 +1299,8 @@ std::uint64_t count_nodes(const Node<P>* root) {
          count_nodes(peek<P>(root->right));
 }
 
-template <typename P>
-typename P::Time max_created(const Node<P>* root) {
+template <typename P, typename E>
+typename P::Time max_created(const Node<P, E>* root) {
   if (root == nullptr) return 0;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(root)) return root->created;
@@ -1010,8 +1317,8 @@ struct CacheEconomy {
   std::uint64_t leaf_keys = 0;  // keys stored inside chunks
 };
 
-template <typename P>
-void cache_economy_of(const Node<P>* root, CacheEconomy& ce) {
+template <typename P, typename E>
+void cache_economy_of(const Node<P, E>* root, CacheEconomy& ce) {
   if (root == nullptr) return;
   if constexpr (P::kMaxLeafCapacity > 0) {
     if (is_leaf(root)) {
@@ -1026,8 +1333,8 @@ void cache_economy_of(const Node<P>* root, CacheEconomy& ce) {
 }
 
 namespace detail {
-template <typename P>
-bool valid_in_range(const Store<P>& st, const Node<P>* n, const Key* lo,
+template <typename P, typename E>
+bool valid_in_range(const Store<P, E>& st, const Node<P, E>* n, const Key* lo,
                     const Key* hi, Pri max_pri) {
   if (n == nullptr) return true;
   if constexpr (P::kMaxLeafCapacity > 0) {
@@ -1036,7 +1343,7 @@ bool valid_in_range(const Store<P>& st, const Node<P>* n, const Key* lo,
       if (n->pri > max_pri) return false;
       Pri best = 0;
       for (std::uint32_t i = 0; i < n->count; ++i) {
-        const LeafEntry& e = n->items[i];
+        const LeafEntryT<E>& e = n->items[i];
         if (lo && e.key <= *lo) return false;
         if (hi && e.key >= *hi) return false;
         if (i > 0 && n->items[i - 1].key >= e.key) return false;
@@ -1054,18 +1361,50 @@ bool valid_in_range(const Store<P>& st, const Node<P>* n, const Key* lo,
   return valid_in_range(st, peek<P>(n->left), lo, &n->key, n->pri) &&
          valid_in_range(st, peek<P>(n->right), &n->key, hi, n->pri);
 }
+
+// Bottom-up recomputation of every cached aggregate — the same discipline as
+// the cached-priority check: the cache is only trusted after it has been
+// re-derived from the entries it summarizes. Returns false (and stops) on
+// the first node whose aggregate cell disagrees.
+template <typename P, typename E>
+bool augs_valid(const Node<P, E>* n, typename E::AugOps::Aug& out) {
+  using Ops = typename E::AugOps;
+  out = Ops::identity();
+  if (n == nullptr) return true;
+  if constexpr (P::kMaxLeafCapacity > 0) {
+    if (is_leaf(n)) {
+      for (std::uint32_t i = 0; i < n->count; ++i)
+        out = Ops::combine(out,
+                           Ops::from_entry(n->items[i].key, n->items[i].value));
+      return P::peek(n->aug) == out;
+    }
+  }
+  typename Ops::Aug l, r;
+  if (!augs_valid<P, E>(peek<P>(n->left), l)) return false;
+  if (!augs_valid<P, E>(peek<P>(n->right), r)) return false;
+  out = Ops::combine(Ops::combine(l, Ops::from_entry(n->key, n->value)), r);
+  return P::peek(n->aug) == out;
+}
 }  // namespace detail
 
-// Full treap invariant: BST order on keys, heap order on priorities. The
-// recursion checks order against the *cached* priorities (they are copied,
-// never recomputed, by every operation); consistency with the store's hash
-// is spot-checked once at the root instead of rehashing every node.
-template <typename P>
-bool validate(const Store<P>& st, const Node<P>* root) {
+// Full treap invariant: BST order on keys, heap order on priorities, and —
+// for augmented entries — every cached aggregate equal to the bottom-up
+// recomputation over its subtree. The recursion checks order against the
+// *cached* priorities (they are copied, never recomputed, by every
+// operation); consistency with the store's hash is spot-checked once at the
+// root instead of rehashing every node.
+template <typename P, typename E>
+bool validate(const Store<P, E>& st, const Node<P, E>* root) {
   if (root == nullptr) return true;
   if (root->pri != st.priority(root->key)) return false;
-  return detail::valid_in_range(st, root, nullptr, nullptr,
-                                std::numeric_limits<Pri>::max());
+  if (!detail::valid_in_range(st, root, nullptr, nullptr,
+                              std::numeric_limits<Pri>::max()))
+    return false;
+  if constexpr (E::kHasAug) {
+    typename E::AugOps::Aug total;
+    if (!detail::augs_valid<P, E>(root, total)) return false;
+  }
+  return true;
 }
 
 }  // namespace pwf::pipelined::treap

@@ -1,0 +1,107 @@
+// Entry policies for the single-source treap bodies (docs/augmentation.md).
+//
+// The bodies in treap.hpp are parameterized on an Entry policy E that decides
+// what a key carries:
+//   * SetEntry      — key only (the paper's treaps); Value is the empty Unit
+//                     so every payload statement compiles to nothing.
+//   * MapEntry<V>   — key + value; union takes a Merge functor for shared
+//                     keys, difference ignores the second operand's values.
+//   * AugEntry<B,O> — B plus a PAM-style augmentation O: every node (and
+//                     leaf chunk) maintains O::combine over O::from_entry of
+//                     its subtree, enabling O(lg n) range aggregates.
+//
+// An augmentation policy O provides:
+//   using Aug = ...;                      // the aggregate type (cell-carried,
+//                                         // so trivially copyable)
+//   static Aug identity();                // combine's neutral element
+//   static Aug from_entry(Key, const V&); // one entry's contribution
+//   static Aug combine(Aug, Aug);         // ASSOCIATIVE (not necessarily
+//                                         // commutative: combine is always
+//                                         // applied in key order)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pwf::pipelined::treap {
+
+using Key = std::int64_t;
+using Pri = std::uint64_t;
+
+// Empty payload for key-only entries. Trivially copyable and empty, so
+// [[no_unique_address]] members of this type vanish from node layouts.
+struct Unit {};
+
+struct SetEntry {
+  using Value = Unit;
+  static constexpr bool kHasValue = false;
+  static constexpr bool kHasAug = false;
+};
+
+template <typename V>
+struct MapEntry {
+  using Value = V;
+  static constexpr bool kHasValue = true;
+  static constexpr bool kHasAug = false;
+};
+
+template <typename Base, typename Ops>
+struct AugEntry : Base {
+  static constexpr bool kHasAug = true;
+  using AugOps = Ops;
+  using Aug = typename Ops::Aug;
+};
+
+// Uniform access to an entry's augmentation types; the primary template
+// keeps unaugmented entries instantiable (Aug collapses to Unit).
+template <typename E, bool = E::kHasAug>
+struct AugTraits {
+  using Aug = Unit;
+};
+template <typename E>
+struct AugTraits<E, true> {
+  using Ops = typename E::AugOps;
+  using Aug = typename Ops::Aug;
+};
+
+// ---- stock augmentations ----------------------------------------------------
+
+// Subtree key count (value-agnostic).
+struct CountAug {
+  using Aug = std::uint64_t;
+  static constexpr Aug identity() { return 0; }
+  template <typename V>
+  static Aug from_entry(Key, const V&) {
+    return 1;
+  }
+  static Aug combine(Aug a, Aug b) { return a + b; }
+};
+
+// Subtree sum of values.
+template <typename V>
+struct SumAug {
+  using Aug = V;
+  static constexpr Aug identity() { return V{}; }
+  static Aug from_entry(Key, const V& v) { return v; }
+  static Aug combine(Aug a, Aug b) { return a + b; }
+};
+
+// Subtree max of values.
+template <typename V>
+struct MaxAug {
+  using Aug = V;
+  static constexpr Aug identity() { return std::numeric_limits<V>::lowest(); }
+  static Aug from_entry(Key, const V& v) { return v; }
+  static Aug combine(Aug a, Aug b) { return a < b ? b : a; }
+};
+
+// Default merge for union: keep the first operand's value (a no-op for
+// sets, where Value is Unit).
+struct FirstWins {
+  template <typename V>
+  V operator()(const V& a, const V&) const {
+    return a;
+  }
+};
+
+}  // namespace pwf::pipelined::treap

@@ -1,7 +1,13 @@
-// ParallelMap<V> — batch-updatable key→value map over the runtime treap
+// ParallelMap<V, A> — batch-updatable key→value map over the runtime treap
 // maps (rt_map.hpp). The aggregation counterpart of ParallelSet: each
 // insert_batch is one pipelined union whose value-merge function resolves
 // key collisions (sum for counters, last-writer-wins for stores, ...).
+//
+// The optional second parameter A is a PAM-style augmentation policy (an
+// AugOps type like pipelined::treap::SumAug<V>; void = unaugmented). With
+// an augmentation, every node and leaf chunk maintains A::combine over its
+// subtree, `aggregate(lo, hi)` answers range queries forcing only O(lg n)
+// cells, and snapshots aggregate too (docs/augmentation.md).
 //
 // Like ParallelSet, batches are asynchronous and pipelined across
 // operations: mutators chain their treap op onto the (possibly still
@@ -11,6 +17,13 @@
 // number of concurrent readers (`get`/`contains`/`items`). `compact()` is
 // safe against concurrent readers (same seq_cst reader-count protocol as
 // ParallelSet). See docs/service.md for the full contract.
+//
+// `snapshot()` returns an immutable, epoch-pinned view (MapSnapshot):
+// readers traverse and aggregate it lock-free — no reader count, no lock —
+// while the pipeline keeps writing new batches, and the pinned store
+// outlives any number of compact() calls via refcounted epoch retirement
+// (the snapshot holds a shared_ptr to its store; compact() only drops the
+// map's own reference).
 //
 // V must be trivially copyable and default constructible (values travel
 // through future cells and arena nodes, like every value in the paper's
@@ -22,9 +35,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "runtime/rt_map.hpp"
@@ -36,7 +52,54 @@
 
 namespace pwf::rt {
 
-template <typename V>
+template <typename V, typename A>
+class ParallelMap;
+
+// MapSnapshot<V, A> — an immutable, epoch-pinned view of a ParallelMap.
+//
+// Obtained from ParallelMap::snapshot(); holds a shared_ptr to the store of
+// the epoch it was taken in, so the nodes stay alive across any number of
+// subsequent compact() calls (refcounted epoch retirement). Reads are
+// lock-free: no reader count, no mutex — the root cell is fixed and every
+// reachable cell is written exactly once, so traversal is wait_blocking on
+// cells at most (pipelining with a still-materializing batch) and plain
+// loads afterwards. Copyable and cheap to pass around (two words + a
+// refcount bump).
+template <typename V, typename A = void>
+class MapSnapshot {
+ public:
+  using Key = map::Key;
+  using Item = std::pair<Key, V>;
+
+  // Forces only the search path (pipelines with in-flight batches that were
+  // chained before the snapshot was taken).
+  std::optional<V> get(Key k) const { return map::lookup_wait(root_, k); }
+  bool contains(Key k) const { return get(k).has_value(); }
+
+  std::size_t size() const { return map::wait_count(root_); }
+
+  std::vector<Item> items() const { return map::wait_items(root_); }
+
+  // Range aggregate over keys in [lo, hi]: O(lg n) forced cells, combine in
+  // key order. Augmented instantiations only.
+  auto aggregate(Key lo, Key hi) const
+    requires(!std::is_void_v<A>)
+  {
+    return map::aggregate_wait(root_, lo, hi);
+  }
+
+ private:
+  friend class ParallelMap<V, A>;
+
+  MapSnapshot(std::shared_ptr<const map::Store<V, A>> store,
+              map::Cell<V, A>* root)
+      : store_(std::move(store)), root_(root) {}
+
+  std::shared_ptr<const map::Store<V, A>> store_;  // pins the epoch's arena
+  map::Cell<V, A>* root_;
+};
+
+template <typename V, typename A = void>
 class ParallelMap {
  public:
   using Key = map::Key;
@@ -68,7 +131,7 @@ class ParallelMap {
       : sched_(sched),
         salt_(salt),
         leaf_cap_(leaf_cap),
-        store_(std::make_unique<map::Store<V>>(salt, leaf_cap)),
+        store_(std::make_shared<map::Store<V, A>>(salt, leaf_cap)),
         root_(store_->input(nullptr)) {}
 
   ParallelMap(const ParallelMap&) = delete;
@@ -104,8 +167,8 @@ class ParallelMap {
       else
         dedup.push_back(it);
     }
-    map::Cell<V>* batch = store_->input(store_->build(dedup));
-    map::Cell<V>* cur = root_.load(std::memory_order_acquire);
+    map::Cell<V, A>* batch = store_->input(store_->build(dedup));
+    map::Cell<V, A>* cur = root_.load(std::memory_order_acquire);
     if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
     chain(map::union_maps(*store_, cur, batch, merge));
   }
@@ -124,8 +187,8 @@ class ParallelMap {
     std::vector<Item> items;
     items.reserve(sorted.size());
     for (Key k : sorted) items.emplace_back(k, V{});
-    map::Cell<V>* batch = store_->input(store_->build(items));
-    map::Cell<V>* cur = root_.load(std::memory_order_acquire);
+    map::Cell<V, A>* batch = store_->input(store_->build(items));
+    map::Cell<V, A>* cur = root_.load(std::memory_order_acquire);
     if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
     chain(map::diff_maps(*store_, cur, batch));
   }
@@ -134,18 +197,26 @@ class ParallelMap {
   void flush() const { force_recount(); }
 
   // Quiescence + storage epoch (see ParallelSet::compact): publishes the
-  // fresh chunked root seq_cst, then drains the reader count before freeing
-  // the old store.
+  // fresh chunked root seq_cst, then drains the reader count before
+  // releasing the old store. The (store_, root_) pair is swapped under
+  // snap_mu_ so snapshot() never pairs a root with the wrong epoch's store;
+  // the old epoch's arena is freed here unless a live MapSnapshot still
+  // pins it (refcounted retirement).
   void compact() {
-    const std::vector<Item> snapshot = items();
+    const std::vector<Item> contents = items();
     FramePool::wait_quiescent();  // stragglers still read the old arena
-    auto fresh = std::make_unique<map::Store<V>>(salt_, leaf_cap_);
-    map::Cell<V>* next = fresh->input(fresh->build(snapshot));
-    root_.store(next, std::memory_order_seq_cst);
+    auto fresh = std::make_shared<map::Store<V, A>>(salt_, leaf_cap_);
+    map::Cell<V, A>* next = fresh->input(fresh->build(contents));
+    std::shared_ptr<map::Store<V, A>> old;
+    {
+      std::lock_guard<std::mutex> lk(snap_mu_);
+      root_.store(next, std::memory_order_seq_cst);
+      old = std::exchange(store_, std::move(fresh));
+    }
     while (active_readers_.load(std::memory_order_seq_cst) != 0)
       std::this_thread::yield();
-    store_ = std::move(fresh);
-    size_.store(snapshot.size(), std::memory_order_relaxed);
+    old.reset();
+    size_.store(contents.size(), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
 #if PWF_ANALYZE
     analyze::note_pipeline_flushed(
@@ -154,6 +225,24 @@ class ParallelMap {
     pending_.store(0, std::memory_order_relaxed);
 #endif
     epochs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Pins the current epoch and root into an immutable lock-free view. May
+  // be called from any reader thread; the returned snapshot stays valid
+  // (and its reads race-free) across later batches and compactions.
+  MapSnapshot<V, A> snapshot() const {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    return MapSnapshot<V, A>(store_,
+                             root_.load(std::memory_order_seq_cst));
+  }
+
+  // Range aggregate over keys in [lo, hi] on the live root: O(lg n) forced
+  // cells, combine applied in key order. Augmented instantiations only.
+  auto aggregate(Key lo, Key hi) const
+    requires(!std::is_void_v<A>)
+  {
+    ReadGuard guard(active_readers_);
+    return map::aggregate_wait(root_.load(std::memory_order_seq_cst), lo, hi);
   }
 
   // Forces only the search path; safe concurrently with in-flight batches.
@@ -209,7 +298,7 @@ class ParallelMap {
     ~ReadGuard() { count.fetch_sub(1, std::memory_order_release); }
   };
 
-  void chain(map::Cell<V>* next) {
+  void chain(map::Cell<V, A>* next) {
     batches_.fetch_add(1, std::memory_order_relaxed);
 #if PWF_ANALYZE
     analyze::note_pipeline_chained();
@@ -227,7 +316,7 @@ class ParallelMap {
 
   void force_recount() const {
     ReadGuard guard(active_readers_);
-    map::Cell<V>* cur = root_.load(std::memory_order_seq_cst);
+    map::Cell<V, A>* cur = root_.load(std::memory_order_seq_cst);
     size_.store(map::wait_count(cur), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
 #if PWF_ANALYZE
@@ -242,8 +331,13 @@ class ParallelMap {
   Scheduler& sched_;
   std::uint64_t salt_;
   std::size_t leaf_cap_;
-  std::unique_ptr<map::Store<V>> store_;  // replaced wholesale by compact()
-  std::atomic<map::Cell<V>*> root_;
+  // Replaced wholesale by compact(); shared so snapshots can pin an epoch.
+  std::shared_ptr<map::Store<V, A>> store_;
+  std::atomic<map::Cell<V, A>*> root_;
+
+  // Pairs (store_, root_) for snapshot() against compact()'s swap. Never
+  // held while waiting on cells, so snapshot() is O(1).
+  mutable std::mutex snap_mu_;
 
   mutable std::atomic<std::uint64_t> active_readers_{0};
 

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "pipelined/treap_walk.hpp"
+
 #if PWF_ANALYZE
 #include "analyze/rt_recorder.hpp"
 #endif
@@ -11,6 +13,8 @@
 namespace pwf::rt {
 
 namespace {
+
+namespace pl = pipelined;
 
 // Announces a reader to compact()'s Dekker pair: the seq_cst increment is
 // ordered against compact()'s seq_cst root publish, so either the reader's
@@ -24,46 +28,28 @@ struct ReadGuard {
   ~ReadGuard() { count.fetch_sub(1, std::memory_order_release); }
 };
 
-// Full-tree forcing walks run on the caller's stack; explicit stacks keep
-// them safe on adversarially skewed treaps (see rt_treap.cpp).
-std::size_t wait_count(treap::Cell* c) {
-  std::size_t count = 0;
-  std::vector<treap::Cell*> stack;
-  stack.push_back(c);
-  while (!stack.empty()) {
-    treap::Cell* cur = stack.back();
-    stack.pop_back();
-    treap::Node* n = cur->wait_blocking();
-    if (n == nullptr) continue;
-    if (pipelined::treap::is_leaf(n)) {
-      count += n->count;
-      continue;
-    }
-    ++count;
-    stack.push_back(n->left);
-    stack.push_back(n->right);
-  }
-  return count;
-}
-
-int wait_height(treap::Cell* c) {
-  int best = 0;
-  std::vector<std::pair<treap::Cell*, int>> stack;
-  stack.emplace_back(c, 1);
-  while (!stack.empty()) {
-    auto [cur, depth] = stack.back();
-    stack.pop_back();
-    treap::Node* n = cur->wait_blocking();
-    if (n == nullptr) continue;
-    best = std::max(best, depth);
-    if (pipelined::treap::is_leaf(n)) continue;
-    stack.emplace_back(n->left, depth + 1);
-    stack.emplace_back(n->right, depth + 1);
-  }
-  return best;
-}
+// All walks below are the shared explicit-stack visitors of
+// pipelined/treap_walk.hpp with a wait_blocking force: they run on the
+// caller's stack and must not recurse (the root may be an arbitrarily deep
+// chain while a pipeline is mid-flight).
+constexpr auto kWait = [](auto* c) { return c->wait_blocking(); };
 
 }  // namespace
+
+bool SetSnapshot::contains(Key k) const {
+  return pl::treap::lookup(root_, k, kWait).has_value();
+}
+
+std::size_t SetSnapshot::size() const {
+  return pl::treap::count_keys(root_, kWait);
+}
+
+std::vector<SetSnapshot::Key> SetSnapshot::keys() const {
+  std::vector<Key> out;
+  pl::treap::visit_items(root_, kWait,
+                         [&](Key k, const auto&) { out.push_back(k); });
+  return out;
+}
 
 ParallelSet::~ParallelSet() {
   // Only a live scheduler can drain in-flight fibers; after ~Scheduler the
@@ -81,7 +67,7 @@ ParallelSet::ParallelSet(Scheduler& sched, std::uint64_t salt,
     : sched_(sched),
       salt_(salt),
       leaf_cap_(leaf_cap),
-      store_(std::make_unique<treap::Store>(salt, leaf_cap)),
+      store_(std::make_shared<treap::Store>(salt, leaf_cap)),
       root_(store_->input(nullptr)) {}
 
 ParallelSet::ParallelSet(Scheduler& sched, std::span<const Key> keys,
@@ -89,7 +75,7 @@ ParallelSet::ParallelSet(Scheduler& sched, std::span<const Key> keys,
     : sched_(sched),
       salt_(salt),
       leaf_cap_(leaf_cap),
-      store_(std::make_unique<treap::Store>(salt, leaf_cap)),
+      store_(std::make_shared<treap::Store>(salt, leaf_cap)),
       root_(nullptr) {
   std::vector<Key> sorted(keys.begin(), keys.end());
   std::sort(sorted.begin(), sorted.end());
@@ -146,7 +132,7 @@ void ParallelSet::retain_batch(std::span<const Key> keys) {
 void ParallelSet::force_recount() const {
   ReadGuard guard(active_readers_);
   treap::Cell* cur = root_.load(std::memory_order_seq_cst);
-  const std::size_t n = wait_count(cur);
+  const std::size_t n = pl::treap::count_keys(cur, kWait);
   size_.store(n, std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
 #if PWF_ANALYZE
@@ -163,16 +149,25 @@ void ParallelSet::compact() {
   // Forcing the result tree is not fiber quiescence: stragglers whose
   // outputs aren't in the final tree still read the old arena.
   FramePool::wait_quiescent();
-  auto fresh = std::make_unique<treap::Store>(salt_, leaf_cap_);
+  auto fresh = std::make_shared<treap::Store>(salt_, leaf_cap_);
   treap::Cell* next = fresh->input(fresh->build(snapshot));
   // Dekker publish: the seq_cst store is ordered against every reader's
   // seq_cst announce. A reader that loaded the old root has incremented
   // active_readers_ before this store, so the drain loop below observes it;
-  // a reader announcing later is guaranteed to load the fresh root.
-  root_.store(next, std::memory_order_seq_cst);
+  // a reader announcing later is guaranteed to load the fresh root. The
+  // (store_, root_) pair is swapped under snap_mu_ so a concurrent
+  // snapshot() never pairs a root with the wrong epoch's store.
+  std::shared_ptr<treap::Store> old;
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    root_.store(next, std::memory_order_seq_cst);
+    old = std::exchange(store_, std::move(fresh));
+  }
   while (active_readers_.load(std::memory_order_seq_cst) != 0)
     std::this_thread::yield();
-  store_ = std::move(fresh);  // frees every superseded node and cell
+  // Refcounted epoch retirement: frees every superseded node and cell now,
+  // unless a live SetSnapshot still pins the old epoch.
+  old.reset();
   size_.store(snapshot.size(), std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
 #if PWF_ANALYZE
@@ -184,32 +179,15 @@ void ParallelSet::compact() {
   epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 
+SetSnapshot ParallelSet::snapshot() const {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  return SetSnapshot(store_, root_.load(std::memory_order_seq_cst));
+}
+
 bool ParallelSet::contains(Key k) const {
   ReadGuard guard(active_readers_);
-  const treap::Node* n =
-      root_.load(std::memory_order_seq_cst)->wait_blocking();
-  while (n != nullptr) {
-    if (pipelined::treap::is_leaf(n)) {
-      const pipelined::treap::LeafEntry* e = n->items;
-      std::uint32_t lo = 0, hi = n->count;
-      while (lo < hi) {
-        const std::uint32_t mid = lo + (hi - lo) / 2;
-        if (e[mid].key < k) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      return lo < n->count && e[lo].key == k;
-    }
-    if (k < n->key)
-      n = n->left->wait_blocking();
-    else if (k > n->key)
-      n = n->right->wait_blocking();
-    else
-      return true;
-  }
-  return false;
+  return pl::treap::lookup(root_.load(std::memory_order_seq_cst), k, kWait)
+      .has_value();
 }
 
 std::size_t ParallelSet::size() const {
@@ -224,7 +202,7 @@ std::vector<ParallelSet::Key> ParallelSet::keys() const {
 
 int ParallelSet::height() const {
   ReadGuard guard(active_readers_);
-  return wait_height(root_.load(std::memory_order_seq_cst));
+  return pl::treap::height_of(root_.load(std::memory_order_seq_cst), kWait);
 }
 
 ParallelSet::Stats ParallelSet::stats() const {

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -39,6 +40,35 @@
 #include "runtime/scheduler.hpp"
 
 namespace pwf::rt {
+
+// SetSnapshot — an immutable, epoch-pinned view of a ParallelSet.
+//
+// Obtained from ParallelSet::snapshot(); holds a shared_ptr to the store of
+// the epoch it was taken in, so the nodes stay alive across any number of
+// subsequent compact() calls (refcounted epoch retirement). Reads are
+// lock-free: no reader count, no mutex — the root cell is fixed and every
+// reachable cell is written exactly once, so traversal is wait_blocking on
+// cells at most (pipelining with a still-materializing batch chained before
+// the snapshot) and plain loads afterwards.
+class SetSnapshot {
+ public:
+  using Key = treap::Key;
+
+  // Forces only the cells along the search path.
+  bool contains(Key k) const;
+
+  std::size_t size() const;       // forces the whole pinned tree
+  std::vector<Key> keys() const;  // in order; forces the whole pinned tree
+
+ private:
+  friend class ParallelSet;
+
+  SetSnapshot(std::shared_ptr<const treap::Store> store, treap::Cell* root)
+      : store_(std::move(store)), root_(root) {}
+
+  std::shared_ptr<const treap::Store> store_;  // pins the epoch's arena
+  treap::Cell* root_;
+};
 
 class ParallelSet {
  public:
@@ -105,6 +135,12 @@ class ParallelSet {
   // one at a time, not concurrent with batch calls.
   void compact();
 
+  // Pins the current epoch and root into an immutable lock-free view. May
+  // be called from any reader thread; the returned snapshot stays valid
+  // (and its reads race-free) across later batches and compactions — the
+  // pinned store is retired only when the last snapshot holding it drops.
+  SetSnapshot snapshot() const;
+
   // Forces only the cells along the search path (paper-style: a consumer
   // descends into a tree whose producer may still be writing it).
   bool contains(Key k) const;
@@ -130,8 +166,13 @@ class ParallelSet {
   Scheduler& sched_;
   std::uint64_t salt_;
   std::size_t leaf_cap_;
-  std::unique_ptr<treap::Store> store_;  // replaced wholesale by compact()
+  // Replaced wholesale by compact(); shared so snapshots can pin an epoch.
+  std::shared_ptr<treap::Store> store_;
   std::atomic<treap::Cell*> root_;
+
+  // Pairs (store_, root_) for snapshot() against compact()'s swap. Never
+  // held while waiting on cells, so snapshot() is O(1).
+  mutable std::mutex snap_mu_;
 
   // Readers in flight (seq_cst Dekker pair with compact()'s root publish).
   mutable std::atomic<std::uint64_t> active_readers_{0};

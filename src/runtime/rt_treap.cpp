@@ -1,5 +1,7 @@
 #include "runtime/rt_treap.hpp"
 
+#include "pipelined/treap_walk.hpp"
+
 namespace pwf::rt::treap {
 
 namespace pl = pipelined;
@@ -39,61 +41,30 @@ Node* diff_strict_blocking(Store& st, Node* a, Node* b) {
   return result->wait_blocking();
 }
 
-// The full-tree walks run on the *caller's* stack, not a coroutine frame, so
-// they must not recurse: a service-layer treap is adversarially shaped when
-// the keys are (sorted runs give O(lg n) expected height only in
-// expectation, and a hostile salt/key combination can degenerate), and a
-// deep recursion would overflow long before the runtime itself cared. Every
-// walk below uses an explicit stack.
+// The full-tree walks are the shared explicit-stack visitors from
+// pipelined/treap_walk.hpp with a wait_blocking force: they run on the
+// *caller's* stack, not a coroutine frame, so they must not recurse (a
+// service-layer treap is arbitrarily chain-shaped while a pipeline is
+// mid-flight), and each forced cell parks the caller until its producer
+// publishes — the consumer pipelines with in-flight construction.
 std::vector<Key> wait_inorder(Cell* root_cell) {
   std::vector<Key> out;
-  // Two-phase entries: a cell still to force, or a node ready to emit
-  // between its subtrees.
-  struct Frame {
-    Cell* cell;
-    Node* emit;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({root_cell, nullptr});
-  while (!stack.empty()) {
-    const Frame f = stack.back();
-    stack.pop_back();
-    if (f.cell == nullptr) {
-      out.push_back(f.emit->key);
-      continue;
-    }
-    Node* n = f.cell->wait_blocking();
-    if (n == nullptr) continue;
-    if (pl::treap::is_leaf(n)) {
-      for (std::uint32_t i = 0; i < n->count; ++i)
-        out.push_back(n->items[i].key);
-      continue;
-    }
-    stack.push_back({n->right, nullptr});
-    stack.push_back({nullptr, n});
-    stack.push_back({n->left, nullptr});
-  }
+  pl::treap::visit_items(root_cell, [](auto* c) { return c->wait_blocking(); },
+                         [&](Key k, const auto&) { out.push_back(k); });
   return out;
 }
 
 pl::treap::CacheEconomy cache_economy(Cell* root_cell) {
   pl::treap::CacheEconomy ce;
-  std::vector<Cell*> stack;
-  stack.push_back(root_cell);
-  while (!stack.empty()) {
-    Cell* c = stack.back();
-    stack.pop_back();
-    Node* n = c->wait_blocking();
-    if (n == nullptr) continue;
-    if (pl::treap::is_leaf(n)) {
-      ++ce.leaf_chunks;
-      ce.leaf_keys += n->count;
-      continue;
-    }
-    ++ce.internal_nodes;
-    stack.push_back(n->left);
-    stack.push_back(n->right);
-  }
+  pl::treap::visit_nodes(root_cell, [](auto* c) { return c->wait_blocking(); },
+                         [&](Node* n) {
+                           if (pl::treap::is_leaf(n)) {
+                             ++ce.leaf_chunks;
+                             ce.leaf_keys += n->count;
+                           } else {
+                             ++ce.internal_nodes;
+                           }
+                         });
   return ce;
 }
 

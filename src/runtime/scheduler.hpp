@@ -56,6 +56,7 @@ class Scheduler {
     std::uint64_t inject_overflows = 0;  // posts that missed the ring
     std::uint64_t serial_cutoffs = 0;    // substrate serial-path activations
     std::uint64_t leaf_ops = 0;          // leaf-chunk fast-path activations
+    std::uint64_t aug_ops = 0;           // aggregate recomputation fibers
     std::uint64_t wakeups = 0;           // park_cv_ signals issued by post()
     std::uint64_t frame_pool_hits = 0;   // frames served from a freelist
     std::uint64_t frame_pool_misses = 0; // frames that hit the heap
@@ -72,6 +73,12 @@ class Scheduler {
   // leaf chunks (docs/storage.md) — the cache-economy column of E19/E24.
   void note_leaf_op() {
     leaf_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Called by RtExec when an aug_into fiber recomputes a node's aggregate
+  // (docs/augmentation.md) — the augmentation-overhead column of E25.
+  void note_aug_op() {
+    aug_ops_.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
@@ -113,6 +120,7 @@ class Scheduler {
   std::atomic<std::uint64_t> inject_overflows_{0};
   std::atomic<std::uint64_t> serial_cutoffs_{0};
   std::atomic<std::uint64_t> leaf_ops_{0};
+  std::atomic<std::uint64_t> aug_ops_{0};
   std::atomic<std::uint64_t> wakeups_{0};
 };
 

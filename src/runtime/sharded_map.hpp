@@ -1,4 +1,4 @@
-// ShardedParallelMap<V> — the key→value counterpart of ShardedParallelSet:
+// ShardedParallelMap<V, A> — the key→value counterpart of ShardedParallelSet:
 // S range-partitioned ParallelMap shards with independent batch pipelines
 // and independent storage epochs. See sharded_set.hpp for the rationale;
 // this header only adds the value plumbing (slices carry (key, value)
@@ -6,6 +6,11 @@
 //
 // Thread contract is inherited from ParallelMap: one mutator thread at a
 // time, any number of concurrent readers.
+//
+// The optional augmentation policy A is routed through to every shard;
+// `aggregate(lo, hi)` combines the per-shard range aggregates in shard
+// (i.e. key) order, so non-commutative combines behave exactly as on the
+// unsharded map.
 #pragma once
 
 #include <algorithm>
@@ -14,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "runtime/parallel_map.hpp"
@@ -22,13 +28,13 @@
 
 namespace pwf::rt {
 
-template <typename V>
+template <typename V, typename A = void>
 class ShardedParallelMap {
  public:
-  using Key = typename ParallelMap<V>::Key;
-  using Item = typename ParallelMap<V>::Item;
-  using Stats = typename ParallelMap<V>::Stats;
-  using CacheEconomy = typename ParallelMap<V>::CacheEconomy;
+  using Key = typename ParallelMap<V, A>::Key;
+  using Item = typename ParallelMap<V, A>::Item;
+  using Stats = typename ParallelMap<V, A>::Stats;
+  using CacheEconomy = typename ParallelMap<V, A>::CacheEconomy;
 
   ShardedParallelMap(Scheduler& sched, unsigned shards,
                      std::uint64_t salt = 0x9e3779b97f4a7c15ULL,
@@ -40,7 +46,7 @@ class ShardedParallelMap {
     std::uint64_t sm = salt;
     for (unsigned i = 0; i < n; ++i)
       shards_.push_back(
-          std::make_unique<ParallelMap<V>>(sched, splitmix64(sm), leaf_cap));
+          std::make_unique<ParallelMap<V, A>>(sched, splitmix64(sm), leaf_cap));
   }
 
   ShardedParallelMap(const ShardedParallelMap&) = delete;
@@ -115,6 +121,21 @@ class ShardedParallelMap {
   std::optional<V> get(Key k) const { return shard_of(k).get(k); }
   bool contains(Key k) const { return shard_of(k).contains(k); }
 
+  // Range aggregate over keys in [lo, hi]: only the shards whose key range
+  // intersects [lo, hi] are queried, and their aggregates are combined in
+  // shard (key) order — associativity suffices, like the unsharded map.
+  auto aggregate(Key lo, Key hi) const
+    requires(!std::is_void_v<A>)
+  {
+    using Ops = typename map::Entry<V, A>::AugOps;
+    auto acc = Ops::identity();
+    if (lo > hi) return acc;
+    const std::size_t last = shard_index(hi);
+    for (std::size_t i = shard_index(lo); i <= last; ++i)
+      acc = Ops::combine(acc, shards_[i]->aggregate(lo, hi));
+    return acc;
+  }
+
   std::size_t size() const {
     std::size_t n = 0;
     for (const auto& s : shards_) n += s->size();
@@ -171,10 +192,10 @@ class ShardedParallelMap {
     return static_cast<std::size_t>(
         std::upper_bound(lowers_.begin(), lowers_.end(), k) - lowers_.begin());
   }
-  ParallelMap<V>& shard_of(Key k) const { return *shards_[shard_index(k)]; }
+  ParallelMap<V, A>& shard_of(Key k) const { return *shards_[shard_index(k)]; }
 
   std::vector<Key> lowers_;  // lower boundary of shards 1..S-1
-  std::vector<std::unique_ptr<ParallelMap<V>>> shards_;
+  std::vector<std::unique_ptr<ParallelMap<V, A>>> shards_;
 };
 
 }  // namespace pwf::rt

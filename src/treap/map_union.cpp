@@ -2,31 +2,14 @@
 
 namespace pwf::treap {
 
-Node* build_map(Store& st,
-                std::span<const std::pair<Key, std::int64_t>> items) {
-  // Same right-spine construction as Store::build, carrying payloads.
-  std::vector<Node*> spine;
-  for (const auto& [k, v] : items) {
-    Node* n = st.make_ready(k, st.priority(k), nullptr, nullptr);
-    n->val = v;
-    Node* last_popped = nullptr;
-    while (!spine.empty() && spine.back()->pri < n->pri) {
-      last_popped = spine.back();
-      spine.pop_back();
-    }
-    if (last_popped != nullptr) cm::Engine::preset(*n->left, last_popped);
-    if (!spine.empty()) cm::Engine::preset(*spine.back()->right, n);
-    spine.push_back(n);
-  }
-  return spine.empty() ? nullptr : spine.front();
+MapNode* build_map(MapStore& st,
+                   std::span<const std::pair<Key, std::int64_t>> items) {
+  return st.build(items);
 }
 
-void collect_items(const Node* root,
+void collect_items(const MapNode* root,
                    std::vector<std::pair<Key, std::int64_t>>& out) {
-  if (root == nullptr) return;
-  collect_items(peek(root->left), out);
-  out.emplace_back(root->key, root->val);
-  collect_items(peek(root->right), out);
+  pipelined::treap::collect_items(root, out);
 }
 
 }  // namespace pwf::treap

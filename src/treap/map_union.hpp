@@ -8,68 +8,59 @@
 // pattern as difference, and covered by the same ρ-value style argument:
 // expected depth stays O(lg n + lg m) (measured by E21).
 //
-// Merge is a functor (Key-value payloads are the Node::val int64 field):
-// result value for a shared key is merge(value_in_a, value_in_b), operand
-// order by map regardless of which root won the priority comparison.
+// Since the Entry-policy refactor the body is the shared union_into in
+// src/pipelined/treap.hpp instantiated with MapEntry<int64>: result value
+// for a shared key is merge(value_in_a, value_in_b), operand order by map
+// regardless of which root won the priority comparison (the body's `flip`).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
-#include "treap/setops.hpp"
+#include "pipelined/cm_exec.hpp"
+#include "pipelined/exec.hpp"
+#include "pipelined/treap.hpp"
 #include "treap/treap.hpp"
 
 namespace pwf::treap {
 
+// Cost-model map instantiation: int64 payloads over cm::Cell futures.
+using MapEntry = pipelined::treap::MapEntry<std::int64_t>;
+using MapNode = pipelined::treap::Node<pipelined::CmPolicy, MapEntry>;
+using MapCell = cm::Cell<MapNode*>;
+using MapStore = pipelined::treap::Store<pipelined::CmPolicy, MapEntry>;
+
 template <typename Merge>
-void union_merge_into(Store& st, TreapCell* a, TreapCell* b, TreapCell* out,
-                      Merge merge, bool flipped = false) {
-  cm::Engine& eng = st.engine();
-  Node* ta = eng.touch(a);
-  Node* tb = eng.touch(b);
-  if (ta == nullptr) {
-    publish(eng, out, tb);
-    return;
-  }
-  if (tb == nullptr) {
-    publish(eng, out, ta);
-    return;
-  }
-  eng.step();  // priority comparison
-  bool flip = flipped;
-  if (ta->pri < tb->pri) {
-    std::swap(ta, tb);
-    flip = !flip;
-  }
-  Node* res = st.make(ta->key, ta->pri);
-  res->val = ta->val;
-  TreapCell* l2 = st.cell();
-  TreapCell* r2 = st.cell();
-  auto* eq = eng.new_cell<Node*>();
-  const Key v = ta->key;
-  eng.fork([&] { splitm_from(st, v, tb, l2, r2, eq); });
-  eng.fork([&] { union_merge_into(st, ta->left, l2, res->left, merge, flip); });
-  eng.fork(
-      [&] { union_merge_into(st, ta->right, r2, res->right, merge, flip); });
-  // The payload depends on whether the key is shared: wait for the verdict.
-  Node* dup = eng.touch(eq);
-  if (dup != nullptr)
-    res->val = flip ? merge(dup->val, ta->val) : merge(ta->val, dup->val);
-  publish(eng, out, res);
+void union_merge_into(MapStore& st, MapCell* a, MapCell* b, MapCell* out,
+                      Merge merge) {
+  pipelined::run_inline(pipelined::treap::union_into(
+      pipelined::CmExec(st.engine()), st, a, b, out, merge));
 }
 
 template <typename Merge>
-TreapCell* union_merge(Store& st, TreapCell* a, TreapCell* b, Merge merge) {
-  TreapCell* out = st.cell();
+MapCell* union_merge(MapStore& st, MapCell* a, MapCell* b, Merge merge) {
+  MapCell* out = st.cell();
   st.engine().fork([&] { union_merge_into(st, a, b, out, merge); });
   return out;
 }
 
 // Builder over key-sorted, duplicate-free (key, value) items.
-Node* build_map(Store& st,
-                std::span<const std::pair<Key, std::int64_t>> items);
+MapNode* build_map(MapStore& st,
+                   std::span<const std::pair<Key, std::int64_t>> items);
 
 // Analysis: in-order (key, value) items of a finished map treap.
-void collect_items(const Node* root,
+void collect_items(const MapNode* root,
                    std::vector<std::pair<Key, std::int64_t>>& out);
+
+// Analysis overloads matching the set wrappers in treap/treap.hpp.
+inline MapNode* peek(const MapCell* c) {
+  return pipelined::treap::peek<pipelined::CmPolicy>(c);
+}
+
+inline bool validate(const MapStore& st, const MapNode* root) {
+  return pipelined::treap::validate(st, root);
+}
 
 }  // namespace pwf::treap

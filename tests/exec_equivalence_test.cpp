@@ -12,7 +12,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <iterator>
+#include <limits>
+#include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "algos/mergesort.hpp"
@@ -21,7 +24,9 @@
 #include "analyze/rec_exec.hpp"
 #include "analyze/verifier.hpp"
 #include "costmodel/engine.hpp"
+#include "pipelined/treap_walk.hpp"
 #include "runtime/rt_algos.hpp"
+#include "runtime/rt_map.hpp"
 #include "runtime/rt_treap.hpp"
 #include "runtime/rt_trees.hpp"
 #include "runtime/rt_ttree.hpp"
@@ -725,6 +730,157 @@ INSTANTIATE_TEST_SUITE_P(
                       pipelined::treap::kDefaultLeafCapacity,
                       pipelined::treap::kDefaultLeafCapacity + 1,
                       5 * pipelined::treap::kDefaultLeafCapacity + 3));
+
+// ---- augmented maps across substrates ---------------------------------------
+// One sum-augmented int64 map entry, the same union body on all four
+// substrates, and every range aggregate checked against a sequential fold
+// oracle over the merged items. Parameterized on the requested leaf capacity
+// {0, 1, 32}: the Cm substrates clamp every request to 0 (node-per-key, the
+// control group), Rt/Rec clamp 0 up to 1 — both handoffs are exercised.
+
+using AugSum = pipelined::treap::SumAug<std::int64_t>;
+using AugMapEntry =
+    pipelined::treap::AugEntry<pipelined::treap::MapEntry<std::int64_t>,
+                               AugSum>;
+using AugItem = std::pair<Key, std::int64_t>;
+
+std::vector<AugItem> aug_items(std::size_t n, std::uint64_t seed) {
+  const auto keys = random_keys(n, seed);
+  Rng rng(seed * 131 + 7);
+  std::vector<AugItem> out;
+  out.reserve(keys.size());
+  for (Key k : keys) out.emplace_back(k, rng.range(1, 1000));
+  return out;
+}
+
+class ExecEquivalenceAug : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExecEquivalenceAug, SumAggregatesMatchFoldOracle) {
+  const std::size_t cap = GetParam();
+  const auto a = aug_items(300 + 3 * cap, 41 + cap);
+  const auto b = aug_items(220 + 5 * cap, 142 + cap);
+  const auto plus = [](std::int64_t x, std::int64_t y) { return x + y; };
+
+  std::map<Key, std::int64_t> merged(a.begin(), a.end());
+  for (const auto& [k, v] : b) {
+    auto [it, fresh] = merged.emplace(k, v);
+    if (!fresh) it->second += v;
+  }
+  const std::vector<AugItem> oracle(merged.begin(), merged.end());
+
+  // Probe ranges: everything, prefixes/infixes straddling subtrees, a single
+  // key, and an empty range past the right end.
+  const Key first = oracle.front().first, last = oracle.back().first;
+  const std::vector<std::pair<Key, Key>> ranges = {
+      {std::numeric_limits<Key>::min(), std::numeric_limits<Key>::max()},
+      {first, oracle[oracle.size() / 2].first},
+      {oracle[oracle.size() / 3].first, oracle[2 * oracle.size() / 3].first},
+      {oracle[7].first, oracle[7].first},
+      {last + 1, last + 100},
+      {first - 100, first - 1},
+  };
+  const auto fold = [&](Key lo, Key hi) {
+    std::int64_t s = 0;
+    for (const auto& [k, v] : merged)
+      if (k >= lo && k <= hi) s += v;
+    return s;
+  };
+  const auto check_ranges = [&](auto&& aggregate, const char* what) {
+    for (const auto& [lo, hi] : ranges)
+      EXPECT_EQ(aggregate(lo, hi), fold(lo, hi)) << what << " [" << lo << ", "
+                                                 << hi << "]";
+  };
+
+  const auto peekf = [](const auto* c) { return pipelined::CmPolicy::peek(c); };
+
+  {
+    cm::Engine eng;  // CmExec: pipelined, node-per-key
+    eng.set_crew(true);  // aug fibers re-read node cells (CREW)
+    pipelined::treap::Store<pipelined::CmPolicy, AugMapEntry> st(
+        eng, pipelined::treap::kDefaultSalt, cap);
+    auto* out = st.cell();
+    pipelined::run_inline(pipelined::treap::union_into(
+        pipelined::CmExec(eng), st, st.input(st.build(a)),
+        st.input(st.build(b)), out, plus));
+    std::vector<AugItem> got;
+    pipelined::treap::visit_items(
+        out, peekf,
+        [&](Key k, const std::int64_t& v) { got.emplace_back(k, v); });
+    EXPECT_EQ(got, oracle);
+    EXPECT_TRUE(pipelined::treap::validate(
+        st, pipelined::treap::peek<pipelined::CmPolicy>(out)));
+    check_ranges(
+        [&](Key lo, Key hi) {
+          return pipelined::treap::aggregate(out, lo, hi, peekf);
+        },
+        "CmExec");
+  }
+  {
+    cm::Engine eng;  // CmStrictExec: fork-join baseline
+    eng.set_crew(true);
+    pipelined::treap::Store<pipelined::CmPolicy, AugMapEntry> st(
+        eng, pipelined::treap::kDefaultSalt, cap);
+    auto* n = pipelined::run_inline(pipelined::treap::union_strict(
+        pipelined::CmStrictExec(eng), st, st.build(a), st.build(b), plus));
+    auto* out = st.input(n);
+    std::vector<AugItem> got;
+    pipelined::treap::visit_items(
+        out, peekf,
+        [&](Key k, const std::int64_t& v) { got.emplace_back(k, v); });
+    EXPECT_EQ(got, oracle);
+    check_ranges(
+        [&](Key lo, Key hi) {
+          return pipelined::treap::aggregate(out, lo, hi, peekf);
+        },
+        "CmStrictExec");
+  }
+  {
+    rt::Scheduler sched(2);  // RtExec: chunked leaves, real threads
+    rt::map::Store<std::int64_t, AugSum> st(pipelined::treap::kDefaultSalt,
+                                            cap);
+    auto* out = rt::map::union_maps(st, st.input(st.build(a)),
+                                    st.input(st.build(b)), plus);
+    EXPECT_EQ(rt::map::wait_items(out), oracle);
+    check_ranges(
+        [&](Key lo, Key hi) { return rt::map::aggregate_wait(out, lo, hi); },
+        "RtExec");
+  }
+  {
+    cm::Engine eng(/*trace=*/true);  // RecExec: recording substrate
+    eng.set_crew(true);
+    analyze::RecExec ex(eng);
+    rec::AugMapStore st(eng, pipelined::treap::kDefaultSalt, cap);
+    rec::AugMapCell* out = rec::union_aug_maps(
+        ex, st, st.input(st.build(a)), st.input(st.build(b)));
+    const auto rpeek = [](const auto* c) {
+      return analyze::RecPolicy::peek(c);
+    };
+    std::vector<AugItem> got;
+    pipelined::treap::visit_items(
+        out, rpeek,
+        [&](Key k, const std::int64_t& v) { got.emplace_back(k, v); });
+    EXPECT_EQ(got, oracle);
+    check_ranges(
+        [&](Key lo, Key hi) {
+          return pipelined::treap::aggregate(out, lo, hi, rpeek);
+        },
+        "RecExec");
+    EXPECT_GT(eng.aug_ops(), 0u);
+    // Aug fibers re-read node cells, so EREW (like linearity) is demoted;
+    // write-once and race-freedom still hold on the recorded trace.
+    ASSERT_NE(eng.trace(), nullptr);
+    analyze::Options opts;
+    opts.check_linearity = false;
+    opts.check_erew = false;
+    const analyze::Report rep = analyze::verify(*eng.trace(), opts);
+    EXPECT_TRUE(rep.ok()) << "aug map: " << rep.to_string();
+    EXPECT_GT(rep.aug_ops, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCaps, ExecEquivalenceAug,
+                         ::testing::Values(std::size_t{0}, std::size_t{1},
+                                           std::size_t{32}));
 
 // Structural contract of the chunked storage itself, on the runtime
 // substrate: builds at/above capacity chunk as expected, ops that descend

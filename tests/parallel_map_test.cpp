@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "runtime/parallel_map.hpp"
@@ -241,6 +244,172 @@ TEST_P(ShardedMapSweep, MatchesUnshardedAndStdMap) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ShardedMapSweep, ::testing::Values(1, 4));
+
+// ---- augmented maps: O(lg n) range aggregates -------------------------------
+
+using SumAug = pipelined::treap::SumAug<std::int64_t>;
+
+std::int64_t fold_range(const std::map<map::Key, std::int64_t>& ref,
+                        map::Key lo, map::Key hi) {
+  std::int64_t s = 0;
+  for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi; ++it)
+    s += it->second;
+  return s;
+}
+
+TEST(ParallelMapAug, RangeAggregateMatchesFold) {
+  Scheduler sched(2);
+  Rng rng(53);
+  ParallelMap<std::int64_t, SumAug> m(sched);
+  ShardedParallelMap<std::int64_t, SumAug> sh(sched, 4);
+  std::map<map::Key, std::int64_t> ref;
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Item> batch;
+    const std::size_t sz = 1 + rng.below(2000);
+    for (std::size_t i = 0; i < sz; ++i)
+      batch.emplace_back(rng.range(-3000, 3000),
+                         static_cast<std::int64_t>(rng.below(100)));
+    m.insert_batch(batch, add);
+    sh.insert_batch(batch, add);
+    for (const auto& [k, v] : batch) ref[k] += v;
+    // Aggregates force only their O(lg n) search paths, so they pipeline
+    // with the still-materializing batches (no flush here).
+    for (int probe = 0; probe < 20; ++probe) {
+      map::Key lo = rng.range(-3500, 3500), hi = rng.range(-3500, 3500);
+      if (lo > hi) std::swap(lo, hi);
+      ASSERT_EQ(m.aggregate(lo, hi), fold_range(ref, lo, hi))
+          << "round " << round << " [" << lo << ", " << hi << "]";
+      ASSERT_EQ(sh.aggregate(lo, hi), fold_range(ref, lo, hi))
+          << "sharded, round " << round << " [" << lo << ", " << hi << "]";
+    }
+  }
+  // Aggregation survives erase_batch and the compaction rebuild.
+  std::vector<map::Key> gone;
+  for (int i = 0; i < 800; ++i) gone.push_back(rng.range(-3000, 3000));
+  m.erase_batch(gone);
+  sh.erase_batch(gone);
+  for (map::Key k : gone) ref.erase(k);
+  m.compact();
+  sh.compact();
+  for (int probe = 0; probe < 20; ++probe) {
+    map::Key lo = rng.range(-3500, 3500), hi = rng.range(-3500, 3500);
+    if (lo > hi) std::swap(lo, hi);
+    ASSERT_EQ(m.aggregate(lo, hi), fold_range(ref, lo, hi));
+    ASSERT_EQ(sh.aggregate(lo, hi), fold_range(ref, lo, hi));
+  }
+}
+
+// ---- snapshots: epoch-pinned lock-free views --------------------------------
+
+TEST(ParallelMapSnapshot, PinsContentsAcrossBatchesAndCompaction) {
+  Scheduler sched(2);
+  Rng rng(59);
+  ParallelMap<std::int64_t, SumAug> m(sched);
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  std::map<map::Key, std::int64_t> ref;
+  std::vector<Item> batch;
+  for (int i = 0; i < 4000; ++i)
+    batch.emplace_back(rng.range(0, 5000),
+                       static_cast<std::int64_t>(rng.below(100)));
+  m.insert_batch(batch, add);
+  for (const auto& [k, v] : batch) ref[k] += v;
+
+  // Taken while the batch may still be materializing: readers pipeline.
+  MapSnapshot<std::int64_t, SumAug> snap = m.snapshot();
+  const std::vector<Item> pinned(ref.begin(), ref.end());
+  EXPECT_EQ(snap.items(), pinned);
+
+  // Later batches and a full storage-epoch swap must not move the snapshot.
+  std::vector<Item> more;
+  for (int i = 0; i < 3000; ++i)
+    more.emplace_back(rng.range(0, 5000),
+                      static_cast<std::int64_t>(rng.below(100)));
+  m.insert_batch(more, add);
+  m.compact();  // retires the snapshot's epoch from the map's side
+  m.erase_batch(std::vector<map::Key>{pinned.front().first});
+  m.flush();
+
+  EXPECT_EQ(snap.items(), pinned);
+  EXPECT_EQ(snap.size(), pinned.size());
+  EXPECT_EQ(snap.get(pinned.front().first), pinned.front().second);
+  EXPECT_FALSE(snap.contains(6001));
+  EXPECT_EQ(snap.aggregate(0, 5000), fold_range(ref, 0, 5000));
+  // A fresh snapshot sees the post-compaction state.
+  for (const auto& [k, v] : more) ref[k] += v;
+  ref.erase(pinned.front().first);
+  EXPECT_EQ(m.snapshot().items(),
+            std::vector<Item>(ref.begin(), ref.end()));
+}
+
+// The ISSUE's tsan pin: readers aggregate over pinned snapshots while the
+// mutator runs write + compact rounds. A snapshot's contents are immutable,
+// so two aggregates of the same snapshot must agree no matter how many
+// epochs retired in between; the pinned arena stays alive (and race-free)
+// until the last snapshot drops.
+TEST(ParallelMapConcurrent, SnapshotReadersRaceWritersAndCompaction) {
+  Scheduler sched(2);
+  Rng rng(61);
+  ParallelMap<std::int64_t, SumAug> m(sched);
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+  std::map<map::Key, std::int64_t> ref;
+  {
+    std::vector<Item> init;
+    for (int i = 0; i < 3000; ++i)
+      init.emplace_back(rng.range(0, 1 << 20),
+                        static_cast<std::int64_t>(rng.below(100)));
+    m.insert_batch(init, add);
+    for (const auto& [k, v] : init) ref[k] += v;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> moved{false};     // set if a pinned snapshot ever changes
+  std::atomic<std::int64_t> sink{0};  // keeps the reader loops un-elidable
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&m, &stop, &moved, &sink, r] {
+      Rng mine(300 + r);
+      std::int64_t acc = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        MapSnapshot<std::int64_t, SumAug> snap = m.snapshot();
+        map::Key lo = mine.range(0, 1 << 20), hi = mine.range(0, 1 << 20);
+        if (lo > hi) std::swap(lo, hi);
+        const std::int64_t first = snap.aggregate(lo, hi);
+        acc += first;
+        acc += snap.contains(mine.range(0, 1 << 20)) ? 1 : 0;
+        // Immutability: the same pinned snapshot re-aggregated later (after
+        // any number of epochs retired under it) answers identically.
+        if (mine.below(8) == 0 && snap.aggregate(lo, hi) != first)
+          moved.store(true, std::memory_order_relaxed);
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Item> batch;
+    const std::size_t sz = 1 + rng.below(1500);
+    for (std::size_t i = 0; i < sz; ++i)
+      batch.emplace_back(rng.range(0, 1 << 20),
+                         static_cast<std::int64_t>(rng.below(100)));
+    m.insert_batch(batch, add);
+    for (const auto& [k, v] : batch) ref[k] += v;
+    std::vector<map::Key> gone;
+    for (std::size_t i = 0; i < 1 + rng.below(500); ++i)
+      gone.push_back(rng.range(0, 1 << 20));
+    m.erase_batch(gone);
+    for (map::Key k : gone) ref.erase(k);
+    m.compact();  // epoch swap while snapshot readers are live
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_GE(sink.load(std::memory_order_relaxed), 0) << "snapshot moved";
+
+  m.flush();
+  EXPECT_EQ(m.items(), std::vector<Item>(ref.begin(), ref.end()));
+  EXPECT_EQ(m.aggregate(0, 1 << 20),
+            fold_range(ref, 0, 1 << 20));
+}
 
 }  // namespace
 }  // namespace pwf::rt

@@ -280,6 +280,48 @@ TEST(ParallelSetConcurrent, ReadersRaceChunkedCompaction) {
   EXPECT_EQ(s.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
 }
 
+// ---- snapshots -------------------------------------------------------------
+
+TEST(ParallelSetSnapshot, PinsContentsAcrossBatchesAndCompaction) {
+  Scheduler sched(2);
+  Rng rng(41);
+  const auto initial = draw(rng, 3000);
+  ParallelSet s(sched, initial);
+  const std::set<std::int64_t> pinned_ref(initial.begin(), initial.end());
+  const std::vector<std::int64_t> pinned(pinned_ref.begin(),
+                                         pinned_ref.end());
+
+  // Take the snapshot while a fresh batch is still materializing: the
+  // snapshot pins the keys as of its own epoch, not the in-flight union.
+  SetSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.size(), pinned.size());
+  EXPECT_EQ(snap.keys(), pinned);
+
+  std::set<std::int64_t> ref = pinned_ref;
+  for (int round = 0; round < 4; ++round) {
+    const auto ins = draw(rng, 2000);
+    s.insert_batch(ins);
+    ref.insert(ins.begin(), ins.end());
+    const auto del = draw(rng, 1000);
+    s.erase_batch(del);
+    for (auto k : del) ref.erase(k);
+    s.compact();  // retires the snapshot's store epoch from the facade
+  }
+  s.flush();
+
+  // The pinned snapshot still answers from its own epoch.
+  EXPECT_EQ(snap.size(), pinned.size());
+  EXPECT_EQ(snap.keys(), pinned);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t k = rng.range(0, 1 << 20);
+    EXPECT_EQ(snap.contains(k), pinned_ref.count(k) != 0) << "key " << k;
+  }
+
+  // A fresh snapshot sees the post-compaction state.
+  EXPECT_EQ(s.snapshot().keys(),
+            std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
 // ---- sharded vs unsharded equivalence --------------------------------------
 
 class ShardedSetSweep : public ::testing::TestWithParam<int> {};

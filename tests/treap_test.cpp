@@ -448,10 +448,10 @@ TEST(BulkWrappers, EmptyBatchesReturnSameCell) {
 
 TEST(MapUnion, SumsSharedKeys) {
   cm::Engine eng;
-  Store st(eng);
+  MapStore st(eng);
   std::vector<std::pair<Key, std::int64_t>> a{{1, 10}, {2, 20}, {3, 30}};
   std::vector<std::pair<Key, std::int64_t>> b{{2, 200}, {4, 400}};
-  TreapCell* out =
+  MapCell* out =
       union_merge(st, st.input(build_map(st, a)), st.input(build_map(st, b)),
                   [](std::int64_t x, std::int64_t y) { return x + y; });
   std::vector<std::pair<Key, std::int64_t>> got;
@@ -464,7 +464,7 @@ TEST(MapUnion, SumsSharedKeys) {
 
 TEST(MapUnion, OperandOrderIsByMapNotPriority) {
   cm::Engine eng;
-  Store st(eng);
+  MapStore st(eng);
   Rng rng(71);
   std::vector<std::pair<Key, std::int64_t>> a, b;
   std::map<Key, std::int64_t> ref;
@@ -478,7 +478,7 @@ TEST(MapUnion, OperandOrderIsByMapNotPriority) {
       ref[k] = 2000 + k;  // "b wins"
     }
   }
-  TreapCell* out =
+  MapCell* out =
       union_merge(st, st.input(build_map(st, a)), st.input(build_map(st, b)),
                   [](std::int64_t, std::int64_t bv) { return bv; });
   std::vector<std::pair<Key, std::int64_t>> got;
@@ -500,12 +500,35 @@ TEST(MapUnion, DepthStaysLogarithmic) {
     for (Key k : ka) a.emplace_back(k, 1);
     for (Key k : kb) b.emplace_back(k, 1);
     cm::Engine eng;
-    Store st(eng);
+    MapStore st(eng);
     union_merge(st, st.input(build_map(st, a)), st.input(build_map(st, b)),
                 [](std::int64_t x, std::int64_t y) { return x + y; });
     total += static_cast<double>(eng.depth());
   }
   EXPECT_LT(total / kSeeds, 60.0 * 2.0 * std::log2(static_cast<double>(n)));
+}
+
+// ---- augmented-value cache validation ------------------------------------------
+
+TEST(AugValidate, DetectsCorruptedAggregate) {
+  using AugEntry =
+      pipelined::treap::AugEntry<pipelined::treap::MapEntry<std::int64_t>,
+                                 pipelined::treap::SumAug<std::int64_t>>;
+  using AugStore = pipelined::treap::Store<pipelined::CmPolicy, AugEntry>;
+  cm::Engine eng;
+  eng.set_crew(true);  // aug fibers re-read node cells (CREW)
+  AugStore st(eng);
+  std::vector<std::pair<Key, std::int64_t>> items;
+  for (Key k = 0; k < 200; ++k) items.emplace_back(k, k * 3 + 1);
+  auto* root = st.build(items);
+  ASSERT_NE(root, nullptr);
+  ASSERT_TRUE(pipelined::treap::validate(st, root));
+  // Corrupt the root's cached aggregate: the bottom-up recheck must notice
+  // the cache no longer matches the recomputed subtree fold.
+  root->aug->value += 1;
+  EXPECT_FALSE(pipelined::treap::validate(st, root));
+  root->aug->value -= 1;
+  EXPECT_TRUE(pipelined::treap::validate(st, root));
 }
 
 // ---- Theorem 3.5 pointwise: union result timestamps -----------------------------

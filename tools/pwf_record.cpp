@@ -23,13 +23,16 @@
 #include <cstdio>
 #include <cstring>
 #include <iterator>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analyze/rec_exec.hpp"
 #include "analyze/verifier.hpp"
 #include "costmodel/engine.hpp"
+#include "pipelined/treap_walk.hpp"
 #include "sim/dag.hpp"
 #include "sim/scheduler.hpp"
 #include "support/random.hpp"
@@ -62,7 +65,8 @@ std::vector<Key> random_keys(std::size_t n, std::uint64_t seed) {
 // Steps 2 + 3 above, shared by every family runner. `what` names the run in
 // diagnostics; returns false on any violation or bound breach.
 bool verify_trace(const pwf::cm::Engine& eng, const std::string& what,
-                  const Config& cfg, std::uint32_t expected_epochs = 1) {
+                  const Config& cfg, std::uint32_t expected_epochs = 1,
+                  bool crew = false) {
   const pwf::cm::Trace* trace = eng.trace();
   if (trace == nullptr) {
     std::fprintf(stderr, "FAIL %s: engine recorded no trace\n", what.c_str());
@@ -70,6 +74,7 @@ bool verify_trace(const pwf::cm::Engine& eng, const std::string& what,
   }
   pwf::analyze::Options opts;
   opts.check_linearity = false;  // Section-4 property, reported as a stat
+  opts.check_erew = !crew;       // aug fibers re-read node cells (CREW)
   const pwf::analyze::Report rep = pwf::analyze::verify(*trace, opts);
   bool ok = rep.ok();
   if (!ok)
@@ -163,6 +168,72 @@ bool run_treap(std::size_t cap, std::size_t thr, const Config& cfg) {
   return verify_trace(eng, what, cfg, /*expected_epochs=*/2) && ok;
 }
 
+bool run_aug_map(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("aug-map-setops", cap, thr);
+  const auto make_items = [](std::size_t n, std::uint64_t seed) {
+    const auto keys = random_keys(n, seed);
+    pwf::Rng rng(seed * 131 + 7);
+    std::vector<std::pair<Key, std::int64_t>> out;
+    out.reserve(keys.size());
+    for (Key k : keys) out.emplace_back(k, rng.range(1, 1000));
+    return out;
+  };
+  const auto a = make_items(cfg.n, 601);
+  const auto b = make_items(cfg.n * 2 / 3, 602);
+
+  // Oracles: value-merging union (shared keys sum) and difference (a minus
+  // b's keys, a's values survive).
+  std::map<Key, std::int64_t> u_ref(a.begin(), a.end());
+  for (const auto& [k, v] : b) {
+    auto [it, fresh] = u_ref.emplace(k, v);
+    if (!fresh) it->second += v;
+  }
+  std::map<Key, std::int64_t> d_ref(a.begin(), a.end());
+  for (const auto& [k, v] : b) d_ref.erase(k);
+
+  pwf::cm::Engine eng(/*trace_enabled=*/true);
+  eng.set_crew(true);  // aug fibers re-read node cells
+  RecExec ex(eng, thr);
+  bool ok = true;
+  {
+    rec::AugMapStore st(eng, pwf::pipelined::treap::kDefaultSalt, cap);
+    const auto rpeek = [](const auto* c) {
+      return pwf::analyze::RecPolicy::peek(c);
+    };
+    const auto items_of = [&](rec::AugMapCell* c) {
+      std::vector<std::pair<Key, std::int64_t>> got;
+      pwf::pipelined::treap::visit_items(
+          c, rpeek,
+          [&](Key k, const std::int64_t& v) { got.emplace_back(k, v); });
+      return got;
+    };
+    rec::AugMapCell* uc = rec::union_aug_maps(
+        ex, st, st.input(st.build(a)), st.input(st.build(b)));
+    ok &= items_of(uc) ==
+          std::vector<std::pair<Key, std::int64_t>>(u_ref.begin(), u_ref.end());
+    ok &= items_of(rec::diff_aug_maps(ex, st, st.input(st.build(a)),
+                                      st.input(st.build(b)))) ==
+          std::vector<std::pair<Key, std::int64_t>>(d_ref.begin(), d_ref.end());
+    // Range aggregates on the union result against a sequential fold.
+    const Key first = u_ref.begin()->first;
+    const Key last = u_ref.rbegin()->first;
+    const Key mid = std::next(u_ref.begin(), u_ref.size() / 2)->first;
+    for (const auto& [lo, hi] : {std::pair<Key, Key>{first, last},
+                                 {first, mid},
+                                 {mid, last},
+                                 {last + 1, last + 100}}) {
+      std::int64_t fold = 0;
+      for (const auto& [k, v] : u_ref)
+        if (k >= lo && k <= hi) fold += v;
+      ok &= pwf::pipelined::treap::aggregate(uc, lo, hi, rpeek) == fold;
+    }
+  }
+  ok &= eng.aug_ops() > 0;  // aug maintenance must appear in the trace
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg, /*expected_epochs=*/1, /*crew=*/true) &&
+         ok;
+}
+
 bool run_trees(std::size_t cap, std::size_t thr, const Config& cfg) {
   const std::string what = run_name("tree-merge-rebalance", cap, thr);
   const auto a = random_keys(cfg.n, 201);
@@ -251,9 +322,10 @@ struct Family {
 };
 
 constexpr Family kFamilies[] = {
-    {"treap", run_treap},           {"trees", run_trees},
-    {"ttree", run_ttree},           {"mergesort", run_mergesort},
-    {"quicksort", run_quicksort},   {"produce-consume", run_produce_consume},
+    {"treap", run_treap},           {"aug-map", run_aug_map},
+    {"trees", run_trees},           {"ttree", run_ttree},
+    {"mergesort", run_mergesort},   {"quicksort", run_quicksort},
+    {"produce-consume", run_produce_consume},
 };
 
 int usage(const char* argv0) {
@@ -261,7 +333,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--grid smoke|full] [--family NAME|all] [--leaf-cap N]\n"
       "          [--threshold N] [--n N] [--verbose]\n"
-      "families: treap trees ttree mergesort quicksort produce-consume\n"
+      "families: treap aug-map trees ttree mergesort quicksort "
+      "produce-consume\n"
       "Defaults run the full grid: leaf cap {0,1,32} x threshold {0,1,128}.\n",
       argv0);
   return 2;
