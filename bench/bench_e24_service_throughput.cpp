@@ -64,6 +64,33 @@ CacheCols harvest_cache(const Facade& facade) {
   return c;
 }
 
+// Partition shape of the sharded variants (ShardedParallelSet::Stats): how
+// evenly the uniform streams spread across the fixed partition, and that no
+// adaptive rebalancing fired (adaptation is off here — E26 covers it).
+struct ShardCols {
+  bool present = false;
+  std::int64_t shards = 0;
+  std::int64_t keys_min = 0;
+  std::int64_t keys_max = 0;
+  double imbalance_min = 0.0;
+  double imbalance_max = 0.0;
+  std::int64_t splits = 0;
+  std::int64_t merges = 0;
+};
+
+ShardCols harvest_shards(const rt::ShardedParallelSet::Stats& st) {
+  ShardCols c;
+  c.present = true;
+  c.shards = static_cast<std::int64_t>(st.shards);
+  c.keys_min = static_cast<std::int64_t>(st.keys_min);
+  c.keys_max = static_cast<std::int64_t>(st.keys_max);
+  c.imbalance_min = st.imbalance_min;
+  c.imbalance_max = st.imbalance_max;
+  c.splits = static_cast<std::int64_t>(st.splits);
+  c.merges = static_cast<std::int64_t>(st.merges);
+  return c;
+}
+
 struct Sample {
   std::string workload;
   std::string variant;  // sync | pipelined | sharded
@@ -75,6 +102,7 @@ struct Sample {
   std::int64_t overlapped = 0;   // facade stats from the last repetition
   std::int64_t max_pending = 0;
   CacheCols cache;
+  ShardCols shard;
 };
 
 struct Check {
@@ -204,10 +232,11 @@ void run_set_stream(const char* name, bool with_erases, std::size_t base_n,
   {
     rt::ShardedParallelSet s(*rt::Scheduler::current(), shards);
     const double ms = measure(s, /*flush_each=*/false);
-    const rt::ParallelSet::Stats st = s.stats();
+    const rt::ShardedParallelSet::Stats st = s.stats();
     record({name, "sharded", t, nb, mi, items, ms,
             static_cast<std::int64_t>(st.overlapped),
-            static_cast<std::int64_t>(st.max_pending), harvest_cache(s)});
+            static_cast<std::int64_t>(st.max_pending), harvest_cache(s),
+            harvest_shards(st)});
     if (verify)
       check(std::string(name) + " sharded: keys == std::set oracle",
             s.keys() == oracle);
@@ -281,7 +310,7 @@ void run_map_aggregate(std::size_t nbatches, std::size_t m, unsigned threads,
   {
     std::vector<Item> got;
     CacheCols cache;
-    rt::ParallelMap<std::int64_t>::Stats st;
+    rt::ShardedParallelMap<std::int64_t>::Stats st;
     const double ms = median_ms(reps, [&] {
       rt::ShardedParallelMap<std::int64_t> idx(*rt::Scheduler::current(),
                                                shards);
@@ -292,7 +321,8 @@ void run_map_aggregate(std::size_t nbatches, std::size_t m, unsigned threads,
     });
     record({"map_aggregate", "sharded", t, nb, mi, items, ms,
             static_cast<std::int64_t>(st.overlapped),
-            static_cast<std::int64_t>(st.max_pending), cache});
+            static_cast<std::int64_t>(st.max_pending), cache,
+            harvest_shards(st)});
     if (verify)
       check("map_aggregate sharded: items == std::map oracle", got == oracle);
   }
@@ -334,6 +364,18 @@ void write_json(const std::string& path, bool smoke, unsigned max_threads,
       w.field("leaf_ops", s.cache.leaf_ops);
       w.field("arena_bytes", s.cache.arena_bytes);
       w.field("wasted_padding", s.cache.wasted_padding);
+      w.end_object();
+    }
+    if (s.shard.present) {
+      w.key("shard");
+      w.begin_object();
+      w.field("shards", s.shard.shards);
+      w.field("keys_min", s.shard.keys_min);
+      w.field("keys_max", s.shard.keys_max);
+      w.field("imbalance_min", s.shard.imbalance_min);
+      w.field("imbalance_max", s.shard.imbalance_max);
+      w.field("splits", s.shard.splits);
+      w.field("merges", s.shard.merges);
       w.end_object();
     }
     w.end_object();

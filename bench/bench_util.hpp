@@ -6,6 +6,8 @@
 // whole harness can be eyeballed or grepped.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <set>
@@ -40,6 +42,62 @@ inline std::vector<std::int64_t> overlapping_keys(
     s.insert(a[rng.below(a.size())]);
   while (s.size() < m) s.insert(rng.range(0, universe));
   return {s.begin(), s.end()};
+}
+
+// Zipf(s) rank sampler over [0, n): rank r is drawn with probability
+// proportional to 1/(r+1)^s via inversion on the precomputed harmonic CDF.
+// Deterministic for a given seed — the skewed-traffic experiments (E26)
+// regenerate identical streams across variants.
+class ZipfRanks {
+ public:
+  ZipfRanks(std::size_t n, double s, std::uint64_t seed) : rng_(seed) {
+    cdf_.reserve(n);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_.push_back(acc);
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  std::size_t next() {
+    const double u = rng_.uniform01();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+// Skewed batch stream for the adaptive-sharding experiment: each batch draws
+// `m` keys zipf-distributed over a hot window of `hot_n` key slots. Every
+// `shift_every` batches the hot window jumps to the next of `windows`
+// locations spread across the universe (a moving hotspot), so an adaptive
+// partition must re-split where the traffic went and merge where it left.
+// Rank->key scattering hashes the rank per window, so adjacent ranks land on
+// uncorrelated keys within the window.
+inline std::vector<std::vector<std::int64_t>> skewed_batches(
+    std::size_t batches, std::size_t m, std::size_t hot_n, double zipf_s,
+    std::size_t shift_every, std::size_t windows, std::uint64_t seed,
+    std::int64_t universe = 1 << 28) {
+  ZipfRanks zipf(hot_n, zipf_s, seed);
+  std::vector<std::vector<std::int64_t>> out(batches);
+  const std::int64_t span = universe / static_cast<std::int64_t>(windows);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t w = (b / shift_every) % windows;
+    const std::int64_t base = static_cast<std::int64_t>(w) * span;
+    auto& batch = out[b];
+    batch.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      std::uint64_t mix = zipf.next() + 0x9e3779b97f4a7c15ULL * (w + 1);
+      const std::uint64_t slot =
+          splitmix64(mix) % static_cast<std::uint64_t>(hot_n * 8);
+      batch.push_back(base + static_cast<std::int64_t>(slot));
+    }
+  }
+  return out;
 }
 
 inline void verdict(const char* claim, bool ok) {

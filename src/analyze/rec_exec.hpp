@@ -163,6 +163,31 @@ inline TreapNode* diff_strict(RecExec ex, TreapStore& st, TreapNode* a,
   return pipelined::run_inline(pipelined::treap::diff_strict(ex, st, a, b));
 }
 
+// ---- adaptive-shard rebalance primitives ------------------------------------
+//
+// The contention-adaptive sharded facades rebalance by splitting a hot
+// shard's treap at a pivot and joining adjacent cold shards' treaps
+// (docs/service.md). These shims record the same bodies the runtime
+// drivers fork (treap::split_at / treap::join_entry), so the
+// shard-rebalance pwf-record family verifies the rebalance DAG itself.
+
+inline void split_treap(RecExec ex, TreapStore& st, Key pivot, TreapCell* in,
+                        TreapCell* outL, TreapCell* outR) {
+  ex.engine().fork([&] {
+    pipelined::run_inline(
+        pipelined::treap::split_at(ex, st, pivot, in, outL, outR));
+  });
+}
+
+inline TreapCell* join_treaps(RecExec ex, TreapStore& st, TreapCell* a,
+                              TreapCell* b) {
+  TreapCell* out = st.cell();
+  ex.engine().fork([&] {
+    pipelined::run_inline(pipelined::treap::join_entry(ex, st, a, b, out));
+  });
+  return out;
+}
+
 inline std::vector<Key> treap_inorder(const TreapCell* c) {
   std::vector<Key> out;
   pipelined::treap::collect_inorder<RecPolicy>(

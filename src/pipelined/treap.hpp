@@ -969,6 +969,34 @@ Fiber join_entry(Ex ex, Store<P, E>& st, Cell<P, E>* l, Cell<P, E>* r,
   co_await join_from(ex, st, jl, jr, out);
 }
 
+// Pipelined two-way split: keys < pivot published progressively under
+// *outL, keys >= pivot under *outR. This is the rebalance primitive of the
+// contention-adaptive sharded facades (a hot shard splits at its traffic
+// median); the complement is join_entry. Built on splitm_from, which
+// excludes a node with key == pivot from both sides — that node's priority
+// need not dominate the >= side, so it is reattached as a singleton union
+// (an O(lg n) pipelined fix-up that only runs when the pivot is present).
+template <typename Ex, typename P, typename E>
+Fiber split_at(Ex ex, Store<P, E>& st, Key pivot, Cell<P, E>* in,
+               Cell<P, E>* outL, Cell<P, E>* outR) {
+  Node<P, E>* t = co_await ex.touch(in);
+  Cell<P, E>* greater = st.cell();
+  Cell<P, E>* eq = st.cell();
+  ex.fork(splitm_from(ex, st, pivot, t, outL, greater, eq));
+  Node<P, E>* dup = co_await ex.touch(eq);
+  if (dup == nullptr) {
+    publish(ex, outR, co_await ex.touch(greater));
+  } else {
+    Node<P, E>* single = st.make_ready(dup->key, dup->pri, nullptr, nullptr);
+    single->value = dup->value;
+    if constexpr (E::kHasAug) {
+      using Ops = typename E::AugOps;
+      P::preset(*single->aug, Ops::from_entry(single->key, single->value));
+    }
+    ex.fork(union_into(ex, st, st.input(single), greater, outR));
+  }
+}
+
 // Pipelined difference (Figure 7): keys of `a` not present in `b` (b's
 // values are irrelevant).
 template <typename Ex, typename P, typename E>

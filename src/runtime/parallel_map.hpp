@@ -45,6 +45,7 @@
 
 #include "runtime/rt_map.hpp"
 #include "runtime/scheduler.hpp"
+#include "support/check.hpp"
 
 #if PWF_ANALYZE
 #include "analyze/rt_recorder.hpp"
@@ -92,10 +93,14 @@ class MapSnapshot {
   friend class ParallelMap<V, A>;
 
   MapSnapshot(std::shared_ptr<const map::Store<V, A>> store,
+              std::vector<std::shared_ptr<const map::Store<V, A>>> merged,
               map::Cell<V, A>* root)
-      : store_(std::move(store)), root_(root) {}
+      : store_(std::move(store)), merged_(std::move(merged)), root_(root) {}
 
   std::shared_ptr<const map::Store<V, A>> store_;  // pins the epoch's arena
+  // Stores of shards absorbed by adaptive merges — the pinned tree can
+  // still reference their nodes until the facade's next compact() rebuild.
+  std::vector<std::shared_ptr<const map::Store<V, A>>> merged_;
   map::Cell<V, A>* root_;
 };
 
@@ -144,6 +149,9 @@ class ParallelMap {
   // worker can drain them, so waiting would hang forever (any fiber still
   // queued at shutdown was dropped); the map is torn down as-is.
   ~ParallelMap() {
+    // An absorbed husk's pipeline belongs to the surviving shard (see
+    // absorb()); its pending accounting was already transferred.
+    if (released_) return;
     if (Scheduler::current() != nullptr) FramePool::wait_quiescent();
 #if PWF_ANALYZE
     analyze::note_pipeline_flushed(
@@ -208,14 +216,18 @@ class ParallelMap {
     auto fresh = std::make_shared<map::Store<V, A>>(salt_, leaf_cap_);
     map::Cell<V, A>* next = fresh->input(fresh->build(contents));
     std::shared_ptr<map::Store<V, A>> old;
+    std::vector<std::shared_ptr<const map::Store<V, A>>> merged;
     {
       std::lock_guard<std::mutex> lk(snap_mu_);
       root_.store(next, std::memory_order_seq_cst);
       old = std::exchange(store_, std::move(fresh));
+      merged = std::move(keep_alive_);
+      keep_alive_.clear();
     }
     while (active_readers_.load(std::memory_order_seq_cst) != 0)
       std::this_thread::yield();
     old.reset();
+    merged.clear();  // arenas of absorbed shards retire with the epoch
     size_.store(contents.size(), std::memory_order_relaxed);
     size_valid_.store(true, std::memory_order_relaxed);
 #if PWF_ANALYZE
@@ -232,7 +244,7 @@ class ParallelMap {
   // (and its reads race-free) across later batches and compactions.
   MapSnapshot<V, A> snapshot() const {
     std::lock_guard<std::mutex> lk(snap_mu_);
-    return MapSnapshot<V, A>(store_,
+    return MapSnapshot<V, A>(store_, keep_alive_,
                              root_.load(std::memory_order_seq_cst));
   }
 
@@ -270,7 +282,11 @@ class ParallelMap {
     s.max_pending = max_pending_.load(std::memory_order_relaxed);
     s.flushes = flushes_.load(std::memory_order_relaxed);
     s.epochs = epochs_.load(std::memory_order_relaxed);
-    s.arena_bytes = store_->bytes_used();
+    {
+      std::lock_guard<std::mutex> lk(snap_mu_);
+      s.arena_bytes = store_->bytes_used();
+      for (const auto& ka : keep_alive_) s.arena_bytes += ka->bytes_used();
+    }
     return s;
   }
 
@@ -288,7 +304,88 @@ class ParallelMap {
     return out;
   }
 
+  // ---- adaptive-sharding rebalance protocol --------------------------------
+  // Identical to ParallelSet's (see parallel_set.hpp for the two-phase
+  // split / husk-absorbing merge contract); docs/service.md has the story.
+
+  std::unique_ptr<ParallelMap> split_off(Key pivot) {
+    PWF_CHECK_MSG(split_pending_ == nullptr,
+                  "split_off before the previous split completed");
+    map::Cell<V, A>* cur = root_.load(std::memory_order_acquire);
+    map::Cell<V, A>* less = store_->cell();
+    map::Cell<V, A>* geq = store_->cell();
+    map::split_maps(*store_, cur, pivot, less, geq);
+    auto right = std::unique_ptr<ParallelMap>(
+        new ParallelMap(sched_, store_, geq, salt_, leaf_cap_));
+    {
+      std::lock_guard<std::mutex> lk(snap_mu_);
+      right->keep_alive_ = keep_alive_;
+    }
+    right->account_chain();
+    split_pending_ = less;
+    return right;
+  }
+
+  void complete_split() {
+    PWF_CHECK_MSG(split_pending_ != nullptr,
+                  "complete_split without a pending split_off");
+    account_chain();
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    root_.store(std::exchange(split_pending_, nullptr),
+                std::memory_order_release);
+  }
+
+  void absorb(ParallelMap& right) {
+    PWF_CHECK_MSG(&right != this && !right.released_, "bad absorb operand");
+    PWF_CHECK_MSG(split_pending_ == nullptr && right.split_pending_ == nullptr,
+                  "absorb during an incomplete split");
+    map::Cell<V, A>* a = root_.load(std::memory_order_acquire);
+    map::Cell<V, A>* b = right.root_.load(std::memory_order_acquire);
+    map::Cell<V, A>* out = map::join_maps(*store_, a, b);
+    account_chain();
+    {
+      std::lock_guard<std::mutex> lk(snap_mu_);
+      keep_alive_.push_back(right.store_);
+      keep_alive_.insert(keep_alive_.end(), right.keep_alive_.begin(),
+                         right.keep_alive_.end());
+      root_.store(out, std::memory_order_release);
+    }
+    batches_.fetch_add(right.batches_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    overlapped_.fetch_add(right.overlapped_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    flushes_.fetch_add(right.flushes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    epochs_.fetch_add(right.epochs_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    const std::uint64_t rhw =
+        right.max_pending_.load(std::memory_order_relaxed);
+    std::uint64_t hw = max_pending_.load(std::memory_order_relaxed);
+    while (rhw > hw &&
+           !max_pending_.compare_exchange_weak(hw, rhw,
+                                               std::memory_order_relaxed)) {
+    }
+    pending_.fetch_add(right.pending_.exchange(0, std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    right.released_ = true;
+  }
+
+  std::uint64_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Shares an existing store: the >= pivot half made by split_off().
+  ParallelMap(Scheduler& sched, std::shared_ptr<map::Store<V, A>> store,
+              map::Cell<V, A>* root, std::uint64_t salt, std::size_t leaf_cap)
+      : sched_(sched),
+        salt_(salt),
+        leaf_cap_(leaf_cap),
+        store_(std::move(store)),
+        root_(root) {
+    size_valid_.store(false, std::memory_order_relaxed);
+  }
+
   // Same seq_cst Dekker pair as ParallelSet (see parallel_set.cpp).
   struct ReadGuard {
     std::atomic<std::uint64_t>& count;
@@ -298,8 +395,7 @@ class ParallelMap {
     ~ReadGuard() { count.fetch_sub(1, std::memory_order_release); }
   };
 
-  void chain(map::Cell<V, A>* next) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
+  void account_chain() {
 #if PWF_ANALYZE
     analyze::note_pipeline_chained();
 #endif
@@ -311,6 +407,11 @@ class ParallelMap {
                                                std::memory_order_relaxed)) {
     }
     size_valid_.store(false, std::memory_order_relaxed);
+  }
+
+  void chain(map::Cell<V, A>* next) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    account_chain();
     root_.store(next, std::memory_order_release);
   }
 
@@ -333,6 +434,14 @@ class ParallelMap {
   std::size_t leaf_cap_;
   // Replaced wholesale by compact(); shared so snapshots can pin an epoch.
   std::shared_ptr<map::Store<V, A>> store_;
+  // Stores of shards this map absorbed, pinned until compact() rebuilds.
+  // Guarded by snap_mu_ (stats()/snapshot() read while the mutator appends).
+  std::vector<std::shared_ptr<const map::Store<V, A>>> keep_alive_;
+  // The < pivot root between split_off() and complete_split().
+  map::Cell<V, A>* split_pending_ = nullptr;
+  // Set on the absorbed husk: its in-flight work now belongs to the
+  // surviving pipeline, so the destructor must not wait for it.
+  bool released_ = false;
   std::atomic<map::Cell<V, A>*> root_;
 
   // Pairs (store_, root_) for snapshot() against compact()'s swap. Never

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "pipelined/treap_walk.hpp"
+#include "support/check.hpp"
 
 #if PWF_ANALYZE
 #include "analyze/rt_recorder.hpp"
@@ -52,6 +53,10 @@ std::vector<SetSnapshot::Key> SetSnapshot::keys() const {
 }
 
 ParallelSet::~ParallelSet() {
+  // An absorbed husk's pipeline belongs to the surviving shard: its pending
+  // accounting was transferred by absorb() and waiting here would serialize
+  // the merge against the in-flight join.
+  if (released_) return;
   // Only a live scheduler can drain in-flight fibers; after ~Scheduler the
   // frame pool can never reach quiescence (workers are gone and any fiber
   // still queued at shutdown was dropped), so spinning would hang forever.
@@ -91,8 +96,7 @@ treap::Cell* ParallelSet::build_batch(std::span<const Key> keys) {
   return store_->input(store_->build(sorted));
 }
 
-void ParallelSet::chain(treap::Cell* next) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
+void ParallelSet::account_chain() {
 #if PWF_ANALYZE
   analyze::note_pipeline_chained();
 #endif
@@ -104,6 +108,11 @@ void ParallelSet::chain(treap::Cell* next) {
                                              std::memory_order_relaxed)) {
   }
   size_valid_.store(false, std::memory_order_relaxed);
+}
+
+void ParallelSet::chain(treap::Cell* next) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  account_chain();
   // Publish after the accounting so a reader that sees the new root also
   // sees size_valid_ == false.
   root_.store(next, std::memory_order_release);
@@ -127,6 +136,84 @@ void ParallelSet::retain_batch(std::span<const Key> keys) {
   treap::Cell* cur = root_.load(std::memory_order_acquire);
   if (!cur->written()) overlapped_.fetch_add(1, std::memory_order_relaxed);
   chain(treap::intersect_treaps(*store_, cur, build_batch(keys)));
+}
+
+ParallelSet::ParallelSet(Scheduler& sched, std::shared_ptr<treap::Store> store,
+                         treap::Cell* root, std::uint64_t salt,
+                         std::size_t leaf_cap)
+    : sched_(sched),
+      salt_(salt),
+      leaf_cap_(leaf_cap),
+      store_(std::move(store)),
+      root_(root) {
+  size_valid_.store(false, std::memory_order_relaxed);
+}
+
+std::unique_ptr<ParallelSet> ParallelSet::split_off(Key pivot) {
+  PWF_CHECK_MSG(split_pending_ == nullptr,
+                "split_off before the previous split completed");
+  treap::Cell* cur = root_.load(std::memory_order_acquire);
+  treap::Cell* less = store_->cell();
+  treap::Cell* geq = store_->cell();
+  treap::split_treaps(*store_, cur, pivot, less, geq);
+  auto right = std::unique_ptr<ParallelSet>(
+      new ParallelSet(sched_, store_, geq, salt_, leaf_cap_));
+  {
+    // The >= half can reference nodes from every store this set keeps
+    // alive (past merges), so the new shard pins them too.
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    right->keep_alive_ = keep_alive_;
+  }
+  right->account_chain();
+  split_pending_ = less;
+  return right;
+}
+
+void ParallelSet::complete_split() {
+  PWF_CHECK_MSG(split_pending_ != nullptr,
+                "complete_split without a pending split_off");
+  account_chain();
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  root_.store(std::exchange(split_pending_, nullptr),
+              std::memory_order_release);
+}
+
+void ParallelSet::absorb(ParallelSet& right) {
+  PWF_CHECK_MSG(&right != this && !right.released_, "bad absorb operand");
+  PWF_CHECK_MSG(split_pending_ == nullptr && right.split_pending_ == nullptr,
+                "absorb during an incomplete split");
+  treap::Cell* a = root_.load(std::memory_order_acquire);
+  treap::Cell* b = right.root_.load(std::memory_order_acquire);
+  // The join allocates in *this* store; right's arena (plus anything it
+  // kept alive) stays pinned below until compact() rebuilds.
+  treap::Cell* out = treap::join_treaps(*store_, a, b);
+  account_chain();
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    keep_alive_.push_back(right.store_);
+    keep_alive_.insert(keep_alive_.end(), right.keep_alive_.begin(),
+                       right.keep_alive_.end());
+    root_.store(out, std::memory_order_release);
+  }
+  // Fold the husk's counters into the surviving pipeline: transferring
+  // pending keeps the analyze-mode chained/flushed ledger balanced.
+  batches_.fetch_add(right.batches_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  overlapped_.fetch_add(right.overlapped_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  flushes_.fetch_add(right.flushes_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  epochs_.fetch_add(right.epochs_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const std::uint64_t rhw = right.max_pending_.load(std::memory_order_relaxed);
+  std::uint64_t hw = max_pending_.load(std::memory_order_relaxed);
+  while (rhw > hw &&
+         !max_pending_.compare_exchange_weak(hw, rhw,
+                                             std::memory_order_relaxed)) {
+  }
+  pending_.fetch_add(right.pending_.exchange(0, std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  right.released_ = true;
 }
 
 void ParallelSet::force_recount() const {
@@ -158,16 +245,21 @@ void ParallelSet::compact() {
   // (store_, root_) pair is swapped under snap_mu_ so a concurrent
   // snapshot() never pairs a root with the wrong epoch's store.
   std::shared_ptr<treap::Store> old;
+  std::vector<std::shared_ptr<const treap::Store>> merged;
   {
     std::lock_guard<std::mutex> lk(snap_mu_);
     root_.store(next, std::memory_order_seq_cst);
     old = std::exchange(store_, std::move(fresh));
+    merged = std::move(keep_alive_);
+    keep_alive_.clear();
   }
   while (active_readers_.load(std::memory_order_seq_cst) != 0)
     std::this_thread::yield();
-  // Refcounted epoch retirement: frees every superseded node and cell now,
-  // unless a live SetSnapshot still pins the old epoch.
+  // Refcounted epoch retirement: frees every superseded node and cell now
+  // — including arenas of shards absorbed by adaptive merges — unless a
+  // live SetSnapshot still pins the old epoch.
   old.reset();
+  merged.clear();
   size_.store(snapshot.size(), std::memory_order_relaxed);
   size_valid_.store(true, std::memory_order_relaxed);
 #if PWF_ANALYZE
@@ -181,7 +273,8 @@ void ParallelSet::compact() {
 
 SetSnapshot ParallelSet::snapshot() const {
   std::lock_guard<std::mutex> lk(snap_mu_);
-  return SetSnapshot(store_, root_.load(std::memory_order_seq_cst));
+  return SetSnapshot(store_, keep_alive_,
+                     root_.load(std::memory_order_seq_cst));
 }
 
 bool ParallelSet::contains(Key k) const {
@@ -212,7 +305,11 @@ ParallelSet::Stats ParallelSet::stats() const {
   s.max_pending = max_pending_.load(std::memory_order_relaxed);
   s.flushes = flushes_.load(std::memory_order_relaxed);
   s.epochs = epochs_.load(std::memory_order_relaxed);
-  s.arena_bytes = store_->bytes_used();
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    s.arena_bytes = store_->bytes_used();
+    for (const auto& ka : keep_alive_) s.arena_bytes += ka->bytes_used();
+  }
   return s;
 }
 

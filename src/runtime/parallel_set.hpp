@@ -63,10 +63,15 @@ class SetSnapshot {
  private:
   friend class ParallelSet;
 
-  SetSnapshot(std::shared_ptr<const treap::Store> store, treap::Cell* root)
-      : store_(std::move(store)), root_(root) {}
+  SetSnapshot(std::shared_ptr<const treap::Store> store,
+              std::vector<std::shared_ptr<const treap::Store>> merged,
+              treap::Cell* root)
+      : store_(std::move(store)), merged_(std::move(merged)), root_(root) {}
 
   std::shared_ptr<const treap::Store> store_;  // pins the epoch's arena
+  // Stores of shards absorbed by adaptive merges: the pinned tree can still
+  // reference their nodes until the facade's next compact() rebuild.
+  std::vector<std::shared_ptr<const treap::Store>> merged_;
   treap::Cell* root_;
 };
 
@@ -153,12 +158,48 @@ class ParallelSet {
   Stats stats() const;
   CacheEconomy cache_economy() const;  // forces the whole snapshot
 
+  // ---- adaptive-sharding rebalance protocol (docs/service.md) ------------
+  //
+  // Mutator-class calls used by the sharded facades' contention-adaptive
+  // rebalancer. Both halves of a split and a merge are pipelined treap ops
+  // chained like any batch: they return immediately and materialize on the
+  // scheduler, overlapping in-flight batches.
+
+  // Phase 1 of a split: forks a pipelined split at `pivot` and returns a
+  // new set owning the keys >= pivot (sharing this set's store and salt, so
+  // node priorities stay consistent across future joins). This set keeps
+  // answering from the *full* pre-split tree until complete_split() installs
+  // the < pivot root — the caller republishes its routing table in between,
+  // so no reader routed by the old table can miss a key.
+  std::unique_ptr<ParallelSet> split_off(Key pivot);
+  // Phase 2: publish the keys-below-pivot root computed by split_off().
+  void complete_split();
+
+  // Concatenates `right` — every key of which must be >= every key of this
+  // set (adjacent shard ranges) — onto this pipeline with a pipelined join.
+  // `right` becomes an absorbed husk: its store is kept alive by this set
+  // until the next compact(), its counters fold into this set's, and its
+  // destructor skips quiescence (this pipeline owns the in-flight work now).
+  // The caller destroys the husk once no reader can still route to it.
+  void absorb(ParallelSet& right);
+
+  // Unflushed batch depth of this pipeline (adaptive facade heat stats).
+  std::uint64_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Shares an existing store: the >= pivot half made by split_off().
+  ParallelSet(Scheduler& sched, std::shared_ptr<treap::Store> store,
+              treap::Cell* root, std::uint64_t salt, std::size_t leaf_cap);
   // Builds a treap over a batch (sorted + deduplicated copy).
   treap::Cell* build_batch(std::span<const Key> keys);
   // Publishes `next` as the new root and maintains the pending/overlap
   // accounting shared by all three mutators.
   void chain(treap::Cell* next);
+  // The pending/size bookkeeping of chain() without the root publish —
+  // rebalance ops account here (they are pipeline work, not batches).
+  void account_chain();
   // Blocks until the tree under the current root is fully written; refreshes
   // size_. const: logically a read (all mutable state is cache/accounting).
   void force_recount() const;
@@ -168,6 +209,15 @@ class ParallelSet {
   std::size_t leaf_cap_;
   // Replaced wholesale by compact(); shared so snapshots can pin an epoch.
   std::shared_ptr<treap::Store> store_;
+  // Stores of shards this set absorbed: the live tree references their
+  // nodes until compact() rebuilds into a fresh arena. Guarded by snap_mu_
+  // (stats()/snapshot() read it while the mutator appends).
+  std::vector<std::shared_ptr<const treap::Store>> keep_alive_;
+  // The < pivot root between split_off() and complete_split().
+  treap::Cell* split_pending_ = nullptr;
+  // Set by absorb() on the absorbed husk: its in-flight work now belongs to
+  // the surviving pipeline, so the destructor must not wait for it.
+  bool released_ = false;
   std::atomic<treap::Cell*> root_;
 
   // Pairs (store_, root_) for snapshot() against compact()'s swap. Never

@@ -100,6 +100,32 @@ pt::Cell<pipelined::RtPolicy, E>* diff_maps(
   return out;
 }
 
+// Rebalance primitives for the contention-adaptive sharded map facade,
+// mirroring rt::treap::split_treaps/join_treaps (docs/service.md).
+
+// Pipelined range split: keys < pivot into *outL, keys >= pivot into *outR.
+template <typename E>
+void split_maps(pt::Store<pipelined::RtPolicy, E>& st,
+                pt::Cell<pipelined::RtPolicy, E>* in, Key pivot,
+                pt::Cell<pipelined::RtPolicy, E>* outL,
+                pt::Cell<pipelined::RtPolicy, E>* outR) {
+  pipelined::RtExec ex;
+  ex.fork(pt::split_at(ex, st, pivot, in, outL, outR));
+  if (Scheduler* s = Scheduler::current()) s->note_rebalance();
+}
+
+// Pipelined range-disjoint join: every key of `a` < every key of `b`.
+template <typename E>
+pt::Cell<pipelined::RtPolicy, E>* join_maps(
+    pt::Store<pipelined::RtPolicy, E>& st,
+    pt::Cell<pipelined::RtPolicy, E>* a, pt::Cell<pipelined::RtPolicy, E>* b) {
+  pipelined::RtExec ex;
+  auto* out = st.cell();
+  ex.fork(pt::join_entry(ex, st, a, b, out));
+  if (Scheduler* s = Scheduler::current()) s->note_rebalance();
+  return out;
+}
+
 // ---- joins / analysis ------------------------------------------------------
 //
 // All walks are the shared explicit-stack visitors of

@@ -27,6 +27,20 @@ Cell* intersect_treaps(Store& st, Cell* a, Cell* b) {
   return out;
 }
 
+void split_treaps(Store& st, Cell* in, Key pivot, Cell* outL, Cell* outR) {
+  pl::RtExec ex;
+  ex.fork(pl::treap::split_at(ex, st, pivot, in, outL, outR));
+  if (Scheduler* s = Scheduler::current()) s->note_rebalance();
+}
+
+Cell* join_treaps(Store& st, Cell* a, Cell* b) {
+  pl::RtExec ex;
+  Cell* out = st.cell();
+  ex.fork(pl::treap::join_entry(ex, st, a, b, out));
+  if (Scheduler* s = Scheduler::current()) s->note_rebalance();
+  return out;
+}
+
 Node* union_strict_blocking(Store& st, Node* a, Node* b) {
   pl::RtExec ex;
   Cell* result = st.cell();

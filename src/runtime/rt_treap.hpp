@@ -31,6 +31,15 @@ Cell* union_treaps(Store& st, Cell* a, Cell* b);
 Cell* diff_treaps(Store& st, Cell* a, Cell* b);
 Cell* intersect_treaps(Store& st, Cell* a, Cell* b);
 
+// Rebalance primitives for the contention-adaptive sharded facades
+// (docs/service.md): pipelined range split (keys < pivot into *outL, keys
+// >= pivot into *outR) and range-disjoint join (every key of `a` < every
+// key of `b`). Both return immediately — the result materializes on the
+// scheduler, overlapping in-flight batches — and bump Scheduler::Stats
+// rebalances.
+void split_treaps(Store& st, Cell* in, Key pivot, Cell* outL, Cell* outR);
+Cell* join_treaps(Store& st, Cell* a, Cell* b);
+
 // Strict fork-join baselines on the runtime (same bodies as the cost
 // model's union_strict/diff_strict). Block the calling thread until the
 // result treap is complete.

@@ -29,6 +29,7 @@ Scheduler::Stats Scheduler::stats() const {
   s.serial_cutoffs = serial_cutoffs_.load(std::memory_order_relaxed);
   s.leaf_ops = leaf_ops_.load(std::memory_order_relaxed);
   s.aug_ops = aug_ops_.load(std::memory_order_relaxed);
+  s.rebalances = rebalances_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
   const FramePool::Stats pool = FramePool::stats();
   s.frame_pool_hits = pool.hits;

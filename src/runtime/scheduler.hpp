@@ -57,6 +57,7 @@ class Scheduler {
     std::uint64_t serial_cutoffs = 0;    // substrate serial-path activations
     std::uint64_t leaf_ops = 0;          // leaf-chunk fast-path activations
     std::uint64_t aug_ops = 0;           // aggregate recomputation fibers
+    std::uint64_t rebalances = 0;        // shard split/join ops launched
     std::uint64_t wakeups = 0;           // park_cv_ signals issued by post()
     std::uint64_t frame_pool_hits = 0;   // frames served from a freelist
     std::uint64_t frame_pool_misses = 0; // frames that hit the heap
@@ -79,6 +80,12 @@ class Scheduler {
   // (docs/augmentation.md) — the augmentation-overhead column of E25.
   void note_aug_op() {
     aug_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Called by the rt split/join drivers when the adaptive sharded facades
+  // launch a rebalance op (docs/service.md).
+  void note_rebalance() {
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
@@ -121,6 +128,7 @@ class Scheduler {
   std::atomic<std::uint64_t> serial_cutoffs_{0};
   std::atomic<std::uint64_t> leaf_ops_{0};
   std::atomic<std::uint64_t> aug_ops_{0};
+  std::atomic<std::uint64_t> rebalances_{0};
   std::atomic<std::uint64_t> wakeups_{0};
 };
 

@@ -1,0 +1,171 @@
+// Contention-adaptive sharding support (docs/service.md): the per-shard
+// traffic statistics, split/merge thresholds, and epoch-published routing
+// table shared by ShardedParallelSet and ShardedParallelMap<V, A>.
+//
+// The adaptation idea follows the lock-free contention-adapting search
+// tree (ROADMAP): every shard keeps per-batch contention/occupancy stats;
+// crossing a high threshold splits the shard at its weighted traffic
+// median, and adjacent shards falling below a low threshold merge. The
+// rebalance primitives themselves are the pipelined treap split/join
+// bodies (ParallelSet::split_off / absorb and the map equivalents), so a
+// rebalance overlaps in-flight batches instead of stopping the world.
+//
+// Routing: readers resolve their shard through an atomically published,
+// immutable Table (sorted split points + shard pointers). A structural
+// change builds a fresh Table, publishes it seq_cst, then drains a
+// Dekker-style reader count before retiring the old table and destroying
+// absorbed shard husks — the same epoch-retirement protocol the facades'
+// compact() uses for stores.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace pwf::rt::adapt {
+
+using Key = std::int64_t;
+
+// Thresholds and knobs of the adaptive rebalancer. `heat` below is a
+// shard's share of a batch's routed keys times the shard count, smoothed
+// by an EWMA — 1.0 is a perfectly fair share regardless of shard count, so
+// the thresholds don't need retuning as the partition grows.
+struct Config {
+  bool enabled = false;   // false: static partition (the legacy behavior)
+  double high_cont = 3.0; // split a shard whose heat exceeds this
+  double low_cont = 0.5;  // merge neighbors whose summed heat is below this
+  double alpha = 0.25;    // per-batch EWMA smoothing factor
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 64;
+  std::size_t sample_cap = 256;  // per-shard routed-key ring sample
+  std::uint64_t cooldown = 4;    // batches between structural changes
+};
+
+// Effective split threshold at the current shard count. Heat can never
+// exceed S (share <= 1), so a raw `high_cont` above S is unreachable — at
+// S=2 the default 3.0 would wedge a fully concentrated stream forever.
+// Capping at 3/4 of the ceiling keeps the configured threshold where it is
+// reachable and still demands a sustained >= 75% traffic share before the
+// smallest partitions split.
+inline double split_threshold(const Config& cfg, std::size_t shards) {
+  return std::min(cfg.high_cont, 0.75 * static_cast<double>(shards));
+}
+
+// Per-shard traffic record. Written only by the facade's single mutator
+// thread; the facade serializes reads (stats accessors) with a mutex.
+struct Heat {
+  double heat = 1.0;    // EWMA of share-of-batch x shard count
+  double lat_ms = 0.0;  // EWMA of this shard's per-batch slice latency
+  std::uint64_t routed = 0;  // cumulative keys routed here
+  std::vector<Key> sample;   // ring of recently routed keys
+  std::size_t sample_pos = 0;
+
+  void record(std::span<const Key> slice, std::size_t batch_total,
+              std::size_t shard_count, const Config& cfg, double ms) {
+    const double share =
+        batch_total == 0
+            ? 0.0
+            : static_cast<double>(slice.size()) /
+                  static_cast<double>(batch_total);
+    heat = (1.0 - cfg.alpha) * heat +
+           cfg.alpha * share * static_cast<double>(shard_count);
+    if (slice.empty()) return;
+    lat_ms = (1.0 - cfg.alpha) * lat_ms + cfg.alpha * ms;
+    routed += slice.size();
+    if (cfg.sample_cap == 0) return;
+    for (Key k : slice) {
+      if (sample.size() < cfg.sample_cap) {
+        sample.push_back(k);
+      } else {
+        sample[sample_pos] = k;
+        sample_pos = (sample_pos + 1) % cfg.sample_cap;
+      }
+    }
+  }
+};
+
+// Weighted median of a shard's sampled traffic: the ring holds one entry
+// per routed key, so popular keys weight the median toward themselves.
+// Returns nullopt when the sample can't produce a pivot that puts traffic
+// on both sides (fewer than two distinct keys). Deterministic for a given
+// sample — the unit tests pin the selected pivot for a known skew.
+inline std::optional<Key> split_point(std::vector<Key> s) {
+  if (s.size() < 2) return std::nullopt;
+  std::sort(s.begin(), s.end());
+  std::size_t mid = s.size() / 2;
+  if (s[mid] == s.front()) {
+    // The median equals the minimum (one key dominates the traffic): the
+    // < side would get nothing. Take the next distinct key, if any.
+    while (mid < s.size() && s[mid] == s.front()) ++mid;
+    if (mid == s.size()) return std::nullopt;
+  }
+  return s[mid];
+}
+
+// Immutable routing epoch: shard i owns [lowers[i-1], lowers[i]) with the
+// open ends at INT64_MIN/INT64_MAX. upper_bound keeps the boundary key
+// itself in the right (higher) shard, matching the facades' lower_bound
+// batch slicing.
+template <typename Shard>
+struct Table {
+  std::vector<Key> lowers;     // lowers[i] = lower bound of shards[i + 1]
+  std::vector<Shard*> shards;  // shards.size() == lowers.size() + 1
+
+  std::size_t index(Key k) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(lowers.begin(), lowers.end(), k) - lowers.begin());
+  }
+};
+
+// Atomically published routing table with Dekker-drained retirement.
+template <typename Shard>
+class Router {
+ public:
+  Router() : table_(new Table<Shard>{}) {}
+  ~Router() { delete table_.load(std::memory_order_acquire); }
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Reader side: announce (seq_cst, pairing with publish()'s seq_cst
+  // exchange), then load. While the guard lives, the table — and every
+  // shard it points to — cannot be retired.
+  class Guard {
+   public:
+    explicit Guard(const Router& r) : r_(r) {
+      r_.readers_.fetch_add(1, std::memory_order_seq_cst);
+      table_ = r_.table_.load(std::memory_order_seq_cst);
+    }
+    ~Guard() { r_.readers_.fetch_sub(1, std::memory_order_release); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    const Table<Shard>* operator->() const { return table_; }
+    const Table<Shard>& operator*() const { return *table_; }
+
+   private:
+    const Router& r_;
+    const Table<Shard>* table_;
+  };
+
+  // Mutator side: publish a rebuilt partition and drain every reader that
+  // could still hold the old table. On return no Guard references the old
+  // epoch — a shard absent from the new table (a merged-away husk) is safe
+  // to destroy.
+  void publish(std::vector<Shard*> shards, std::vector<Key> lowers) {
+    auto* fresh = new Table<Shard>{std::move(lowers), std::move(shards)};
+    const Table<Shard>* old = table_.exchange(fresh, std::memory_order_seq_cst);
+    while (readers_.load(std::memory_order_seq_cst) != 0)
+      std::this_thread::yield();
+    delete old;
+  }
+
+ private:
+  std::atomic<const Table<Shard>*> table_;
+  mutable std::atomic<std::uint64_t> readers_{0};
+};
+
+}  // namespace pwf::rt::adapt

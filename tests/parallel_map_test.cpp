@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <thread>
 #include <vector>
@@ -241,6 +242,50 @@ TEST_P(ShardedMapSweep, MatchesUnshardedAndStdMap) {
   sh.compact();
   EXPECT_EQ(sh.stats().epochs, shards);
   EXPECT_EQ(sh.items(), std::vector<Item>(ref.begin(), ref.end()));
+}
+
+// Routing at the extremes of the key space (see the set-facade twin): the
+// sign-bit partition must keep INT64_MIN/INT64_MAX in the first/last shard,
+// boundary keys in the right-hand shard, and S=1 must accept everything.
+TEST_P(ShardedMapSweep, ExtremeAndBoundaryKeysRouteCorrectly) {
+  const unsigned shards = static_cast<unsigned>(GetParam());
+  Scheduler sched(2);
+  ShardedParallelMap<std::int64_t> sh(sched, shards);
+  constexpr map::Key kMin = std::numeric_limits<map::Key>::min();
+  constexpr map::Key kMax = std::numeric_limits<map::Key>::max();
+  auto add = [](std::int64_t x, std::int64_t y) { return x + y; };
+
+  const std::vector<map::Key> lowers = sh.boundaries();
+  EXPECT_EQ(lowers.size(), shards - 1u);
+  std::vector<map::Key> edges{kMin, kMin + 1, -1, 0, 1, kMax - 1, kMax};
+  for (const map::Key b : lowers) {
+    edges.push_back(b - 1);
+    edges.push_back(b);
+    edges.push_back(b + 1);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<Item> batch;
+  for (const map::Key k : edges) batch.emplace_back(k, k < 0 ? -7 : 7);
+  sh.insert_batch(batch, add);
+  EXPECT_EQ(sh.size(), edges.size());
+  for (const map::Key k : edges)
+    ASSERT_EQ(sh.get(k), std::optional<std::int64_t>(k < 0 ? -7 : 7)) << k;
+  EXPECT_EQ(sh.get(2), std::nullopt);
+
+  // Merging a second batch at the extremes must hit the stored entries, not
+  // insert fresh ones in a mis-routed shard.
+  const std::vector<Item> extremes{{kMin, -7}, {kMax, 7}};
+  sh.insert_batch(extremes, add);
+  EXPECT_EQ(sh.get(kMin), std::optional<std::int64_t>(-14));
+  EXPECT_EQ(sh.get(kMax), std::optional<std::int64_t>(14));
+  EXPECT_EQ(sh.size(), edges.size());
+
+  sh.erase_batch(std::vector<map::Key>{kMin, kMax});
+  EXPECT_EQ(sh.get(kMin), std::nullopt);
+  EXPECT_EQ(sh.get(kMax), std::nullopt);
+  EXPECT_EQ(sh.size(), edges.size() - 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ShardedMapSweep, ::testing::Values(1, 4));

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -382,6 +383,55 @@ TEST_P(ShardedSetSweep, MatchesUnshardedAndStdSet) {
   sh.compact();
   EXPECT_EQ(sh.stats().epochs, shards);
   EXPECT_EQ(sh.keys(), std::vector<std::int64_t>(ref.begin(), ref.end()));
+}
+
+// Pins the routing behavior at the extremes of the key space: INT64_MIN and
+// INT64_MAX must route to the first/last shard (the initial equal-width
+// partition maps int64 to uint64 by flipping the sign bit, and the S=1
+// partition has no boundaries at all), and every published split point must
+// keep the boundary key itself in the right-hand shard.
+TEST_P(ShardedSetSweep, ExtremeAndBoundaryKeysRouteCorrectly) {
+  const unsigned shards = static_cast<unsigned>(GetParam());
+  Scheduler sched(2);
+  ShardedParallelSet sh(sched, shards);
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  const std::vector<std::int64_t> lowers = sh.boundaries();
+  EXPECT_EQ(lowers.size(), shards - 1u);
+  std::vector<std::int64_t> edges{kMin, kMin + 1, -1, 0, 1, kMax - 1, kMax};
+  for (const std::int64_t b : lowers) {
+    edges.push_back(b - 1);  // last key of the left shard
+    edges.push_back(b);      // first key of the right shard
+    edges.push_back(b + 1);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  sh.insert_batch(edges);
+  EXPECT_EQ(sh.keys(), edges);
+  EXPECT_EQ(sh.size(), edges.size());
+  for (const std::int64_t k : edges) EXPECT_TRUE(sh.contains(k));
+  EXPECT_FALSE(sh.contains(2));
+  EXPECT_FALSE(sh.contains(kMin + 2));
+
+  // Per-shard sizes must agree with the boundary contract: shard i owns
+  // [lowers[i-1], lowers[i]).
+  std::size_t across = 0;
+  for (unsigned i = 0; i < shards; ++i) {
+    const std::int64_t lo = i == 0 ? kMin : lowers[i - 1];
+    const bool last = i + 1 == shards;
+    std::size_t expect = 0;
+    for (const std::int64_t k : edges)
+      if (k >= lo && (last || k < lowers[i])) ++expect;
+    across += expect;
+  }
+  EXPECT_EQ(across, edges.size());
+
+  sh.erase_batch(std::vector<std::int64_t>{kMin, kMax});
+  EXPECT_FALSE(sh.contains(kMin));
+  EXPECT_FALSE(sh.contains(kMax));
+  EXPECT_EQ(sh.size(), edges.size() - 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ShardedSetSweep, ::testing::Values(1, 3, 8));

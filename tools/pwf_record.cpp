@@ -168,6 +168,55 @@ bool run_treap(std::size_t cap, std::size_t thr, const Config& cfg) {
   return verify_trace(eng, what, cfg, /*expected_epochs=*/2) && ok;
 }
 
+// The adaptive sharded facades rebalance with pipelined split/join while
+// batches are still in flight (docs/service.md). This family records that
+// exact shape: union a batch into a base treap, split the still-resolving
+// result at a pivot (an existing key, so split_at's singleton-reattach path
+// runs), keep batching into both halves, then join them back — one engine
+// lifetime, verified as a single DAG.
+bool run_shard_rebalance(std::size_t cap, std::size_t thr, const Config& cfg) {
+  const std::string what = run_name("shard-rebalance", cap, thr);
+  const auto base = random_keys(cfg.n, 701);
+  const auto batch1 = random_keys(cfg.n / 2, 702);
+  const auto batch2 = random_keys(cfg.n / 2, 703);
+  std::vector<Key> u;
+  std::set_union(base.begin(), base.end(), batch1.begin(), batch1.end(),
+                 std::back_inserter(u));
+  const Key pivot = u[u.size() / 2];  // existing key: exercises key == pivot
+  std::vector<Key> ins_l, del_r;
+  for (Key k : batch2) (k < pivot ? ins_l : del_r).push_back(k);
+  std::set<Key> lref, rref;
+  for (Key k : u) (k < pivot ? lref : rref).insert(k);
+  lref.insert(ins_l.begin(), ins_l.end());
+  for (Key k : del_r) rref.erase(k);
+  std::vector<Key> joined(lref.begin(), lref.end());
+  joined.insert(joined.end(), rref.begin(), rref.end());
+
+  pwf::cm::Engine eng(/*trace_enabled=*/true);
+  RecExec ex(eng, thr);
+  bool ok = true;
+  {
+    rec::TreapStore st(eng, pwf::pipelined::treap::kDefaultSalt, cap);
+    rec::TreapCell* uc = rec::union_treaps(
+        ex, st, st.input(st.build(base)), st.input(st.build(batch1)));
+    // Split while the union is (logically) still resolving: the rebalance
+    // overlaps the in-flight batch, exactly like ParallelSet::split_off.
+    rec::TreapCell* less = st.cell();
+    rec::TreapCell* geq = st.cell();
+    rec::split_treap(ex, st, pivot, uc, less, geq);
+    rec::TreapCell* l2 =
+        rec::union_treaps(ex, st, less, st.input(st.build(ins_l)));
+    rec::TreapCell* r2 =
+        rec::diff_treaps(ex, st, geq, st.input(st.build(del_r)));
+    rec::TreapCell* back = rec::join_treaps(ex, st, l2, r2);
+    ok &= rec::treap_inorder(less) ==
+          std::vector<Key>(u.begin(), u.begin() + (u.size() / 2));
+    ok &= rec::treap_inorder(back) == joined;
+  }
+  if (!ok) std::fprintf(stderr, "FAIL %s: result mismatch\n", what.c_str());
+  return verify_trace(eng, what, cfg) && ok;
+}
+
 bool run_aug_map(std::size_t cap, std::size_t thr, const Config& cfg) {
   const std::string what = run_name("aug-map-setops", cap, thr);
   const auto make_items = [](std::size_t n, std::uint64_t seed) {
@@ -322,9 +371,13 @@ struct Family {
 };
 
 constexpr Family kFamilies[] = {
-    {"treap", run_treap},           {"aug-map", run_aug_map},
-    {"trees", run_trees},           {"ttree", run_ttree},
-    {"mergesort", run_mergesort},   {"quicksort", run_quicksort},
+    {"treap", run_treap},
+    {"shard-rebalance", run_shard_rebalance},
+    {"aug-map", run_aug_map},
+    {"trees", run_trees},
+    {"ttree", run_ttree},
+    {"mergesort", run_mergesort},
+    {"quicksort", run_quicksort},
     {"produce-consume", run_produce_consume},
 };
 
@@ -333,8 +386,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--grid smoke|full] [--family NAME|all] [--leaf-cap N]\n"
       "          [--threshold N] [--n N] [--verbose]\n"
-      "families: treap aug-map trees ttree mergesort quicksort "
-      "produce-consume\n"
+      "families: treap shard-rebalance aug-map trees ttree mergesort "
+      "quicksort produce-consume\n"
       "Defaults run the full grid: leaf cap {0,1,32} x threshold {0,1,128}.\n",
       argv0);
   return 2;
