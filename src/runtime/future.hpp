@@ -57,6 +57,10 @@ class FutCell {
   };
 
  public:
+  // The carried value type (generic walks — rt_async.hpp — recover the
+  // node type from a cell pointer through this).
+  using value_type = T;
+
 #if PWF_ANALYZE
   // Cells are arena/stack allocated, so one address can host several cell
   // incarnations; the recorder uses creates to keep them apart.
@@ -101,7 +105,11 @@ class FutCell {
     if (w != nullptr) {
       // Resolve the scheduler once for the whole repost loop — this is the
       // hot write path, and a long waiter list should not pay one atomic
-      // load of the global per waiter.
+      // load of the global per waiter. Writes may come from worker fibers,
+      // external threads, or fibers running on the reactor thread during
+      // its shutdown drain (io_reactor.cpp) — all of them repost through
+      // post(), whose fence-audited Dekker handshake covers the non-worker
+      // cases.
       Scheduler* s = Scheduler::current();
       PWF_CHECK(s != nullptr);
       do {

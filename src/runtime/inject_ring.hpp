@@ -1,5 +1,8 @@
 // Bounded lock-free ring for the scheduler's injection queue (posts from
-// non-worker threads: test mains, facades, blocking joins that repost).
+// non-worker threads: test mains, facades, blocking joins that repost, and
+// the I/O reactor thread reposting fibers whose fd/timer became ready —
+// io_reactor.cpp pushes here on every wakeup, so the ring is on the
+// latency path of the E27 server harness).
 //
 // Producers are any external threads, consumers are all workers, so this is
 // Vyukov's bounded MPMC queue: each slot carries a sequence number that

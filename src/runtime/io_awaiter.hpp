@@ -1,0 +1,101 @@
+// Awaitables over IoReactor — the I/O counterparts of `co_await cell`.
+//
+//   std::uint32_t r = co_await wait_readable(reactor, fd);   // 0 = cancelled
+//   std::uint32_t r = co_await wait_writable(reactor, fd);
+//   bool fired = co_await sleep_for(reactor, 10ms);           // false = cancelled
+//   bool fired = co_await sleep_until(reactor, deadline, &tag);
+//   reactor.cancel(&tag);                                     // from anywhere
+//
+// Shape follows the libcoro scheduler (SNIPPETS.md #3: `co_await pool`,
+// `pool.sleep_for(dur, id)` with tag-based cancellation). The awaiter holds
+// the IoWaiter record, so parking allocates nothing: the record lives in
+// the suspended coroutine frame exactly like a FutCell waiter node, and the
+// same publication discipline applies — after park_* accepts the waiter,
+// the frame may be resumed (and destroyed) by another thread before
+// await_suspend even returns, so nothing is touched after the call.
+#pragma once
+
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+
+#include "runtime/io_reactor.hpp"
+
+namespace pwf::rt {
+
+// Park until `fd` has one of `events` ready (one-shot). await_resume
+// returns the ready bits (IoReactor::kReadable/kWritable/kError), or 0 if
+// the park was cancelled or the reactor shut down.
+class FdAwaiter {
+ public:
+  FdAwaiter(IoReactor& r, int fd, std::uint32_t events,
+            const void* tag = nullptr) noexcept
+      : r_(r) {
+    w_.fd = fd;
+    w_.events = events;
+    w_.tag = tag;
+  }
+
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> h) noexcept {
+    w_.handle = h;
+    // True: parked — the reactor owns w_ and may already have destroyed
+    // this frame; suspend without touching anything. False: reactor
+    // stopped — keep running, await_resume reads the cancelled result.
+    return r_.park_fd(&w_);
+  }
+  std::uint32_t await_resume() const noexcept { return w_.result; }
+
+ private:
+  IoReactor& r_;
+  IoWaiter w_{};
+};
+
+// Park until a steady_clock deadline. await_resume: true = deadline fired,
+// false = cancelled (via tag) or reactor shutdown. Deadlines at or before
+// now fire immediately (one bounce through the inject ring), so zero and
+// negative sleep_for durations are yields, not hangs.
+class SleepAwaiter {
+ public:
+  SleepAwaiter(IoReactor& r, std::chrono::steady_clock::time_point deadline,
+               const void* tag = nullptr) noexcept
+      : r_(r) {
+    w_.deadline = deadline;
+    w_.tag = tag;
+  }
+
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> h) noexcept {
+    w_.handle = h;
+    return r_.park_timer(&w_);  // same ownership contract as FdAwaiter
+  }
+  bool await_resume() const noexcept { return w_.result != 0; }
+
+ private:
+  IoReactor& r_;
+  IoWaiter w_{};
+};
+
+inline FdAwaiter wait_readable(IoReactor& r, int fd,
+                               const void* tag = nullptr) {
+  return FdAwaiter(r, fd, IoReactor::kReadable, tag);
+}
+
+inline FdAwaiter wait_writable(IoReactor& r, int fd,
+                               const void* tag = nullptr) {
+  return FdAwaiter(r, fd, IoReactor::kWritable, tag);
+}
+
+inline SleepAwaiter sleep_until(IoReactor& r,
+                                std::chrono::steady_clock::time_point deadline,
+                                const void* tag = nullptr) {
+  return SleepAwaiter(r, deadline, tag);
+}
+
+template <typename Rep, typename Period>
+SleepAwaiter sleep_for(IoReactor& r, std::chrono::duration<Rep, Period> d,
+                       const void* tag = nullptr) {
+  return SleepAwaiter(r, std::chrono::steady_clock::now() + d, tag);
+}
+
+}  // namespace pwf::rt

@@ -1,0 +1,290 @@
+#include "runtime/io_reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "runtime/scheduler.hpp"
+#include "support/check.hpp"
+
+namespace pwf::rt {
+
+namespace {
+
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t e = 0;
+  if (events & IoReactor::kReadable) e |= EPOLLIN;
+  if (events & IoReactor::kWritable) e |= EPOLLOUT;
+  return e;
+}
+
+std::uint32_t from_epoll(std::uint32_t e) {
+  std::uint32_t r = 0;
+  if (e & EPOLLIN) r |= IoReactor::kReadable;
+  if (e & EPOLLOUT) r |= IoReactor::kWritable;
+  if (e & (EPOLLERR | EPOLLHUP)) r |= IoReactor::kError;
+  // The contract is "nonzero = the fd woke you, zero = cancelled"; an event
+  // we don't map (e.g. EPOLLPRI) must still read as a wake.
+  if (r == 0) r = IoReactor::kError;
+  return r;
+}
+
+// Min-heap order on (deadline, seq): std::push_heap keeps the *greatest*
+// on top, so the comparator is inverted.
+bool heap_after(const std::chrono::steady_clock::time_point& ad,
+                std::uint64_t as,
+                const std::chrono::steady_clock::time_point& bd,
+                std::uint64_t bs) {
+  if (ad != bd) return ad > bd;
+  return as > bs;
+}
+
+}  // namespace
+
+IoReactor::IoReactor(Scheduler& sched) : sched_(sched) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  PWF_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  PWF_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  PWF_CHECK_MSG(timer_fd_ >= 0, "timerfd_create failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &wake_fd_;  // member addresses double as sentinel tags
+  PWF_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  ev.data.ptr = &timer_fd_;
+  PWF_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) == 0);
+  thread_ = std::thread([this] { loop(); });
+}
+
+IoReactor::~IoReactor() {
+  {
+    std::lock_guard<std::mutex> lk(cmd_mu_);
+    stopped_ = true;
+  }
+  kick();
+  thread_.join();
+  ::close(timer_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void IoReactor::kick() {
+  const std::uint64_t one = 1;
+  // EAGAIN (counter saturated) still leaves the eventfd readable, so a
+  // short write cannot lose the wake.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool IoReactor::park_fd(IoWaiter* w) {
+  PWF_CHECK_MSG(w->fd >= 0 && w->events != 0, "park_fd needs an fd + events");
+  {
+    std::lock_guard<std::mutex> lk(cmd_mu_);
+    if (stopped_) return false;
+    cmds_.push_back(Cmd{Cmd::kParkFd, w, nullptr});
+  }
+  // Counted strictly after the enqueue: a thread that observes
+  // io_parks >= N knows those N parks are ahead of any command it enqueues
+  // next — cancel-after-observed-park is race-free. (The waiter itself may
+  // already have fired; only sched_ is touched here, never *w.)
+  sched_.note_io_park();
+  kick();
+  return true;
+}
+
+bool IoReactor::park_timer(IoWaiter* w) {
+  {
+    std::lock_guard<std::mutex> lk(cmd_mu_);
+    if (stopped_) return false;
+    cmds_.push_back(Cmd{Cmd::kParkTimer, w, nullptr});
+  }
+  sched_.note_io_park();  // after the enqueue — see park_fd
+  kick();
+  return true;
+}
+
+void IoReactor::cancel(const void* tag) {
+  if (tag == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(cmd_mu_);
+    if (stopped_) return;  // the shutdown drain cancels everything anyway
+    cmds_.push_back(Cmd{Cmd::kCancel, nullptr, tag});
+  }
+  kick();
+}
+
+void IoReactor::register_fd(IoWaiter* w) {
+  const bool inserted = fd_waiters_.emplace(w->fd, w).second;
+  PWF_CHECK_MSG(inserted, "two fibers parked on the same fd");
+  epoll_event ev{};
+  ev.events = to_epoll(w->events) | EPOLLONESHOT;
+  ev.data.ptr = w;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, w->fd, &ev) != 0) {
+    // A previously fired one-shot registration stays in the set disarmed;
+    // re-arm it.
+    PWF_CHECK_MSG(errno == EEXIST, "epoll_ctl ADD failed");
+    PWF_CHECK_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, w->fd, &ev) == 0,
+                  "epoll_ctl MOD failed");
+  }
+}
+
+void IoReactor::cancel_tag(const void* tag, std::vector<IoWaiter*>& ready) {
+  for (auto it = fd_waiters_.begin(); it != fd_waiters_.end();) {
+    if (it->second->tag == tag) {
+      IoWaiter* w = it->second;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, w->fd, nullptr);
+      w->result = 0;
+      ready.push_back(w);
+      it = fd_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  bool removed = false;
+  for (std::size_t i = 0; i < timers_.size();) {
+    if (timers_[i].w->tag == tag) {
+      IoWaiter* w = timers_[i].w;
+      w->result = 0;
+      sched_.note_timer_cancel();
+      ready.push_back(w);
+      timers_[i] = timers_.back();
+      timers_.pop_back();
+      removed = true;
+    } else {
+      ++i;
+    }
+  }
+  if (removed) {
+    std::make_heap(timers_.begin(), timers_.end(),
+                   [](const TimerEnt& a, const TimerEnt& b) {
+                     return heap_after(a.deadline, a.seq, b.deadline, b.seq);
+                   });
+  }
+}
+
+void IoReactor::arm_timerfd() {
+  const auto want = timers_.empty()
+                        ? std::chrono::steady_clock::time_point::min()
+                        : timers_.front().deadline;
+  if (want == armed_) return;
+  itimerspec its{};  // zero = disarm
+  if (!timers_.empty()) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        want.time_since_epoch())
+                        .count();
+    its.it_value.tv_sec = static_cast<time_t>(ns / 1000000000);
+    its.it_value.tv_nsec = static_cast<long>(ns % 1000000000);
+    // A fully zero it_value would disarm; deadlines that far in the past
+    // are expired on the loop's own clock check before arming anyway.
+    if (its.it_value.tv_sec == 0 && its.it_value.tv_nsec == 0)
+      its.it_value.tv_nsec = 1;
+  }
+  PWF_CHECK(timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &its, nullptr) == 0);
+  armed_ = want;
+}
+
+void IoReactor::loop() {
+  const auto heap_cmp = [](const TimerEnt& a, const TimerEnt& b) {
+    return heap_after(a.deadline, a.seq, b.deadline, b.seq);
+  };
+  std::vector<IoWaiter*> ready;
+  std::vector<Cmd> cmds;
+  for (;;) {
+    epoll_event evs[64];
+    const int n = epoll_wait(epoll_fd_, evs, 64, -1);
+    if (n < 0) {
+      PWF_CHECK_MSG(errno == EINTR, "epoll_wait failed");
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (evs[i].data.ptr == &wake_fd_) {
+        std::uint64_t junk;
+        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      if (evs[i].data.ptr == &timer_fd_) {
+        std::uint64_t junk;
+        while (::read(timer_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      auto* w = static_cast<IoWaiter*>(evs[i].data.ptr);
+      fd_waiters_.erase(w->fd);  // one-shot: registration is consumed
+      w->result = from_epoll(evs[i].events);
+      ready.push_back(w);
+    }
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lk(cmd_mu_);
+      cmds.swap(cmds_);
+      stopping = stopped_;
+    }
+    for (const Cmd& c : cmds) {
+      switch (c.kind) {
+        case Cmd::kParkFd:
+          register_fd(c.w);
+          break;
+        case Cmd::kParkTimer:
+          timers_.push_back(TimerEnt{c.w->deadline, next_seq_++, c.w});
+          std::push_heap(timers_.begin(), timers_.end(), heap_cmp);
+          break;
+        case Cmd::kCancel:
+          cancel_tag(c.tag, ready);
+          break;
+      }
+    }
+    cmds.clear();
+    // Expire due timers in (deadline, seq) order — zero/negative sleeps
+    // land here on the pass that registered them, without arming timerfd.
+    const auto now = std::chrono::steady_clock::now();
+    while (!timers_.empty() && timers_.front().deadline <= now) {
+      std::pop_heap(timers_.begin(), timers_.end(), heap_cmp);
+      IoWaiter* w = timers_.back().w;
+      timers_.pop_back();
+      w->result = 1;
+      sched_.note_timer_fire();
+      ready.push_back(w);
+    }
+    if (stopping) {
+      // Shutdown drain: cancel every remaining park and run all readied
+      // fibers to completion right here on the reactor thread. Workers are
+      // still alive (the Scheduler destroys the reactor first), so cells
+      // these fibers write still repost through the normal path; any park
+      // they attempt now fails fast with the cancelled result.
+      for (auto& [fd, w] : fd_waiters_) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        w->result = 0;
+        ready.push_back(w);
+      }
+      fd_waiters_.clear();
+      for (const TimerEnt& t : timers_) {
+        t.w->result = 0;
+        sched_.note_timer_cancel();
+        ready.push_back(t.w);
+      }
+      timers_.clear();
+      for (IoWaiter* w : ready) {
+        sched_.note_io_wakeup();
+        w->handle.resume();
+      }
+      ready.clear();
+      return;
+    }
+    for (IoWaiter* w : ready) {
+      sched_.note_io_wakeup();
+      // Repost through Scheduler::post — the reactor is a non-worker
+      // thread, so this lands in the lock-free inject ring and takes the
+      // fence-audited wake path (scheduler.cpp).
+      sched_.post(w->handle);
+    }
+    ready.clear();
+    arm_timerfd();
+  }
+}
+
+}  // namespace pwf::rt

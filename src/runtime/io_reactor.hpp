@@ -1,0 +1,143 @@
+// IoReactor — the scheduler's I/O thread: fibers park on a file descriptor
+// or a deadline instead of a FutCell, and the reactor reposts them through
+// the scheduler's lock-free inject ring when the fd becomes ready or the
+// deadline elapses.
+//
+// This is the "Reduced I/O Latency with Futures" move (PAPERS.md): a fiber
+// that would block on I/O suspends in O(1) — its waiter record lives in the
+// awaiter inside the suspended frame, exactly like FutCell waiters — and
+// the worker it ran on immediately picks up other ready work. One reactor
+// thread multiplexes every parked fd with epoll and every deadline with a
+// min-heap fronted by a single timerfd, so parked fibers consume no worker
+// CPU at all (E27's open-loop latency harness is built on this).
+//
+// Protocol (see docs/runtime.md, "I/O awaiters and the reactor"):
+//
+//   * park_fd / park_timer hand the reactor an IoWaiter living in the
+//     suspended coroutine frame. From the moment the call returns true the
+//     reactor owns the waiter: it may fire, repost, and the frame may be
+//     destroyed before the caller's next instruction — callers touch
+//     nothing afterwards (the FutCell::Awaiter publication discipline).
+//   * A false return means the reactor has stopped: the caller must not
+//     suspend; the fiber continues inline with a cancelled (0) result.
+//   * cancel(tag) asynchronously cancels every parked waiter carrying that
+//     tag (the libcoro-style tagged sleep); cancelled waiters are reposted
+//     with result 0.
+//   * Shutdown: ~IoReactor (run by ~Scheduler *before* the workers stop)
+//     marks the reactor stopped, then the reactor thread cancels every
+//     in-flight park and resumes those fibers to completion on the reactor
+//     thread itself — deterministic, no reliance on workers that are about
+//     to exit. Fibers that try to park again during this drain get the
+//     false/cancelled path and run straight through.
+//
+// The header is deliberately syscall-free (no <sys/epoll.h>): fd readiness
+// is expressed with the kReadable/kWritable/kError bits and mapped to epoll
+// flags in io_reactor.cpp, so it can be included (and CI-compiled for
+// self-containment) anywhere.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace pwf::rt {
+
+class Scheduler;
+
+// The park record. Lives inside the awaiter object in the suspended
+// coroutine frame (no allocation, like FutCell's intrusive Waiter); the
+// reactor writes `result` before reposting, the fiber reads it in
+// await_resume after it runs again — the repost through the inject ring
+// provides the happens-before edge.
+struct IoWaiter {
+  std::coroutine_handle<> handle{};
+  // fd parks:
+  int fd = -1;
+  std::uint32_t events = 0;  // requested kReadable / kWritable bits
+  // timer parks:
+  std::chrono::steady_clock::time_point deadline{};
+  // optional cancellation tag (both kinds):
+  const void* tag = nullptr;
+  // Outcome. fd parks: the ready-event bits (kError folded in), 0 when
+  // cancelled or shut down. timer parks: 1 fired, 0 cancelled/shut down.
+  std::uint32_t result = 0;
+};
+
+class IoReactor {
+ public:
+  // Abstract readiness bits (mapped to EPOLLIN/EPOLLOUT/EPOLLERR|EPOLLHUP
+  // in the .cpp).
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kError = 1u << 2;
+
+  explicit IoReactor(Scheduler& sched);
+  ~IoReactor();
+
+  IoReactor(const IoReactor&) = delete;
+  IoReactor& operator=(const IoReactor&) = delete;
+
+  // Park a fiber until w->fd has one of w->events ready (one-shot; at most
+  // one waiter per fd at a time — checked). True: the reactor took the
+  // waiter and the caller must suspend without touching anything. False:
+  // reactor stopped, do not suspend (w->result is 0).
+  bool park_fd(IoWaiter* w);
+
+  // Park a fiber until w->deadline (steady_clock). Deadlines at or before
+  // now fire on the reactor's next pass, so zero/negative sleeps are just
+  // a bounce through the ring. Same ownership contract as park_fd.
+  bool park_timer(IoWaiter* w);
+
+  // Asynchronously cancel every parked waiter whose tag matches (nullptr
+  // tags are never cancelled). Cancelled waiters repost with result 0;
+  // timers count Stats::timer_cancels.
+  void cancel(const void* tag);
+
+ private:
+  struct Cmd {
+    enum Kind : std::uint8_t { kParkFd, kParkTimer, kCancel };
+    Kind kind;
+    IoWaiter* w;      // park commands
+    const void* tag;  // cancel commands
+  };
+  // Timer min-heap entry; seq breaks deadline ties FIFO.
+  struct TimerEnt {
+    std::chrono::steady_clock::time_point deadline;
+    std::uint64_t seq;
+    IoWaiter* w;
+  };
+
+  void loop();
+  void kick();
+  void register_fd(IoWaiter* w);
+  void cancel_tag(const void* tag, std::vector<IoWaiter*>& ready);
+  void arm_timerfd();
+
+  Scheduler& sched_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;   // eventfd: park_/cancel_ callers kick the loop
+  int timer_fd_ = -1;  // timerfd armed to the heap's earliest deadline
+
+  // Callers hand work to the reactor thread through this queue; parks are
+  // per-I/O (not per-cell), so a mutex is fine here — the hot path is the
+  // reactor→scheduler repost, which is the lock-free ring.
+  std::mutex cmd_mu_;
+  std::vector<Cmd> cmds_;   // guarded by cmd_mu_
+  bool stopped_ = false;    // guarded by cmd_mu_
+
+  // Reactor-thread-only state.
+  std::unordered_map<int, IoWaiter*> fd_waiters_;
+  std::vector<TimerEnt> timers_;  // min-heap (deadline, seq)
+  std::uint64_t next_seq_ = 0;
+  std::chrono::steady_clock::time_point armed_ =
+      std::chrono::steady_clock::time_point::min();
+
+  std::thread thread_;
+};
+
+}  // namespace pwf::rt

@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/rt_async.hpp"
 #include "runtime/rt_map.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/check.hpp"
@@ -203,6 +204,38 @@ class ParallelMap {
 
   // Quiescence point: blocks until every pending batch has materialized.
   void flush() const { force_recount(); }
+
+  // Async quiescence — the server-side flush (docs/service.md): spawns a
+  // fiber that co_awaits every cell of the current epoch-pinned tree and
+  // then writes `done`. A server fiber `co_await done` instead of calling
+  // flush(), so no worker thread is blocked while batches materialize.
+  // Purely observational: counts a flush, but leaves the pending/size
+  // accounting to the blocking paths — `done` certifies everything chained
+  // before this call; batches chained after it are not covered.
+  void on_flush(FutCell<int>& done) const {
+    std::vector<rtasync::Pinned<map::Store<V, A>, map::Cell<V, A>>> pins(1);
+    pins[0] = pinned();
+    spawn(rtasync::quiesce_fiber(std::move(pins), &done));
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Async point read: forces only the O(lg n) search-path cells with a
+  // parked fiber and writes the Probe into `out` (E27's pipelined reply
+  // path). Pipelines with in-flight batches like get(), without blocking.
+  void probe_into(Key k, FutCell<rtasync::Probe<V>>& out) const {
+    spawn(rtasync::probe_fiber(pinned(), k, &out));
+  }
+
+  // The epoch pin the async walks travel with — also how the sharded
+  // facade quiesces every shard under one fiber. O(1), like snapshot().
+  rtasync::Pinned<map::Store<V, A>, map::Cell<V, A>> pinned() const {
+    rtasync::Pinned<map::Store<V, A>, map::Cell<V, A>> p;
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    p.store = store_;
+    p.merged = keep_alive_;
+    p.root = root_.load(std::memory_order_seq_cst);
+    return p;
+  }
 
   // Quiescence + storage epoch (see ParallelSet::compact): publishes the
   // fresh chunked root seq_cst, then drains the reader count before

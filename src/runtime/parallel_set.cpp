@@ -277,6 +277,22 @@ SetSnapshot ParallelSet::snapshot() const {
                      root_.load(std::memory_order_seq_cst));
 }
 
+void ParallelSet::on_flush(FutCell<int>& done) const {
+  std::vector<rtasync::Pinned<treap::Store, treap::Cell>> pins(1);
+  pins[0] = pinned();
+  spawn(rtasync::quiesce_fiber(std::move(pins), &done));
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+rtasync::Pinned<treap::Store, treap::Cell> ParallelSet::pinned() const {
+  rtasync::Pinned<treap::Store, treap::Cell> p;
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  p.store = store_;
+  p.merged = keep_alive_;
+  p.root = root_.load(std::memory_order_seq_cst);
+  return p;
+}
+
 bool ParallelSet::contains(Key k) const {
   ReadGuard guard(active_readers_);
   return pl::treap::lookup(root_.load(std::memory_order_seq_cst), k, kWait)

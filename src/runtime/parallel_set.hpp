@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/rt_async.hpp"
 #include "runtime/rt_treap.hpp"
 #include "runtime/scheduler.hpp"
 
@@ -131,6 +132,16 @@ class ParallelSet {
   // Quiescence point: blocks until every pending batch has fully
   // materialized, and refreshes the cached size.
   void flush() const { force_recount(); }
+
+  // Async quiescence — the server-side flush: spawns a fiber that
+  // co_awaits every cell of the current epoch-pinned tree and then writes
+  // `done`, so a server fiber can await quiescence without blocking its
+  // worker thread (docs/service.md). Observational only: counts a flush
+  // but leaves pending/size accounting to the blocking paths.
+  void on_flush(FutCell<int>& done) const;
+
+  // The epoch pin the async walks travel with (rt_async.hpp); O(1).
+  rtasync::Pinned<treap::Store, treap::Cell> pinned() const;
 
   // Quiescence + storage epoch: rebuilds the set into a fresh chunked store
   // and frees every node superseded by past batches (the arena is

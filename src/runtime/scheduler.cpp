@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "runtime/io_reactor.hpp"
+
 #if PWF_ANALYZE
 #include "analyze/rt_recorder.hpp"
 #endif
@@ -26,11 +28,17 @@ Scheduler::Stats Scheduler::stats() const {
   s.steals = steals_.load(std::memory_order_relaxed);
   s.injected = injected_.load(std::memory_order_relaxed);
   s.inject_overflows = inject_overflows_.load(std::memory_order_relaxed);
+  s.inject_overflow_batches =
+      inject_overflow_batches_.load(std::memory_order_relaxed);
   s.serial_cutoffs = serial_cutoffs_.load(std::memory_order_relaxed);
   s.leaf_ops = leaf_ops_.load(std::memory_order_relaxed);
   s.aug_ops = aug_ops_.load(std::memory_order_relaxed);
   s.rebalances = rebalances_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.io_parks = io_parks_.load(std::memory_order_relaxed);
+  s.io_wakeups = io_wakeups_.load(std::memory_order_relaxed);
+  s.timer_fires = timer_fires_.load(std::memory_order_relaxed);
+  s.timer_cancels = timer_cancels_.load(std::memory_order_relaxed);
   const FramePool::Stats pool = FramePool::stats();
   s.frame_pool_hits = pool.hits;
   s.frame_pool_misses = pool.misses;
@@ -54,7 +62,24 @@ Scheduler::Scheduler(unsigned nthreads) {
     threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
+IoReactor& Scheduler::reactor() {
+  if (IoReactor* r = reactor_ptr_.load(std::memory_order_acquire)) return *r;
+  std::lock_guard<std::mutex> lk(reactor_mu_);
+  if (!reactor_) {
+    reactor_ = std::make_unique<IoReactor>(*this);
+    reactor_ptr_.store(reactor_.get(), std::memory_order_release);
+  }
+  return *reactor_;
+}
+
 Scheduler::~Scheduler() {
+  // Reactor first: its destructor cancels every in-flight fd/timer park and
+  // runs those fibers to completion on the reactor thread, so by the time
+  // the workers stop no fiber can still be waiting on I/O (a worker-queued
+  // fiber dropped at stop is the pre-existing shutdown semantics; a fiber
+  // parked in a dead reactor would be a leak).
+  reactor_ptr_.store(nullptr, std::memory_order_release);
+  reactor_.reset();
   {
     std::lock_guard<std::mutex> lk(park_mutex_);
     stop_ = true;
@@ -84,12 +109,23 @@ void Scheduler::post(std::coroutine_handle<> h) {
                             std::memory_order_release);
     }
   }
-  // Lock-free wake: the enqueue above and this load straddle a seq_cst
-  // fence, pairing with the worker's parked_ announcement + work recheck
-  // (Dekker handshake) — either the worker's recheck sees the item, or this
-  // load sees the announcement and signals. The worst residual miss (signal
-  // fired while the worker was between announcing and waiting) is bounded by
-  // the 1 ms park timeout.
+  // Lock-free wake — poster half of the Dekker handshake. Audit (both
+  // fences are load-bearing; the reactor thread reposting readied I/O
+  // fibers takes exactly this path):
+  //
+  //   poster:  enqueue item            worker:  parked_.fetch_add (announce)
+  //            fence(seq_cst)  [P]              fence(seq_cst)        [W]
+  //            load parked_                     recheck queues
+  //
+  // The enqueue is release-at-best (ring CAS / deque store) and the recheck
+  // loads are acquire-at-best, so without *both* fences the store-buffering
+  // outcome "poster misses the announcement AND worker misses the item" is
+  // allowed — the announce being a seq_cst RMW does not by itself order the
+  // worker's later queue loads against it. With [P] and [W] in the single
+  // total order of seq_cst fences, one side must observe the other: either
+  // the worker's recheck sees the item, or this load sees parked_ != 0 and
+  // signals. The worst residual miss (signal fired while the worker was
+  // between announcing and waiting) is bounded by the 1 ms park timeout.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (parked_.load(std::memory_order_relaxed) != 0) {
     wakeups_.fetch_add(1, std::memory_order_relaxed);
@@ -104,15 +140,23 @@ std::coroutine_handle<> Scheduler::find_work(unsigned index) {
   if (void* p = inject_ring_.pop())
     return std::coroutine_handle<>::from_address(p);
   // The overflow vector is only populated when the ring filled up; the
-  // atomic count lets the common case skip the mutex entirely.
+  // atomic count lets the common case skip the mutex entirely. When it is
+  // populated, drain the whole backlog on ONE lock acquisition: the first
+  // handle is returned and the rest go to this worker's own deque (where
+  // idle peers can steal them) instead of paying a mutex round-trip per
+  // item.
   if (overflow_count_.load(std::memory_order_acquire) != 0) {
-    std::lock_guard<std::mutex> lk(inject_mutex_);
-    if (!inject_overflow_.empty()) {
-      auto h = inject_overflow_.back();
-      inject_overflow_.pop_back();
-      overflow_count_.store(inject_overflow_.size(),
-                            std::memory_order_release);
-      return h;
+    std::vector<std::coroutine_handle<>> batch;
+    {
+      std::lock_guard<std::mutex> lk(inject_mutex_);
+      batch.swap(inject_overflow_);
+      overflow_count_.store(0, std::memory_order_release);
+    }
+    if (!batch.empty()) {
+      inject_overflow_batches_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = batch.size(); i > 1; --i)
+        me.deque.push(batch[i - 1].address());
+      return batch.front();
     }
   }
   // Randomized stealing: a few rounds over the other workers.
@@ -153,10 +197,14 @@ void Scheduler::worker_loop(unsigned index) {
       run(h);
       continue;
     }
-    // Spin-then-park. Announce first, then recheck: post() enqueues before
-    // it loads parked_, so if the recheck misses a concurrent post, the
-    // poster saw our announcement and signals the cv.
+    // Spin-then-park — worker half of the Dekker handshake (see the audit
+    // comment in post()). Announce first, fence, then recheck: the explicit
+    // fence pairs with post()'s fence so a poster that misses this
+    // announcement is guaranteed its item is visible to the recheck. The
+    // announce alone (even as a seq_cst RMW) would not order the recheck's
+    // queue loads after it.
     parked_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (std::coroutine_handle<> h = find_work(index)) {
       parked_.fetch_sub(1, std::memory_order_relaxed);
       run(h);

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <coroutine>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "support/random.hpp"
 
 namespace pwf::rt {
+
+class IoReactor;
 
 class Scheduler {
  public:
@@ -45,6 +48,13 @@ class Scheduler {
   // through it). Exactly one Scheduler may be alive at a time.
   static Scheduler* current();
 
+  // The scheduler's I/O reactor (src/runtime/io_reactor.hpp): an epoll +
+  // timerfd thread that fibers park on via the io_awaiter.hpp awaitables.
+  // Started lazily on first use — programs that never touch I/O pay
+  // nothing. The reactor is torn down *before* the workers in ~Scheduler
+  // (in-flight parks are resumed with a cancelled result; see the header).
+  IoReactor& reactor();
+
   // Observability: aggregate counters since construction (approximate —
   // relaxed atomics, intended for monitoring and tests, not invariants).
   // The frame-pool counters are process-wide (the pool outlives schedulers
@@ -54,11 +64,16 @@ class Scheduler {
     std::uint64_t steals = 0;            // successful steals
     std::uint64_t injected = 0;          // posts from non-worker threads
     std::uint64_t inject_overflows = 0;  // posts that missed the ring
+    std::uint64_t inject_overflow_batches = 0;  // one-lock overflow drains
     std::uint64_t serial_cutoffs = 0;    // substrate serial-path activations
     std::uint64_t leaf_ops = 0;          // leaf-chunk fast-path activations
     std::uint64_t aug_ops = 0;           // aggregate recomputation fibers
     std::uint64_t rebalances = 0;        // shard split/join ops launched
     std::uint64_t wakeups = 0;           // park_cv_ signals issued by post()
+    std::uint64_t io_parks = 0;          // fibers parked on an fd or timer
+    std::uint64_t io_wakeups = 0;        // fibers reposted by the reactor
+    std::uint64_t timer_fires = 0;       // deadlines that elapsed
+    std::uint64_t timer_cancels = 0;     // timers cancelled before firing
     std::uint64_t frame_pool_hits = 0;   // frames served from a freelist
     std::uint64_t frame_pool_misses = 0; // frames that hit the heap
   };
@@ -86,6 +101,20 @@ class Scheduler {
   // launch a rebalance op (docs/service.md).
   void note_rebalance() {
     rebalances_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Called by the IoReactor (docs/runtime.md, "I/O awaiters and the
+  // reactor"): park when a fiber registers on an fd/deadline, wakeup when
+  // the reactor reposts it, fire/cancel for timer outcomes.
+  void note_io_park() { io_parks_.fetch_add(1, std::memory_order_relaxed); }
+  void note_io_wakeup() {
+    io_wakeups_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_timer_fire() {
+    timer_fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_timer_cancel() {
+    timer_cancels_.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
@@ -120,16 +149,28 @@ class Scheduler {
   bool stop_ = false;  // guarded by park_mutex_
   std::atomic<unsigned> parked_{0};
 
+  // Lazily started I/O reactor. reactor_ptr_ is the lock-free fast path;
+  // reactor_mu_ serializes the one-time start. Torn down first in
+  // ~Scheduler so no fiber is still parked on an fd when workers stop.
+  std::mutex reactor_mu_;
+  std::atomic<IoReactor*> reactor_ptr_{nullptr};
+  std::unique_ptr<IoReactor> reactor_;
+
   // Monitoring counters (relaxed).
   std::atomic<std::uint64_t> resumed_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> inject_overflows_{0};
+  std::atomic<std::uint64_t> inject_overflow_batches_{0};
   std::atomic<std::uint64_t> serial_cutoffs_{0};
   std::atomic<std::uint64_t> leaf_ops_{0};
   std::atomic<std::uint64_t> aug_ops_{0};
   std::atomic<std::uint64_t> rebalances_{0};
   std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> io_parks_{0};
+  std::atomic<std::uint64_t> io_wakeups_{0};
+  std::atomic<std::uint64_t> timer_fires_{0};
+  std::atomic<std::uint64_t> timer_cancels_{0};
 };
 
 // Spawned computation: a detached coroutine. It starts suspended (the spawn

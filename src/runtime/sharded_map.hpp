@@ -159,6 +159,23 @@ class ShardedParallelMap {
     for (ParallelMap<V, A>* s : g->shards) s->flush();
   }
 
+  // Async quiescence across every shard: one fiber awaits all shards'
+  // epoch-pinned trees, then writes `done` (see ParallelMap::on_flush).
+  void on_flush(FutCell<int>& done) const {
+    typename adapt::Router<ParallelMap<V, A>>::Guard g(router_);
+    std::vector<rtasync::Pinned<map::Store<V, A>, map::Cell<V, A>>> pins;
+    pins.reserve(g->shards.size());
+    for (ParallelMap<V, A>* s : g->shards) pins.push_back(s->pinned());
+    spawn(rtasync::quiesce_fiber(std::move(pins), &done));
+  }
+
+  // Async point read, routed like get(): the owning shard pins its epoch
+  // before this returns, so a concurrent rebalance cannot strand the walk.
+  void probe_into(Key k, FutCell<rtasync::Probe<V>>& out) const {
+    typename adapt::Router<ParallelMap<V, A>>::Guard g(router_);
+    g->shards[g->index(k)]->probe_into(k, out);
+  }
+
   void compact() {
     for (auto& s : shards_) s->compact();
   }

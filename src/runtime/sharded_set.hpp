@@ -147,6 +147,16 @@ class ShardedParallelSet {
     for (ParallelSet* s : g->shards) s->flush();
   }
 
+  // Async quiescence across every shard: one fiber awaits all shards'
+  // epoch-pinned trees, then writes `done` (see ParallelSet::on_flush).
+  void on_flush(FutCell<int>& done) const {
+    adapt::Router<ParallelSet>::Guard g(router_);
+    std::vector<rtasync::Pinned<treap::Store, treap::Cell>> pins;
+    pins.reserve(g->shards.size());
+    for (ParallelSet* s : g->shards) pins.push_back(s->pinned());
+    spawn(rtasync::quiesce_fiber(std::move(pins), &done));
+  }
+
   // Compact every shard. Long-lived services should instead rotate:
   // `compact_shard(epoch % shard_count())` once per maintenance tick.
   void compact() {
